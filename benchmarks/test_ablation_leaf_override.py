@@ -1,0 +1,69 @@
+"""Experiment E10 — ablation: the leaf–target value override heuristic.
+
+Section 5.3 reports that the override "helped to reduce the depth of the
+swapping stage on the order of 0-5%".  The benchmark routes a batch of
+random permutations over the molecule bond graphs and a chain with the
+heuristic on and off and reports the average depth change.
+"""
+
+import random
+
+from conftest import run_once
+
+from repro.analysis.reporting import format_table
+from repro.hardware.architectures import linear_chain
+from repro.hardware.molecules import histidine, trans_crotonic_acid
+from repro.routing.bubble import route_permutation
+from repro.simulation.verify import verify_routing_layers
+
+CASES = [
+    ("trans-crotonic acid", trans_crotonic_acid, 100.0),
+    ("histidine", histidine, 100.0),
+    ("chain-12", lambda: linear_chain(12), 10.0),
+]
+
+TRIALS = 20
+
+
+def test_leaf_override_ablation(benchmark):
+    def runner():
+        rng = random.Random(7)
+        summary = []
+        for name, factory, threshold in CASES:
+            graph = factory().adjacency_graph(threshold)
+            nodes = list(graph.nodes())
+            depth_on = 0
+            depth_off = 0
+            for _ in range(TRIALS):
+                shuffled = list(nodes)
+                rng.shuffle(shuffled)
+                permutation = dict(zip(nodes, shuffled))
+                with_override = route_permutation(graph, permutation, leaf_override=True)
+                without_override = route_permutation(graph, permutation, leaf_override=False)
+                assert verify_routing_layers(with_override.layers, permutation)
+                assert verify_routing_layers(without_override.layers, permutation)
+                depth_on += with_override.depth
+                depth_off += without_override.depth
+            summary.append((name, depth_on / TRIALS, depth_off / TRIALS))
+        return summary
+
+    summary = run_once(benchmark, runner)
+
+    rows = []
+    for name, depth_on, depth_off in summary:
+        change = 100.0 * (depth_off - depth_on) / depth_off if depth_off else 0.0
+        rows.append([name, f"{depth_on:.2f}", f"{depth_off:.2f}", f"{change:+.1f}%"])
+    print()
+    print(
+        format_table(
+            ["architecture", "avg depth (override on)", "avg depth (override off)",
+             "depth reduction"],
+            rows,
+            title="Ablation — leaf-target value override (paper: 0-5% depth reduction)",
+        )
+    )
+
+    # The heuristic must never be a large regression; the paper's observed
+    # benefit is small, so we only assert it stays within a modest band.
+    for name, depth_on, depth_off in summary:
+        assert depth_on <= depth_off * 1.15 + 1.0, name

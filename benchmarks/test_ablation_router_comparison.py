@@ -1,0 +1,75 @@
+"""Ablation: the paper's bubble router versus a greedy token-swapping baseline.
+
+The paper's recursive bisection router guarantees linear depth; a greedy
+token-swapping baseline usually spends fewer total SWAPs but concentrates
+them sequentially.  The benchmark routes the same random permutations with
+both and reports depth and swap counts.
+"""
+
+import random
+
+from conftest import run_once
+
+from repro.analysis.reporting import format_table
+from repro.hardware.architectures import grid, linear_chain
+from repro.hardware.molecules import trans_crotonic_acid
+from repro.routing.bubble import route_permutation
+from repro.routing.token_swapping import route_permutation_greedy
+from repro.simulation.verify import verify_routing_layers
+
+CASES = [
+    ("trans-crotonic acid", trans_crotonic_acid, 100.0),
+    ("chain-16", lambda: linear_chain(16), 10.0),
+    ("grid-4x4", lambda: grid(4, 4), 10.0),
+]
+
+TRIALS = 10
+
+
+def test_router_comparison(benchmark):
+    def runner():
+        rng = random.Random(99)
+        summary = []
+        for name, factory, threshold in CASES:
+            graph = factory().adjacency_graph(threshold)
+            nodes = list(graph.nodes())
+            bubble_depth = bubble_swaps = greedy_depth = greedy_swaps = 0
+            for _ in range(TRIALS):
+                shuffled = list(nodes)
+                rng.shuffle(shuffled)
+                permutation = dict(zip(nodes, shuffled))
+                bubble = route_permutation(graph, permutation)
+                greedy = route_permutation_greedy(graph, permutation)
+                assert verify_routing_layers(bubble.layers, permutation)
+                assert verify_routing_layers(greedy.layers, permutation)
+                bubble_depth += bubble.depth
+                bubble_swaps += bubble.num_swaps
+                greedy_depth += greedy.depth
+                greedy_swaps += greedy.num_swaps
+            summary.append(
+                (name, len(nodes),
+                 bubble_depth / TRIALS, bubble_swaps / TRIALS,
+                 greedy_depth / TRIALS, greedy_swaps / TRIALS)
+            )
+        return summary
+
+    summary = run_once(benchmark, runner)
+
+    rows = [
+        [name, n, f"{b_depth:.1f}", f"{b_swaps:.1f}", f"{g_depth:.1f}", f"{g_swaps:.1f}"]
+        for name, n, b_depth, b_swaps, g_depth, g_swaps in summary
+    ]
+    print()
+    print(
+        format_table(
+            ["architecture", "n", "bubble depth", "bubble SWAPs",
+             "greedy depth", "greedy SWAPs"],
+            rows,
+            title="Ablation — bubble router vs greedy token swapping",
+        )
+    )
+
+    for name, n, bubble_depth, _, greedy_depth, _ in summary:
+        # Both stay in the linear-depth regime the placer relies on.
+        assert bubble_depth <= 8 * n + 8
+        assert greedy_depth <= n * n

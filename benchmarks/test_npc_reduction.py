@@ -1,0 +1,62 @@
+"""Experiment E8 — Section 4: the Hamiltonian-cycle reduction.
+
+Builds the reduction instance for a family of small graphs and checks, by
+exhaustive search on both sides, that a zero-runtime placement exists if and
+only if the graph has a Hamiltonian cycle — the equivalence the paper's
+NP-completeness proof rests on.
+"""
+
+import networkx as nx
+from conftest import run_once
+
+from repro.analysis.reporting import format_table
+from repro.complexity.hamiltonian_cycle import (
+    find_zero_cost_placement,
+    has_hamiltonian_cycle,
+    verify_reduction,
+)
+
+GRAPHS = [
+    ("cycle C6", nx.cycle_graph(6)),
+    ("complete K5", nx.complete_graph(5)),
+    ("path P6 (no cycle)", nx.path_graph(6)),
+    ("star S5 (no cycle)", nx.star_graph(5)),
+    ("Petersen (no cycle)", nx.petersen_graph()),
+    ("grid 2x3", nx.convert_node_labels_to_integers(nx.grid_2d_graph(2, 3))),
+    ("random G(7, 0.5)", nx.gnp_random_graph(7, 0.5, seed=3)),
+    ("random G(7, 0.2)", nx.gnp_random_graph(7, 0.2, seed=4)),
+]
+
+
+def test_hamiltonian_cycle_reduction(benchmark):
+    def runner():
+        results = []
+        for name, graph in GRAPHS:
+            placement = find_zero_cost_placement(graph)
+            results.append((name, graph, placement, has_hamiltonian_cycle(graph)))
+        return results
+
+    results = run_once(benchmark, runner)
+
+    rows = []
+    for name, graph, placement, hamiltonian in results:
+        rows.append(
+            [
+                name,
+                graph.number_of_nodes(),
+                "yes" if hamiltonian else "no",
+                "0 (found)" if placement is not None else "> 0 (none exists)",
+            ]
+        )
+    print()
+    print(
+        format_table(
+            ["graph H", "vertices", "Hamiltonian cycle?", "minimal placement runtime"],
+            rows,
+            title="Section 4 — Hamiltonian-cycle reduction (zero-cost placement iff cycle)",
+        )
+    )
+
+    for name, graph, placement, hamiltonian in results:
+        assert (placement is not None) == hamiltonian, name
+        assert verify_reduction(graph), name

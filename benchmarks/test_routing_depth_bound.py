@@ -1,0 +1,93 @@
+"""Experiment E9 — Section 5.2: linear depth of the SWAP routing.
+
+The paper proves an ``8n + const`` upper bound on the number of SWAP levels
+needed to realise any permutation over a well-separable (s >= 1/2)
+architecture, and notes the bound is asymptotically optimal (witnessed by
+the rotation permutation ``(n, 2, 3, ..., n-1, 1)`` on a chain, which needs
+depth Ω(n)).
+
+The benchmark measures the worst observed depth over random permutations on
+chains, rings, grids and the NMR molecules, prints depth/n ratios, and
+asserts both the upper bound and the lower-bound witness.
+"""
+
+import random
+
+from conftest import run_once
+
+from repro.analysis.reporting import format_table
+from repro.hardware.architectures import grid, linear_chain, ring
+from repro.hardware.molecules import histidine, trans_crotonic_acid
+from repro.routing.bubble import route_permutation
+from repro.simulation.verify import verify_routing_layers
+
+ARCHITECTURES = [
+    ("chain-8", lambda: linear_chain(8), 10.0),
+    ("chain-16", lambda: linear_chain(16), 10.0),
+    ("chain-32", lambda: linear_chain(32), 10.0),
+    ("ring-16", lambda: ring(16), 10.0),
+    ("grid-4x4", lambda: grid(4, 4), 10.0),
+    ("grid-5x5", lambda: grid(5, 5), 10.0),
+    ("trans-crotonic acid", trans_crotonic_acid, 100.0),
+    ("histidine", histidine, 100.0),
+]
+
+TRIALS_PER_ARCHITECTURE = 10
+
+
+def test_routing_depth_linear_bound(benchmark):
+    def runner():
+        rng = random.Random(2024)
+        measurements = []
+        for name, factory, threshold in ARCHITECTURES:
+            graph = factory().adjacency_graph(threshold)
+            nodes = list(graph.nodes())
+            worst_depth = 0
+            total_swaps = 0
+            for _ in range(TRIALS_PER_ARCHITECTURE):
+                shuffled = list(nodes)
+                rng.shuffle(shuffled)
+                permutation = dict(zip(nodes, shuffled))
+                result = route_permutation(graph, permutation)
+                assert verify_routing_layers(result.layers, permutation)
+                worst_depth = max(worst_depth, result.depth)
+                total_swaps += result.num_swaps
+            measurements.append((name, len(nodes), worst_depth, total_swaps / TRIALS_PER_ARCHITECTURE))
+        return measurements
+
+    measurements = run_once(benchmark, runner)
+
+    rows = [
+        [name, n, depth, f"{depth / n:.2f}", f"{avg_swaps:.1f}"]
+        for name, n, depth, avg_swaps in measurements
+    ]
+    print()
+    print(
+        format_table(
+            ["architecture", "n", "worst depth", "depth / n", "avg SWAPs"],
+            rows,
+            title="Section 5.2 — SWAP-stage depth over random permutations",
+        )
+    )
+
+    for name, n, depth, _ in measurements:
+        assert depth <= 8 * n + 8, f"{name}: depth {depth} violates the 8n bound"
+
+
+def test_rotation_permutation_lower_bound_witness(benchmark):
+    """The permutation (n, 2, 3, ..., n-1, 1) on a chain needs Ω(n) depth."""
+    n = 24
+    graph = linear_chain(n).adjacency_graph(10.0)
+    # Token at node 0 goes to node n-1 and vice versa; the middle stays.
+    permutation = {0: n - 1, n - 1: 0}
+    permutation.update({i: i for i in range(1, n - 1)})
+
+    result = run_once(benchmark, route_permutation, graph, permutation)
+
+    print()
+    print(f"rotation witness on a {n}-qubit chain: depth {result.depth} "
+          f"(lower bound {n - 1}), {result.num_swaps} SWAPs")
+    assert verify_routing_layers(result.layers, permutation)
+    # The two end tokens must each travel n-1 hops, so depth >= n-1.
+    assert result.depth >= n - 1
+    assert result.depth <= 8 * n + 8

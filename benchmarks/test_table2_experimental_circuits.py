@@ -1,0 +1,63 @@
+"""Experiment E2 — Table 2: reconstructing experimentally realised placements.
+
+For the three (circuit, molecule) pairs that were actually run on NMR
+hardware, the placer must reconstruct a hand-made assignment: one workspace,
+no SWAP stages, and a runtime of the same order as the experiment.  The
+search-space column is an exact combinatorial quantity and must match the
+paper digit for digit.
+"""
+
+import pytest
+from conftest import run_once
+
+from repro.analysis.experiments import run_table2
+from repro.analysis.reporting import format_table
+
+
+def test_table2(benchmark):
+    results = run_once(benchmark, run_table2)
+
+    rows = []
+    for row in results:
+        rows.append(
+            [
+                row.circuit_name,
+                f"{row.num_gates} gates / {row.num_qubits} qubits",
+                row.environment_name,
+                row.environment_qubits,
+                f"{row.paper_runtime_seconds:.4f} sec",
+                f"{row.measured_runtime_seconds:.4f} sec",
+                row.num_subcircuits,
+                f"{row.paper_search_space} / {row.search_space}",
+            ]
+        )
+    print()
+    print(
+        format_table(
+            ["circuit", "size", "environment", "env qubits",
+             "paper runtime", "measured runtime", "subcircuits",
+             "search space (paper/measured)"],
+            rows,
+            title="Table 2 — mapping experimentally constructed circuits",
+        )
+    )
+
+    encoder, qec5, cat = results
+
+    # Row 1 is fully pinned by the paper (all its inputs are printed there).
+    assert encoder.measured_runtime_seconds == pytest.approx(0.0136)
+    assert encoder.search_space == 6
+
+    # Search-space sizes are exact: m!/(m-n)!.
+    assert qec5.search_space == 2520
+    assert cat.search_space == 239_500_800
+
+    # The tool must reproduce the experimentalists' single-workspace structure.
+    for row in results:
+        assert row.num_subcircuits == 1, row.circuit_name
+        assert row.result.total_swap_count == 0
+
+    # Runtimes are of the paper's order of magnitude (reconstructed couplings).
+    for row in results:
+        assert row.measured_runtime_seconds < 10 * row.paper_runtime_seconds
+        assert row.measured_runtime_seconds > row.paper_runtime_seconds / 10

@@ -1,0 +1,87 @@
+"""Experiment E4 — Table 4: scalability over linear nearest-neighbour chains.
+
+Random "hidden stage" circuits on N-qubit 1 kHz chains.  The benchmark
+reports, per N: the gate count, the number of hidden stages, the number of
+subcircuits the placer discovered, the placed circuit's runtime and the
+software's own running time — exactly the paper's columns.
+
+Qualitative assertions:
+
+* the placer discovers exactly one subcircuit per hidden stage
+  ("This column exactly corresponds to the number of hidden stages");
+* the placed circuit's runtime grows with N;
+* the software runtime stays practical for the default sizes.
+
+The paper runs N up to 1024 (taking ~48 hours in C++); the default sweep
+stops at 64 qubits and the larger points can be enabled with
+``REPRO_BENCH_SLOW=1``.
+"""
+
+from conftest import run_once
+
+from repro.analysis.reporting import format_table
+from repro.analysis.scalability import run_scalability_sweep
+
+#: The paper's Table 4 (qubits, gates, hidden stages, subcircuits, circuit
+#: runtime seconds, software seconds) for side-by-side printing.
+PAPER_TABLE4 = {
+    8: (72, 3, 3, 0.118, 0.02),
+    16: (256, 4, 4, 0.458, 0.12),
+    32: (800, 5, 5, 0.937, 1.34),
+    64: (2304, 6, 6, 2.747, 7.52),
+    128: (6272, 7, 7, 7.147, 69.63),
+    256: (16384, 8, 8, 16.88, 674.96),
+    512: (41472, 9, 9, 38.107, 9328.0),
+    1024: (102400, 10, 10, 86.282, 173296.0),
+}
+
+DEFAULT_SIZES = (8, 16, 32, 64)
+SLOW_SIZES = (8, 16, 32, 64, 128)
+
+
+def test_table4_chain_scalability(benchmark, include_slow_benchmarks):
+    sizes = SLOW_SIZES if include_slow_benchmarks else DEFAULT_SIZES
+
+    records = run_once(benchmark, run_scalability_sweep, sizes, 0)
+
+    rows = []
+    for record in records:
+        paper = PAPER_TABLE4.get(record.num_qubits)
+        rows.append(
+            [
+                record.num_qubits,
+                record.num_gates,
+                record.hidden_stages,
+                record.num_subcircuits,
+                f"{record.circuit_runtime_seconds:.3f} sec",
+                f"{paper[3]:.3f} sec" if paper else "-",
+                f"{record.software_runtime_seconds:.2f} s",
+                f"{paper[4]:.2f} s" if paper else "-",
+            ]
+        )
+    print()
+    print(
+        format_table(
+            ["qubits", "gates", "hidden stages", "subcircuits",
+             "circuit runtime", "paper runtime", "software time", "paper software time"],
+            rows,
+            title="Table 4 — performance test for circuit placement over chains",
+        )
+    )
+
+    for record in records:
+        paper = PAPER_TABLE4[record.num_qubits]
+        # Gate counts follow the same N*log2(N)*log2(N) construction.
+        assert record.num_gates == paper[0]
+        assert record.hidden_stages == paper[1]
+        # The central claim: one subcircuit per hidden stage.
+        assert record.num_subcircuits == record.hidden_stages
+
+    # Circuit runtime grows monotonically with N and stays within an order
+    # of magnitude of the paper's values (same workload, same 1 kHz chain).
+    runtimes = [record.circuit_runtime_seconds for record in records]
+    assert runtimes == sorted(runtimes)
+    for record in records:
+        paper_runtime = PAPER_TABLE4[record.num_qubits][3]
+        assert record.circuit_runtime_seconds < 10 * paper_runtime
+        assert record.circuit_runtime_seconds > paper_runtime / 10

@@ -1,0 +1,35 @@
+"""Threshold sweep (Table 3 style) for one circuit over the molecule data set.
+
+For each molecule of the paper's data set, sweep the ``Threshold`` parameter
+over the paper's values and report the total runtime and the number of
+subcircuits; infeasible combinations (adjacency graph empty or too
+disconnected) show up as N/A, exactly like Table 3's pentafluorobutadienyl
+iron rows.
+
+Run with ``python examples/qft_threshold_sweep.py [circuit-name]``.
+"""
+
+import sys
+
+from repro.analysis.reporting import format_table
+from repro.analysis.sweep import sweep_circuit
+from repro.circuits.library import CIRCUIT_FACTORIES
+from repro.hardware.molecules import all_molecules
+from repro.hardware.threshold_graph import PAPER_THRESHOLDS
+
+
+def main(circuit_name: str = "phaseest") -> None:
+    factory = CIRCUIT_FACTORIES[circuit_name]
+    header = ["molecule"] + [f"thr {threshold:g}" for threshold in PAPER_THRESHOLDS]
+    rows = []
+    for environment in all_molecules():
+        if environment.num_qubits < factory().num_qubits:
+            rows.append([environment.name] + ["too small"] * len(PAPER_THRESHOLDS))
+            continue
+        sweep_row = sweep_circuit(factory, environment, PAPER_THRESHOLDS)
+        rows.append([environment.name] + [cell.formatted() for cell in sweep_row.cells])
+    print(format_table(header, rows, title=f"Threshold sweep for {circuit_name!r}"))
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "phaseest")

@@ -1,0 +1,41 @@
+"""Scalability over linear nearest-neighbour chains (Table 4 style).
+
+Generates the paper's "hidden stage" workloads for growing qubit counts,
+places them onto 1 kHz chains and prints the same columns as Table 4.  The
+placer should discover exactly one subcircuit per hidden stage.
+
+Run with ``python examples/scalability_chains.py [max_qubits]``.
+"""
+
+import sys
+
+from repro.analysis.reporting import format_table
+from repro.analysis.scalability import run_scalability_sweep
+
+
+def main(max_qubits: int = 32) -> None:
+    sizes = [n for n in (8, 16, 32, 64, 128, 256) if n <= max_qubits]
+    records = run_scalability_sweep(sizes)
+    rows = [
+        [
+            record.num_qubits,
+            record.num_gates,
+            record.hidden_stages,
+            record.num_subcircuits,
+            f"{record.circuit_runtime_seconds:.3f} sec",
+            f"{record.software_runtime_seconds:.2f} s",
+        ]
+        for record in records
+    ]
+    print(
+        format_table(
+            ["qubits", "gates", "hidden stages", "subcircuits",
+             "circuit runtime", "software runtime"],
+            rows,
+            title="Performance test for circuit placement over chains",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 32)

@@ -1,0 +1,39 @@
+"""Verify by simulation that a multi-stage placement preserves the computation.
+
+Places the 5-qubit phase-estimation benchmark onto trans-crotonic acid at a
+low threshold (forcing several subcircuits and SWAP stages), then simulates
+both the abstract circuit and the placed physical circuit and compares the
+final states — accounting for where the placer says each logical qubit ends
+up.
+
+Run with ``python examples/verify_routed_circuit.py``.
+"""
+
+from repro import PlacementOptions, place_circuit
+from repro.circuits.library import phaseest
+from repro.hardware.molecules import trans_crotonic_acid
+from repro.simulation.verify import verify_placement
+
+
+def main() -> None:
+    circuit = phaseest()
+    environment = trans_crotonic_acid()
+    options = PlacementOptions(threshold=100.0)
+
+    result = place_circuit(circuit, environment, options)
+    print(result.summary())
+    print(f"initial placement: {dict(sorted(result.initial_placement.items()))}")
+    print(f"final placement:   {dict(sorted(result.final_placement.items()))}")
+    print(f"SWAP stages: {len(result.swap_stages)} "
+          f"({result.total_swap_count} SWAPs, depth {result.total_swap_depth})")
+    print()
+
+    report = verify_placement(circuit, result, environment, num_random_states=3)
+    status = "EQUIVALENT" if report.equivalent else "NOT EQUIVALENT"
+    print(f"simulation check: {status}")
+    print(f"    worst fidelity over {report.num_states_tested} input states: "
+          f"{report.worst_fidelity:.9f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+"""repro — quantum circuit placement.
+
+A from-scratch Python reproduction of
+
+    D. Maslov, S. M. Falconer, M. Mosca,
+    "Quantum Circuit Placement",
+    DAC 2007 / IEEE TCAD 27(4):752-763, 2008.
+
+The package maps the logical qubits of a quantum circuit onto the physical
+qubits (nuclei) of a physical environment so that the scheduled runtime of
+the circuit is minimised, splitting the circuit into subcircuits placeable
+along the fastest interactions and gluing them with SWAP stages.
+
+Typical use::
+
+    from repro import place_circuit, PlacementOptions
+    from repro.circuits.library import qft_circuit
+    from repro.hardware import trans_crotonic_acid
+
+    result = place_circuit(qft_circuit(6),
+                           trans_crotonic_acid(),
+                           PlacementOptions(threshold=200))
+    print(result.summary())
+"""
+
+from repro.circuits import QuantumCircuit
+from repro.core import (
+    PlacementOptions,
+    PlacementResult,
+    QuantumCircuitPlacer,
+    place_circuit,
+)
+from repro.exceptions import (
+    CircuitError,
+    PlacementError,
+    ReproError,
+    RoutingError,
+    ThresholdError,
+)
+from repro.hardware import PhysicalEnvironment
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "QuantumCircuit",
+    "PhysicalEnvironment",
+    "place_circuit",
+    "QuantumCircuitPlacer",
+    "PlacementOptions",
+    "PlacementResult",
+    "ReproError",
+    "CircuitError",
+    "PlacementError",
+    "RoutingError",
+    "ThresholdError",
+    "__version__",
+]

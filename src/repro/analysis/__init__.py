@@ -1,0 +1,43 @@
+"""Experiment harnesses reproducing the paper's tables."""
+
+from repro.analysis.experiments import TABLE2_ROWS, Table2Result, run_table2
+from repro.analysis.reporting import (
+    format_runtime_and_stages,
+    format_seconds,
+    format_table,
+    paper_vs_measured,
+)
+from repro.analysis.scalability import (
+    SCALABILITY_OPTIONS,
+    ScalabilityRecord,
+    expected_hidden_stages,
+    run_scalability_point,
+    run_scalability_sweep,
+)
+from repro.analysis.sweep import (
+    SweepCell,
+    SweepRow,
+    sweep_circuit,
+    sweep_environment,
+    whole_circuit_reference,
+)
+
+__all__ = [
+    "run_table2",
+    "Table2Result",
+    "TABLE2_ROWS",
+    "sweep_circuit",
+    "sweep_environment",
+    "whole_circuit_reference",
+    "SweepCell",
+    "SweepRow",
+    "run_scalability_point",
+    "run_scalability_sweep",
+    "expected_hidden_stages",
+    "ScalabilityRecord",
+    "SCALABILITY_OPTIONS",
+    "format_table",
+    "format_seconds",
+    "format_runtime_and_stages",
+    "paper_vs_measured",
+]

@@ -1,0 +1,66 @@
+"""Plain-text table rendering for the experiment harnesses.
+
+The benchmark modules print their results in the same layout as the paper's
+tables so the two can be compared side by side; this module provides the
+small shared formatting helpers they use.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Render a fixed-width text table with a header row.
+
+    Cells are converted with ``str``; columns are right-aligned except the
+    first, which is left-aligned (it usually holds a name).
+    """
+    string_rows: List[List[str]] = [[str(cell) for cell in row] for row in rows]
+    all_rows = [list(map(str, headers))] + string_rows
+    num_columns = max(len(row) for row in all_rows)
+    for row in all_rows:
+        row.extend([""] * (num_columns - len(row)))
+    widths = [max(len(row[col]) for row in all_rows) for col in range(num_columns)]
+
+    def render(row: List[str]) -> str:
+        cells = []
+        for col, cell in enumerate(row):
+            if col == 0:
+                cells.append(cell.ljust(widths[col]))
+            else:
+                cells.append(cell.rjust(widths[col]))
+        return "  ".join(cells).rstrip()
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(render(all_rows[0]))
+    lines.append("-" * (sum(widths) + 2 * (num_columns - 1)))
+    lines.extend(render(row) for row in all_rows[1:])
+    return "\n".join(lines)
+
+
+def format_seconds(value: Optional[float]) -> str:
+    """Format a runtime in seconds the way the paper prints them (``.0136 sec``)."""
+    if value is None:
+        return "N/A"
+    return f"{value:.4f} sec"
+
+
+def format_runtime_and_stages(runtime_seconds: Optional[float], stages: Optional[int]) -> str:
+    """The Table-3 cell format: ``<runtime> sec (<number of subcircuits>)``."""
+    if runtime_seconds is None or stages is None:
+        return "N/A"
+    return f"{runtime_seconds:.4f} sec ({stages})"
+
+
+def paper_vs_measured(paper: Optional[float], measured: Optional[float]) -> str:
+    """A compact "paper vs measured" cell used in EXPERIMENTS.md extracts."""
+    paper_text = "N/A" if paper is None else f"{paper:g}"
+    measured_text = "N/A" if measured is None else f"{measured:g}"
+    return f"paper {paper_text} / measured {measured_text}"

@@ -1,0 +1,134 @@
+"""Threshold sweeps (the paper's Table 3).
+
+For a set of circuits, a molecule, and a list of ``Threshold`` values, run
+the placer at each threshold and record the total runtime and the number of
+subcircuits, marking combinations that cannot run (disconnected or empty
+adjacency graph) as ``N/A`` exactly as the paper does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.core.config import PlacementOptions
+from repro.core.exhaustive import whole_circuit_runtime
+from repro.core.placement import place_circuit
+from repro.exceptions import PlacementError, ThresholdError
+from repro.hardware.environment import PhysicalEnvironment
+from repro.hardware.threshold_graph import PAPER_THRESHOLDS
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One cell of the sweep: a (circuit, threshold) combination.
+
+    ``runtime_seconds`` and ``num_subcircuits`` are ``None`` when the
+    combination is infeasible (the paper's "N/A").
+    """
+
+    circuit_name: str
+    threshold: float
+    runtime_seconds: Optional[float]
+    num_subcircuits: Optional[int]
+
+    @property
+    def feasible(self) -> bool:
+        """Whether the circuit could be placed at this threshold."""
+        return self.runtime_seconds is not None
+
+    def formatted(self) -> str:
+        """The paper's cell format ``<runtime> sec (<subcircuits>)`` or ``N/A``."""
+        if not self.feasible:
+            return "N/A"
+        return f"{self.runtime_seconds:.4f} sec ({self.num_subcircuits})"
+
+
+@dataclass
+class SweepRow:
+    """All thresholds for one circuit on one environment."""
+
+    circuit_name: str
+    environment_name: str
+    cells: List[SweepCell]
+
+    def best_cell(self) -> Optional[SweepCell]:
+        """The feasible cell with the smallest runtime (``None`` if none)."""
+        feasible = [cell for cell in self.cells if cell.feasible]
+        if not feasible:
+            return None
+        return min(feasible, key=lambda cell: cell.runtime_seconds)
+
+    def cell_at(self, threshold: float) -> Optional[SweepCell]:
+        """The cell at a specific threshold value."""
+        for cell in self.cells:
+            if cell.threshold == threshold:
+                return cell
+        return None
+
+
+def sweep_circuit(
+    circuit_factory,
+    environment: PhysicalEnvironment,
+    thresholds: Sequence[float] = PAPER_THRESHOLDS,
+    options: Optional[PlacementOptions] = None,
+) -> SweepRow:
+    """Place one circuit at every threshold (fresh circuit per threshold)."""
+    base_options = options or PlacementOptions()
+    cells: List[SweepCell] = []
+    circuit_name = circuit_factory().name
+    for threshold in thresholds:
+        circuit = circuit_factory()
+        try:
+            result = place_circuit(
+                circuit, environment, base_options.replace(threshold=threshold)
+            )
+            cells.append(
+                SweepCell(
+                    circuit_name=circuit.name,
+                    threshold=float(threshold),
+                    runtime_seconds=result.runtime_seconds,
+                    num_subcircuits=result.num_subcircuits,
+                )
+            )
+        except (ThresholdError, PlacementError):
+            cells.append(
+                SweepCell(
+                    circuit_name=circuit.name,
+                    threshold=float(threshold),
+                    runtime_seconds=None,
+                    num_subcircuits=None,
+                )
+            )
+    return SweepRow(circuit_name, environment.name, cells)
+
+
+def sweep_environment(
+    circuit_factories: Iterable,
+    environment: PhysicalEnvironment,
+    thresholds: Sequence[float] = PAPER_THRESHOLDS,
+    options: Optional[PlacementOptions] = None,
+) -> List[SweepRow]:
+    """Sweep several circuits over one environment (one Table 3 block)."""
+    return [
+        sweep_circuit(factory, environment, thresholds, options)
+        for factory in circuit_factories
+    ]
+
+
+def whole_circuit_reference(
+    circuit_factory,
+    environment: PhysicalEnvironment,
+    apply_interaction_cap: bool = True,
+) -> float:
+    """Runtime (seconds) of the optimal whole-circuit placement (no SWAPs).
+
+    This is the last-column reference of Table 3: "circuit runtime with the
+    optimal placement when placed without insertion of SWAPs".
+    """
+    circuit = circuit_factory()
+    runtime_units = whole_circuit_runtime(
+        circuit, environment, apply_interaction_cap=apply_interaction_cap
+    )
+    return runtime_units * environment.time_unit_seconds

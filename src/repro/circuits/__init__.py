@@ -1,0 +1,58 @@
+"""Quantum circuit intermediate representation and circuit generators."""
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.gates import (
+    Gate,
+    Qubit,
+    cnot,
+    controlled_phase,
+    cz,
+    generic_1q,
+    generic_2q,
+    hadamard,
+    pauli_x,
+    pauli_y,
+    pauli_z,
+    rx,
+    ry,
+    rz,
+    swap,
+    zz,
+)
+from repro.circuits.commutation import (
+    commutation_aware_reorder,
+    count_interaction_alternations,
+    gates_commute,
+)
+from repro.circuits.interaction_graph import interaction_graph
+from repro.circuits.levelize import circuit_depth, from_levels, levelize, two_qubit_depth
+from repro.circuits.decompose import rewrite_to_nmr
+
+__all__ = [
+    "QuantumCircuit",
+    "Gate",
+    "Qubit",
+    "rx",
+    "ry",
+    "rz",
+    "zz",
+    "cnot",
+    "cz",
+    "controlled_phase",
+    "swap",
+    "hadamard",
+    "pauli_x",
+    "pauli_y",
+    "pauli_z",
+    "generic_1q",
+    "generic_2q",
+    "interaction_graph",
+    "levelize",
+    "circuit_depth",
+    "two_qubit_depth",
+    "from_levels",
+    "rewrite_to_nmr",
+    "gates_commute",
+    "commutation_aware_reorder",
+    "count_interaction_alternations",
+]

@@ -1,0 +1,232 @@
+"""Quantum circuit container.
+
+A :class:`QuantumCircuit` is an ordered list of one- and two-qubit
+:class:`~repro.circuits.gates.Gate` objects over a fixed set of logical
+qubits.  The placement algorithms never need more structure than this: the
+gate order (for the asynchronous runtime model and for greedy workspace
+extraction), the qubits, and each gate's relative duration.
+
+Circuits can also be *levelized* — grouped into layers of gates that act on
+disjoint qubits — via :mod:`repro.circuits.levelize`; the sequential-levels
+runtime model consumes that form.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.circuits.gates import Gate, Qubit
+from repro.exceptions import CircuitError
+
+
+class QuantumCircuit:
+    """An ordered sequence of gates over a set of logical qubits.
+
+    Parameters
+    ----------
+    qubits:
+        The logical qubits of the circuit, in a fixed order.  Qubits may be
+        any hashable labels.  Gates may only act on qubits from this set.
+    gates:
+        Optional initial gate sequence.
+    name:
+        Optional circuit name used in reports.
+    """
+
+    def __init__(
+        self,
+        qubits: Sequence[Qubit],
+        gates: Optional[Iterable[Gate]] = None,
+        name: str = "circuit",
+    ) -> None:
+        qubits = tuple(qubits)
+        if len(set(qubits)) != len(qubits):
+            raise CircuitError(f"duplicate qubit labels in {qubits!r}")
+        if not qubits:
+            raise CircuitError("a circuit needs at least one qubit")
+        self.name = str(name)
+        self._qubits: Tuple[Qubit, ...] = qubits
+        self._qubit_set = frozenset(qubits)
+        self._gates: List[Gate] = []
+        if gates is not None:
+            for gate in gates:
+                self.append(gate)
+
+    # -- construction -------------------------------------------------------
+
+    def append(self, gate: Gate) -> "QuantumCircuit":
+        """Append ``gate`` to the circuit (returns ``self`` for chaining)."""
+        if not isinstance(gate, Gate):
+            raise CircuitError(f"expected a Gate, got {type(gate).__name__}")
+        for qubit in gate.qubits:
+            if qubit not in self._qubit_set:
+                raise CircuitError(
+                    f"gate {gate!r} acts on unknown qubit {qubit!r}; "
+                    f"circuit qubits are {self._qubits!r}"
+                )
+        self._gates.append(gate)
+        return self
+
+    def extend(self, gates: Iterable[Gate]) -> "QuantumCircuit":
+        """Append every gate in ``gates``."""
+        for gate in gates:
+            self.append(gate)
+        return self
+
+    # -- basic queries -------------------------------------------------------
+
+    @property
+    def qubits(self) -> Tuple[Qubit, ...]:
+        """The circuit's qubits, in declaration order."""
+        return self._qubits
+
+    @property
+    def gates(self) -> Tuple[Gate, ...]:
+        """The gate sequence as an immutable tuple."""
+        return tuple(self._gates)
+
+    @property
+    def num_qubits(self) -> int:
+        """Number of logical qubits."""
+        return len(self._qubits)
+
+    @property
+    def num_gates(self) -> int:
+        """Total number of gates."""
+        return len(self._gates)
+
+    @property
+    def num_two_qubit_gates(self) -> int:
+        """Number of two-qubit gates."""
+        return sum(1 for g in self._gates if g.is_two_qubit)
+
+    def __len__(self) -> int:
+        return len(self._gates)
+
+    def __iter__(self) -> Iterator[Gate]:
+        return iter(self._gates)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return QuantumCircuit(
+                self._qubits, self._gates[index], name=self.name
+            )
+        return self._gates[index]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, QuantumCircuit):
+            return NotImplemented
+        return self._qubits == other._qubits and self._gates == other._gates
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"QuantumCircuit(name={self.name!r}, qubits={self.num_qubits}, "
+            f"gates={self.num_gates})"
+        )
+
+    # -- derived data ---------------------------------------------------------
+
+    def two_qubit_gates(self) -> List[Gate]:
+        """The two-qubit gates, in circuit order."""
+        return [g for g in self._gates if g.is_two_qubit]
+
+    def used_qubits(self) -> Tuple[Qubit, ...]:
+        """Qubits that appear in at least one gate, in first-use order."""
+        seen: List[Qubit] = []
+        seen_set = set()
+        for gate in self._gates:
+            for qubit in gate.qubits:
+                if qubit not in seen_set:
+                    seen.append(qubit)
+                    seen_set.add(qubit)
+        return tuple(seen)
+
+    def interactions(self) -> List[Tuple[Qubit, Qubit]]:
+        """Distinct unordered qubit pairs used by two-qubit gates."""
+        pairs: List[Tuple[Qubit, Qubit]] = []
+        seen = set()
+        for gate in self._gates:
+            pair = gate.interaction()
+            if pair is not None and pair not in seen:
+                seen.add(pair)
+                pairs.append(pair)
+        return pairs
+
+    def interaction_counts(self) -> Dict[Tuple[Qubit, Qubit], int]:
+        """Number of two-qubit gates per unordered interaction pair."""
+        counts: Counter = Counter()
+        for gate in self._gates:
+            pair = gate.interaction()
+            if pair is not None:
+                counts[pair] += 1
+        return dict(counts)
+
+    def gate_name_counts(self) -> Dict[str, int]:
+        """Histogram of gate names (useful in reports and tests)."""
+        return dict(Counter(g.name for g in self._gates))
+
+    def total_duration(self) -> float:
+        """Sum of all relative gate durations (ignores parallelism)."""
+        return sum(g.duration for g in self._gates)
+
+    # -- transformations -------------------------------------------------------
+
+    def remap(self, mapping: Dict[Qubit, Qubit], name: Optional[str] = None) -> "QuantumCircuit":
+        """Return a copy with qubits relabelled according to ``mapping``.
+
+        Qubits absent from ``mapping`` keep their labels.  The relabelled
+        qubit set must remain free of duplicates.
+        """
+        new_qubits = tuple(mapping.get(q, q) for q in self._qubits)
+        return QuantumCircuit(
+            new_qubits,
+            (g.remap(mapping) for g in self._gates),
+            name=name or self.name,
+        )
+
+    def concatenate(self, other: "QuantumCircuit", name: Optional[str] = None) -> "QuantumCircuit":
+        """Return a new circuit running ``self`` then ``other``.
+
+        The qubit set of the result is the union of both circuits' qubits
+        (``self``'s qubits first, then ``other``'s new ones).
+        """
+        merged_qubits = list(self._qubits)
+        for qubit in other.qubits:
+            if qubit not in self._qubit_set:
+                merged_qubits.append(qubit)
+        result = QuantumCircuit(
+            merged_qubits, self._gates, name=name or self.name
+        )
+        result.extend(other.gates)
+        return result
+
+    def without_free_gates(self) -> "QuantumCircuit":
+        """Return a copy with zero-duration gates removed.
+
+        Free gates (NMR ``Rz`` rotations) never contribute to the runtime and
+        dropping them makes the schedules and reports easier to read; the
+        placement result is unchanged.
+        """
+        return QuantumCircuit(
+            self._qubits,
+            (g for g in self._gates if not g.is_free),
+            name=self.name,
+        )
+
+    def subcircuit(self, start: int, stop: int, name: Optional[str] = None) -> "QuantumCircuit":
+        """Return the circuit slice ``gates[start:stop]`` over the same qubits."""
+        if not 0 <= start <= stop <= len(self._gates):
+            raise CircuitError(
+                f"invalid subcircuit range [{start}, {stop}) for a circuit "
+                f"with {len(self._gates)} gates"
+            )
+        return QuantumCircuit(
+            self._qubits,
+            self._gates[start:stop],
+            name=name or f"{self.name}[{start}:{stop}]",
+        )
+
+    def copy(self, name: Optional[str] = None) -> "QuantumCircuit":
+        """Return a shallow copy of the circuit."""
+        return QuantumCircuit(self._qubits, self._gates, name=name or self.name)

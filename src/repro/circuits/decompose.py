@@ -1,0 +1,181 @@
+"""Gate decompositions and rewriting to the NMR gate library.
+
+The paper works with the complete gate library {``Rx``, ``Ry``, ``Rz``,
+``ZZ``}: every circuit over single-qubit gates and CNOTs "can be easily
+rewritten in terms of single qubit rotations and ZZ(90) gates, and such a
+rewriting does not change a particular instance of the associated placement
+problem".  The rewriters below implement exactly that: the two-qubit content
+of every gate becomes ``ZZ`` rotations of the same total duration on the same
+qubit pair, so interaction graphs — and therefore placements — are preserved,
+while single-qubit dressing is expressed with ``Rx``/``Ry`` pulses and free
+``Rz`` rotations.
+
+Multi-qubit gates (only the Toffoli is provided, as the standard six-CNOT
+construction) must be decomposed before a circuit becomes a valid placement
+input, since Definition 2 restricts levels to one- and two-qubit gates.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.circuits import gates as g
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.gates import Gate, Qubit
+from repro.exceptions import CircuitError
+
+
+def cnot_to_zz(control: Qubit, target: Qubit) -> List[Gate]:
+    """Decompose a CNOT into the NMR library.
+
+    The construction is the textbook one, ``CNOT = (I x H) . CZ . (I x H)``,
+    with the Hadamards written as ``Rz(90) Rx(90) Rz(90)`` pulses and the
+    controlled-Z as a ``ZZ(90)`` interaction dressed with free ``Rz``
+    rotations.  Only one two-qubit interaction and two timed single-qubit
+    pulses are needed; the result equals CNOT up to a global phase.
+    """
+    return [
+        g.rz(target, 90.0),
+        g.rx(target, 90.0),
+        g.rz(target, 90.0),
+        g.rz(control, -90.0),
+        g.rz(target, -90.0),
+        g.zz(control, target, 90.0),
+        g.rz(target, 90.0),
+        g.rx(target, 90.0),
+        g.rz(target, 90.0),
+    ]
+
+
+def cz_to_zz(control: Qubit, target: Qubit) -> List[Gate]:
+    """Decompose a controlled-Z gate into ``ZZ(90)`` plus free ``Rz`` gates."""
+    return [
+        g.rz(control, -90.0),
+        g.rz(target, -90.0),
+        g.zz(control, target, 90.0),
+    ]
+
+
+def cphase_to_zz(control: Qubit, target: Qubit, angle: float) -> List[Gate]:
+    """Decompose a controlled phase ``R(angle)`` into a ``ZZ(-angle/2)`` core.
+
+    ``diag(1, 1, 1, e^{i angle})`` equals, up to global phase,
+    ``(Rz(angle/2) x Rz(angle/2)) . ZZ(-angle/2)``; the ``Rz`` dressings are
+    free, so the timed content is a single ``ZZ`` rotation of half the phase
+    angle.
+    """
+    half = angle / 2.0
+    return [
+        g.rz(control, half),
+        g.rz(target, half),
+        g.zz(control, target, -half),
+    ]
+
+
+def hadamard_to_rotations(qubit: Qubit) -> List[Gate]:
+    """Hadamard as ``Rz(90) . Rx(90) . Rz(90)`` (one timed pulse)."""
+    return [g.rz(qubit, 90.0), g.rx(qubit, 90.0), g.rz(qubit, 90.0)]
+
+
+def swap_to_cnots(qubit_a: Qubit, qubit_b: Qubit) -> List[Gate]:
+    """SWAP as three alternating CNOTs."""
+    return [
+        g.cnot(qubit_a, qubit_b),
+        g.cnot(qubit_b, qubit_a),
+        g.cnot(qubit_a, qubit_b),
+    ]
+
+
+def toffoli(control_a: Qubit, control_b: Qubit, target: Qubit) -> List[Gate]:
+    """Standard six-CNOT Toffoli decomposition (T gates modelled as free Rz).
+
+    The single-qubit T / T-dagger gates are Z-axis rotations by 45 degrees and
+    therefore cost nothing in the NMR timing model; the placement-relevant
+    content is the six CNOTs over the three qubit pairs.
+    """
+    t = lambda q: g.rz(q, 45.0)  # noqa: E731 - tiny local helper
+    tdg = lambda q: g.rz(q, -45.0)  # noqa: E731
+    return [
+        g.hadamard(target),
+        g.cnot(control_b, target),
+        tdg(target),
+        g.cnot(control_a, target),
+        t(target),
+        g.cnot(control_b, target),
+        tdg(target),
+        g.cnot(control_a, target),
+        t(control_b),
+        t(target),
+        g.hadamard(target),
+        g.cnot(control_a, control_b),
+        t(control_a),
+        tdg(control_b),
+        g.cnot(control_a, control_b),
+    ]
+
+
+_TWO_QUBIT_REWRITERS = {
+    "CNOT": lambda gate: cnot_to_zz(*gate.qubits),
+    "CZ": lambda gate: cz_to_zz(*gate.qubits),
+    "CPHASE": lambda gate: cphase_to_zz(gate.qubits[0], gate.qubits[1], gate.angle),
+    "SWAP": lambda gate: [
+        zz_gate
+        for cnot_gate in swap_to_cnots(*gate.qubits)
+        for zz_gate in cnot_to_zz(*cnot_gate.qubits)
+    ],
+}
+
+_ONE_QUBIT_REWRITERS = {
+    "H": lambda gate: hadamard_to_rotations(gate.qubits[0]),
+    "X": lambda gate: [g.rx(gate.qubits[0], 180.0)],
+    "Y": lambda gate: [g.ry(gate.qubits[0], 180.0)],
+    "Z": lambda gate: [g.rz(gate.qubits[0], 180.0)],
+}
+
+#: Gate names that are already part of the NMR library.
+NMR_NATIVE_NAMES = frozenset({"Rx", "Ry", "Rz", "ZZ"})
+
+
+def rewrite_gate_to_nmr(gate: Gate) -> List[Gate]:
+    """Rewrite a single gate over the {Rx, Ry, Rz, ZZ} library.
+
+    Gates that are already native are returned unchanged (in a one-element
+    list).  Unknown gate names pass through untouched so that callers using
+    generic gates with explicit durations are not broken; the timing model
+    only needs durations and qubit pairs.
+    """
+    if gate.name in NMR_NATIVE_NAMES:
+        return [gate]
+    if gate.name in _TWO_QUBIT_REWRITERS:
+        return _TWO_QUBIT_REWRITERS[gate.name](gate)
+    if gate.name in _ONE_QUBIT_REWRITERS:
+        return _ONE_QUBIT_REWRITERS[gate.name](gate)
+    return [gate]
+
+
+def rewrite_to_nmr(circuit: QuantumCircuit) -> QuantumCircuit:
+    """Rewrite a whole circuit over the NMR gate library.
+
+    The rewriting preserves (a) which qubit pairs interact and (b) the total
+    two-qubit relative duration per gate, so the circuit placement problem
+    instance is unchanged, as observed in Section 2 of the paper.
+    """
+    rewritten: List[Gate] = []
+    for gate in circuit:
+        rewritten.extend(rewrite_gate_to_nmr(gate))
+    return QuantumCircuit(circuit.qubits, rewritten, name=f"{circuit.name}-nmr")
+
+
+def expand_multi_qubit_gate(name: str, qubits: Iterable[Qubit]) -> List[Gate]:
+    """Expand a named multi-qubit gate into one- and two-qubit gates.
+
+    Only the Toffoli (``"CCX"`` / ``"TOFFOLI"``) is supported; anything else
+    raises :class:`~repro.exceptions.CircuitError` because Definition 2 of
+    the paper requires circuits over at most two-qubit gates.
+    """
+    qubits = list(qubits)
+    if name.upper() in {"CCX", "TOFFOLI"} and len(qubits) == 3:
+        return toffoli(*qubits)
+    raise CircuitError(
+        f"cannot expand {name!r} on {len(qubits)} qubits into two-qubit gates"
+    )

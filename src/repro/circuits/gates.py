@@ -1,0 +1,282 @@
+"""Gate primitives for the quantum-circuit intermediate representation.
+
+The placement problem of Maslov, Falconer and Mosca only needs to know, for
+every gate,
+
+* which logical qubits it acts on (one or two of them), and
+* its *relative duration* ``T(G)`` — how many "base units" of interaction
+  time the gate needs.  For a rotation gate the relative duration is
+  proportional to the rotation angle (a 180-degree pulse takes twice as long
+  as a 90-degree pulse); ``Rz`` rotations are free in liquid-state NMR
+  because they are implemented by a change of the rotating reference frame.
+
+The classes below additionally carry enough structure (names, angles, and —
+via :mod:`repro.simulation.unitaries` — unitary matrices) to levelize
+circuits, rewrite them over different gate libraries and verify routed
+circuits by simulation.
+
+Qubit labels may be any hashable object; the NMR molecules use strings such
+as ``"C1"`` or ``"M"`` while synthetic benchmarks use integers.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Hashable, Iterable, Optional, Sequence, Tuple
+
+from repro.exceptions import GateError
+
+Qubit = Hashable
+
+#: Relative duration of a 90-degree pulse; every other angle is scaled
+#: against this reference, matching the paper's convention
+#: ``T(Rx(180)) = 2 * T(Rx(90))``.
+REFERENCE_ANGLE_DEGREES = 90.0
+
+
+def _normalize_angle(angle: float) -> float:
+    """Return ``angle`` as a float, rejecting non-finite values."""
+    value = float(angle)
+    if math.isnan(value) or math.isinf(value):
+        raise GateError(f"gate angle must be finite, got {angle!r}")
+    return value
+
+
+class Gate:
+    """A single- or two-qubit gate with a relative duration.
+
+    Parameters
+    ----------
+    name:
+        Human-readable mnemonic (``"Rx"``, ``"ZZ"``, ``"SWAP"``...).
+    qubits:
+        The logical qubits the gate acts on (length 1 or 2, no repeats).
+    duration:
+        The relative duration ``T(G)``.  The physical operating time of the
+        gate once placed is ``W(P(q_i), P(q_j)) * duration``.
+    angle:
+        Optional rotation angle in degrees, kept for pretty-printing,
+        decomposition and simulation.
+    """
+
+    __slots__ = ("name", "qubits", "duration", "angle")
+
+    def __init__(
+        self,
+        name: str,
+        qubits: Sequence[Qubit],
+        duration: float,
+        angle: Optional[float] = None,
+    ) -> None:
+        qubits = tuple(qubits)
+        if not 1 <= len(qubits) <= 2:
+            raise GateError(
+                f"gates must act on one or two qubits, got {len(qubits)} "
+                f"for gate {name!r}"
+            )
+        if len(qubits) == 2 and qubits[0] == qubits[1]:
+            raise GateError(
+                f"two-qubit gate {name!r} must act on distinct qubits, "
+                f"got {qubits!r}"
+            )
+        if duration < 0:
+            raise GateError(
+                f"gate duration must be non-negative, got {duration!r}"
+            )
+        self.name = str(name)
+        self.qubits = qubits
+        self.duration = float(duration)
+        self.angle = None if angle is None else _normalize_angle(angle)
+
+    # -- basic queries ----------------------------------------------------
+
+    @property
+    def num_qubits(self) -> int:
+        """Number of qubits the gate acts on (1 or 2)."""
+        return len(self.qubits)
+
+    @property
+    def is_two_qubit(self) -> bool:
+        """``True`` for two-qubit gates."""
+        return len(self.qubits) == 2
+
+    @property
+    def is_free(self) -> bool:
+        """``True`` when the gate takes no time at all (e.g. NMR ``Rz``)."""
+        return self.duration == 0.0
+
+    def interaction(self) -> Optional[Tuple[Qubit, Qubit]]:
+        """Return the unordered qubit pair used by a two-qubit gate.
+
+        Returns ``None`` for single-qubit gates.  The pair is returned in a
+        canonical (sorted by ``repr``) order so that callers can use it as a
+        dictionary key for an undirected interaction.
+        """
+        if not self.is_two_qubit:
+            return None
+        a, b = self.qubits
+        return (a, b) if repr(a) <= repr(b) else (b, a)
+
+    # -- transformations ---------------------------------------------------
+
+    def remap(self, mapping: dict) -> "Gate":
+        """Return a copy of the gate with qubits relabelled via ``mapping``.
+
+        Qubits absent from ``mapping`` are kept unchanged.
+        """
+        new_qubits = tuple(mapping.get(q, q) for q in self.qubits)
+        return Gate(self.name, new_qubits, self.duration, self.angle)
+
+    def with_duration(self, duration: float) -> "Gate":
+        """Return a copy of the gate with a different relative duration."""
+        return Gate(self.name, self.qubits, duration, self.angle)
+
+    # -- dunder -------------------------------------------------------------
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        if self.angle is not None:
+            return (
+                f"{self.name}({self.angle:g})"
+                f"[{', '.join(map(str, self.qubits))}]"
+            )
+        return f"{self.name}[{', '.join(map(str, self.qubits))}]"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Gate):
+            return NotImplemented
+        return (
+            self.name == other.name
+            and self.qubits == other.qubits
+            and self.duration == other.duration
+            and self.angle == other.angle
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.qubits, self.duration, self.angle))
+
+
+# ---------------------------------------------------------------------------
+# Rotation gates
+# ---------------------------------------------------------------------------
+
+
+def _rotation_duration(angle_degrees: float) -> float:
+    """Relative duration of a pulse of ``angle_degrees``.
+
+    Proportional to the absolute angle, normalised so that a 90-degree
+    rotation takes one unit.
+    """
+    return abs(_normalize_angle(angle_degrees)) / REFERENCE_ANGLE_DEGREES
+
+
+def rx(qubit: Qubit, angle: float = 90.0) -> Gate:
+    """X-axis rotation ``Rx(angle)``; duration proportional to the angle."""
+    return Gate("Rx", (qubit,), _rotation_duration(angle), angle)
+
+
+def ry(qubit: Qubit, angle: float = 90.0) -> Gate:
+    """Y-axis rotation ``Ry(angle)``; duration proportional to the angle."""
+    return Gate("Ry", (qubit,), _rotation_duration(angle), angle)
+
+
+def rz(qubit: Qubit, angle: float = 90.0) -> Gate:
+    """Z-axis rotation ``Rz(angle)``.
+
+    Free (zero duration) — in liquid-state NMR it is implemented by a change
+    of the rotating reference frame and requires neither a pulse nor a delay.
+    """
+    return Gate("Rz", (qubit,), 0.0, angle)
+
+
+def zz(qubit_a: Qubit, qubit_b: Qubit, angle: float = 90.0) -> Gate:
+    """Two-qubit Ising interaction ``ZZ(angle)``.
+
+    Duration proportional to the angle; ``ZZ(90)`` takes one unit of the
+    coupling delay between the two physical qubits it is placed onto.
+    """
+    return Gate("ZZ", (qubit_a, qubit_b), _rotation_duration(angle), angle)
+
+
+def cnot(control: Qubit, target: Qubit) -> Gate:
+    """Controlled-NOT gate.
+
+    Up to single-qubit rotations a CNOT is equivalent to ``ZZ(90)``; its
+    relative duration is therefore one coupling unit.  Use
+    :func:`repro.circuits.decompose.cnot_to_zz` to rewrite it over the NMR
+    gate library explicitly.
+    """
+    return Gate("CNOT", (control, target), 1.0)
+
+
+def cz(control: Qubit, target: Qubit) -> Gate:
+    """Controlled-Z gate; like CNOT it costs one coupling unit."""
+    return Gate("CZ", (control, target), 1.0)
+
+
+def controlled_phase(control: Qubit, target: Qubit, angle: float) -> Gate:
+    """Controlled phase rotation used by the Quantum Fourier Transform.
+
+    The two-qubit part of a controlled ``R_k`` phase is a ``ZZ`` rotation by
+    half the phase angle, so the duration scales with ``angle / 2`` relative
+    to a 90-degree interaction.
+    """
+    return Gate(
+        "CPHASE",
+        (control, target),
+        _rotation_duration(angle / 2.0),
+        angle,
+    )
+
+
+def swap(qubit_a: Qubit, qubit_b: Qubit) -> Gate:
+    """SWAP gate exchanging two qubit values.
+
+    A SWAP is three CNOTs, i.e. three uses of the coupling; this matches the
+    paper's convention of ``T(G) = 3`` for a "maximal length" two-qubit gate
+    (any two-qubit unitary needs at most three uses of an interaction).
+    """
+    return Gate("SWAP", (qubit_a, qubit_b), 3.0)
+
+
+def hadamard(qubit: Qubit) -> Gate:
+    """Hadamard gate, counted as a single 90-degree-equivalent pulse."""
+    return Gate("H", (qubit,), 1.0)
+
+
+def pauli_x(qubit: Qubit) -> Gate:
+    """Pauli X (a 180-degree X rotation up to phase)."""
+    return Gate("X", (qubit,), 2.0, 180.0)
+
+
+def pauli_y(qubit: Qubit) -> Gate:
+    """Pauli Y (a 180-degree Y rotation up to phase)."""
+    return Gate("Y", (qubit,), 2.0, 180.0)
+
+
+def pauli_z(qubit: Qubit) -> Gate:
+    """Pauli Z (a 180-degree Z rotation — free in NMR)."""
+    return Gate("Z", (qubit,), 0.0, 180.0)
+
+
+def generic_1q(qubit: Qubit, duration: float = 1.0, name: str = "U1") -> Gate:
+    """A generic single-qubit gate with an explicit relative duration."""
+    return Gate(name, (qubit,), duration)
+
+
+def generic_2q(
+    qubit_a: Qubit,
+    qubit_b: Qubit,
+    duration: float = 1.0,
+    name: str = "U2",
+) -> Gate:
+    """A generic two-qubit gate with an explicit relative duration."""
+    return Gate(name, (qubit_a, qubit_b), duration)
+
+
+#: Names of gates that, in the NMR model, do not consume any time.
+FREE_GATE_NAMES = frozenset({"Rz", "Z"})
+
+
+def total_duration(gates: Iterable[Gate]) -> float:
+    """Sum of relative durations of ``gates`` (an order-free lower bound)."""
+    return sum(g.duration for g in gates)

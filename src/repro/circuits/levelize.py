@@ -1,0 +1,88 @@
+"""Levelization: grouping gates into layers of disjoint-qubit operations.
+
+The paper assumes input circuits are *levelled* — gates that can run in
+parallel appear in a single logic level.  Levelization is a standard greedy
+"as soon as possible" pass: walk the gate list in order and put each gate in
+the earliest level where none of its qubits is already busy and that does not
+reorder it with respect to earlier gates on the same qubits.
+
+The level structure is consumed by the sequential-levels runtime model
+(:func:`repro.timing.scheduler.sequential_level_runtime`) and by the SWAP
+stage builder, which emits one level per layer of parallel SWAPs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.gates import Gate, Qubit
+
+
+def levelize(circuit: QuantumCircuit) -> List[List[Gate]]:
+    """Group the circuit's gates into ASAP levels.
+
+    Gates within a level act on pairwise-disjoint qubits; the relative order
+    of gates sharing a qubit is preserved.  Zero-duration gates participate
+    like any other gate (they still impose ordering).
+
+    Returns the list of levels; concatenating the levels in order yields a
+    reordering of the original gate list that is equivalent under the
+    commutation of gates on disjoint qubits.
+    """
+    qubit_level: Dict[Qubit, int] = {q: -1 for q in circuit.qubits}
+    levels: List[List[Gate]] = []
+    for gate in circuit:
+        earliest = 1 + max(qubit_level[q] for q in gate.qubits)
+        while len(levels) <= earliest:
+            levels.append([])
+        levels[earliest].append(gate)
+        for qubit in gate.qubits:
+            qubit_level[qubit] = earliest
+    return levels
+
+
+def circuit_depth(circuit: QuantumCircuit) -> int:
+    """Number of ASAP levels of the circuit (its logic depth)."""
+    return len(levelize(circuit))
+
+
+def from_levels(
+    qubits: Sequence[Qubit],
+    levels: Sequence[Sequence[Gate]],
+    name: str = "circuit",
+) -> QuantumCircuit:
+    """Build a circuit from an explicit level structure.
+
+    Levels are flattened in order; the function validates that gates within a
+    level touch disjoint qubits, which is the defining property of a level.
+    """
+    circuit = QuantumCircuit(qubits, name=name)
+    for index, level in enumerate(levels):
+        busy: set = set()
+        for gate in level:
+            overlap = busy.intersection(gate.qubits)
+            if overlap:
+                from repro.exceptions import CircuitError
+
+                raise CircuitError(
+                    f"level {index} reuses qubit(s) {sorted(map(str, overlap))}"
+                )
+            busy.update(gate.qubits)
+            circuit.append(gate)
+    return circuit
+
+
+def two_qubit_depth(circuit: QuantumCircuit) -> int:
+    """Depth counting only the two-qubit gates.
+
+    Single-qubit gates are dropped before levelizing; this is the depth
+    measure most relevant to placement quality because two-qubit interactions
+    dominate the runtime in weak-coupling technologies.
+    """
+    two_qubit_only = QuantumCircuit(
+        circuit.qubits,
+        (g for g in circuit if g.is_two_qubit),
+        name=circuit.name,
+    )
+    return len(levelize(two_qubit_only))

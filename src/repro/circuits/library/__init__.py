@@ -1,0 +1,78 @@
+"""Benchmark circuit library (the circuits of the paper's evaluation).
+
+Every circuit of Tables 2 and 3 is available both as a named constructor and
+through the :data:`CIRCUIT_FACTORIES` registry keyed by the paper's circuit
+names, which the sweep harnesses and the CLI use.
+"""
+
+from typing import Callable, Dict, List
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.library.cat_state import cat_state_circuit, pseudo_cat_state_10q
+from repro.circuits.library.phase_estimation import phase_estimation_circuit, phaseest
+from repro.circuits.library.qec3 import qec3_decoder, qec3_encode_decode, qec3_encoder
+from repro.circuits.library.qec5 import qec5_encoder, qec5_round
+from repro.circuits.library.qft import (
+    approximate_qft_circuit,
+    aqft9,
+    aqft12,
+    qft6,
+    qft_circuit,
+)
+from repro.circuits.library.steane import (
+    steane_syndrome_circuit,
+    steane_xz1,
+    steane_xz2,
+)
+
+#: Registry of the paper's benchmark circuits by their names in the tables.
+CIRCUIT_FACTORIES: Dict[str, Callable[[], QuantumCircuit]] = {
+    "error-correction-encoding": qec3_encoder,
+    "5-bit-error-correction": qec5_encoder,
+    "pseudo-cat-state": pseudo_cat_state_10q,
+    "phaseest": phaseest,
+    "qft6": qft6,
+    "aqft9": aqft9,
+    "aqft12": aqft12,
+    "steane-x/z1": steane_xz1,
+    "steane-x/z2": steane_xz2,
+}
+
+
+def benchmark_circuit(name: str) -> QuantumCircuit:
+    """Build a benchmark circuit from the registry by its paper name."""
+    try:
+        factory = CIRCUIT_FACTORIES[name]
+    except KeyError:
+        known = ", ".join(sorted(CIRCUIT_FACTORIES))
+        raise KeyError(f"unknown circuit {name!r}; known circuits: {known}") from None
+    return factory()
+
+
+def benchmark_circuit_names() -> List[str]:
+    """The registry's circuit names, sorted."""
+    return sorted(CIRCUIT_FACTORIES)
+
+
+__all__ = [
+    "qec3_encoder",
+    "qec3_decoder",
+    "qec3_encode_decode",
+    "qec5_encoder",
+    "qec5_round",
+    "cat_state_circuit",
+    "pseudo_cat_state_10q",
+    "phase_estimation_circuit",
+    "phaseest",
+    "qft_circuit",
+    "approximate_qft_circuit",
+    "qft6",
+    "aqft9",
+    "aqft12",
+    "steane_syndrome_circuit",
+    "steane_xz1",
+    "steane_xz2",
+    "CIRCUIT_FACTORIES",
+    "benchmark_circuit",
+    "benchmark_circuit_names",
+]

@@ -1,0 +1,86 @@
+"""Quantum phase estimation ("phaseest", 5 qubits in the paper).
+
+The standard textbook construction: ``t`` counting qubits are put into
+superposition by Hadamards, controlled powers of the unitary whose phase is
+being estimated are applied onto the eigenstate register, and the counting
+register is processed with an inverse (approximate) QFT.  For placement the
+only relevant content is which qubit pairs interact and for how long, so the
+controlled ``U^(2^k)`` applications are modelled as controlled-phase gates of
+the appropriate angle between the counting qubit and the eigenstate qubit.
+
+The paper's "phaseest" has 5 qubits; with the default arguments this module
+produces exactly that shape (4 counting qubits + 1 eigenstate qubit).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.circuits import gates as g
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.gates import Gate
+from repro.exceptions import CircuitError
+
+
+def phase_estimation_circuit(
+    num_counting_qubits: int = 4,
+    num_eigenstate_qubits: int = 1,
+    phase_angle: float = 45.0,
+    name: Optional[str] = None,
+) -> QuantumCircuit:
+    """Build a phase-estimation circuit.
+
+    Parameters
+    ----------
+    num_counting_qubits:
+        Size of the counting register (the precision of the estimate).
+    num_eigenstate_qubits:
+        Size of the register holding the eigenstate; controlled-``U`` powers
+        touch its first qubit (one is the common case and the paper's).
+    phase_angle:
+        Phase angle (degrees) applied by one application of ``U``; only the
+        relative durations matter for placement.
+    """
+    if num_counting_qubits < 1:
+        raise CircuitError("phase estimation needs at least one counting qubit")
+    if num_eigenstate_qubits < 1:
+        raise CircuitError("phase estimation needs at least one eigenstate qubit")
+
+    total = num_counting_qubits + num_eigenstate_qubits
+    qubits = list(range(total))
+    counting = qubits[:num_counting_qubits]
+    eigenstate = qubits[num_counting_qubits]
+
+    gate_list: List[Gate] = []
+    # Superpose the counting register and prepare the eigenstate.
+    for qubit in counting:
+        gate_list.append(g.hadamard(qubit))
+    gate_list.append(g.rx(eigenstate, 90.0))
+
+    # Controlled powers of U: counting qubit k controls U^(2^k).
+    for power, qubit in enumerate(counting):
+        angle = phase_angle * (2 ** power)
+        # Reduce the angle modulo a full turn: only the fractional part of
+        # the phase matters, and it keeps gate durations bounded.
+        angle = angle % 360.0
+        if angle == 0.0:
+            angle = 360.0
+        gate_list.append(g.controlled_phase(qubit, eigenstate, angle))
+
+    # Inverse QFT on the counting register (controlled phases with negative
+    # angles, Hadamards in reverse order).
+    for i in reversed(range(num_counting_qubits)):
+        for j in reversed(range(i + 1, num_counting_qubits)):
+            distance = j - i
+            angle = -360.0 / (2 ** (distance + 1))
+            gate_list.append(g.controlled_phase(counting[j], counting[i], angle))
+        gate_list.append(g.hadamard(counting[i]))
+
+    if name is None:
+        name = f"phaseest{total}" if total != 5 else "phaseest"
+    return QuantumCircuit(qubits, gate_list, name=name)
+
+
+def phaseest() -> QuantumCircuit:
+    """The 5-qubit phase-estimation benchmark of Table 3 ("phaseest")."""
+    return phase_estimation_circuit(4, 1)

@@ -1,0 +1,64 @@
+"""The 3-qubit error-correction encoder of Laforest et al. (paper Fig. 2).
+
+The circuit is reproduced verbatim from Figure 2 of the placement paper: it
+is the encoding part of the 3-qubit quantum error-correcting code, written
+directly in NMR pulses over qubits ``a``, ``b`` and ``c``::
+
+    a: Ry(90) --- ZZ(90) --- Rz(-90)
+    b:            ZZ(90) --- Rz(90) --- ZZ(90) --- Rz(90) --- Ry(90)
+    c: Ry(90) ------------------------- ZZ(90) --- Rz(-90)
+
+Nine gates in total; only the two ``ZZ`` interactions and the three ``Ry``
+pulses cost time (``Rz`` rotations are free in liquid-state NMR).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.circuits import gates as g
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.gates import Qubit
+
+
+def qec3_encoder(qubits: Sequence[Qubit] = ("a", "b", "c")) -> QuantumCircuit:
+    """The Figure-2 encoder on three named qubits (default ``a``, ``b``, ``c``)."""
+    a, b, c = qubits
+    return QuantumCircuit(
+        [a, b, c],
+        [
+            g.ry(a, 90.0),
+            g.zz(a, b, 90.0),
+            g.rz(a, -90.0),
+            g.rz(b, 90.0),
+            g.ry(c, 90.0),
+            g.zz(b, c, 90.0),
+            g.rz(b, 90.0),
+            g.rz(c, -90.0),
+            g.ry(b, 90.0),
+        ],
+        name="error correction encoding",
+    )
+
+
+def qec3_decoder(qubits: Sequence[Qubit] = ("a", "b", "c")) -> QuantumCircuit:
+    """The inverse of the encoder (gates reversed, angles negated)."""
+    encoder = qec3_encoder(qubits)
+    inverse_gates = []
+    for gate in reversed(encoder.gates):
+        angle = -gate.angle if gate.angle is not None else None
+        inverse_gates.append(
+            g.Gate(gate.name, gate.qubits, gate.duration, angle)
+        )
+    return QuantumCircuit(encoder.qubits, inverse_gates, name="error correction decoding")
+
+
+def qec3_encode_decode(qubits: Sequence[Qubit] = ("a", "b", "c")) -> QuantumCircuit:
+    """Encoder followed by decoder — a longer 3-qubit benchmark used in tests."""
+    encoder = qec3_encoder(qubits)
+    decoder = qec3_decoder(qubits)
+    return QuantumCircuit(
+        encoder.qubits,
+        list(encoder.gates) + list(decoder.gates),
+        name="error correction encode-decode",
+    )

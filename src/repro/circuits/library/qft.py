@@ -1,0 +1,103 @@
+"""Quantum Fourier Transform circuits (exact and approximate).
+
+The QFT over ``n`` qubits (Nielsen & Chuang, page 219, the paper's "qft6")
+applies, for every qubit ``i``: a Hadamard followed by controlled phase
+rotations ``R_k`` controlled by every later qubit ``j > i`` with angle
+``360 / 2^(j - i + 1)`` degrees, and ends with a qubit-order reversal (which
+costs nothing for placement purposes and is omitted by default, as is common
+in benchmark suites).
+
+The *approximate* QFT ("aqft9", "aqft12") keeps only the rotations whose
+controlled-phase angle is large enough to matter, i.e. the interactions
+between qubits at distance at most ``degree``; with ``degree ≈ log2(n)`` the
+approximation error is negligible while the number of two-qubit gates drops
+from ``O(n^2)`` to ``O(n log n)``.
+
+The full QFT's interaction graph is the complete graph — the paper uses
+exactly this property to show that SWAP stages are indispensable on sparse
+molecules.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional
+
+from repro.circuits import gates as g
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.gates import Gate
+from repro.exceptions import CircuitError
+
+
+def qft_circuit(
+    num_qubits: int,
+    approximation_degree: Optional[int] = None,
+    include_final_swaps: bool = False,
+    name: Optional[str] = None,
+) -> QuantumCircuit:
+    """Build a (possibly approximate) QFT circuit on ``num_qubits`` qubits.
+
+    Parameters
+    ----------
+    num_qubits:
+        Number of qubits (at least 2).
+    approximation_degree:
+        Keep only controlled rotations between qubits at distance at most
+        this value.  ``None`` keeps everything (the exact QFT).
+    include_final_swaps:
+        Append the qubit-order-reversing SWAP network.  Off by default: the
+        reversal is a relabelling that placement-oriented benchmarks skip.
+    """
+    if num_qubits < 2:
+        raise CircuitError("the QFT needs at least two qubits")
+    if approximation_degree is not None and approximation_degree < 1:
+        raise CircuitError("approximation_degree must be at least 1")
+
+    qubits = list(range(num_qubits))
+    gate_list: List[Gate] = []
+    for i in qubits:
+        gate_list.append(g.hadamard(i))
+        for j in range(i + 1, num_qubits):
+            distance = j - i
+            if approximation_degree is not None and distance > approximation_degree:
+                continue
+            angle = 360.0 / (2 ** (distance + 1))
+            gate_list.append(g.controlled_phase(j, i, angle))
+    if include_final_swaps:
+        for i in range(num_qubits // 2):
+            gate_list.append(g.swap(i, num_qubits - 1 - i))
+
+    if name is None:
+        if approximation_degree is None:
+            name = f"qft{num_qubits}"
+        else:
+            name = f"aqft{num_qubits}"
+    return QuantumCircuit(qubits, gate_list, name=name)
+
+
+def approximate_qft_circuit(
+    num_qubits: int,
+    approximation_degree: Optional[int] = None,
+    name: Optional[str] = None,
+) -> QuantumCircuit:
+    """Approximate QFT with the customary ``degree = ceil(log2 n) + 1`` default."""
+    if approximation_degree is None:
+        approximation_degree = max(1, int(math.ceil(math.log2(max(2, num_qubits)))) + 1)
+    return qft_circuit(
+        num_qubits, approximation_degree=approximation_degree, name=name
+    )
+
+
+def qft6() -> QuantumCircuit:
+    """The 6-qubit exact QFT used in Table 3 ("qft6")."""
+    return qft_circuit(6)
+
+
+def aqft9() -> QuantumCircuit:
+    """The 9-qubit approximate QFT used in Table 3 ("aqft9")."""
+    return approximate_qft_circuit(9, name="aqft9")
+
+
+def aqft12() -> QuantumCircuit:
+    """The 12-qubit approximate QFT used in Table 3 ("aqft12")."""
+    return approximate_qft_circuit(12, name="aqft12")

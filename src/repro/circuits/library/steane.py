@@ -1,0 +1,97 @@
+"""Steane [[7,1,3]] syndrome-extraction circuits ("steane-x/z1", "steane-x/z2").
+
+Table 3 of the paper places two 10-qubit circuits named "steane-x/z1" and
+"steane-x/z2", corresponding to Figures 10.16 and 10.17 of Nielsen & Chuang:
+X-type error correction for the Steane code, which by the code's symmetry
+doubles as Z-type error correction.
+
+Both variants operate on 7 data qubits ``d0..d6`` plus 3 ancilla qubits
+``a0..a2``; each ancilla measures one stabilizer generator of the code:
+
+* generator 0 touches data qubits {0, 2, 4, 6}
+* generator 1 touches data qubits {1, 2, 5, 6}
+* generator 2 touches data qubits {3, 4, 5, 6}
+
+Variant 1 (Fig. 10.16 style) extracts the syndromes with plain
+ancilla-controlled CNOT ladders; variant 2 (Fig. 10.17 style) verifies the
+ancillas by preparing them in an entangled (cat-like) state before the data
+interactions, which adds ancilla-ancilla gates and changes the interaction
+graph — giving the placer a genuinely different instance, as in the paper.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.circuits import gates as g
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.gates import Gate
+from repro.exceptions import CircuitError
+
+#: Stabilizer generator supports of the Steane code (data-qubit indices).
+STEANE_GENERATORS: Tuple[Tuple[int, ...], ...] = (
+    (0, 2, 4, 6),
+    (1, 2, 5, 6),
+    (3, 4, 5, 6),
+)
+
+
+def _data_and_ancilla_labels() -> Tuple[List[str], List[str]]:
+    data = [f"d{i}" for i in range(7)]
+    ancilla = [f"a{i}" for i in range(3)]
+    return data, ancilla
+
+
+def steane_syndrome_circuit(variant: int = 1) -> QuantumCircuit:
+    """Steane X/Z syndrome extraction, variant 1 or 2 (10 qubits).
+
+    Parameters
+    ----------
+    variant:
+        ``1`` — plain syndrome extraction (one ancilla per generator, CNOT
+        ladder onto the ancilla).  ``2`` — verified-ancilla version: the
+        ancillas are first entangled with each other (cat-state preparation
+        and verification), then coupled to the data qubits.
+    """
+    if variant not in (1, 2):
+        raise CircuitError("variant must be 1 or 2")
+    data, ancilla = _data_and_ancilla_labels()
+    qubits = data + ancilla
+    gate_list: List[Gate] = []
+
+    if variant == 1:
+        for index, generator in enumerate(STEANE_GENERATORS):
+            anc = ancilla[index]
+            gate_list.append(g.hadamard(anc))
+            for data_index in generator:
+                gate_list.append(g.cnot(anc, data[data_index]))
+            gate_list.append(g.hadamard(anc))
+    else:
+        # Prepare and verify an entangled ancilla block.
+        gate_list.append(g.hadamard(ancilla[0]))
+        gate_list.append(g.cnot(ancilla[0], ancilla[1]))
+        gate_list.append(g.cnot(ancilla[1], ancilla[2]))
+        gate_list.append(g.cnot(ancilla[0], ancilla[2]))
+        # Couple each ancilla to its stabilizer support.
+        for index, generator in enumerate(STEANE_GENERATORS):
+            anc = ancilla[index]
+            for data_index in generator:
+                gate_list.append(g.cnot(anc, data[data_index]))
+        # Decode the ancilla block before readout.
+        gate_list.append(g.cnot(ancilla[0], ancilla[2]))
+        gate_list.append(g.cnot(ancilla[1], ancilla[2]))
+        gate_list.append(g.cnot(ancilla[0], ancilla[1]))
+        gate_list.append(g.hadamard(ancilla[0]))
+
+    name = f"steane-x/z{variant}"
+    return QuantumCircuit(qubits, gate_list, name=name)
+
+
+def steane_xz1() -> QuantumCircuit:
+    """The "steane-x/z1" benchmark of Table 3."""
+    return steane_syndrome_circuit(1)
+
+
+def steane_xz2() -> QuantumCircuit:
+    """The "steane-x/z2" benchmark of Table 3."""
+    return steane_syndrome_circuit(2)

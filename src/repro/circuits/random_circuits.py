@@ -1,0 +1,196 @@
+"""Random benchmark circuit generators.
+
+The scalability experiment of the paper (Table 4) uses circuits built from a
+number of *hidden stages*: for each stage the qubits are randomly permuted
+into a virtual chain and ``N * log2(N)`` random nearest-neighbour two-qubit
+gates are generated over that chain; ``log2(N)`` such stages are
+concatenated.  A good placer should discover exactly one subcircuit per
+hidden stage and insert a swapping stage between consecutive stages.
+
+All generators take an explicit :class:`random.Random` instance or an integer
+seed so that experiments are reproducible.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple, Union
+
+from repro.circuits import gates as g
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.gates import Gate, Qubit
+from repro.exceptions import CircuitError
+
+RandomLike = Union[int, random.Random, None]
+
+
+def _rng(seed: RandomLike) -> random.Random:
+    """Normalise a seed / Random / None argument to a Random instance."""
+    if isinstance(seed, random.Random):
+        return seed
+    return random.Random(seed)
+
+
+@dataclass(frozen=True)
+class HiddenStageSpec:
+    """Description of one hidden stage of a Table-4 style circuit.
+
+    Attributes
+    ----------
+    permutation:
+        The stage's virtual chain: ``permutation[j]`` is the logical qubit
+        sitting at chain position ``j``.
+    num_gates:
+        Number of random nearest-neighbour gates generated for the stage.
+    """
+
+    permutation: Tuple[Qubit, ...]
+    num_gates: int
+
+
+@dataclass(frozen=True)
+class HiddenStageCircuit:
+    """A generated circuit together with its hidden-stage ground truth."""
+
+    circuit: QuantumCircuit
+    stages: Tuple[HiddenStageSpec, ...]
+
+    @property
+    def num_stages(self) -> int:
+        """Number of hidden stages used to build the circuit."""
+        return len(self.stages)
+
+
+def hidden_stage_circuit(
+    num_qubits: int,
+    num_stages: Optional[int] = None,
+    gates_per_stage: Optional[int] = None,
+    gate_duration: float = 3.0,
+    seed: RandomLike = 0,
+) -> HiddenStageCircuit:
+    """Generate the Table-4 workload.
+
+    Parameters
+    ----------
+    num_qubits:
+        ``N`` — number of logical qubits; must be at least 2.
+    num_stages:
+        Number of hidden stages; defaults to ``round(log2(N))`` as in the
+        paper.
+    gates_per_stage:
+        Number of gates per stage; defaults to ``N * round(log2(N))``.
+    gate_duration:
+        Relative duration ``T(G)`` of every generated two-qubit gate; the
+        paper uses the maximal length 3 (any two-qubit unitary needs at most
+        three uses of the interaction).
+    seed:
+        Seed or :class:`random.Random` for reproducibility.
+    """
+    if num_qubits < 2:
+        raise CircuitError("hidden-stage circuits need at least two qubits")
+    rng = _rng(seed)
+    log_n = max(1, int(round(math.log2(num_qubits))))
+    if num_stages is None:
+        num_stages = log_n
+    if gates_per_stage is None:
+        gates_per_stage = num_qubits * log_n
+    if num_stages < 1 or gates_per_stage < 1:
+        raise CircuitError("num_stages and gates_per_stage must be positive")
+
+    qubits: List[Qubit] = list(range(num_qubits))
+    all_gates: List[Gate] = []
+    stages: List[HiddenStageSpec] = []
+    for _ in range(num_stages):
+        permutation = list(qubits)
+        rng.shuffle(permutation)
+        stage_gates = _random_chain_gates(
+            permutation, gates_per_stage, gate_duration, rng
+        )
+        all_gates.extend(stage_gates)
+        stages.append(HiddenStageSpec(tuple(permutation), gates_per_stage))
+
+    circuit = QuantumCircuit(
+        qubits, all_gates, name=f"hidden-stages-{num_qubits}q-{num_stages}s"
+    )
+    return HiddenStageCircuit(circuit, tuple(stages))
+
+
+def _random_chain_gates(
+    chain: Sequence[Qubit],
+    num_gates: int,
+    gate_duration: float,
+    rng: random.Random,
+) -> List[Gate]:
+    """Random nearest-neighbour gates over a virtual chain ordering.
+
+    Mirrors the paper's construction: pick a chain index ``j`` uniformly, then
+    couple ``p_j`` with ``p_{j-1}`` or ``p_{j+1}`` with probability 1/2 each
+    (falling back to the only available neighbour at the chain ends).
+    """
+    gates: List[Gate] = []
+    last = len(chain) - 1
+    for _ in range(num_gates):
+        j = rng.randrange(len(chain))
+        if j == 0:
+            neighbour = 1
+        elif j == last:
+            neighbour = last - 1
+        else:
+            neighbour = j - 1 if rng.random() < 0.5 else j + 1
+        gates.append(
+            g.generic_2q(chain[j], chain[neighbour], gate_duration, name="U2")
+        )
+    return gates
+
+
+def random_two_qubit_circuit(
+    num_qubits: int,
+    num_gates: int,
+    gate_duration: float = 1.0,
+    single_qubit_fraction: float = 0.0,
+    seed: RandomLike = 0,
+) -> QuantumCircuit:
+    """A fully random circuit: arbitrary qubit pairs, optional 1-qubit gates.
+
+    Useful as a stress workload (its interaction graph quickly becomes dense,
+    which forces the placer to use many subcircuits) and in property tests.
+    """
+    if num_qubits < 2:
+        raise CircuitError("random circuits need at least two qubits")
+    if not 0.0 <= single_qubit_fraction <= 1.0:
+        raise CircuitError("single_qubit_fraction must lie in [0, 1]")
+    rng = _rng(seed)
+    qubits: List[Qubit] = list(range(num_qubits))
+    gate_list: List[Gate] = []
+    for _ in range(num_gates):
+        if rng.random() < single_qubit_fraction:
+            gate_list.append(g.ry(rng.choice(qubits), 90.0))
+        else:
+            a, b = rng.sample(qubits, 2)
+            gate_list.append(g.generic_2q(a, b, gate_duration))
+    return QuantumCircuit(
+        qubits, gate_list, name=f"random-{num_qubits}q-{num_gates}g"
+    )
+
+
+def random_nearest_neighbour_circuit(
+    num_qubits: int,
+    num_gates: int,
+    gate_duration: float = 1.0,
+    seed: RandomLike = 0,
+) -> QuantumCircuit:
+    """A random circuit whose interactions all lie on the identity chain.
+
+    Placing this circuit onto a matching linear-nearest-neighbour
+    architecture should always succeed with a single subcircuit.
+    """
+    if num_qubits < 2:
+        raise CircuitError("random circuits need at least two qubits")
+    rng = _rng(seed)
+    chain = list(range(num_qubits))
+    gates = _random_chain_gates(chain, num_gates, gate_duration, rng)
+    return QuantumCircuit(
+        chain, gates, name=f"random-chain-{num_qubits}q-{num_gates}g"
+    )

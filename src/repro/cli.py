@@ -1,0 +1,173 @@
+"""Command-line interface.
+
+Installed as ``repro-place`` (see ``pyproject.toml``) and usable as
+``python -m repro.cli``.  Three subcommands:
+
+``place``
+    Place a benchmark circuit (or a circuit file in the text format of
+    :mod:`repro.circuits.qasm`) into a molecule (or an environment JSON
+    file) and print the placement summary.
+
+``sweep``
+    Run a Table-3 style threshold sweep of one circuit over one molecule.
+
+``list``
+    List the available benchmark circuits and molecules.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.reporting import format_table
+from repro.analysis.sweep import sweep_circuit
+from repro.circuits import qasm
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.library import CIRCUIT_FACTORIES, benchmark_circuit
+from repro.core.config import PlacementOptions
+from repro.core.placement import place_circuit
+from repro.exceptions import ReproError
+from repro.hardware import io as hardware_io
+from repro.hardware.environment import PhysicalEnvironment
+from repro.hardware.molecules import MOLECULE_FACTORIES, molecule
+from repro.hardware.threshold_graph import PAPER_THRESHOLDS
+
+
+def _load_circuit(spec: str) -> QuantumCircuit:
+    """A circuit by benchmark name, or from a file when the name ends in ``.qc``."""
+    if spec in CIRCUIT_FACTORIES:
+        return benchmark_circuit(spec)
+    if spec.endswith(".qc") or spec.endswith(".txt"):
+        return qasm.load(spec)
+    raise ReproError(
+        f"unknown circuit {spec!r}; use one of {sorted(CIRCUIT_FACTORIES)} "
+        "or a .qc/.txt circuit file"
+    )
+
+
+def _load_environment(spec: str) -> PhysicalEnvironment:
+    """An environment by molecule name, or from a JSON file."""
+    if spec in MOLECULE_FACTORIES:
+        return molecule(spec)
+    if spec.endswith(".json"):
+        return hardware_io.load(spec)
+    raise ReproError(
+        f"unknown environment {spec!r}; use one of {sorted(MOLECULE_FACTORIES)} "
+        "or an environment .json file"
+    )
+
+
+def _options_from_args(args: argparse.Namespace) -> PlacementOptions:
+    return PlacementOptions(
+        threshold=args.threshold,
+        max_monomorphisms=args.max_monomorphisms,
+        fine_tuning=not args.no_fine_tuning,
+        lookahead=not args.no_lookahead,
+        leaf_override=not args.no_leaf_override,
+    )
+
+
+def _add_common_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--threshold", type=float, default=None,
+                        help="fast-interaction threshold (default: minimal connecting value)")
+    parser.add_argument("--max-monomorphisms", type=int, default=100,
+                        help="candidate monomorphisms per workspace (the paper's k)")
+    parser.add_argument("--no-fine-tuning", action="store_true",
+                        help="disable hill-climbing fine tuning")
+    parser.add_argument("--no-lookahead", action="store_true",
+                        help="disable the depth-2 lookahead")
+    parser.add_argument("--no-leaf-override", action="store_true",
+                        help="disable the leaf-target override routing heuristic")
+
+
+def _cmd_place(args: argparse.Namespace) -> int:
+    circuit = _load_circuit(args.circuit)
+    environment = _load_environment(args.environment)
+    result = place_circuit(circuit, environment, _options_from_args(args))
+    print(result.summary())
+    print()
+    rows = []
+    for stage in result.stages:
+        mapping = ", ".join(
+            f"{qubit}->{node}" for qubit, node in sorted(stage.placement.items(), key=lambda kv: repr(kv[0]))
+        )
+        rows.append([f"stage {stage.index}", f"gates [{stage.start},{stage.stop})",
+                     f"{stage.runtime:g} units", mapping])
+    for swap in result.swap_stages:
+        rows.append([f"swap {swap.index}->{swap.index + 1}",
+                     f"{swap.num_swaps} SWAPs in {swap.depth} layers",
+                     f"{swap.runtime:g} units", ""])
+    print(format_table(["part", "content", "runtime", "placement"], rows))
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    environment = _load_environment(args.environment)
+    thresholds = args.thresholds or list(PAPER_THRESHOLDS)
+
+    def factory() -> QuantumCircuit:
+        return _load_circuit(args.circuit)
+
+    row = sweep_circuit(factory, environment, thresholds, _options_from_args(args))
+    table_rows = [
+        [f"threshold {cell.threshold:g}", cell.formatted()] for cell in row.cells
+    ]
+    print(format_table(["threshold", "runtime (subcircuits)"], table_rows,
+                       title=f"{row.circuit_name} on {row.environment_name}"))
+    return 0
+
+
+def _cmd_list(_: argparse.Namespace) -> int:
+    print("benchmark circuits:")
+    for name in sorted(CIRCUIT_FACTORIES):
+        circuit = benchmark_circuit(name)
+        print(f"  {name:28s} {circuit.num_qubits:3d} qubits  {circuit.num_gates:4d} gates")
+    print("molecules:")
+    for name in sorted(MOLECULE_FACTORIES):
+        environment = molecule(name)
+        print(f"  {name:28s} {environment.num_qubits:3d} qubits")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-place",
+        description="Quantum circuit placement (Maslov, Falconer, Mosca 2007/2008)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    place_parser = subparsers.add_parser("place", help="place a circuit into an environment")
+    place_parser.add_argument("circuit", help="benchmark circuit name or .qc file")
+    place_parser.add_argument("environment", help="molecule name or environment .json file")
+    _add_common_options(place_parser)
+    place_parser.set_defaults(func=_cmd_place)
+
+    sweep_parser = subparsers.add_parser("sweep", help="threshold sweep (Table 3 style)")
+    sweep_parser.add_argument("circuit", help="benchmark circuit name or .qc file")
+    sweep_parser.add_argument("environment", help="molecule name or environment .json file")
+    sweep_parser.add_argument("--thresholds", type=float, nargs="+", default=None,
+                              help="threshold values (default: the paper's list)")
+    _add_common_options(sweep_parser)
+    sweep_parser.set_defaults(func=_cmd_sweep)
+
+    list_parser = subparsers.add_parser("list", help="list circuits and molecules")
+    list_parser.set_defaults(func=_cmd_list)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess in tests
+    sys.exit(main())

@@ -1,0 +1,19 @@
+"""The NP-completeness reduction of the placement problem (Section 4)."""
+
+from repro.complexity.hamiltonian_cycle import (
+    find_zero_cost_placement,
+    has_hamiltonian_cycle,
+    placement_cost,
+    reduction_circuit,
+    reduction_environment,
+    verify_reduction,
+)
+
+__all__ = [
+    "reduction_environment",
+    "reduction_circuit",
+    "placement_cost",
+    "find_zero_cost_placement",
+    "has_hamiltonian_cycle",
+    "verify_reduction",
+]

@@ -1,0 +1,113 @@
+"""The NP-completeness reduction of Section 4.
+
+The paper proves that even the simplified place-all-at-once version of the
+placement problem is NP-complete by reducing from Hamiltonian cycle:
+
+* the *physical environment* has the same vertex set as the input graph
+  ``H``; a pair of vertices gets weight 0 when it is an edge of ``H`` and
+  weight 1 otherwise (single-qubit delays are 0);
+* the *circuit* has ``m`` qubits and ``m`` levels, the ``i``-th level holding
+  a single two-qubit gate between qubits ``q_i`` and ``q_{(i mod m)+1}`` with
+  ``T(G) = 1``;
+* a placement of runtime 0 exists **iff** ``H`` has a Hamiltonian cycle.
+
+This module builds the reduction instance, evaluates candidate placements,
+and — for small graphs — solves both sides so that the equivalence can be
+checked experimentally (experiment E8).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import networkx as nx
+
+from repro.circuits import gates as g
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.gates import Qubit
+from repro.exceptions import ReproError
+from repro.hardware.environment import Node, PhysicalEnvironment
+from repro.timing.scheduler import circuit_runtime
+
+
+def reduction_environment(graph: nx.Graph) -> PhysicalEnvironment:
+    """The physical environment modelling graph ``H`` of the reduction.
+
+    Edges of ``H`` have weight 0 (free interactions); non-edges have weight 1.
+    """
+    nodes = sorted(graph.nodes(), key=repr)
+    if len(nodes) < 3:
+        raise ReproError("the Hamiltonian-cycle reduction needs at least 3 vertices")
+    single = {node: 0.0 for node in nodes}
+    pairs: Dict[Tuple[Node, Node], float] = {}
+    for i, a in enumerate(nodes):
+        for b in nodes[i + 1:]:
+            pairs[(a, b)] = 0.0 if graph.has_edge(a, b) else 1.0
+    return PhysicalEnvironment(
+        single, pairs, default_pair_delay=1.0, name="hamiltonian-cycle-reduction"
+    )
+
+
+def reduction_circuit(num_vertices: int) -> QuantumCircuit:
+    """The cycle circuit of the reduction: gate ``(q_i, q_{i+1 mod m})`` per level."""
+    if num_vertices < 3:
+        raise ReproError("the reduction circuit needs at least 3 qubits")
+    qubits: List[Qubit] = [f"q{i}" for i in range(num_vertices)]
+    circuit = QuantumCircuit(qubits, name=f"hamiltonian-cycle-{num_vertices}")
+    for i in range(num_vertices):
+        circuit.append(
+            g.generic_2q(qubits[i], qubits[(i + 1) % num_vertices], 1.0, name="CYC")
+        )
+    return circuit
+
+
+def placement_cost(
+    graph: nx.Graph,
+    assignment: Sequence[Node],
+) -> float:
+    """Runtime of the reduction circuit under ``q_i -> assignment[i]``.
+
+    Because every gate has ``T = 1`` and weights are 0/1, the runtime equals
+    the number of consecutive pairs of the assignment (cyclically) that are
+    *not* edges of ``H``.
+    """
+    environment = reduction_environment(graph)
+    circuit = reduction_circuit(len(assignment))
+    placement = {f"q{i}": node for i, node in enumerate(assignment)}
+    return circuit_runtime(circuit, placement, environment, validate=True)
+
+
+def find_zero_cost_placement(graph: nx.Graph) -> Optional[List[Node]]:
+    """Exhaustively search for a runtime-0 placement of the reduction instance.
+
+    Returns the vertex order (which is then a Hamiltonian cycle of ``H``) or
+    ``None`` when no zero-cost placement exists.  Exponential — small graphs
+    only.
+    """
+    nodes = sorted(graph.nodes(), key=repr)
+    if len(nodes) < 3:
+        return None
+    first = nodes[0]
+    for rest in itertools.permutations(nodes[1:]):
+        assignment = [first, *rest]
+        cyclic_pairs = zip(assignment, assignment[1:] + [assignment[0]])
+        if all(graph.has_edge(a, b) for a, b in cyclic_pairs):
+            return assignment
+    return None
+
+
+def has_hamiltonian_cycle(graph: nx.Graph) -> bool:
+    """Direct exponential Hamiltonian-cycle test (ground truth for E8)."""
+    return find_zero_cost_placement(graph) is not None
+
+
+def verify_reduction(graph: nx.Graph) -> bool:
+    """Check both directions of the reduction on one (small) graph instance."""
+    placement = find_zero_cost_placement(graph)
+    if placement is None:
+        return not has_hamiltonian_cycle(graph)
+    if placement_cost(graph, placement) != 0.0:
+        return False
+    cyclic_pairs = zip(placement, placement[1:] + [placement[0]])
+    return all(graph.has_edge(a, b) for a, b in cyclic_pairs)

@@ -1,0 +1,95 @@
+"""Configuration options of the placement engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.exceptions import PlacementError
+
+
+@dataclass
+class PlacementOptions:
+    """Knobs of :func:`repro.core.placement.place_circuit`.
+
+    Attributes
+    ----------
+    threshold:
+        The ``Threshold`` below which an interaction counts as fast.  ``None``
+        selects the paper's default: the minimal value at which the fast
+        graph is connected.
+    max_monomorphisms:
+        The paper's ``k``: how many candidate monomorphisms are enumerated
+        per workspace (the original implementation used 100).
+    fine_tuning:
+        Run hill-climbing fine tuning on each workspace placement.
+    fine_tuning_max_rounds:
+        Maximum hill-climbing sweeps per workspace.
+    lookahead:
+        Enable the depth-2 lookahead when picking a workspace's placement
+        (score = this stage's runtime + incoming swap cost + best next-stage
+        runtime + its swap cost).
+    lookahead_width:
+        How many of the cheapest candidates are combined in the k x k
+        lookahead.  Keeps the Python implementation fast; the paper's C++
+        code used the full ``k``.
+    leaf_override:
+        Enable the leaf–target value override heuristic in the SWAP router.
+    apply_interaction_cap:
+        Cap runs of consecutive two-qubit gates on one pair at three
+        interaction uses when computing runtimes (Section 6).
+    sequential_levels:
+        Use the strict sequential-levels runtime model instead of the default
+        asynchronous one.
+    restrict_to_largest_component:
+        When the threshold disconnects the adjacency graph, confine placement
+        to the largest connected component (provided it is big enough).
+    reorder_commuting_gates:
+        Apply the commutation-aware reordering pass
+        (:func:`repro.circuits.commutation.commutation_aware_reorder`) before
+        placing — the paper's "further research" direction of using gate
+        commutation to obtain a more favourable instance.  The pass only
+        exchanges exactly-commuting gates, so the computation is unchanged.
+    max_workspace_two_qubit_gates:
+        Optional cap on the number of two-qubit gates per workspace.  The
+        paper's strategy is greedy-maximal (``None``); a finite cap explores
+        the computation-depth vs. swap-depth balance its conclusions mention.
+    """
+
+    threshold: Optional[float] = None
+    max_monomorphisms: int = 100
+    fine_tuning: bool = True
+    fine_tuning_max_rounds: int = 10
+    lookahead: bool = True
+    lookahead_width: int = 8
+    leaf_override: bool = True
+    apply_interaction_cap: bool = True
+    sequential_levels: bool = False
+    restrict_to_largest_component: bool = True
+    reorder_commuting_gates: bool = False
+    max_workspace_two_qubit_gates: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.max_monomorphisms < 1:
+            raise PlacementError("max_monomorphisms must be at least 1")
+        if self.lookahead_width < 1:
+            raise PlacementError("lookahead_width must be at least 1")
+        if self.fine_tuning_max_rounds < 0:
+            raise PlacementError("fine_tuning_max_rounds must be non-negative")
+        if self.threshold is not None and self.threshold <= 0:
+            raise PlacementError("threshold must be positive")
+        if (
+            self.max_workspace_two_qubit_gates is not None
+            and self.max_workspace_two_qubit_gates < 1
+        ):
+            raise PlacementError("max_workspace_two_qubit_gates must be at least 1")
+
+    def replace(self, **changes) -> "PlacementOptions":
+        """Return a copy with some fields changed."""
+        from dataclasses import replace as dataclass_replace
+
+        return dataclass_replace(self, **changes)
+
+
+#: Default options (the configuration used throughout the paper's evaluation).
+DEFAULT_OPTIONS = PlacementOptions()

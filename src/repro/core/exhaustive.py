@@ -1,0 +1,143 @@
+"""Whole-circuit placement baselines.
+
+Two baselines bracket the heuristic placer:
+
+* :func:`optimal_whole_circuit_placement` — exhaustive search over all
+  ``m! / (m - n)!`` injective assignments (the paper's "placement of the
+  circuit as a whole", last column of Table 3 and the search-space column of
+  Table 2).  Only feasible for small environments; a guard raises when the
+  search space exceeds a configurable limit.
+* :func:`hill_climbing_whole_circuit_placement` — the hill-climbing fallback
+  the paper describes for when enumerating all matchings is not feasible.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterable, Optional, Sequence, Tuple
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.gates import Qubit
+from repro.core.fine_tuning import hill_climb
+from repro.exceptions import PlacementError
+from repro.hardware.environment import Node, PhysicalEnvironment
+from repro.timing.scheduler import circuit_runtime
+
+Placement = Dict[Qubit, Node]
+
+#: Refuse to exhaustively enumerate more assignments than this by default.
+DEFAULT_SEARCH_SPACE_LIMIT = 2_000_000
+
+
+def search_space_size(circuit: QuantumCircuit, environment: PhysicalEnvironment) -> int:
+    """Number of injective assignments ``m! / (m - n)!`` (Table 2's last column)."""
+    return environment.search_space_size(circuit.num_qubits)
+
+
+def iter_placements(
+    circuit: QuantumCircuit,
+    environment: PhysicalEnvironment,
+    nodes: Optional[Sequence[Node]] = None,
+) -> Iterable[Placement]:
+    """Yield every injective assignment of circuit qubits to environment nodes."""
+    pool = list(nodes) if nodes is not None else list(environment.nodes)
+    for assignment in itertools.permutations(pool, circuit.num_qubits):
+        yield dict(zip(circuit.qubits, assignment))
+
+
+def optimal_whole_circuit_placement(
+    circuit: QuantumCircuit,
+    environment: PhysicalEnvironment,
+    apply_interaction_cap: bool = True,
+    search_space_limit: int = DEFAULT_SEARCH_SPACE_LIMIT,
+    nodes: Optional[Sequence[Node]] = None,
+) -> Tuple[Placement, float]:
+    """Exhaustively find the runtime-optimal whole-circuit placement.
+
+    Raises :class:`~repro.exceptions.PlacementError` when the circuit does
+    not fit the environment or the search space exceeds ``search_space_limit``
+    (use the hill-climbing baseline instead in that case).
+    """
+    if circuit.num_qubits > environment.num_qubits:
+        raise PlacementError(
+            f"circuit needs {circuit.num_qubits} qubits but environment "
+            f"{environment.name!r} has only {environment.num_qubits}"
+        )
+    size = search_space_size(circuit, environment)
+    if size > search_space_limit:
+        raise PlacementError(
+            f"search space of {size} assignments exceeds the limit of "
+            f"{search_space_limit}; use hill_climbing_whole_circuit_placement"
+        )
+
+    best_placement: Optional[Placement] = None
+    best_runtime = float("inf")
+    for placement in iter_placements(circuit, environment, nodes=nodes):
+        runtime = circuit_runtime(
+            circuit,
+            placement,
+            environment,
+            apply_interaction_cap=apply_interaction_cap,
+            validate=False,
+        )
+        if runtime < best_runtime:
+            best_runtime = runtime
+            best_placement = placement
+    if best_placement is None:  # pragma: no cover - empty environments rejected earlier
+        raise PlacementError("no placement found")
+    return best_placement, best_runtime
+
+
+def hill_climbing_whole_circuit_placement(
+    circuit: QuantumCircuit,
+    environment: PhysicalEnvironment,
+    apply_interaction_cap: bool = True,
+    max_rounds: int = 20,
+    initial_placement: Optional[Placement] = None,
+) -> Tuple[Placement, float]:
+    """Hill-climbing whole-circuit placement (the paper's large-instance fallback)."""
+    if circuit.num_qubits > environment.num_qubits:
+        raise PlacementError(
+            f"circuit needs {circuit.num_qubits} qubits but environment "
+            f"{environment.name!r} has only {environment.num_qubits}"
+        )
+    if initial_placement is None:
+        initial_placement = dict(zip(circuit.qubits, environment.nodes))
+
+    def cost(placement: Placement) -> float:
+        return circuit_runtime(
+            circuit,
+            placement,
+            environment,
+            apply_interaction_cap=apply_interaction_cap,
+            validate=False,
+        )
+
+    return hill_climb(
+        initial_placement,
+        cost,
+        movable_qubits=list(circuit.qubits),
+        allowed_nodes=list(environment.nodes),
+        max_rounds=max_rounds,
+    )
+
+
+def whole_circuit_runtime(
+    circuit: QuantumCircuit,
+    environment: PhysicalEnvironment,
+    apply_interaction_cap: bool = True,
+    search_space_limit: int = DEFAULT_SEARCH_SPACE_LIMIT,
+) -> float:
+    """Runtime of the best whole-circuit placement (exhaustive when feasible)."""
+    try:
+        _, runtime = optimal_whole_circuit_placement(
+            circuit,
+            environment,
+            apply_interaction_cap=apply_interaction_cap,
+            search_space_limit=search_space_limit,
+        )
+    except PlacementError:
+        _, runtime = hill_climbing_whole_circuit_placement(
+            circuit, environment, apply_interaction_cap=apply_interaction_cap
+        )
+    return runtime

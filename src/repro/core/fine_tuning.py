@@ -1,0 +1,132 @@
+"""Hill-climbing fine tuning of a workspace placement.
+
+After a monomorphism fixes where the interacting qubits go, the paper's fine
+tuning step "shuffles the solution taking the actual numbers that represent
+the length of each gate (including single qubit gates) into account": for
+every qubit that takes part in a two-qubit gate of the workspace, try every
+alternative physical node (moving to a free node, or swapping with the qubit
+currently there) and keep the change whenever the scheduled runtime improves.
+The sweep is repeated until no improvement is found or a round budget is
+exhausted.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.gates import Qubit
+from repro.hardware.environment import Node, PhysicalEnvironment
+from repro.timing.scheduler import circuit_runtime
+
+Placement = Dict[Qubit, Node]
+CostFunction = Callable[[Placement], float]
+
+
+def default_cost_function(
+    subcircuit: QuantumCircuit,
+    environment: PhysicalEnvironment,
+    apply_interaction_cap: bool = True,
+) -> CostFunction:
+    """Cost of a placement = scheduled runtime of the workspace subcircuit."""
+
+    def cost(placement: Placement) -> float:
+        return circuit_runtime(
+            subcircuit,
+            placement,
+            environment,
+            apply_interaction_cap=apply_interaction_cap,
+            validate=False,
+        )
+
+    return cost
+
+
+def _candidate_moves(
+    placement: Placement,
+    qubit: Qubit,
+    allowed_nodes: Sequence[Node],
+) -> Iterable[Placement]:
+    """All placements reachable by re-assigning ``qubit`` to another node."""
+    current_node = placement[qubit]
+    node_to_qubit = {node: q for q, node in placement.items()}
+    for node in allowed_nodes:
+        if node == current_node:
+            continue
+        candidate = dict(placement)
+        occupant = node_to_qubit.get(node)
+        candidate[qubit] = node
+        if occupant is not None:
+            candidate[occupant] = current_node
+        yield candidate
+
+
+def hill_climb(
+    placement: Placement,
+    cost_function: CostFunction,
+    movable_qubits: Sequence[Qubit],
+    allowed_nodes: Sequence[Node],
+    max_rounds: int = 10,
+) -> Tuple[Placement, float]:
+    """Greedy improvement of ``placement`` by single-qubit reassignments.
+
+    Returns the improved placement and its cost.  The search accepts the
+    first improving move per qubit (matching the paper's description: "if it
+    is [better], change the way qubit q_i is placed, otherwise move on to the
+    next qubit") and sweeps until a full round makes no change or the round
+    budget runs out.
+    """
+    best = dict(placement)
+    best_cost = cost_function(best)
+    for _ in range(max_rounds):
+        improved = False
+        for qubit in movable_qubits:
+            for candidate in _candidate_moves(best, qubit, allowed_nodes):
+                candidate_cost = cost_function(candidate)
+                if candidate_cost < best_cost:
+                    best = candidate
+                    best_cost = candidate_cost
+                    improved = True
+                    break
+        if not improved:
+            break
+    return best, best_cost
+
+
+def fine_tune_workspace_placement(
+    subcircuit: QuantumCircuit,
+    placement: Placement,
+    environment: PhysicalEnvironment,
+    allowed_nodes: Sequence[Node],
+    apply_interaction_cap: bool = True,
+    max_rounds: int = 10,
+    extra_cost: Optional[CostFunction] = None,
+) -> Tuple[Placement, float]:
+    """Fine tune a workspace placement with the default runtime cost.
+
+    ``extra_cost`` (e.g. an incoming swap-stage estimate) is added to the
+    runtime so that fine tuning does not wander away from cheap-to-reach
+    placements.
+    """
+    movable: List[Qubit] = sorted(
+        {q for gate in subcircuit if gate.is_two_qubit for q in gate.qubits},
+        key=repr,
+    )
+    if not movable:
+        movable = list(subcircuit.used_qubits())
+    base_cost = default_cost_function(
+        subcircuit, environment, apply_interaction_cap=apply_interaction_cap
+    )
+    if extra_cost is None:
+        cost = base_cost
+    else:
+        def cost(candidate: Placement) -> float:
+            return base_cost(candidate) + extra_cost(candidate)
+
+    return hill_climb(
+        placement,
+        cost,
+        movable_qubits=movable,
+        allowed_nodes=list(allowed_nodes),
+        max_rounds=max_rounds,
+    )

@@ -1,0 +1,170 @@
+"""Subgraph monomorphism enumeration (the VFLib role of the original code).
+
+The original implementation used the VFLib graph matching library to align a
+subcircuit's interaction graph with the adjacency graph of fast physical
+interactions.  This module provides a self-contained VF2-style backtracking
+enumerator with the same contract:
+
+* a *monomorphism* is an injective map from pattern nodes to host nodes that
+  sends every pattern edge to a host edge (the host may have extra edges —
+  this is subgraph monomorphism, not induced-subgraph isomorphism);
+* enumeration is capped (the paper uses ``k = 100`` candidate mappings per
+  workspace) and deterministic, so experiments are reproducible.
+
+The enumerator orders pattern nodes most-constrained-first (connected to
+already-matched nodes, then by degree) and prunes candidates by degree and by
+adjacency consistency with the partial map, which is entirely sufficient for
+the molecule-sized and chain-sized hosts used in the paper's evaluation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterator, List, Optional, Sequence
+
+import networkx as nx
+
+from repro.exceptions import MonomorphismError
+
+Node = Hashable
+Mapping_ = Dict[Node, Node]
+
+
+def _pattern_order(pattern: nx.Graph) -> List[Node]:
+    """Order pattern nodes: highest degree first, then keep the frontier connected."""
+    if pattern.number_of_nodes() == 0:
+        return []
+    remaining = set(pattern.nodes())
+    order: List[Node] = []
+    # Start from the highest-degree node (ties broken deterministically).
+    start = max(remaining, key=lambda n: (pattern.degree(n), repr(n)))
+    order.append(start)
+    remaining.remove(start)
+    while remaining:
+        frontier = [
+            node
+            for node in remaining
+            if any(neighbour in order for neighbour in pattern.neighbors(node))
+        ]
+        pool = frontier if frontier else list(remaining)
+        nxt = max(
+            pool,
+            key=lambda n: (
+                sum(1 for nb in pattern.neighbors(n) if nb in order),
+                pattern.degree(n),
+                repr(n),
+            ),
+        )
+        order.append(nxt)
+        remaining.remove(nxt)
+    return order
+
+
+def iter_monomorphisms(
+    pattern: nx.Graph,
+    host: nx.Graph,
+    max_count: Optional[int] = None,
+) -> Iterator[Mapping_]:
+    """Yield injective pattern-to-host maps preserving pattern edges.
+
+    Parameters
+    ----------
+    pattern:
+        The (small) graph to embed — a subcircuit's interaction graph.
+    host:
+        The (larger) graph to embed into — the adjacency graph.
+    max_count:
+        Stop after yielding this many mappings (``None`` = unbounded).
+    """
+    if pattern.number_of_nodes() > host.number_of_nodes():
+        return
+    order = _pattern_order(pattern)
+    host_nodes = sorted(host.nodes(), key=repr)
+    host_degree = dict(host.degree())
+    pattern_degree = dict(pattern.degree())
+
+    yielded = 0
+    assignment: Mapping_ = {}
+    used_hosts: set = set()
+
+    def backtrack(position: int) -> Iterator[Mapping_]:
+        nonlocal yielded
+        if max_count is not None and yielded >= max_count:
+            return
+        if position == len(order):
+            yielded += 1
+            yield dict(assignment)
+            return
+        pattern_node = order[position]
+        mapped_neighbours = [
+            assignment[nb]
+            for nb in pattern.neighbors(pattern_node)
+            if nb in assignment
+        ]
+        for host_node in host_nodes:
+            if host_node in used_hosts:
+                continue
+            if host_degree.get(host_node, 0) < pattern_degree.get(pattern_node, 0):
+                continue
+            if any(not host.has_edge(host_node, image) for image in mapped_neighbours):
+                continue
+            assignment[pattern_node] = host_node
+            used_hosts.add(host_node)
+            yield from backtrack(position + 1)
+            del assignment[pattern_node]
+            used_hosts.remove(host_node)
+            if max_count is not None and yielded >= max_count:
+                return
+
+    yield from backtrack(0)
+
+
+def find_monomorphisms(
+    pattern: nx.Graph,
+    host: nx.Graph,
+    max_count: int = 100,
+) -> List[Mapping_]:
+    """Collect up to ``max_count`` monomorphisms (the paper's ``k``)."""
+    return list(iter_monomorphisms(pattern, host, max_count=max_count))
+
+
+def has_monomorphism(pattern: nx.Graph, host: nx.Graph) -> bool:
+    """Whether at least one monomorphism exists."""
+    for _ in iter_monomorphisms(pattern, host, max_count=1):
+        return True
+    return pattern.number_of_nodes() == 0
+
+
+def first_monomorphism(pattern: nx.Graph, host: nx.Graph) -> Mapping_:
+    """The first monomorphism in enumeration order; raises if none exists."""
+    for mapping in iter_monomorphisms(pattern, host, max_count=1):
+        return mapping
+    if pattern.number_of_nodes() == 0:
+        return {}
+    raise MonomorphismError(
+        f"no monomorphism of a {pattern.number_of_nodes()}-node pattern into a "
+        f"{host.number_of_nodes()}-node host exists"
+    )
+
+
+def count_monomorphisms(
+    pattern: nx.Graph,
+    host: nx.Graph,
+    limit: Optional[int] = None,
+) -> int:
+    """Number of monomorphisms, optionally stopping at ``limit``."""
+    count = 0
+    for _ in iter_monomorphisms(pattern, host, max_count=limit):
+        count += 1
+    return count
+
+
+def verify_monomorphism(pattern: nx.Graph, host: nx.Graph, mapping: Mapping_) -> bool:
+    """Check that ``mapping`` really is an injective edge-preserving map."""
+    if set(mapping.keys()) != set(pattern.nodes()):
+        return False
+    images = list(mapping.values())
+    if len(set(images)) != len(images):
+        return False
+    if any(image not in host for image in images):
+        return False
+    return all(host.has_edge(mapping[a], mapping[b]) for a, b in pattern.edges())

@@ -1,0 +1,451 @@
+"""The quantum circuit placer (Section 5 of the paper).
+
+:func:`place_circuit` runs the full heuristic:
+
+1. extract the adjacency graph of fast interactions at the chosen threshold;
+2. greedily split the circuit into maximal workspaces embeddable in that
+   graph (:mod:`repro.core.workspace`);
+3. for each workspace, enumerate up to ``k`` monomorphisms of its
+   interaction graph into the adjacency graph, complete each to a full
+   placement, fine tune it by hill climbing, and pick the best according to
+   the scheduled runtime plus (estimated) swap cost — optionally with the
+   depth-2 lookahead of Section 5.3;
+4. connect consecutive workspaces with SWAP stages built by the recursive
+   bubble router (:mod:`repro.routing.bubble`);
+5. assemble the whole computation ``C1 E12 C2 E23 ... Ct`` over physical
+   nodes and report its scheduled runtime.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import networkx as nx
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.gates import Qubit
+from repro.core.config import DEFAULT_OPTIONS, PlacementOptions
+from repro.core.fine_tuning import fine_tune_workspace_placement
+from repro.core.monomorphism import find_monomorphisms
+from repro.core.result import PlacementResult, StagePlacement, SwapStage
+from repro.core.workspace import Workspace, extract_workspaces
+from repro.exceptions import PlacementError, ThresholdError
+from repro.hardware.environment import Node, PhysicalEnvironment
+from repro.routing.bubble import RoutingResult, route_permutation
+from repro.routing.permutation import required_permutation
+from repro.routing.swap_circuit import swap_stage_circuit, swap_stage_runtime
+from repro.timing.scheduler import circuit_runtime, sequential_level_runtime
+
+Placement = Dict[Qubit, Node]
+
+
+class QuantumCircuitPlacer:
+    """Object-oriented front end over :func:`place_circuit`.
+
+    Holds an environment and options so that several circuits can be placed
+    against the same hardware description::
+
+        placer = QuantumCircuitPlacer(molecules.trans_crotonic_acid(),
+                                      PlacementOptions(threshold=200))
+        result = placer.place(qft_circuit(6))
+    """
+
+    def __init__(
+        self,
+        environment: PhysicalEnvironment,
+        options: Optional[PlacementOptions] = None,
+    ) -> None:
+        self.environment = environment
+        self.options = options or DEFAULT_OPTIONS
+
+    def place(self, circuit: QuantumCircuit) -> PlacementResult:
+        """Place ``circuit`` into the stored environment."""
+        return place_circuit(circuit, self.environment, self.options)
+
+
+# ---------------------------------------------------------------------------
+# Internal helpers
+# ---------------------------------------------------------------------------
+
+
+def _working_graph(
+    circuit: QuantumCircuit,
+    environment: PhysicalEnvironment,
+    options: PlacementOptions,
+    threshold: float,
+) -> nx.Graph:
+    """Adjacency graph (or its largest component) the placer works inside."""
+    adjacency = environment.adjacency_graph(threshold)
+    if adjacency.number_of_edges() == 0 and circuit.num_two_qubit_gates > 0:
+        raise ThresholdError(
+            f"threshold {threshold:g} disallows every interaction of "
+            f"{environment.name!r}; the circuit cannot be executed (N/A)"
+        )
+    if circuit.num_qubits > environment.num_qubits:
+        raise PlacementError(
+            f"circuit {circuit.name!r} needs {circuit.num_qubits} qubits but "
+            f"{environment.name!r} only provides {environment.num_qubits}"
+        )
+    if nx.is_connected(adjacency):
+        return adjacency
+    if not options.restrict_to_largest_component:
+        return adjacency
+    components = sorted(nx.connected_components(adjacency), key=len, reverse=True)
+    largest = components[0]
+    if len(largest) < circuit.num_qubits:
+        raise ThresholdError(
+            f"threshold {threshold:g} leaves only {len(largest)} connected "
+            f"physical qubits on {environment.name!r}, fewer than the "
+            f"{circuit.num_qubits} the circuit needs (N/A)"
+        )
+    return adjacency.subgraph(largest).copy()
+
+
+def _median_edge_delay(graph: nx.Graph) -> float:
+    delays = sorted(data.get("delay", 1.0) for _, _, data in graph.edges(data=True))
+    if not delays:
+        return 1.0
+    return delays[len(delays) // 2]
+
+
+def _complete_placement(
+    circuit: QuantumCircuit,
+    partial: Placement,
+    graph: nx.Graph,
+    previous: Optional[Placement],
+) -> Placement:
+    """Extend a monomorphism over the active qubits to all circuit qubits.
+
+    Inactive qubits prefer to stay where the previous stage left them (when
+    that node is still free), then take the free node closest to their old
+    position, and finally any free node in a deterministic order.
+    """
+    placement: Placement = dict(partial)
+    used = set(placement.values())
+    free = [node for node in sorted(graph.nodes(), key=repr) if node not in used]
+    free_set = set(free)
+
+    unplaced = [q for q in circuit.qubits if q not in placement]
+    remaining: List[Qubit] = []
+    if previous is not None:
+        for qubit in unplaced:
+            old_node = previous.get(qubit)
+            if old_node is not None and old_node in free_set:
+                placement[qubit] = old_node
+                free_set.remove(old_node)
+            else:
+                remaining.append(qubit)
+    else:
+        remaining = list(unplaced)
+
+    for qubit in remaining:
+        if not free_set:
+            raise PlacementError(
+                "ran out of physical qubits while completing a placement"
+            )
+        if previous is not None and previous.get(qubit) in graph:
+            distances = nx.single_source_shortest_path_length(graph, previous[qubit])
+            target = min(
+                free_set,
+                key=lambda node: (distances.get(node, float("inf")), repr(node)),
+            )
+        else:
+            target = min(free_set, key=repr)
+        placement[qubit] = target
+        free_set.remove(target)
+    return placement
+
+
+def _stage_runtime(
+    subcircuit: QuantumCircuit,
+    placement: Placement,
+    environment: PhysicalEnvironment,
+    options: PlacementOptions,
+) -> float:
+    if options.sequential_levels:
+        return sequential_level_runtime(subcircuit, placement, environment, validate=False)
+    return circuit_runtime(
+        subcircuit,
+        placement,
+        environment,
+        apply_interaction_cap=options.apply_interaction_cap,
+        validate=False,
+    )
+
+
+def _estimate_swap_cost(
+    previous: Placement,
+    candidate: Placement,
+    graph: nx.Graph,
+    median_delay: float,
+) -> float:
+    """Cheap estimate of the swap-stage runtime between two placements.
+
+    Uses hop distances in the adjacency graph: the stage's depth is at least
+    the largest displacement and its work at least the total displacement;
+    each layer costs about one SWAP, i.e. three times a typical edge delay.
+    """
+    max_hops = 0
+    total_hops = 0
+    for qubit, new_node in candidate.items():
+        old_node = previous.get(qubit)
+        if old_node is None or old_node == new_node:
+            continue
+        try:
+            hops = nx.shortest_path_length(graph, old_node, new_node)
+        except nx.NetworkXNoPath:  # pragma: no cover - guarded by construction
+            return float("inf")
+        max_hops = max(max_hops, hops)
+        total_hops += hops
+    if total_hops == 0:
+        return 0.0
+    estimated_depth = max_hops + 0.5 * (total_hops - max_hops) / max(1, graph.number_of_nodes())
+    return 3.0 * median_delay * estimated_depth
+
+
+def _candidate_placements(
+    workspace: Workspace,
+    subcircuit: QuantumCircuit,
+    circuit: QuantumCircuit,
+    graph: nx.Graph,
+    environment: PhysicalEnvironment,
+    options: PlacementOptions,
+    previous: Optional[Placement],
+) -> List[Tuple[Placement, float]]:
+    """Scored candidate placements for one workspace, cheapest first."""
+    pattern = workspace.interaction_graph
+    candidates: List[Tuple[Placement, float]] = []
+
+    if pattern.number_of_edges() == 0:
+        base = previous if previous is not None else {}
+        placement = _complete_placement(circuit, dict(base) if previous else {}, graph, previous)
+        runtime = _stage_runtime(subcircuit, placement, environment, options)
+        return [(placement, runtime)]
+
+    monomorphisms = find_monomorphisms(pattern, graph, max_count=options.max_monomorphisms)
+    if not monomorphisms:
+        raise PlacementError(
+            f"workspace {workspace.index} has no monomorphism into the "
+            "adjacency graph although extraction admitted it"
+        )
+
+    seen = set()
+    for mapping in monomorphisms:
+        placement = _complete_placement(circuit, mapping, graph, previous)
+        if options.fine_tuning:
+            placement, runtime = fine_tune_workspace_placement(
+                subcircuit,
+                placement,
+                environment,
+                allowed_nodes=list(graph.nodes()),
+                apply_interaction_cap=options.apply_interaction_cap,
+                max_rounds=options.fine_tuning_max_rounds,
+            )
+        else:
+            runtime = _stage_runtime(subcircuit, placement, environment, options)
+        key = tuple(sorted(((repr(q), repr(n)) for q, n in placement.items())))
+        if key in seen:
+            continue
+        seen.add(key)
+        candidates.append((placement, runtime))
+
+    candidates.sort(key=lambda item: item[1])
+    return candidates
+
+
+def _build_swap_stage(
+    index: int,
+    previous: Placement,
+    target: Placement,
+    graph: nx.Graph,
+    environment: PhysicalEnvironment,
+    options: PlacementOptions,
+) -> SwapStage:
+    partial = required_permutation(previous, target)
+    routing = route_permutation(graph, partial, leaf_override=options.leaf_override)
+    runtime = swap_stage_runtime(
+        routing.layers, environment, sequential_levels=options.sequential_levels
+    )
+    return SwapStage(index=index, routing=routing, runtime=runtime)
+
+
+# ---------------------------------------------------------------------------
+# Public entry point
+# ---------------------------------------------------------------------------
+
+
+def place_circuit(
+    circuit: QuantumCircuit,
+    environment: PhysicalEnvironment,
+    options: Optional[PlacementOptions] = None,
+) -> PlacementResult:
+    """Place ``circuit`` into ``environment`` with the paper's heuristic."""
+    options = options or DEFAULT_OPTIONS
+    if options.reorder_commuting_gates:
+        from repro.circuits.commutation import commutation_aware_reorder
+
+        circuit = commutation_aware_reorder(circuit)
+    threshold = (
+        options.threshold
+        if options.threshold is not None
+        else environment.minimal_connecting_threshold()
+    )
+    graph = _working_graph(circuit, environment, options, threshold)
+    if circuit.num_qubits > graph.number_of_nodes():
+        raise ThresholdError(
+            f"threshold {threshold:g} leaves only {graph.number_of_nodes()} usable "
+            f"physical qubits on {environment.name!r}, fewer than the "
+            f"{circuit.num_qubits} the circuit needs (N/A)"
+        )
+    median_delay = _median_edge_delay(graph)
+
+    workspaces = extract_workspaces(
+        circuit, graph, max_two_qubit_gates=options.max_workspace_two_qubit_gates
+    )
+    subcircuits = [ws.subcircuit(circuit) for ws in workspaces]
+
+    stages: List[StagePlacement] = []
+    swap_stages: List[SwapStage] = []
+    previous_placement: Optional[Placement] = None
+
+    for index, workspace in enumerate(workspaces):
+        subcircuit = subcircuits[index]
+        candidates = _candidate_placements(
+            workspace, subcircuit, circuit, graph, environment, options,
+            previous_placement,
+        )
+
+        # The depth-2 lookahead scores each candidate together with the best
+        # follow-up for the next workspace.  The next workspace's candidate
+        # monomorphisms do not depend on the choice made here (the paper's
+        # "only 2k monomorphism calls" observation), so one shared list is
+        # enough for scoring; the accepted next-stage placement is recomputed
+        # with the proper previous placement on the next loop iteration.
+        lookahead_candidates: Optional[List[Tuple[Placement, float]]] = None
+        if options.lookahead and index + 1 < len(workspaces):
+            lookahead_candidates = _candidate_placements(
+                workspaces[index + 1],
+                subcircuits[index + 1],
+                circuit,
+                graph,
+                environment,
+                options,
+                previous=None,
+            )
+
+        best_placement, best_runtime = _select_candidate(
+            candidates,
+            lookahead_candidates,
+            previous_placement,
+            graph,
+            median_delay,
+            options,
+        )
+
+        if previous_placement is not None:
+            swap_stage = _build_swap_stage(
+                index - 1, previous_placement, best_placement, graph, environment, options
+            )
+            swap_stages.append(swap_stage)
+
+        stages.append(
+            StagePlacement(
+                index=index,
+                start=workspace.start,
+                stop=workspace.stop,
+                placement=dict(best_placement),
+                runtime=_stage_runtime(subcircuit, best_placement, environment, options),
+            )
+        )
+        previous_placement = best_placement
+
+    physical_circuit = _assemble_physical_circuit(
+        circuit, environment, stages, swap_stages, subcircuits
+    )
+    identity = {node: node for node in environment.nodes}
+    if options.sequential_levels:
+        total_runtime = sequential_level_runtime(
+            physical_circuit, identity, environment, validate=False
+        )
+    else:
+        total_runtime = circuit_runtime(
+            physical_circuit,
+            identity,
+            environment,
+            apply_interaction_cap=options.apply_interaction_cap,
+            validate=False,
+        )
+
+    return PlacementResult(
+        circuit_name=circuit.name,
+        environment_name=environment.name,
+        threshold=threshold,
+        stages=stages,
+        swap_stages=swap_stages,
+        physical_circuit=physical_circuit,
+        total_runtime=total_runtime,
+        time_unit_seconds=environment.time_unit_seconds,
+        placement_nodes=tuple(graph.nodes()),
+    )
+
+
+def _select_candidate(
+    candidates: List[Tuple[Placement, float]],
+    lookahead_candidates: Optional[List[Tuple[Placement, float]]],
+    previous: Optional[Placement],
+    graph: nx.Graph,
+    median_delay: float,
+    options: PlacementOptions,
+) -> Tuple[Placement, float]:
+    """Pick the cheapest candidate, optionally looking one stage ahead."""
+    width = options.lookahead_width
+    shortlist = candidates[:width] if lookahead_candidates is not None else candidates
+    best: Optional[Tuple[Placement, float]] = None
+    best_score = float("inf")
+    for placement, runtime in shortlist:
+        score = runtime
+        if previous is not None:
+            score += _estimate_swap_cost(previous, placement, graph, median_delay)
+        if lookahead_candidates is not None:
+            next_best = float("inf")
+            for next_placement, next_runtime in lookahead_candidates[:width]:
+                next_score = next_runtime + _estimate_swap_cost(
+                    placement, next_placement, graph, median_delay
+                )
+                next_best = min(next_best, next_score)
+            if next_best < float("inf"):
+                score += next_best
+        if score < best_score:
+            best_score = score
+            best = (placement, runtime)
+    if best is None:  # pragma: no cover - candidates is never empty
+        raise PlacementError("no candidate placement available")
+    return best
+
+
+def _assemble_physical_circuit(
+    circuit: QuantumCircuit,
+    environment: PhysicalEnvironment,
+    stages: Sequence[StagePlacement],
+    swap_stages: Sequence[SwapStage],
+    subcircuits: Sequence[QuantumCircuit],
+) -> QuantumCircuit:
+    """Build the full computation ``C1 E12 C2 ... Ct`` over physical nodes."""
+    physical = QuantumCircuit(
+        environment.nodes, name=f"{circuit.name}@{environment.name}"
+    )
+    for index, stage in enumerate(stages):
+        mapping = stage.placement
+        for gate in subcircuits[index]:
+            physical.append(gate.remap(mapping))
+        if index < len(swap_stages):
+            swap_circuit = swap_stage_circuit(
+                swap_stages[index].routing.layers, environment.nodes
+            )
+            physical.extend(swap_circuit.gates)
+    return physical
+
+
+def placement_runtime_seconds(result: PlacementResult) -> float:
+    """Convenience accessor mirroring the paper's "estimated circuit runtime"."""
+    return result.runtime_seconds

@@ -1,0 +1,133 @@
+"""Result objects produced by the placement engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.gates import Qubit
+from repro.hardware.environment import Node, PhysicalEnvironment
+from repro.routing.bubble import RoutingResult
+
+Placement = Dict[Qubit, Node]
+
+
+@dataclass(frozen=True)
+class StagePlacement:
+    """One placed workspace (subcircuit) of the decomposition.
+
+    Attributes
+    ----------
+    index:
+        Stage number (0-based).
+    start, stop:
+        Gate range ``[start, stop)`` of the original circuit.
+    placement:
+        Full placement of every circuit qubit during this stage.
+    runtime:
+        Scheduled runtime of the stage's subcircuit in environment units.
+    """
+
+    index: int
+    start: int
+    stop: int
+    placement: Placement
+    runtime: float
+
+
+@dataclass(frozen=True)
+class SwapStage:
+    """The SWAP stage between two consecutive workspaces.
+
+    Attributes
+    ----------
+    index:
+        The swap stage sits between workspace ``index`` and ``index + 1``.
+    routing:
+        The routing result (parallel SWAP layers over physical nodes).
+    runtime:
+        Scheduled runtime of the swap circuit in environment units.
+    """
+
+    index: int
+    routing: RoutingResult
+    runtime: float
+
+    @property
+    def depth(self) -> int:
+        """Number of parallel SWAP layers."""
+        return self.routing.depth
+
+    @property
+    def num_swaps(self) -> int:
+        """Total number of SWAP gates."""
+        return self.routing.num_swaps
+
+
+@dataclass
+class PlacementResult:
+    """Complete outcome of placing a circuit into a physical environment.
+
+    The physical circuit runs over *physical node labels*: workspace gates
+    are remapped through their stage placement and SWAP stages are inserted
+    between consecutive workspaces, so the whole object can be scheduled,
+    simulated and inspected directly.
+    """
+
+    circuit_name: str
+    environment_name: str
+    threshold: float
+    stages: List[StagePlacement]
+    swap_stages: List[SwapStage]
+    physical_circuit: QuantumCircuit
+    total_runtime: float
+    time_unit_seconds: float
+    placement_nodes: Tuple[Node, ...] = field(default_factory=tuple)
+
+    @property
+    def num_subcircuits(self) -> int:
+        """The number of workspaces the placer used (Table 3's bracketed number)."""
+        return len(self.stages)
+
+    @property
+    def initial_placement(self) -> Placement:
+        """Placement of logical qubits at the start of the computation."""
+        return dict(self.stages[0].placement)
+
+    @property
+    def final_placement(self) -> Placement:
+        """Placement of logical qubits at the end of the computation."""
+        return dict(self.stages[-1].placement)
+
+    @property
+    def runtime_seconds(self) -> float:
+        """Total runtime converted to seconds."""
+        return self.total_runtime * self.time_unit_seconds
+
+    @property
+    def total_swap_count(self) -> int:
+        """Total number of SWAP gates over all swap stages."""
+        return sum(stage.num_swaps for stage in self.swap_stages)
+
+    @property
+    def total_swap_depth(self) -> int:
+        """Total number of SWAP layers over all swap stages."""
+        return sum(stage.depth for stage in self.swap_stages)
+
+    def stage_runtimes(self) -> List[float]:
+        """Runtime of each workspace subcircuit, in order."""
+        return [stage.runtime for stage in self.stages]
+
+    def swap_runtimes(self) -> List[float]:
+        """Runtime of each swap stage, in order."""
+        return [stage.runtime for stage in self.swap_stages]
+
+    def summary(self) -> str:
+        """One-paragraph human readable summary."""
+        return (
+            f"{self.circuit_name!r} on {self.environment_name!r} "
+            f"(threshold {self.threshold:g}): runtime {self.runtime_seconds:.4f} s "
+            f"({self.total_runtime:g} units) using {self.num_subcircuits} "
+            f"subcircuit(s) and {self.total_swap_count} SWAP(s)"
+        )

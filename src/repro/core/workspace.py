@@ -1,0 +1,181 @@
+"""Greedy workspace (subcircuit) extraction.
+
+The basic placement stage of the paper's heuristic reads two-qubit gates
+from the circuit into a workspace "as long as these gates can be arranged
+along the fastest interactions provided by the physical environment"; the
+first gate whose addition breaks embeddability closes the workspace and
+starts the next one.  Single-qubit gates never break a workspace — they are
+always executable wherever their qubit happens to sit.
+
+Workspaces partition the circuit's gate sequence into contiguous slices; the
+slices are later placed independently and glued with SWAP stages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import networkx as nx
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.gates import Gate, Qubit
+from repro.core.monomorphism import has_monomorphism
+from repro.exceptions import PlacementError
+
+
+@dataclass(frozen=True)
+class Workspace:
+    """A contiguous slice of the circuit placeable along fast interactions.
+
+    Attributes
+    ----------
+    index:
+        Position of the workspace in the decomposition (0-based).
+    start, stop:
+        Gate-index range ``[start, stop)`` in the original circuit.
+    gates:
+        The gates of the slice, in order (single- and two-qubit).
+    interaction_graph:
+        Interaction graph of the slice's two-qubit gates.
+    """
+
+    index: int
+    start: int
+    stop: int
+    gates: Tuple[Gate, ...]
+    interaction_graph: nx.Graph
+
+    @property
+    def num_gates(self) -> int:
+        """Number of gates in the workspace."""
+        return len(self.gates)
+
+    @property
+    def num_two_qubit_gates(self) -> int:
+        """Number of two-qubit gates in the workspace."""
+        return sum(1 for gate in self.gates if gate.is_two_qubit)
+
+    @property
+    def active_qubits(self) -> Tuple[Qubit, ...]:
+        """Qubits participating in at least one two-qubit gate of the slice."""
+        return tuple(sorted(self.interaction_graph.nodes(), key=repr))
+
+    def subcircuit(self, circuit: QuantumCircuit) -> QuantumCircuit:
+        """The workspace as a standalone circuit over the parent's qubits."""
+        return circuit.subcircuit(self.start, self.stop, name=f"{circuit.name}#W{self.index}")
+
+
+def _embeds(graph: nx.Graph, host: nx.Graph) -> bool:
+    """Exact embeddability check with the cheap necessary conditions first."""
+    if graph.number_of_nodes() == 0:
+        return True
+    if graph.number_of_nodes() > host.number_of_nodes():
+        return False
+    if graph.number_of_edges() > host.number_of_edges():
+        return False
+    return has_monomorphism(graph, host)
+
+
+def extract_workspaces(
+    circuit: QuantumCircuit,
+    adjacency_graph: nx.Graph,
+    max_two_qubit_gates: Optional[int] = None,
+) -> List[Workspace]:
+    """Split ``circuit`` into maximal workspaces embeddable in ``adjacency_graph``.
+
+    Parameters
+    ----------
+    max_two_qubit_gates:
+        Optional cap on the number of two-qubit gates per workspace.  The
+    paper's strategy is greedy-maximal ("the computational stage is formed
+        to be as large as possible"); bounding the workspace size is the
+        alternative its conclusions suggest exploring — it trades more SWAP
+        stages for smaller, better-optimised computational stages.
+
+    Raises :class:`~repro.exceptions.PlacementError` when even a single
+    two-qubit gate cannot be aligned with a fast interaction (i.e. the
+    adjacency graph has no edge at all), because then no decomposition
+    exists.
+    """
+    if adjacency_graph.number_of_edges() == 0 and circuit.num_two_qubit_gates > 0:
+        raise PlacementError(
+            "the adjacency graph allows no interaction at all; "
+            "raise the threshold"
+        )
+    if max_two_qubit_gates is not None and max_two_qubit_gates < 1:
+        raise PlacementError("max_two_qubit_gates must be at least 1")
+
+    workspaces: List[Workspace] = []
+    current_graph = nx.Graph()
+    current_start = 0
+    current_two_qubit_count = 0
+    index = 0
+
+    def close(stop: int) -> None:
+        nonlocal current_graph, current_start, current_two_qubit_count, index
+        if stop <= current_start:
+            return
+        workspaces.append(
+            Workspace(
+                index=index,
+                start=current_start,
+                stop=stop,
+                gates=tuple(circuit.gates[current_start:stop]),
+                interaction_graph=current_graph.copy(),
+            )
+        )
+        index += 1
+        current_start = stop
+        current_graph = nx.Graph()
+        current_two_qubit_count = 0
+
+    gates = circuit.gates
+    for position, gate in enumerate(gates):
+        if not gate.is_two_qubit:
+            continue
+        a, b = gate.interaction()
+        if (
+            max_two_qubit_gates is not None
+            and current_two_qubit_count >= max_two_qubit_gates
+        ):
+            close(position)
+        if current_graph.has_edge(a, b):
+            current_two_qubit_count += 1
+            continue
+        candidate = current_graph.copy()
+        candidate.add_edge(a, b)
+        if _embeds(candidate, adjacency_graph):
+            current_graph = candidate
+            current_two_qubit_count += 1
+            continue
+        # The gate breaks embeddability: close the workspace before it.
+        close(position)
+        current_graph.add_edge(a, b)
+        current_two_qubit_count = 1
+        if not _embeds(current_graph, adjacency_graph):
+            raise PlacementError(
+                f"two-qubit gate {gate!r} cannot be aligned with any fast "
+                "interaction of the environment"
+            )
+    close(len(gates))
+
+    if not workspaces:
+        # A circuit with no gates (or only gates before the first close) still
+        # forms one (possibly empty) workspace so that placement has
+        # something to work with.
+        workspaces.append(
+            Workspace(
+                index=0,
+                start=0,
+                stop=len(gates),
+                gates=tuple(gates),
+                interaction_graph=nx.Graph(),
+            )
+        )
+    return workspaces
+
+
+def workspace_boundaries(workspaces: Sequence[Workspace]) -> List[int]:
+    """The gate indices at which new workspaces start (excluding index 0)."""
+    return [workspace.start for workspace in workspaces[1:]]

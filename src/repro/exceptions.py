@@ -1,0 +1,58 @@
+"""Exception hierarchy for the quantum circuit placement library.
+
+Every error raised by this package derives from :class:`ReproError`, so
+applications can catch a single base class.  More specific subclasses are
+raised close to where the problem is detected and carry enough context in
+their message to diagnose the failure without a debugger.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by the ``repro`` package."""
+
+
+class CircuitError(ReproError):
+    """Raised for malformed circuits or gates (bad qubit indices, arity...)."""
+
+
+class GateError(CircuitError):
+    """Raised when a gate is constructed or used inconsistently."""
+
+
+class EnvironmentError_(ReproError):
+    """Raised for malformed physical environments.
+
+    The trailing underscore avoids shadowing the (deprecated) builtin
+    ``EnvironmentError`` alias of ``OSError``.
+    """
+
+
+class ThresholdError(EnvironmentError_):
+    """Raised when a threshold produces an unusable adjacency graph."""
+
+
+class PlacementError(ReproError):
+    """Raised when a placement cannot be constructed.
+
+    Typical causes: the circuit uses more qubits than the environment
+    provides, or the adjacency graph is disconnected so no monomorphism and
+    no routing path exists for some interaction.
+    """
+
+
+class MonomorphismError(PlacementError):
+    """Raised when no subgraph monomorphism exists for a workspace."""
+
+
+class RoutingError(ReproError):
+    """Raised when a permutation cannot be realised over an adjacency graph."""
+
+
+class SimulationError(ReproError):
+    """Raised by the statevector simulator (e.g. too many qubits)."""
+
+
+class SerializationError(ReproError):
+    """Raised when parsing or writing circuit / environment files fails."""

@@ -1,0 +1,59 @@
+"""Physical environments: molecules and synthetic architectures."""
+
+from repro.hardware.architectures import (
+    complete,
+    grid,
+    heavy_hex,
+    linear_chain,
+    ring,
+    star,
+)
+from repro.hardware.calibration import (
+    coupling_to_delay,
+    environment_from_couplings,
+    pulse_to_delay,
+)
+from repro.hardware.environment import PhysicalEnvironment
+from repro.hardware.molecules import (
+    MOLECULE_FACTORIES,
+    acetyl_chloride,
+    all_molecules,
+    boc_glycine_fluoride,
+    histidine,
+    molecule,
+    pentafluorobutadienyl_iron,
+    trans_crotonic_acid,
+)
+from repro.hardware.threshold_graph import (
+    PAPER_THRESHOLDS,
+    AdjacencySummary,
+    adjacency_graph,
+    connectivity_threshold,
+    summarize,
+)
+
+__all__ = [
+    "PhysicalEnvironment",
+    "acetyl_chloride",
+    "trans_crotonic_acid",
+    "histidine",
+    "boc_glycine_fluoride",
+    "pentafluorobutadienyl_iron",
+    "molecule",
+    "all_molecules",
+    "MOLECULE_FACTORIES",
+    "linear_chain",
+    "ring",
+    "grid",
+    "complete",
+    "star",
+    "heavy_hex",
+    "adjacency_graph",
+    "connectivity_threshold",
+    "summarize",
+    "AdjacencySummary",
+    "PAPER_THRESHOLDS",
+    "environment_from_couplings",
+    "coupling_to_delay",
+    "pulse_to_delay",
+]

@@ -1,0 +1,170 @@
+"""Synthetic physical environments (chains, rings, grids, complete graphs).
+
+The scalability experiment of the paper (Table 4) uses a linear
+nearest-neighbour architecture with a uniform interaction delay of ``0.001``
+seconds per 90-degree two-qubit rotation — "a 1 kHz quantum processor".
+These generators produce such environments for arbitrary sizes, plus a few
+other standard topologies that are useful for routing experiments and tests.
+
+All generated environments use integer node labels ``0..n-1`` and express
+delays in units of ``1e-4`` seconds so that they compose with the NMR
+molecule data set; the 1 kHz chain therefore has pair delay 10 units.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Tuple
+
+from repro.exceptions import EnvironmentError_
+from repro.hardware.environment import PhysicalEnvironment
+
+#: Pair delay (in 1e-4 s units) of the paper's "1 kHz" processor: 0.001 s.
+KILOHERTZ_PAIR_DELAY = 10.0
+
+#: Single-qubit delay used by the synthetic architectures; single-qubit
+#: pulses are much faster than two-qubit interactions.
+DEFAULT_SINGLE_QUBIT_DELAY = 1.0
+
+
+def _check_size(num_qubits: int, minimum: int = 2) -> None:
+    if num_qubits < minimum:
+        raise EnvironmentError_(
+            f"architecture needs at least {minimum} qubits, got {num_qubits}"
+        )
+
+
+def linear_chain(
+    num_qubits: int,
+    pair_delay: float = KILOHERTZ_PAIR_DELAY,
+    single_qubit_delay: float = DEFAULT_SINGLE_QUBIT_DELAY,
+    slow_pair_delay: float = math.inf,
+) -> PhysicalEnvironment:
+    """Linear nearest-neighbour chain ``0 - 1 - ... - (n-1)``.
+
+    Non-neighbouring pairs get ``slow_pair_delay`` (infinite by default: they
+    simply cannot interact directly, which is the usual chain model).
+    """
+    _check_size(num_qubits)
+    single = {i: single_qubit_delay for i in range(num_qubits)}
+    pairs = {(i, i + 1): pair_delay for i in range(num_qubits - 1)}
+    return PhysicalEnvironment(
+        single,
+        pairs,
+        default_pair_delay=slow_pair_delay,
+        name=f"chain-{num_qubits}",
+    )
+
+
+def ring(
+    num_qubits: int,
+    pair_delay: float = KILOHERTZ_PAIR_DELAY,
+    single_qubit_delay: float = DEFAULT_SINGLE_QUBIT_DELAY,
+) -> PhysicalEnvironment:
+    """Cycle architecture ``0 - 1 - ... - (n-1) - 0``."""
+    _check_size(num_qubits, minimum=3)
+    single = {i: single_qubit_delay for i in range(num_qubits)}
+    pairs = {(i, (i + 1) % num_qubits): pair_delay for i in range(num_qubits)}
+    return PhysicalEnvironment(
+        single, pairs, name=f"ring-{num_qubits}"
+    )
+
+
+def grid(
+    rows: int,
+    cols: int,
+    pair_delay: float = KILOHERTZ_PAIR_DELAY,
+    single_qubit_delay: float = DEFAULT_SINGLE_QUBIT_DELAY,
+) -> PhysicalEnvironment:
+    """2D lattice architecture with ``rows x cols`` qubits.
+
+    Node ``(r, c)`` is labelled ``r * cols + c``; edges connect horizontal and
+    vertical neighbours.  2D lattices have separability ``s >= 1/2`` which is
+    the regime the routing depth bound of the paper targets.
+    """
+    if rows < 1 or cols < 1 or rows * cols < 2:
+        raise EnvironmentError_("grid needs at least two qubits")
+    single = {r * cols + c: single_qubit_delay for r in range(rows) for c in range(cols)}
+    pairs: Dict[Tuple[int, int], float] = {}
+    for r in range(rows):
+        for c in range(cols):
+            node = r * cols + c
+            if c + 1 < cols:
+                pairs[(node, node + 1)] = pair_delay
+            if r + 1 < rows:
+                pairs[(node, node + cols)] = pair_delay
+    return PhysicalEnvironment(single, pairs, name=f"grid-{rows}x{cols}")
+
+
+def complete(
+    num_qubits: int,
+    pair_delay: float = KILOHERTZ_PAIR_DELAY,
+    single_qubit_delay: float = DEFAULT_SINGLE_QUBIT_DELAY,
+) -> PhysicalEnvironment:
+    """All-to-all architecture: every pair interacts with the same delay.
+
+    This is the idealised abstract model where placement does not matter;
+    useful as a control in experiments and as a sanity check in tests.
+    """
+    _check_size(num_qubits)
+    single = {i: single_qubit_delay for i in range(num_qubits)}
+    pairs = {
+        (i, j): pair_delay
+        for i in range(num_qubits)
+        for j in range(i + 1, num_qubits)
+    }
+    return PhysicalEnvironment(single, pairs, name=f"complete-{num_qubits}")
+
+
+def star(
+    num_qubits: int,
+    pair_delay: float = KILOHERTZ_PAIR_DELAY,
+    single_qubit_delay: float = DEFAULT_SINGLE_QUBIT_DELAY,
+) -> PhysicalEnvironment:
+    """Star architecture: qubit 0 is coupled to every other qubit.
+
+    A maximal-degree topology; useful to exercise the well-separability
+    theorem's worst case (``s = 1/k`` for maximal degree ``k``).
+    """
+    _check_size(num_qubits)
+    single = {i: single_qubit_delay for i in range(num_qubits)}
+    pairs = {(0, i): pair_delay for i in range(1, num_qubits)}
+    return PhysicalEnvironment(single, pairs, name=f"star-{num_qubits}")
+
+
+def heavy_hex(
+    distance: int,
+    pair_delay: float = KILOHERTZ_PAIR_DELAY,
+    single_qubit_delay: float = DEFAULT_SINGLE_QUBIT_DELAY,
+) -> PhysicalEnvironment:
+    """A small heavy-hexagon-like lattice (degree at most 3).
+
+    Constructed as a ``distance x distance`` grid whose horizontal edges are
+    subdivided by an extra qubit, giving a bounded-degree sparse topology of
+    the kind used by modern superconducting devices.  Included as an extra
+    architecture for routing and scalability experiments beyond the paper.
+    """
+    if distance < 2:
+        raise EnvironmentError_("heavy_hex needs distance >= 2")
+    single: Dict[int, float] = {}
+    pairs: Dict[Tuple[int, int], float] = {}
+    next_label = 0
+
+    def new_node() -> int:
+        nonlocal next_label
+        label = next_label
+        next_label += 1
+        single[label] = single_qubit_delay
+        return label
+
+    grid_nodes = [[new_node() for _ in range(distance)] for _ in range(distance)]
+    for r in range(distance):
+        for c in range(distance):
+            node = grid_nodes[r][c]
+            if c + 1 < distance:
+                bridge = new_node()
+                pairs[(node, bridge)] = pair_delay
+                pairs[(bridge, grid_nodes[r][c + 1])] = pair_delay
+            if r + 1 < distance:
+                pairs[(node, grid_nodes[r + 1][c])] = pair_delay
+    return PhysicalEnvironment(single, pairs, name=f"heavy-hex-{distance}")

@@ -1,0 +1,274 @@
+"""Physical environments: weighted graphs of physical qubits.
+
+Definition 1 of the paper: a physical environment (molecule) is a complete
+non-oriented graph over a finite set of vertices (nuclei) with non-negative
+edge weights.  ``W(v_i, v_j)`` for ``i != j`` is the delay needed to apply a
+fixed-angle (90-degree) two-qubit interaction between the two nuclei, and
+``W(v_i, v_i)`` is the delay of a fixed-angle single-qubit rotation on that
+nucleus.  All delays are expressed in a single *time unit* (the NMR data set
+uses ``1e-4`` seconds per unit, matching the paper's tables).
+
+The placement algorithm never works directly on the complete graph; it first
+extracts the *adjacency graph* of "fast" interactions, i.e. the pairs whose
+delay is at most a chosen ``Threshold`` (see
+:mod:`repro.hardware.threshold_graph`).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, FrozenSet, Hashable, Iterable, List, Mapping, Optional, Tuple
+
+import networkx as nx
+
+from repro.exceptions import EnvironmentError_
+
+Node = Hashable
+Pair = Tuple[Node, Node]
+
+
+def _canonical_pair(a: Node, b: Node) -> Pair:
+    """Return an unordered pair in a deterministic canonical order."""
+    return (a, b) if repr(a) <= repr(b) else (b, a)
+
+
+class PhysicalEnvironment:
+    """A complete weighted graph of physical qubits (nuclei).
+
+    Parameters
+    ----------
+    single_qubit_delays:
+        Mapping ``node -> delay`` of a 90-degree single-qubit pulse on each
+        nucleus.  The keys define the node set.
+    pair_delays:
+        Mapping ``(node_a, node_b) -> delay`` of a 90-degree two-qubit
+        interaction.  Pairs are unordered; missing pairs fall back to
+        ``default_pair_delay``.
+    default_pair_delay:
+        Delay assumed for pairs without an explicit entry.  ``math.inf``
+        (the default) models interactions that are effectively unusable —
+        they will never be below any finite threshold, and using them in a
+        schedule yields an infinite runtime, which keeps such placements from
+        ever being selected.
+    name:
+        Human-readable environment name used in reports.
+    time_unit_seconds:
+        Physical duration of one delay unit (``1e-4`` s for the NMR data).
+    """
+
+    def __init__(
+        self,
+        single_qubit_delays: Mapping[Node, float],
+        pair_delays: Mapping[Tuple[Node, Node], float],
+        default_pair_delay: float = math.inf,
+        name: str = "environment",
+        time_unit_seconds: float = 1e-4,
+    ) -> None:
+        if not single_qubit_delays:
+            raise EnvironmentError_("an environment needs at least one node")
+        self.name = str(name)
+        self.time_unit_seconds = float(time_unit_seconds)
+        self._nodes: Tuple[Node, ...] = tuple(single_qubit_delays.keys())
+        self._node_set: FrozenSet[Node] = frozenset(self._nodes)
+        if len(self._node_set) != len(self._nodes):
+            raise EnvironmentError_("duplicate node labels in the environment")
+
+        self._single: Dict[Node, float] = {}
+        for node, delay in single_qubit_delays.items():
+            self._single[node] = self._check_delay(delay, f"node {node!r}")
+
+        if default_pair_delay < 0:
+            raise EnvironmentError_("default_pair_delay must be non-negative")
+        self.default_pair_delay = float(default_pair_delay)
+
+        self._pairs: Dict[Pair, float] = {}
+        for (a, b), delay in pair_delays.items():
+            if a not in self._node_set or b not in self._node_set:
+                raise EnvironmentError_(
+                    f"pair ({a!r}, {b!r}) references unknown node(s)"
+                )
+            if a == b:
+                raise EnvironmentError_(
+                    f"pair delays must connect distinct nodes, got ({a!r}, {b!r})"
+                )
+            key = _canonical_pair(a, b)
+            if key in self._pairs:
+                raise EnvironmentError_(f"duplicate pair delay for {key!r}")
+            self._pairs[key] = self._check_delay(delay, f"pair {key!r}")
+
+    @staticmethod
+    def _check_delay(delay: float, what: str) -> float:
+        value = float(delay)
+        if value < 0 or math.isnan(value):
+            raise EnvironmentError_(f"delay for {what} must be non-negative, got {delay!r}")
+        return value
+
+    # -- basic queries -------------------------------------------------------
+
+    @property
+    def nodes(self) -> Tuple[Node, ...]:
+        """The physical qubits, in declaration order."""
+        return self._nodes
+
+    @property
+    def num_qubits(self) -> int:
+        """Number of physical qubits."""
+        return len(self._nodes)
+
+    def __contains__(self, node: Node) -> bool:
+        return node in self._node_set
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"PhysicalEnvironment(name={self.name!r}, qubits={self.num_qubits})"
+        )
+
+    def single_qubit_delay(self, node: Node) -> float:
+        """Delay of a 90-degree single-qubit pulse on ``node``."""
+        try:
+            return self._single[node]
+        except KeyError:
+            raise EnvironmentError_(f"unknown node {node!r}") from None
+
+    def pair_delay(self, a: Node, b: Node) -> float:
+        """Delay of a 90-degree two-qubit interaction between ``a`` and ``b``."""
+        if a == b:
+            return self.single_qubit_delay(a)
+        if a not in self._node_set or b not in self._node_set:
+            raise EnvironmentError_(f"unknown node in pair ({a!r}, {b!r})")
+        return self._pairs.get(_canonical_pair(a, b), self.default_pair_delay)
+
+    def weight(self, a: Node, b: Node) -> float:
+        """Paper notation ``W(v_i, v_j)``; alias of :meth:`pair_delay`."""
+        return self.pair_delay(a, b)
+
+    def explicit_pairs(self) -> Dict[Pair, float]:
+        """Pairs with explicitly specified delays (a copy)."""
+        return dict(self._pairs)
+
+    def finite_pairs(self) -> Dict[Pair, float]:
+        """All pairs with a finite delay, including defaulted ones when finite."""
+        result: Dict[Pair, float] = {}
+        nodes = self._nodes
+        for i, a in enumerate(nodes):
+            for b in nodes[i + 1:]:
+                delay = self.pair_delay(a, b)
+                if math.isfinite(delay):
+                    result[_canonical_pair(a, b)] = delay
+        return result
+
+    # -- derived graphs --------------------------------------------------------
+
+    def to_networkx(self, include_infinite: bool = False) -> nx.Graph:
+        """Full environment graph with ``delay`` edge and node attributes."""
+        graph = nx.Graph(name=self.name)
+        for node in self._nodes:
+            graph.add_node(node, delay=self._single[node])
+        nodes = self._nodes
+        for i, a in enumerate(nodes):
+            for b in nodes[i + 1:]:
+                delay = self.pair_delay(a, b)
+                if include_infinite or math.isfinite(delay):
+                    graph.add_edge(a, b, delay=delay)
+        return graph
+
+    def adjacency_graph(self, threshold: float) -> nx.Graph:
+        """Graph of "fast" interactions: pairs whose delay is at most ``threshold``.
+
+        Nodes are always all physical qubits (a node may end up isolated).
+        Edges carry the ``delay`` attribute.
+        """
+        graph = nx.Graph(name=f"{self.name}@{threshold:g}")
+        for node in self._nodes:
+            graph.add_node(node, delay=self._single[node])
+        nodes = self._nodes
+        for i, a in enumerate(nodes):
+            for b in nodes[i + 1:]:
+                delay = self.pair_delay(a, b)
+                if delay <= threshold:
+                    graph.add_edge(a, b, delay=delay)
+        return graph
+
+    def is_connected_at(self, threshold: float) -> bool:
+        """Whether the adjacency graph at ``threshold`` is connected."""
+        graph = self.adjacency_graph(threshold)
+        return graph.number_of_nodes() > 0 and nx.is_connected(graph)
+
+    def minimal_connecting_threshold(self) -> float:
+        """Smallest pair delay whose adjacency graph is connected.
+
+        This is the paper's suggested default for ``Threshold``: "the minimal
+        value such that the graph associated with fastest interactions is
+        connected".  Computed as the bottleneck (minimax) edge of a minimum
+        spanning tree over finite pair delays.  Raises if even the full
+        finite graph is disconnected.
+        """
+        graph = self.to_networkx(include_infinite=False)
+        if graph.number_of_edges() == 0 or not nx.is_connected(graph):
+            raise EnvironmentError_(
+                f"environment {self.name!r} has no connected finite-delay graph"
+            )
+        tree = nx.minimum_spanning_tree(graph, weight="delay")
+        return max(data["delay"] for _, _, data in tree.edges(data=True))
+
+    def delay_values(self) -> List[float]:
+        """Sorted list of distinct finite pair delays (useful for sweeps)."""
+        return sorted(set(self.finite_pairs().values()))
+
+    # -- transformations -------------------------------------------------------
+
+    def restricted_to(self, nodes: Iterable[Node], name: Optional[str] = None) -> "PhysicalEnvironment":
+        """Return the induced sub-environment over ``nodes``."""
+        keep = [n for n in self._nodes if n in set(nodes)]
+        if not keep:
+            raise EnvironmentError_("restriction would produce an empty environment")
+        keep_set = set(keep)
+        single = {n: self._single[n] for n in keep}
+        pairs = {
+            pair: delay
+            for pair, delay in self._pairs.items()
+            if pair[0] in keep_set and pair[1] in keep_set
+        }
+        return PhysicalEnvironment(
+            single,
+            pairs,
+            default_pair_delay=self.default_pair_delay,
+            name=name or f"{self.name}-restricted",
+            time_unit_seconds=self.time_unit_seconds,
+        )
+
+    def scaled(self, factor: float, name: Optional[str] = None) -> "PhysicalEnvironment":
+        """Return a copy with every delay multiplied by ``factor``."""
+        if factor <= 0:
+            raise EnvironmentError_("scaling factor must be positive")
+        single = {n: d * factor for n, d in self._single.items()}
+        pairs = {p: d * factor for p, d in self._pairs.items()}
+        default = (
+            self.default_pair_delay * factor
+            if math.isfinite(self.default_pair_delay)
+            else self.default_pair_delay
+        )
+        return PhysicalEnvironment(
+            single,
+            pairs,
+            default_pair_delay=default,
+            name=name or f"{self.name}-x{factor:g}",
+            time_unit_seconds=self.time_unit_seconds,
+        )
+
+    # -- reporting helpers -----------------------------------------------------
+
+    def seconds(self, delay_units: float) -> float:
+        """Convert a delay expressed in environment units to seconds."""
+        return delay_units * self.time_unit_seconds
+
+    def search_space_size(self, circuit_qubits: int) -> int:
+        """Number of injective placements ``m! / (m - n)!`` (Table 2's last column)."""
+        m = self.num_qubits
+        n = circuit_qubits
+        if n > m:
+            return 0
+        size = 1
+        for value in range(m - n + 1, m + 1):
+            size *= value
+        return size

@@ -1,0 +1,129 @@
+"""JSON serialization of physical environments.
+
+The on-disk format is a single JSON object::
+
+    {
+      "name": "acetyl chloride",
+      "time_unit_seconds": 1e-4,
+      "default_pair_delay": 5000.0,          // or "inf"
+      "nodes": {"M": 8.0, "C1": 8.0, "C2": 1.0},
+      "pairs": [["M", "C1", 38.0], ["C1", "C2", 89.0], ["M", "C2", 672.0]]
+    }
+
+Node labels are stored as strings; integer-looking labels are converted back
+to integers on load so that synthetic architectures round-trip.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Any, Dict, Union
+
+from repro.exceptions import SerializationError
+from repro.hardware.environment import Node, PhysicalEnvironment
+
+
+def _label_to_json(node: Node) -> Union[str, int]:
+    """Represent a node label in JSON (ints stay ints, everything else str)."""
+    if isinstance(node, bool):
+        raise SerializationError("boolean node labels are not supported")
+    if isinstance(node, int):
+        return node
+    return str(node)
+
+
+def _label_from_json(value: Any) -> Node:
+    """Parse a node label back, converting integer-looking strings to ints."""
+    if isinstance(value, int):
+        return value
+    if isinstance(value, str):
+        return value
+    raise SerializationError(f"unsupported node label {value!r} in environment file")
+
+
+def to_dict(environment: PhysicalEnvironment) -> Dict[str, Any]:
+    """Convert an environment to a JSON-serialisable dictionary."""
+    default = environment.default_pair_delay
+    return {
+        "name": environment.name,
+        "time_unit_seconds": environment.time_unit_seconds,
+        "default_pair_delay": "inf" if math.isinf(default) else default,
+        "nodes": {
+            str(_label_to_json(node)): environment.single_qubit_delay(node)
+            for node in environment.nodes
+        },
+        "pairs": [
+            [_label_to_json(a), _label_to_json(b), delay]
+            for (a, b), delay in sorted(
+                environment.explicit_pairs().items(), key=lambda item: repr(item[0])
+            )
+        ],
+    }
+
+
+def from_dict(data: Dict[str, Any]) -> PhysicalEnvironment:
+    """Build an environment from a dictionary produced by :func:`to_dict`."""
+    try:
+        raw_nodes = data["nodes"]
+        raw_pairs = data.get("pairs", [])
+    except (TypeError, KeyError) as exc:
+        raise SerializationError(f"malformed environment data: {exc}") from exc
+
+    def parse_node_key(key: str) -> Node:
+        # Node keys in the "nodes" mapping are always strings in JSON;
+        # convert integer-looking keys back to integers.
+        if isinstance(key, str) and (key.isdigit() or (key.startswith("-") and key[1:].isdigit())):
+            return int(key)
+        return _label_from_json(key)
+
+    single = {parse_node_key(key): float(delay) for key, delay in raw_nodes.items()}
+
+    pairs = {}
+    for entry in raw_pairs:
+        if len(entry) != 3:
+            raise SerializationError(f"malformed pair entry {entry!r}")
+        a, b, delay = entry
+        pairs[(_label_from_json(a), _label_from_json(b))] = float(delay)
+
+    default = data.get("default_pair_delay", "inf")
+    if isinstance(default, str):
+        if default.lower() not in {"inf", "infinity"}:
+            raise SerializationError(f"unsupported default_pair_delay {default!r}")
+        default_value = math.inf
+    else:
+        default_value = float(default)
+
+    return PhysicalEnvironment(
+        single,
+        pairs,
+        default_pair_delay=default_value,
+        name=str(data.get("name", "environment")),
+        time_unit_seconds=float(data.get("time_unit_seconds", 1e-4)),
+    )
+
+
+def dumps(environment: PhysicalEnvironment, indent: int = 2) -> str:
+    """Serialize an environment to a JSON string."""
+    return json.dumps(to_dict(environment), indent=indent, sort_keys=True)
+
+
+def loads(text: str) -> PhysicalEnvironment:
+    """Parse an environment from a JSON string."""
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise SerializationError(f"invalid environment JSON: {exc}") from exc
+    return from_dict(data)
+
+
+def save(environment: PhysicalEnvironment, path: str) -> None:
+    """Write an environment to a JSON file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(dumps(environment))
+
+
+def load(path: str) -> PhysicalEnvironment:
+    """Read an environment from a JSON file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return loads(handle.read())

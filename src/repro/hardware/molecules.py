@@ -1,0 +1,289 @@
+"""Liquid-state NMR molecule data set used by the paper's experiments.
+
+Every function returns a fresh :class:`~repro.hardware.environment.PhysicalEnvironment`
+whose delays are expressed in units of ``1e-4`` seconds (the paper's unit:
+"The delays are measured in terms of 1/10000 sec, and are rounded to keep the
+numbers integer").
+
+Data provenance
+---------------
+
+* **Acetyl chloride** (3 qubits, Laforest et al. [14], Fig. 1 of the paper).
+  The paper does not reprint the weight table, but Example 3 / Table 1 pin
+  every weight uniquely: the mapping ``{a→M, b→C2, c→C1}`` of the Fig. 2
+  encoder must cost 770 units and the optimal mapping ``{a→C2, b→C1, c→M}``
+  must cost 136 units.  Solving the schedule equations gives
+
+  ====================  =======
+  delay                 units
+  ====================  =======
+  W(M, M)               8
+  W(C1, C1)             8
+  W(C2, C2)             1
+  W(M, C1)              38
+  W(C1, C2)             89
+  W(M, C2)              672
+  ====================  =======
+
+  and these exact values are used, so experiment E1 reproduces the paper's
+  numbers exactly.
+
+* **Trans-crotonic acid** (7 qubits, Knill et al. [12]), **histidine**
+  (12 qubits, Negrevergne et al. [20]), **BOC-glycine-fluoride** (5 qubits,
+  Marx et al. [16]) and **pentafluorobutadienyl cyclopentadienyl dicarbonyl
+  iron** (5 qubits, Vandersypen et al. [24]): the paper cites the original
+  experimental publications but does not reprint their coupling tables.  The
+  delays below are reconstructed from the cited experiments' qualitative
+  structure — interactions along chemical bonds are fast (tens of units),
+  long-range couplings are slow (hundreds to thousands of units), the iron
+  complex is uniformly "slow" so that every pair delay exceeds 100 (this is
+  what makes Table 3 report N/A for thresholds 50 and 100) — rather than
+  copied digit-for-digit.  This substitution is documented in DESIGN.md; it
+  preserves every qualitative behaviour the paper's evaluation relies on
+  (threshold/connectivity structure, fast-bond topology, relative speed of
+  the molecules) while absolute runtimes differ from the paper's.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.hardware.environment import Node, PhysicalEnvironment
+
+#: Delay assigned to qubit pairs with no usable direct interaction.  Kept
+#: finite (but far above every threshold used in the paper's sweeps) so that
+#: whole-circuit placements remain well defined even when they are terrible.
+#: The value corresponds to a coupling of roughly 0.25 Hz — the paper's
+#: introduction quotes couplings around 0.2 Hz as essentially noise; it is
+#: kept just below the largest Table-3 threshold so that "place the circuit
+#: as a whole" (threshold 10000) is always meaningful.
+SLOW_PAIR_DELAY = 9800.0
+
+
+def acetyl_chloride() -> PhysicalEnvironment:
+    """The 3-qubit acetyl chloride molecule of Fig. 1 (exact paper weights)."""
+    single = {"M": 8.0, "C1": 8.0, "C2": 1.0}
+    pairs = {
+        ("M", "C1"): 38.0,
+        ("C1", "C2"): 89.0,
+        ("M", "C2"): 672.0,
+    }
+    return PhysicalEnvironment(
+        single, pairs, default_pair_delay=SLOW_PAIR_DELAY, name="acetyl chloride"
+    )
+
+
+def trans_crotonic_acid() -> PhysicalEnvironment:
+    """The 7-qubit trans-crotonic acid molecule (Knill et al. [12], Fig. 3).
+
+    Qubits: the methyl proton group ``M``, carbons ``C1``..``C4`` and protons
+    ``H1``, ``H2``.  Chemical bonds (the fast interactions, matching the
+    cutting example of Fig. 3): ``M-C1``, ``C1-C2``, ``C2-C3``, ``C3-C4``,
+    ``C2-H1``, ``C3-H2``.
+    """
+    single = {
+        "M": 8.0,
+        "C1": 10.0,
+        "C2": 10.0,
+        "C3": 10.0,
+        "C4": 10.0,
+        "H1": 8.0,
+        "H2": 8.0,
+    }
+    pairs = {
+        # chemical bonds: fast
+        ("M", "C1"): 20.0,
+        ("C1", "C2"): 35.0,
+        ("C2", "C3"): 36.0,
+        ("C3", "C4"): 60.0,
+        ("C2", "H1"): 16.0,
+        ("C3", "H2"): 15.0,
+        # two-bond couplings: usable but slow
+        ("M", "C2"): 900.0,
+        ("C1", "C3"): 1050.0,
+        ("C2", "C4"): 1000.0,
+        ("C1", "H1"): 820.0,
+        ("C2", "H2"): 960.0,
+        ("C3", "H1"): 940.0,
+        ("C4", "H2"): 850.0,
+        ("H1", "H2"): 600.0,
+        # three-bond and longer couplings: very slow
+        ("M", "C3"): 7000.0,
+        ("M", "H1"): 7500.0,
+        ("C1", "C4"): 7200.0,
+        ("C1", "H2"): 8000.0,
+        ("C4", "H1"): 7800.0,
+        ("M", "C4"): 9000.0,
+        ("M", "H2"): 9200.0,
+    }
+    return PhysicalEnvironment(
+        single, pairs, default_pair_delay=SLOW_PAIR_DELAY, name="trans-crotonic acid"
+    )
+
+
+def boc_glycine_fluoride() -> PhysicalEnvironment:
+    """The 5-qubit BOC-(13C2-15N-2D-alpha-glycine)-fluoride molecule [16].
+
+    Qubits: fluorine ``F``, carbonyl carbon ``C1``, alpha carbon ``C2``,
+    nitrogen ``N`` and the alpha proton ``H``.  The fast interactions form a
+    chain ``F - C1 - C2 - N`` with the proton hanging off ``C2``.
+    """
+    single = {"F": 6.0, "C1": 10.0, "C2": 10.0, "N": 14.0, "H": 8.0}
+    pairs = {
+        # chemical-bond chain F - C1 - C2 - N with the proton on C2: fast
+        ("F", "C1"): 25.0,
+        ("C1", "C2"): 45.0,
+        ("C2", "N"): 48.0,
+        ("C2", "H"): 18.0,
+        # two-bond couplings: usable at intermediate thresholds
+        ("F", "C2"): 160.0,
+        ("C1", "H"): 170.0,
+        ("C1", "N"): 185.0,
+        # long-range couplings: only usable at large thresholds
+        ("N", "H"): 700.0,
+        ("F", "N"): 950.0,
+        ("F", "H"): 4200.0,
+    }
+    return PhysicalEnvironment(
+        single,
+        pairs,
+        default_pair_delay=SLOW_PAIR_DELAY,
+        name="BOC-glycine-fluoride",
+    )
+
+
+def pentafluorobutadienyl_iron() -> PhysicalEnvironment:
+    """The 5-qubit pentafluorobutadienyl cyclopentadienyl dicarbonyl iron
+    complex of Vandersypen et al. [24].
+
+    The five fluorine nuclei form the qubits.  As the paper notes, this
+    molecule is "slow": *every* pair delay exceeds 100 units, so thresholds
+    of 50 or 100 disallow all interactions and the corresponding Table 3
+    entries are N/A.
+    """
+    single = {"F1": 6.0, "F2": 6.0, "F3": 6.0, "F4": 6.0, "F5": 6.0}
+    pairs = {
+        # the fluorine chain: the fastest interactions, yet all slower than
+        # 100 units, so thresholds of 50 and 100 disallow everything (N/A)
+        ("F1", "F2"): 160.0,
+        ("F2", "F3"): 190.0,
+        ("F3", "F4"): 195.0,
+        ("F4", "F5"): 198.0,
+        # next-neighbour couplings
+        ("F1", "F3"): 420.0,
+        ("F2", "F4"): 450.0,
+        ("F3", "F5"): 480.0,
+        # long-range couplings
+        ("F1", "F4"): 1100.0,
+        ("F2", "F5"): 1150.0,
+        ("F1", "F5"): 1800.0,
+    }
+    return PhysicalEnvironment(
+        single,
+        pairs,
+        default_pair_delay=SLOW_PAIR_DELAY,
+        name="pentafluorobutadienyl iron complex",
+    )
+
+
+def histidine() -> PhysicalEnvironment:
+    """The 12-qubit histidine molecule (Negrevergne et al. [20]).
+
+    Qubits: backbone nitrogen ``N``, alpha/beta/carboxyl carbons ``Ca``,
+    ``Cb``, ``C'``, the imidazole ring ``Cg - Nd1 - Ce1 - Ne2 - Cd2 - Cg``,
+    and protons ``Ha`` (on ``Ca``), ``Hd2`` (on ``Cd2``), ``He1`` (on
+    ``Ce1``).  Fast interactions run along the chemical bonds; the ring gives
+    the adjacency graph a cycle, which exercises the loop-cutting step of the
+    routing algorithm.
+    """
+    single = {
+        "N": 14.0,
+        "Ca": 10.0,
+        "C'": 10.0,
+        "Cb": 10.0,
+        "Cg": 10.0,
+        "Nd1": 14.0,
+        "Ce1": 10.0,
+        "Ne2": 14.0,
+        "Cd2": 10.0,
+        "Ha": 8.0,
+        "Hd2": 8.0,
+        "He1": 8.0,
+    }
+    pairs: Dict[Tuple[Node, Node], float] = {
+        # backbone bonds
+        ("N", "Ca"): 48.0,
+        ("Ca", "C'"): 46.0,
+        ("Ca", "Cb"): 44.0,
+        ("Cb", "Cg"): 42.0,
+        # imidazole ring bonds
+        ("Cg", "Nd1"): 40.0,
+        ("Nd1", "Ce1"): 38.0,
+        ("Ce1", "Ne2"): 39.0,
+        ("Ne2", "Cd2"): 41.0,
+        ("Cd2", "Cg"): 36.0,
+        # proton bonds (fastest)
+        ("Ca", "Ha"): 16.0,
+        ("Cd2", "Hd2"): 14.0,
+        ("Ce1", "He1"): 13.0,
+        # two-bond couplings
+        ("N", "C'"): 850.0,
+        ("N", "Cb"): 930.0,
+        ("C'", "Cb"): 880.0,
+        ("Ca", "Cg"): 980.0,
+        ("Cb", "Nd1"): 1060.0,
+        ("Cb", "Cd2"): 1010.0,
+        ("Cg", "Ce1"): 1080.0,
+        ("Cg", "Ne2"): 1130.0,
+        ("Nd1", "Ne2"): 1160.0,
+        ("Nd1", "Cd2"): 1110.0,
+        ("Ce1", "Cd2"): 1120.0,
+        ("N", "Ha"): 590.0,
+        ("Cb", "Ha"): 620.0,
+        # The carboxyl-carbon / alpha-proton two-bond coupling is kept fast:
+        # it completes the ten-spin chain of fast interactions that the
+        # 10-qubit benchmark experiment of [20] was aligned along, so the
+        # pseudo-cat-state circuit fits a single workspace (Table 2).
+        ("C'", "Ha"): 47.0,
+        ("Cg", "Hd2"): 740.0,
+        ("Ne2", "Hd2"): 760.0,
+        ("Nd1", "He1"): 790.0,
+        ("Ne2", "He1"): 750.0,
+        # representative long-range couplings
+        ("N", "Cg"): 7500.0,
+        ("Ca", "Nd1"): 8000.0,
+        ("Ca", "Cd2"): 8200.0,
+        ("C'", "Cg"): 8500.0,
+        ("Ha", "Cg"): 9000.0,
+        ("Hd2", "He1"): 4500.0,
+        ("Ha", "Hd2"): 9300.0,
+        ("Ha", "He1"): 9400.0,
+    }
+    return PhysicalEnvironment(
+        single, pairs, default_pair_delay=SLOW_PAIR_DELAY, name="histidine"
+    )
+
+
+#: Registry of all molecules by short name, for the CLI and the sweeps.
+MOLECULE_FACTORIES = {
+    "acetyl-chloride": acetyl_chloride,
+    "trans-crotonic-acid": trans_crotonic_acid,
+    "boc-glycine-fluoride": boc_glycine_fluoride,
+    "pentafluorobutadienyl-iron": pentafluorobutadienyl_iron,
+    "histidine": histidine,
+}
+
+
+def molecule(name: str) -> PhysicalEnvironment:
+    """Return a molecule environment by its registry short name."""
+    try:
+        factory = MOLECULE_FACTORIES[name]
+    except KeyError:
+        known = ", ".join(sorted(MOLECULE_FACTORIES))
+        raise KeyError(f"unknown molecule {name!r}; known molecules: {known}") from None
+    return factory()
+
+
+def all_molecules() -> List[PhysicalEnvironment]:
+    """All molecules of the data set, in a deterministic order."""
+    return [MOLECULE_FACTORIES[name]() for name in sorted(MOLECULE_FACTORIES)]

@@ -1,0 +1,54 @@
+"""SWAP-based routing of qubit values over adjacency graphs."""
+
+from repro.routing.bubble import RoutingResult, route_between_placements, route_permutation
+from repro.routing.odd_even import chain_order_from_graph, route_permutation_odd_even
+from repro.routing.permutation import (
+    Permutation,
+    complete_partial_permutation,
+    permutation_between_placements,
+    required_permutation,
+)
+from repro.routing.separators import (
+    Bisection,
+    balanced_connected_bisection,
+    degree_separability_bound,
+    separability,
+)
+from repro.routing.swap_circuit import (
+    apply_layers_to_placement,
+    routing_circuit,
+    routing_runtime,
+    swap_stage_circuit,
+    swap_stage_runtime,
+    uniform_swap_depth_cost,
+)
+from repro.routing.token_swapping import (
+    greedy_token_swapping,
+    pack_layers,
+    route_permutation_greedy,
+)
+
+__all__ = [
+    "route_permutation",
+    "route_between_placements",
+    "RoutingResult",
+    "Permutation",
+    "required_permutation",
+    "complete_partial_permutation",
+    "permutation_between_placements",
+    "balanced_connected_bisection",
+    "Bisection",
+    "separability",
+    "degree_separability_bound",
+    "swap_stage_circuit",
+    "routing_circuit",
+    "swap_stage_runtime",
+    "routing_runtime",
+    "uniform_swap_depth_cost",
+    "apply_layers_to_placement",
+    "greedy_token_swapping",
+    "pack_layers",
+    "route_permutation_greedy",
+    "route_permutation_odd_even",
+    "chain_order_from_graph",
+]

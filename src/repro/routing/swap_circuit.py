@@ -1,0 +1,116 @@
+"""Turning routing results into SWAP circuits and costing them.
+
+A :class:`~repro.routing.bubble.RoutingResult` is a sequence of parallel SWAP
+layers over *physical* nodes.  To account for its execution time it is
+converted into a :class:`~repro.circuits.circuit.QuantumCircuit` whose
+"logical" qubits are the physical nodes themselves (so the identity placement
+applies) and scheduled with the usual runtime model: each SWAP uses its
+interaction three times (``T(SWAP) = 3``), so a SWAP on edge ``(u, v)`` takes
+``3 * W(u, v)``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence
+
+from repro.circuits import gates as g
+from repro.circuits.circuit import QuantumCircuit
+from repro.hardware.environment import PhysicalEnvironment
+from repro.routing.bubble import Layer, RoutingResult
+from repro.timing.scheduler import circuit_runtime, sequential_level_runtime
+
+Node = Hashable
+
+
+def swap_stage_circuit(
+    layers: Sequence[Layer],
+    nodes: Iterable[Node],
+    name: str = "swap-stage",
+) -> QuantumCircuit:
+    """Build a SWAP circuit (over physical node labels) from routing layers."""
+    node_list = list(nodes)
+    circuit = QuantumCircuit(node_list if node_list else ["_"], name=name)
+    for layer in layers:
+        for a, b in layer:
+            circuit.append(g.swap(a, b))
+    return circuit
+
+
+def routing_circuit(
+    result: RoutingResult,
+    environment: PhysicalEnvironment,
+    name: str = "swap-stage",
+) -> QuantumCircuit:
+    """SWAP circuit of a routing result over all environment nodes."""
+    return swap_stage_circuit(result.layers, environment.nodes, name=name)
+
+
+def swap_stage_runtime(
+    layers: Sequence[Layer],
+    environment: PhysicalEnvironment,
+    sequential_levels: bool = False,
+) -> float:
+    """Execution time of a swap stage on ``environment``.
+
+    With the default asynchronous model the SWAPs of one layer run in
+    parallel and consecutive layers overlap on disjoint qubits exactly as the
+    scheduler allows.  With ``sequential_levels`` every layer waits for the
+    slowest SWAP of the previous one (the stricter model mentioned in the
+    paper).
+    """
+    if not layers or all(not layer for layer in layers):
+        return 0.0
+    if sequential_levels:
+        # Each routing layer is one logic level; a level costs as much as its
+        # slowest SWAP and levels do not overlap.
+        total = 0.0
+        for layer in layers:
+            if not layer:
+                continue
+            total += max(3.0 * environment.pair_delay(a, b) for a, b in layer)
+        return total
+    circuit = swap_stage_circuit(layers, environment.nodes)
+    placement = {node: node for node in environment.nodes}
+    return circuit_runtime(circuit, placement, environment)
+
+
+def routing_runtime(
+    result: RoutingResult,
+    environment: PhysicalEnvironment,
+    sequential_levels: bool = False,
+) -> float:
+    """Execution time of a :class:`RoutingResult` on ``environment``."""
+    return swap_stage_runtime(
+        result.layers, environment, sequential_levels=sequential_levels
+    )
+
+
+def uniform_swap_depth_cost(result: RoutingResult, swap_time: float = 1.0) -> float:
+    """Cost under the paper's simplifying assumption of equal SWAP times.
+
+    Section 5.2 assumes "all SWAP gates applied to the qubits joined by the
+    edges of the adjacency graph require the same time"; the cost of a stage
+    is then simply its depth times the common SWAP time.
+    """
+    return result.depth * swap_time
+
+
+def apply_layers_to_placement(
+    placement: Dict[Hashable, Node],
+    layers: Sequence[Layer],
+) -> Dict[Hashable, Node]:
+    """Track where each logical qubit ends up after executing ``layers``.
+
+    ``placement`` maps logical qubits to the nodes they occupy before the
+    stage; the returned mapping gives their nodes afterwards.
+    """
+    node_to_qubit: Dict[Node, Hashable] = {node: qubit for qubit, node in placement.items()}
+    for layer in layers:
+        for a, b in layer:
+            qubit_a = node_to_qubit.pop(a, None)
+            qubit_b = node_to_qubit.pop(b, None)
+            if qubit_b is not None:
+                node_to_qubit[a] = qubit_b
+            if qubit_a is not None:
+                node_to_qubit[b] = qubit_a
+    return {qubit: node for node, qubit in node_to_qubit.items()}

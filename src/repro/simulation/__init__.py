@@ -1,0 +1,39 @@
+"""Statevector simulation and placement verification."""
+
+from repro.simulation.statevector import (
+    StatevectorSimulator,
+    circuit_unitary,
+    statevector,
+)
+from repro.simulation.unitaries import (
+    cphase_matrix,
+    gate_unitary,
+    is_unitary,
+    quantum_fourier_transform_matrix,
+    rx_matrix,
+    ry_matrix,
+    rz_matrix,
+    zz_matrix,
+)
+from repro.simulation.verify import (
+    VerificationReport,
+    verify_placement,
+    verify_routing_layers,
+)
+
+__all__ = [
+    "StatevectorSimulator",
+    "statevector",
+    "circuit_unitary",
+    "gate_unitary",
+    "rx_matrix",
+    "ry_matrix",
+    "rz_matrix",
+    "zz_matrix",
+    "cphase_matrix",
+    "is_unitary",
+    "quantum_fourier_transform_matrix",
+    "verify_placement",
+    "verify_routing_layers",
+    "VerificationReport",
+]

@@ -1,0 +1,171 @@
+"""Dense statevector / unitary simulator for small circuits.
+
+Used to *verify* placements and routings rather than to perform interesting
+quantum computations: after the placer has turned a logical circuit into a
+physical circuit (gates remapped to physical nodes, SWAP stages inserted),
+simulating both and comparing — modulo the qubit relocation tracked by the
+placer — certifies that the transformation preserved the computation.
+
+The simulator is deliberately simple (dense ``numpy`` vectors / matrices,
+little-endian qubit ordering with qubit 0 the least-significant bit) and is
+limited to circuits small enough for that to be practical.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.gates import Gate, Qubit
+from repro.exceptions import SimulationError
+from repro.simulation.unitaries import gate_unitary
+
+#: Hard ceiling on the number of simulated qubits (2^16 amplitudes already
+#: costs a megabyte per state vector; unitaries grow quadratically).
+MAX_STATEVECTOR_QUBITS = 16
+MAX_UNITARY_QUBITS = 10
+
+
+class StatevectorSimulator:
+    """Applies circuits to dense state vectors.
+
+    Parameters
+    ----------
+    qubit_order:
+        The qubits, least-significant first.  Basis state ``|b_{n-1} ... b_0>``
+        assigns bit ``b_i`` to ``qubit_order[i]``.
+    """
+
+    def __init__(self, qubit_order: Sequence[Qubit]) -> None:
+        qubits = list(qubit_order)
+        if len(set(qubits)) != len(qubits):
+            raise SimulationError("duplicate qubits in simulator qubit order")
+        if len(qubits) > MAX_STATEVECTOR_QUBITS:
+            raise SimulationError(
+                f"refusing to simulate {len(qubits)} qubits "
+                f"(limit {MAX_STATEVECTOR_QUBITS})"
+            )
+        self.qubits = qubits
+        self.index: Dict[Qubit, int] = {q: i for i, q in enumerate(qubits)}
+
+    @property
+    def num_qubits(self) -> int:
+        """Number of simulated qubits."""
+        return len(self.qubits)
+
+    @property
+    def dimension(self) -> int:
+        """Dimension of the state space."""
+        return 2 ** self.num_qubits
+
+    # -- states -----------------------------------------------------------------
+
+    def zero_state(self) -> np.ndarray:
+        """The all-zeros computational basis state."""
+        state = np.zeros(self.dimension, dtype=complex)
+        state[0] = 1.0
+        return state
+
+    def basis_state(self, bits: Dict[Qubit, int]) -> np.ndarray:
+        """A computational basis state with the given bit per qubit (default 0)."""
+        index = 0
+        for qubit, bit in bits.items():
+            if qubit not in self.index:
+                raise SimulationError(f"unknown qubit {qubit!r}")
+            if bit not in (0, 1):
+                raise SimulationError(f"bit for {qubit!r} must be 0 or 1")
+            if bit:
+                index |= 1 << self.index[qubit]
+        state = np.zeros(self.dimension, dtype=complex)
+        state[index] = 1.0
+        return state
+
+    # -- evolution ---------------------------------------------------------------
+
+    def apply_gate(self, state: np.ndarray, gate: Gate) -> np.ndarray:
+        """Return ``gate`` applied to ``state``."""
+        matrix = gate_unitary(gate)
+        targets = [self.index[q] for q in gate.qubits]
+        return _apply_matrix(state, matrix, targets, self.num_qubits)
+
+    def run(self, circuit: QuantumCircuit, state: Optional[np.ndarray] = None) -> np.ndarray:
+        """Apply every gate of ``circuit`` to ``state`` (default ``|0...0>``)."""
+        for qubit in circuit.used_qubits():
+            if qubit not in self.index:
+                raise SimulationError(
+                    f"circuit qubit {qubit!r} is unknown to the simulator"
+                )
+        if state is None:
+            state = self.zero_state()
+        current = np.array(state, dtype=complex)
+        if current.shape != (self.dimension,):
+            raise SimulationError(
+                f"state vector has shape {current.shape}, expected ({self.dimension},)"
+            )
+        for gate in circuit:
+            current = self.apply_gate(current, gate)
+        return current
+
+    def unitary(self, circuit: QuantumCircuit) -> np.ndarray:
+        """The full unitary matrix of ``circuit`` (small circuits only)."""
+        if self.num_qubits > MAX_UNITARY_QUBITS:
+            raise SimulationError(
+                f"refusing to build a unitary on {self.num_qubits} qubits "
+                f"(limit {MAX_UNITARY_QUBITS})"
+            )
+        dimension = self.dimension
+        matrix = np.zeros((dimension, dimension), dtype=complex)
+        for column in range(dimension):
+            state = np.zeros(dimension, dtype=complex)
+            state[column] = 1.0
+            matrix[:, column] = self.run(circuit, state)
+        return matrix
+
+    # -- measurement-style queries -------------------------------------------------
+
+    def probabilities(self, state: np.ndarray) -> np.ndarray:
+        """Measurement probabilities of every basis state."""
+        return np.abs(state) ** 2
+
+    def marginal_probability(self, state: np.ndarray, qubit: Qubit, value: int) -> float:
+        """Probability that measuring ``qubit`` yields ``value``."""
+        if value not in (0, 1):
+            raise SimulationError("measurement value must be 0 or 1")
+        position = self.index[qubit]
+        probabilities = self.probabilities(state)
+        total = 0.0
+        for basis_index, probability in enumerate(probabilities):
+            if ((basis_index >> position) & 1) == value:
+                total += probability
+        return float(total)
+
+
+def _apply_matrix(
+    state: np.ndarray,
+    matrix: np.ndarray,
+    targets: List[int],
+    num_qubits: int,
+) -> np.ndarray:
+    """Apply a 1- or 2-qubit matrix to the given target qubit positions."""
+    tensor = state.reshape([2] * num_qubits)
+    # numpy's reshape of the flat vector puts qubit 0 (least significant bit)
+    # on the *last* tensor axis.
+    axes = [num_qubits - 1 - t for t in targets]
+    k = len(targets)
+    operator = matrix.reshape([2] * (2 * k))
+    moved = np.moveaxis(tensor, axes, range(k))
+    contracted = np.tensordot(operator, moved, axes=(list(range(k, 2 * k)), list(range(k))))
+    result = np.moveaxis(contracted, range(k), axes)
+    return result.reshape(-1)
+
+
+def statevector(circuit: QuantumCircuit) -> np.ndarray:
+    """Convenience: simulate ``circuit`` from ``|0...0>`` in its own qubit order."""
+    return StatevectorSimulator(circuit.qubits).run(circuit)
+
+
+def circuit_unitary(circuit: QuantumCircuit) -> np.ndarray:
+    """Convenience: the unitary of ``circuit`` in its own qubit order."""
+    return StatevectorSimulator(circuit.qubits).unitary(circuit)

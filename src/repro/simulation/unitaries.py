@@ -1,0 +1,124 @@
+"""Gate unitaries for the verification simulator.
+
+Angles follow the paper's conventions (degrees; rotation matrices as printed
+in Section 2)::
+
+    Rx(t) = [[cos(t/2), -i sin(t/2)], [-i sin(t/2), cos(t/2)]]
+    Ry(t) = [[cos(t/2), -sin(t/2)],  [sin(t/2),  cos(t/2)]]
+    Rz(t) = diag(exp(-i t/2), exp(+i t/2))
+    ZZ(t) = diag(exp(-i t/2), exp(+i t/2), exp(+i t/2), exp(-i t/2))
+
+Gates whose names carry no angle (H, X, CNOT, SWAP, ...) use their standard
+matrices.  Generic placeholder gates (``U1``/``U2`` from the random workload
+generators) have no defined unitary and are rejected — simulation is meant
+for the concrete benchmark circuits.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict
+
+import numpy as np
+
+from repro.circuits.gates import Gate
+from repro.exceptions import SimulationError
+
+_SQRT2_INV = 1.0 / math.sqrt(2.0)
+
+_FIXED_1Q: Dict[str, np.ndarray] = {
+    "H": np.array([[1, 1], [1, -1]], dtype=complex) * _SQRT2_INV,
+    "X": np.array([[0, 1], [1, 0]], dtype=complex),
+    "Y": np.array([[0, -1j], [1j, 0]], dtype=complex),
+    "Z": np.array([[1, 0], [0, -1]], dtype=complex),
+}
+
+_FIXED_2Q: Dict[str, np.ndarray] = {
+    "CNOT": np.array(
+        [[1, 0, 0, 0], [0, 1, 0, 0], [0, 0, 0, 1], [0, 0, 1, 0]], dtype=complex
+    ),
+    "CZ": np.diag([1, 1, 1, -1]).astype(complex),
+    "SWAP": np.array(
+        [[1, 0, 0, 0], [0, 0, 1, 0], [0, 1, 0, 0], [0, 0, 0, 1]], dtype=complex
+    ),
+}
+
+
+def _radians(angle_degrees: float) -> float:
+    return math.radians(angle_degrees)
+
+
+def rx_matrix(angle_degrees: float) -> np.ndarray:
+    """Single-qubit X rotation."""
+    half = _radians(angle_degrees) / 2.0
+    return np.array(
+        [[math.cos(half), -1j * math.sin(half)], [-1j * math.sin(half), math.cos(half)]],
+        dtype=complex,
+    )
+
+
+def ry_matrix(angle_degrees: float) -> np.ndarray:
+    """Single-qubit Y rotation."""
+    half = _radians(angle_degrees) / 2.0
+    return np.array(
+        [[math.cos(half), -math.sin(half)], [math.sin(half), math.cos(half)]],
+        dtype=complex,
+    )
+
+
+def rz_matrix(angle_degrees: float) -> np.ndarray:
+    """Single-qubit Z rotation."""
+    half = _radians(angle_degrees) / 2.0
+    return np.diag([np.exp(-1j * half), np.exp(1j * half)]).astype(complex)
+
+
+def zz_matrix(angle_degrees: float) -> np.ndarray:
+    """Two-qubit Ising ``ZZ`` rotation."""
+    half = _radians(angle_degrees) / 2.0
+    phase_same = np.exp(-1j * half)
+    phase_diff = np.exp(1j * half)
+    return np.diag([phase_same, phase_diff, phase_diff, phase_same]).astype(complex)
+
+
+def cphase_matrix(angle_degrees: float) -> np.ndarray:
+    """Controlled phase rotation by ``angle_degrees``."""
+    phase = np.exp(1j * _radians(angle_degrees))
+    return np.diag([1, 1, 1, phase]).astype(complex)
+
+
+def gate_unitary(gate: Gate) -> np.ndarray:
+    """The unitary matrix of ``gate`` (2x2 or 4x4).
+
+    Raises :class:`~repro.exceptions.SimulationError` for gates without a
+    defined matrix (generic placeholder gates).
+    """
+    name = gate.name
+    if name == "Rx":
+        return rx_matrix(gate.angle if gate.angle is not None else 90.0)
+    if name == "Ry":
+        return ry_matrix(gate.angle if gate.angle is not None else 90.0)
+    if name == "Rz":
+        return rz_matrix(gate.angle if gate.angle is not None else 90.0)
+    if name == "ZZ":
+        return zz_matrix(gate.angle if gate.angle is not None else 90.0)
+    if name == "CPHASE":
+        return cphase_matrix(gate.angle if gate.angle is not None else 90.0)
+    if name in _FIXED_1Q:
+        return _FIXED_1Q[name].copy()
+    if name in _FIXED_2Q:
+        return _FIXED_2Q[name].copy()
+    raise SimulationError(f"gate {gate!r} has no defined unitary matrix")
+
+
+def is_unitary(matrix: np.ndarray, tolerance: float = 1e-9) -> bool:
+    """Whether ``matrix`` is unitary up to ``tolerance``."""
+    identity = np.eye(matrix.shape[0], dtype=complex)
+    return bool(np.allclose(matrix @ matrix.conj().T, identity, atol=tolerance))
+
+
+def quantum_fourier_transform_matrix(num_qubits: int) -> np.ndarray:
+    """The exact ``2^n``-dimensional QFT matrix (for simulator cross-checks)."""
+    dimension = 2 ** num_qubits
+    omega = np.exp(2j * np.pi / dimension)
+    indices = np.arange(dimension)
+    return omega ** np.outer(indices, indices) / math.sqrt(dimension)

@@ -1,0 +1,46 @@
+"""Runtime models for placed circuits."""
+
+from repro.timing.fidelity import (
+    FidelityModel,
+    estimate_fidelity,
+    fidelity_of_placement_result,
+    gate_fidelity,
+)
+from repro.timing.gate_times import (
+    MAX_INTERACTION_USES,
+    cap_interaction_runs,
+    capped_circuit,
+    gate_operating_time,
+    identity_placement,
+    validate_placement,
+)
+from repro.timing.scheduler import (
+    Schedule,
+    ScheduleStep,
+    circuit_runtime,
+    runtime_lower_bound,
+    schedule,
+    sequential_level_runtime,
+)
+from repro.timing.trace import format_trace, trace_rows
+
+__all__ = [
+    "circuit_runtime",
+    "sequential_level_runtime",
+    "schedule",
+    "Schedule",
+    "ScheduleStep",
+    "runtime_lower_bound",
+    "gate_operating_time",
+    "cap_interaction_runs",
+    "capped_circuit",
+    "identity_placement",
+    "validate_placement",
+    "MAX_INTERACTION_USES",
+    "format_trace",
+    "trace_rows",
+    "FidelityModel",
+    "estimate_fidelity",
+    "fidelity_of_placement_result",
+    "gate_fidelity",
+]

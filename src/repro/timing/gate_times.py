@@ -1,0 +1,173 @@
+"""Gate operating times under a placement.
+
+Definition 3 of the paper: once logical qubits are placed onto physical
+nuclei via ``P``, a gate ``G(q_i, q_j)`` takes
+
+    GateOperatingTime(G) = W(P(q_i), P(q_j)) * T(G)
+
+where ``W`` is the environment's delay table and ``T(G)`` the gate's relative
+duration.  Single-qubit gates use the node's self-delay ``W(v, v)``.
+
+This module also implements the interaction-run cap used by the paper's
+experimental section: by the geometric theory of two-qubit operations
+(Zhang et al. [26]), any two-qubit unitary needs at most three uses of a
+given interaction, so a run of consecutive two-qubit gates on the same qubit
+pair never needs to cost more than ``3 * W`` of interaction time.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.gates import Gate, Qubit
+from repro.exceptions import PlacementError
+from repro.hardware.environment import Node, PhysicalEnvironment
+
+#: Maximal number of uses of one interaction needed for any two-qubit unitary.
+MAX_INTERACTION_USES = 3.0
+
+Placement = Mapping[Qubit, Node]
+
+
+def validate_placement(
+    placement: Placement,
+    circuit: QuantumCircuit,
+    environment: PhysicalEnvironment,
+) -> None:
+    """Check that ``placement`` is an injective map of the circuit's qubits.
+
+    Raises :class:`~repro.exceptions.PlacementError` when a circuit qubit is
+    unplaced, a target node is unknown, or two qubits share a node.
+    """
+    targets = []
+    for qubit in circuit.qubits:
+        if qubit not in placement:
+            raise PlacementError(f"qubit {qubit!r} has no placement")
+        node = placement[qubit]
+        if node not in environment:
+            raise PlacementError(
+                f"qubit {qubit!r} is placed on unknown node {node!r}"
+            )
+        targets.append(node)
+    if len(set(targets)) != len(targets):
+        raise PlacementError(f"placement is not injective: {dict(placement)!r}")
+
+
+def gate_operating_time(
+    gate: Gate,
+    placement: Placement,
+    environment: PhysicalEnvironment,
+) -> float:
+    """Operating time of one placed gate: ``W(P(q_i), P(q_j)) * T(G)``."""
+    if gate.is_two_qubit:
+        a, b = gate.qubits
+        weight = environment.pair_delay(placement[a], placement[b])
+    else:
+        weight = environment.single_qubit_delay(placement[gate.qubits[0]])
+    return weight * gate.duration
+
+
+def cap_interaction_runs(
+    gates: Iterable[Gate],
+    max_uses: float = MAX_INTERACTION_USES,
+) -> List[Gate]:
+    """Cap runs of consecutive two-qubit gates on the same pair at ``max_uses``.
+
+    A *run* is a maximal sequence of two-qubit gates on one unordered qubit
+    pair that is not interrupted by any other gate touching either qubit
+    (free single-qubit gates on those qubits do not interrupt a run, since
+    they can be absorbed into the two-qubit unitary).  The total relative
+    duration of a run is clamped to ``max_uses``; the clamp is applied by
+    rescaling the run's last gate.
+
+    The returned list preserves gate order and everything that the placement
+    problem depends on (qubit pairs, order, total durations up to the cap).
+    """
+    gate_list = list(gates)
+    result: List[Gate] = []
+    index = 0
+    while index < len(gate_list):
+        gate = gate_list[index]
+        if not gate.is_two_qubit:
+            result.append(gate)
+            index += 1
+            continue
+
+        pair = gate.interaction()
+        run_gates: List[Gate] = []  # two-qubit gates of the run, in order
+        interleaved: List[Gate] = []  # free 1-qubit gates found inside the run
+        scan = index
+        while scan < len(gate_list):
+            candidate = gate_list[scan]
+            if candidate.is_two_qubit and candidate.interaction() == pair:
+                run_gates.append(candidate)
+                scan += 1
+                continue
+            if (
+                not candidate.is_two_qubit
+                and candidate.is_free
+                and candidate.qubits[0] in pair
+            ):
+                interleaved.append(candidate)
+                scan += 1
+                continue
+            break
+
+        total = sum(g.duration for g in run_gates)
+        if total > max_uses:
+            # Trim durations from the end of the run until only ``max_uses``
+            # units of interaction time remain.
+            excess = total - max_uses
+            for position in range(len(run_gates) - 1, -1, -1):
+                if excess <= 0:
+                    break
+                gate_duration = run_gates[position].duration
+                reduction = min(gate_duration, excess)
+                run_gates[position] = run_gates[position].with_duration(
+                    gate_duration - reduction
+                )
+                excess -= reduction
+            run_gates = [gate for gate in run_gates if gate.duration > 0]
+        result.extend(run_gates)
+        result.extend(interleaved)
+        index = scan
+    return result
+
+
+def capped_circuit(
+    circuit: QuantumCircuit, max_uses: float = MAX_INTERACTION_USES
+) -> QuantumCircuit:
+    """Return a copy of ``circuit`` with interaction runs capped at ``max_uses``."""
+    return QuantumCircuit(
+        circuit.qubits,
+        cap_interaction_runs(circuit.gates, max_uses),
+        name=circuit.name,
+    )
+
+
+def total_interaction_time(
+    circuit: QuantumCircuit,
+    placement: Placement,
+    environment: PhysicalEnvironment,
+) -> float:
+    """Sum of two-qubit gate operating times — a parallelism-free lower bound proxy."""
+    return sum(
+        gate_operating_time(g, placement, environment)
+        for g in circuit
+        if g.is_two_qubit
+    )
+
+
+def identity_placement(circuit: QuantumCircuit, environment: PhysicalEnvironment) -> Dict[Qubit, Node]:
+    """Place circuit qubit ``i`` onto environment node ``i`` (by position).
+
+    Requires the environment to have at least as many qubits as the circuit.
+    Useful as a trivial baseline and in tests.
+    """
+    if circuit.num_qubits > environment.num_qubits:
+        raise PlacementError(
+            f"circuit has {circuit.num_qubits} qubits but environment "
+            f"{environment.name!r} only has {environment.num_qubits}"
+        )
+    return dict(zip(circuit.qubits, environment.nodes))

@@ -1,0 +1,60 @@
+"""Human-readable schedule traces (Table 1 of the paper).
+
+Example 3 of the paper walks through the cost calculation of one placement
+of the 3-qubit error-correction encoder into acetyl chloride, presenting the
+per-qubit busy times after each timed gate as Table 1.  The helpers below
+render a :class:`~repro.timing.scheduler.Schedule` in the same layout so the
+table can be reproduced verbatim in the benchmark harness and in examples.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.circuits.gates import Qubit
+from repro.timing.scheduler import Schedule
+
+
+def _gate_label(gate) -> str:
+    """A compact per-column gate label in the paper's style (e.g. ``Ya90``)."""
+    qubits = "".join(str(q) for q in gate.qubits)
+    if gate.angle is not None:
+        angle = f"{abs(gate.angle):g}"
+        prefix = gate.name.replace("R", "") if gate.name.startswith("R") else gate.name
+        return f"{prefix}{qubits}{angle}"
+    return f"{gate.name}{qubits}"
+
+
+def trace_rows(schedule: Schedule, qubit_order: Sequence[Qubit] = ()) -> List[List[str]]:
+    """Rows of the Table-1 style trace: one row per qubit, one column per gate.
+
+    The first column is the qubit label; subsequent columns give the qubit's
+    busy time after each timed gate, formatted as integers when exact.
+    """
+    if qubit_order:
+        qubits = list(qubit_order)
+    else:
+        qubits = sorted(schedule.placement.keys(), key=repr)
+
+    def fmt(value: float) -> str:
+        return f"{int(value)}" if float(value).is_integer() else f"{value:g}"
+
+    rows = []
+    for qubit in qubits:
+        row = [str(qubit)]
+        for step in schedule.steps:
+            row.append(fmt(step.qubit_times.get(qubit, 0.0)))
+        rows.append(row)
+    return rows
+
+
+def format_trace(schedule: Schedule, qubit_order: Sequence[Qubit] = ()) -> str:
+    """Render a schedule trace as a fixed-width text table."""
+    header = ["time[ ]"] + [_gate_label(step.gate) for step in schedule.steps]
+    rows = trace_rows(schedule, qubit_order)
+    table = [header] + rows
+    widths = [max(len(row[col]) for row in table) for col in range(len(header))]
+    lines = []
+    for row in table:
+        lines.append("  ".join(cell.rjust(width) for cell, width in zip(row, widths)))
+    return "\n".join(lines)

@@ -1,0 +1,51 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuits.library import qec3_encoder, qft_circuit
+from repro.hardware.architectures import grid, linear_chain
+from repro.hardware.molecules import acetyl_chloride, histidine, trans_crotonic_acid
+
+
+@pytest.fixture
+def encoder_circuit():
+    """The paper's Figure 2 circuit (3-qubit error-correction encoder)."""
+    return qec3_encoder()
+
+
+@pytest.fixture
+def acetyl():
+    """The acetyl chloride molecule of Figure 1."""
+    return acetyl_chloride()
+
+
+@pytest.fixture
+def crotonic():
+    """The 7-qubit trans-crotonic acid molecule."""
+    return trans_crotonic_acid()
+
+
+@pytest.fixture
+def histidine_env():
+    """The 12-qubit histidine molecule."""
+    return histidine()
+
+
+@pytest.fixture
+def chain8():
+    """An 8-qubit linear nearest-neighbour chain."""
+    return linear_chain(8)
+
+
+@pytest.fixture
+def grid3x3():
+    """A 3x3 grid architecture."""
+    return grid(3, 3)
+
+
+@pytest.fixture
+def qft4():
+    """A 4-qubit exact QFT circuit."""
+    return qft_circuit(4)

@@ -1,0 +1,131 @@
+"""Tests of the experiment harnesses (Tables 2, 3 and 4 machinery)."""
+
+import pytest
+
+from repro.analysis.experiments import TABLE2_ROWS, run_table2
+from repro.analysis.reporting import (
+    format_runtime_and_stages,
+    format_seconds,
+    format_table,
+    paper_vs_measured,
+)
+from repro.analysis.scalability import (
+    SCALABILITY_OPTIONS,
+    expected_hidden_stages,
+    run_scalability_point,
+    run_scalability_sweep,
+)
+from repro.analysis.sweep import sweep_circuit, sweep_environment, whole_circuit_reference
+from repro.circuits.library import phaseest, qec3_encoder
+from repro.core.config import PlacementOptions
+from repro.hardware.molecules import (
+    acetyl_chloride,
+    pentafluorobutadienyl_iron,
+    trans_crotonic_acid,
+)
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table(["name", "value"], [["alpha", 1], ["b", 22]])
+        lines = text.splitlines()
+        assert "name" in lines[0]
+        assert len(lines) == 4  # header, rule, two rows
+
+    def test_format_table_with_title(self):
+        text = format_table(["a"], [["x"]], title="My table")
+        assert text.splitlines()[0] == "My table"
+
+    def test_format_seconds(self):
+        assert format_seconds(0.0136) == "0.0136 sec"
+        assert format_seconds(None) == "N/A"
+
+    def test_format_runtime_and_stages(self):
+        assert format_runtime_and_stages(0.2237, 5) == "0.2237 sec (5)"
+        assert format_runtime_and_stages(None, None) == "N/A"
+
+    def test_paper_vs_measured(self):
+        assert paper_vs_measured(0.5, 0.25) == "paper 0.5 / measured 0.25"
+        assert paper_vs_measured(None, 1.0) == "paper N/A / measured 1"
+
+
+class TestTable2Harness:
+    def test_rows_cover_the_three_experiments(self):
+        assert len(TABLE2_ROWS) == 3
+
+    def test_run_table2_shapes(self):
+        results = run_table2()
+        assert len(results) == 3
+        # Row 1: the acetyl chloride encoder reproduces the paper exactly.
+        first = results[0]
+        assert first.environment_name == "acetyl chloride"
+        assert first.measured_runtime_seconds == pytest.approx(0.0136)
+        assert first.search_space == 6
+        # Every experimentally realised circuit is placed as one workspace.
+        for row in results:
+            assert row.num_subcircuits == 1
+            assert row.measured_runtime_seconds > 0
+        # Search-space sizes are exact combinatorial values.
+        assert results[1].search_space == 2520
+        assert results[2].search_space == 239_500_800
+
+
+class TestSweepHarness:
+    def test_sweep_row_cells_per_threshold(self):
+        row = sweep_circuit(
+            qec3_encoder, acetyl_chloride(), thresholds=(50.0, 100.0, 10000.0)
+        )
+        assert len(row.cells) == 3
+        assert row.cell_at(100.0) is not None
+
+    def test_infeasible_thresholds_reported_as_na(self):
+        row = sweep_circuit(
+            phaseest, pentafluorobutadienyl_iron(), thresholds=(50.0, 200.0)
+        )
+        assert not row.cells[0].feasible
+        assert row.cells[0].formatted() == "N/A"
+        assert row.cells[1].feasible
+
+    def test_best_cell(self):
+        row = sweep_circuit(
+            phaseest, trans_crotonic_acid(), thresholds=(100.0, 10000.0)
+        )
+        best = row.best_cell()
+        assert best is not None
+        assert best.runtime_seconds == min(
+            cell.runtime_seconds for cell in row.cells if cell.feasible
+        )
+
+    def test_sweep_environment_multiple_circuits(self):
+        rows = sweep_environment(
+            [qec3_encoder], acetyl_chloride(), thresholds=(100.0,)
+        )
+        assert len(rows) == 1
+        assert rows[0].environment_name == "acetyl chloride"
+
+    def test_whole_circuit_reference_positive(self):
+        value = whole_circuit_reference(qec3_encoder, acetyl_chloride())
+        assert value == pytest.approx(0.0136)
+
+
+class TestScalabilityHarness:
+    def test_expected_hidden_stages(self):
+        assert expected_hidden_stages(8) == 3
+        assert expected_hidden_stages(1024) == 10
+
+    def test_single_point_recovers_hidden_stages(self):
+        record = run_scalability_point(8, seed=1)
+        assert record.num_qubits == 8
+        assert record.hidden_stages == 3
+        assert record.num_subcircuits == record.hidden_stages
+        assert record.circuit_runtime_seconds > 0
+        assert record.software_runtime_seconds > 0
+
+    def test_sweep_monotone_runtime(self):
+        records = run_scalability_sweep((8, 16), seed=2)
+        assert records[0].circuit_runtime_seconds < records[1].circuit_runtime_seconds
+        assert records[0].num_gates < records[1].num_gates
+
+    def test_scalability_options_disable_expensive_heuristics(self):
+        assert not SCALABILITY_OPTIONS.fine_tuning
+        assert not SCALABILITY_OPTIONS.lookahead

@@ -1,0 +1,82 @@
+"""Unit tests for synthetic architectures."""
+
+import math
+
+import networkx as nx
+import pytest
+
+from repro.exceptions import EnvironmentError_
+from repro.hardware.architectures import (
+    KILOHERTZ_PAIR_DELAY,
+    complete,
+    grid,
+    heavy_hex,
+    linear_chain,
+    ring,
+    star,
+)
+
+
+class TestLinearChain:
+    def test_size_and_edges(self):
+        env = linear_chain(5)
+        assert env.num_qubits == 5
+        graph = env.adjacency_graph(KILOHERTZ_PAIR_DELAY)
+        assert graph.number_of_edges() == 4
+        assert nx.is_connected(graph)
+
+    def test_one_khz_delay_in_units(self):
+        # 0.001 s at 1e-4 s per unit = 10 units.
+        assert linear_chain(4).pair_delay(0, 1) == 10.0
+
+    def test_non_neighbours_cannot_interact(self):
+        env = linear_chain(4)
+        assert math.isinf(env.pair_delay(0, 3))
+
+    def test_minimum_size(self):
+        with pytest.raises(EnvironmentError_):
+            linear_chain(1)
+
+
+class TestOtherTopologies:
+    def test_ring_edge_count(self):
+        graph = ring(6).adjacency_graph(KILOHERTZ_PAIR_DELAY)
+        assert graph.number_of_edges() == 6
+        assert all(d == 2 for _, d in graph.degree())
+
+    def test_ring_minimum_size(self):
+        with pytest.raises(EnvironmentError_):
+            ring(2)
+
+    def test_grid_edge_count(self):
+        graph = grid(3, 4).adjacency_graph(KILOHERTZ_PAIR_DELAY)
+        assert graph.number_of_nodes() == 12
+        assert graph.number_of_edges() == 3 * 3 + 2 * 4  # horizontal + vertical
+
+    def test_grid_rejects_single_qubit(self):
+        with pytest.raises(EnvironmentError_):
+            grid(1, 1)
+
+    def test_complete_graph(self):
+        graph = complete(5).adjacency_graph(KILOHERTZ_PAIR_DELAY)
+        assert graph.number_of_edges() == 10
+
+    def test_star_degree_structure(self):
+        graph = star(6).adjacency_graph(KILOHERTZ_PAIR_DELAY)
+        degrees = dict(graph.degree())
+        assert degrees[0] == 5
+        assert all(degrees[i] == 1 for i in range(1, 6))
+
+    def test_heavy_hex_bounded_degree(self):
+        graph = heavy_hex(3).adjacency_graph(KILOHERTZ_PAIR_DELAY)
+        assert nx.is_connected(graph)
+        assert max(d for _, d in graph.degree()) <= 4
+
+    def test_heavy_hex_minimum_distance(self):
+        with pytest.raises(EnvironmentError_):
+            heavy_hex(1)
+
+    def test_custom_delays_propagate(self):
+        env = linear_chain(4, pair_delay=25.0, single_qubit_delay=2.0)
+        assert env.pair_delay(1, 2) == 25.0
+        assert env.single_qubit_delay(0) == 2.0

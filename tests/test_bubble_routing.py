@@ -1,0 +1,149 @@
+"""Unit tests for the recursive bubble router (Section 5.2, experiment E7/E9)."""
+
+import random
+
+import networkx as nx
+import pytest
+
+from repro.exceptions import RoutingError
+from repro.routing.bubble import route_between_placements, route_permutation
+from repro.routing.permutation import Permutation
+from repro.simulation.verify import verify_routing_layers
+
+
+def _check_routing(graph, permutation, **kwargs):
+    """Route and assert delivery + structural validity; return the result."""
+    result = route_permutation(graph, permutation, **kwargs)
+    mapping = permutation.as_dict() if isinstance(permutation, Permutation) else dict(permutation)
+    assert verify_routing_layers(result.layers, mapping)
+    for layer in result.layers:
+        used = set()
+        for a, b in layer:
+            assert graph.has_edge(a, b)
+            assert a not in used and b not in used
+            used.update((a, b))
+    return result
+
+
+class TestBasicRouting:
+    def test_identity_needs_no_swaps(self):
+        graph = nx.path_graph(5)
+        result = route_permutation(graph, Permutation.identity(range(5)))
+        assert result.num_swaps == 0
+
+    def test_adjacent_transposition_single_swap(self):
+        graph = nx.path_graph(3)
+        result = _check_routing(graph, {0: 1, 1: 0})
+        assert result.num_swaps == 1
+        assert result.depth == 1
+
+    def test_end_to_end_move_on_a_path(self):
+        graph = nx.path_graph(5)
+        result = _check_routing(graph, {0: 4})
+        assert result.depth >= 4  # the token must travel four hops
+
+    def test_full_reversal_on_a_path(self):
+        graph = nx.path_graph(6)
+        permutation = {i: 5 - i for i in range(6)}
+        result = _check_routing(graph, permutation)
+        assert result.depth <= 8 * 6  # the paper's linear bound, generously
+
+    def test_cycle_rotation(self):
+        graph = nx.cycle_graph(6)
+        permutation = {i: (i + 1) % 6 for i in range(6)}
+        _check_routing(graph, permutation)
+
+    def test_unreachable_target_raises(self):
+        graph = nx.Graph([(0, 1), (2, 3)])
+        with pytest.raises(RoutingError):
+            route_permutation(graph, {0: 2, 2: 0})
+
+    def test_disconnected_graph_with_local_moves(self):
+        graph = nx.Graph([(0, 1), (2, 3)])
+        result = _check_routing(graph, {0: 1, 1: 0, 2: 3, 3: 2})
+        assert result.num_swaps == 2
+        assert result.depth == 1  # both components swap in parallel
+
+    def test_empty_graph(self):
+        result = route_permutation(nx.Graph(), {})
+        assert result.layers == []
+
+
+class TestFigure3Example:
+    def test_crotonic_acid_permutation(self, crotonic):
+        """Example 4 / Figure 3: the (M C1 H1 C2 C3 H2 C4) -> (C1 C2 C3 C4 H2 H1 M) permutation."""
+        graph = crotonic.adjacency_graph(100.0)
+        permutation = {
+            "M": "C1",
+            "C1": "C2",
+            "H1": "C3",
+            "C2": "C4",
+            "C3": "H2",
+            "H2": "H1",
+            "C4": "M",
+        }
+        result = _check_routing(graph, permutation)
+        # All seven tokens move; the bubble router must stay within the
+        # paper's linear-depth regime on this 7-node tree.
+        assert result.depth <= 14
+        assert result.num_swaps >= 6
+
+
+class TestRandomPermutations:
+    @pytest.mark.parametrize("graph_builder", [
+        lambda: nx.path_graph(9),
+        lambda: nx.cycle_graph(8),
+        lambda: nx.convert_node_labels_to_integers(nx.grid_2d_graph(3, 4)),
+        lambda: nx.random_labeled_tree(12, seed=7) if hasattr(nx, "random_labeled_tree") else nx.random_tree(12, seed=7),
+    ])
+    def test_random_full_permutations_delivered(self, graph_builder):
+        graph = graph_builder()
+        nodes = list(graph.nodes())
+        rng = random.Random(11)
+        for _ in range(5):
+            shuffled = list(nodes)
+            rng.shuffle(shuffled)
+            permutation = dict(zip(nodes, shuffled))
+            _check_routing(graph, permutation)
+
+    def test_partial_permutations_delivered(self):
+        graph = nx.path_graph(8)
+        rng = random.Random(3)
+        for _ in range(5):
+            chosen = rng.sample(range(8), 4)
+            targets = list(chosen)
+            rng.shuffle(targets)
+            partial = dict(zip(chosen, targets))
+            _check_routing(graph, partial)
+
+
+class TestLeafOverride:
+    def test_leaf_override_preserves_correctness(self, crotonic):
+        graph = crotonic.adjacency_graph(100.0)
+        permutation = {"M": "C1", "C1": "M", "H2": "C4", "C4": "H2"}
+        with_override = _check_routing(graph, permutation, leaf_override=True)
+        without_override = _check_routing(graph, permutation, leaf_override=False)
+        assert with_override.depth <= without_override.depth + 2
+
+    def test_leaf_override_handles_direct_neighbour_case(self):
+        # Token for the leaf sits on its only neighbour: one swap suffices.
+        graph = nx.path_graph(4)
+        result = route_permutation(graph, {2: 3, 3: 2}, leaf_override=True)
+        assert result.num_swaps == 1
+
+
+class TestBetweenPlacements:
+    def test_route_between_placements_moves_qubits(self, crotonic):
+        graph = crotonic.adjacency_graph(100.0)
+        placement_from = {"q0": "M", "q1": "C2"}
+        placement_to = {"q0": "C3", "q1": "C1"}
+        result = route_between_placements(graph, placement_from, placement_to)
+        # Track tokens explicitly.
+        position = {node: node for node in graph.nodes()}
+        for layer in result.layers:
+            for a, b in layer:
+                position[a], position[b] = position[b], position[a]
+        # position maps node -> token originally there; invert it.
+        location = {token: node for node, token in position.items()}
+        assert location["M"] == "C3"
+        assert location["C2"] == "C1"

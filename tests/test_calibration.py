@@ -1,0 +1,91 @@
+"""Tests for building environments from coupling-constant calibration data."""
+
+import pytest
+
+from repro.exceptions import EnvironmentError_
+from repro.hardware.calibration import (
+    DEFAULT_MIN_COUPLING_HZ,
+    acetyl_chloride_couplings_example,
+    coupling_to_delay,
+    environment_from_couplings,
+    pulse_to_delay,
+)
+
+
+class TestConversions:
+    def test_coupling_to_delay_formula(self):
+        # 1 / (4 * 25 Hz) = 10 ms = 100 units.
+        assert coupling_to_delay(25.0) == 100.0
+
+    def test_coupling_sign_is_ignored(self):
+        assert coupling_to_delay(-25.0) == coupling_to_delay(25.0)
+
+    def test_strong_couplings_clamp_at_one_unit(self):
+        assert coupling_to_delay(1e6) == 1.0
+
+    def test_zero_coupling_rejected(self):
+        with pytest.raises(EnvironmentError_):
+            coupling_to_delay(0.0)
+
+    def test_pulse_to_delay(self):
+        # A 800 us pulse is 8 units of 1e-4 s.
+        assert pulse_to_delay(800.0) == 8.0
+
+    def test_invalid_pulse_rejected(self):
+        with pytest.raises(EnvironmentError_):
+            pulse_to_delay(0.0)
+
+
+class TestEnvironmentFromCouplings:
+    def test_basic_construction(self):
+        env = environment_from_couplings(
+            {"A": 100.0, "B": 100.0}, {("A", "B"): 50.0}, name="demo"
+        )
+        assert env.num_qubits == 2
+        assert env.pair_delay("A", "B") == 50.0
+        assert env.single_qubit_delay("A") == 1.0
+
+    def test_weak_couplings_dropped(self):
+        env = environment_from_couplings(
+            {"A": 100.0, "B": 100.0, "C": 100.0},
+            {("A", "B"): 50.0, ("B", "C"): 0.1},
+        )
+        # The 0.1 Hz coupling is below the 0.2 Hz noise floor.
+        assert env.pair_delay("B", "C") == env.default_pair_delay
+        assert env.pair_delay("B", "C") == coupling_to_delay(DEFAULT_MIN_COUPLING_HZ)
+
+    def test_unknown_nucleus_rejected(self):
+        with pytest.raises(EnvironmentError_):
+            environment_from_couplings({"A": 100.0}, {("A", "Z"): 10.0})
+
+    def test_empty_rejected(self):
+        with pytest.raises(EnvironmentError_):
+            environment_from_couplings({}, {})
+
+    def test_invalid_noise_floor_rejected(self):
+        with pytest.raises(EnvironmentError_):
+            environment_from_couplings({"A": 100.0}, {}, min_coupling_hz=0.0)
+
+    def test_custom_unusable_delay(self):
+        env = environment_from_couplings(
+            {"A": 100.0, "B": 100.0}, {}, unusable_delay=777.0
+        )
+        assert env.pair_delay("A", "B") == 777.0
+
+
+class TestCalibratedAcetylChloride:
+    def test_example_close_to_figure1_values(self):
+        env = acetyl_chloride_couplings_example()
+        exact = {"M-C1": 38.0, "C1-C2": 89.0, "M-C2": 672.0}
+        assert env.pair_delay("M", "C1") == pytest.approx(exact["M-C1"], rel=0.05)
+        assert env.pair_delay("C1", "C2") == pytest.approx(exact["C1-C2"], rel=0.05)
+        assert env.pair_delay("M", "C2") == pytest.approx(exact["M-C2"], rel=0.05)
+
+    def test_example_supports_placement(self):
+        from repro.circuits.library import qec3_encoder
+        from repro.core.placement import place_circuit
+
+        result = place_circuit(qec3_encoder(), acetyl_chloride_couplings_example())
+        assert result.num_subcircuits == 1
+        # The optimum of the calibrated molecule is close to the exact 136.
+        assert result.total_runtime == pytest.approx(136.0, rel=0.1)

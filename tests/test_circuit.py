@@ -1,0 +1,141 @@
+"""Unit tests for the QuantumCircuit container."""
+
+import pytest
+
+from repro.circuits import gates as g
+from repro.circuits.circuit import QuantumCircuit
+from repro.exceptions import CircuitError
+
+
+@pytest.fixture
+def simple_circuit():
+    return QuantumCircuit(
+        ["a", "b", "c"],
+        [g.ry("a", 90), g.zz("a", "b", 90), g.ry("c", 90), g.zz("b", "c", 90)],
+        name="simple",
+    )
+
+
+class TestConstruction:
+    def test_empty_circuit(self):
+        circuit = QuantumCircuit(["a"])
+        assert circuit.num_gates == 0
+        assert circuit.num_qubits == 1
+
+    def test_duplicate_qubits_rejected(self):
+        with pytest.raises(CircuitError):
+            QuantumCircuit(["a", "a"])
+
+    def test_zero_qubits_rejected(self):
+        with pytest.raises(CircuitError):
+            QuantumCircuit([])
+
+    def test_gate_on_unknown_qubit_rejected(self):
+        circuit = QuantumCircuit(["a", "b"])
+        with pytest.raises(CircuitError):
+            circuit.append(g.rx("z", 90))
+
+    def test_append_non_gate_rejected(self):
+        circuit = QuantumCircuit(["a"])
+        with pytest.raises(CircuitError):
+            circuit.append("not a gate")
+
+    def test_append_returns_self_for_chaining(self):
+        circuit = QuantumCircuit(["a", "b"])
+        assert circuit.append(g.rx("a")).append(g.zz("a", "b")) is circuit
+
+    def test_integer_qubit_labels(self):
+        circuit = QuantumCircuit(range(4), [g.cnot(0, 1), g.cnot(2, 3)])
+        assert circuit.num_qubits == 4
+        assert circuit.num_gates == 2
+
+
+class TestQueries:
+    def test_counts(self, simple_circuit):
+        assert simple_circuit.num_gates == 4
+        assert simple_circuit.num_two_qubit_gates == 2
+        assert len(simple_circuit) == 4
+
+    def test_iteration_order(self, simple_circuit):
+        names = [gate.name for gate in simple_circuit]
+        assert names == ["Ry", "ZZ", "Ry", "ZZ"]
+
+    def test_indexing(self, simple_circuit):
+        assert simple_circuit[1].name == "ZZ"
+
+    def test_slicing_returns_circuit(self, simple_circuit):
+        sliced = simple_circuit[:2]
+        assert isinstance(sliced, QuantumCircuit)
+        assert sliced.num_gates == 2
+        assert sliced.qubits == simple_circuit.qubits
+
+    def test_two_qubit_gates(self, simple_circuit):
+        pairs = [gate.interaction() for gate in simple_circuit.two_qubit_gates()]
+        assert pairs == [("a", "b"), ("b", "c")]
+
+    def test_used_qubits_in_first_use_order(self, simple_circuit):
+        assert simple_circuit.used_qubits() == ("a", "b", "c")
+
+    def test_interactions_unique(self):
+        circuit = QuantumCircuit(["a", "b"], [g.zz("a", "b"), g.zz("b", "a")])
+        assert circuit.interactions() == [("a", "b")]
+
+    def test_interaction_counts(self):
+        circuit = QuantumCircuit(
+            ["a", "b", "c"], [g.zz("a", "b"), g.zz("a", "b"), g.zz("b", "c")]
+        )
+        counts = circuit.interaction_counts()
+        assert counts[("a", "b")] == 2
+        assert counts[("b", "c")] == 1
+
+    def test_gate_name_counts(self, simple_circuit):
+        assert simple_circuit.gate_name_counts() == {"Ry": 2, "ZZ": 2}
+
+    def test_total_duration(self, simple_circuit):
+        assert simple_circuit.total_duration() == pytest.approx(4.0)
+
+    def test_equality(self, simple_circuit):
+        copy = simple_circuit.copy()
+        assert copy == simple_circuit
+        copy.append(g.rx("a"))
+        assert copy != simple_circuit
+
+
+class TestTransformations:
+    def test_remap(self, simple_circuit):
+        remapped = simple_circuit.remap({"a": "M", "b": "C1", "c": "C2"})
+        assert remapped.qubits == ("M", "C1", "C2")
+        assert remapped[1].qubits == ("M", "C1")
+
+    def test_remap_partial(self, simple_circuit):
+        remapped = simple_circuit.remap({"a": "M"})
+        assert remapped.qubits == ("M", "b", "c")
+
+    def test_concatenate(self):
+        first = QuantumCircuit(["a", "b"], [g.zz("a", "b")])
+        second = QuantumCircuit(["b", "c"], [g.zz("b", "c")])
+        combined = first.concatenate(second)
+        assert combined.num_gates == 2
+        assert combined.qubits == ("a", "b", "c")
+
+    def test_without_free_gates(self):
+        circuit = QuantumCircuit(["a"], [g.rz("a", 90), g.rx("a", 90)])
+        filtered = circuit.without_free_gates()
+        assert filtered.num_gates == 1
+        assert filtered[0].name == "Rx"
+
+    def test_subcircuit(self, simple_circuit):
+        sub = simple_circuit.subcircuit(1, 3)
+        assert sub.num_gates == 2
+        assert sub[0].name == "ZZ"
+
+    def test_subcircuit_invalid_range(self, simple_circuit):
+        with pytest.raises(CircuitError):
+            simple_circuit.subcircuit(3, 1)
+        with pytest.raises(CircuitError):
+            simple_circuit.subcircuit(0, 99)
+
+    def test_copy_is_independent(self, simple_circuit):
+        copy = simple_circuit.copy()
+        copy.append(g.rx("a"))
+        assert simple_circuit.num_gates == 4

@@ -1,0 +1,189 @@
+"""Unit tests for the benchmark circuit library (experiment E6 and friends)."""
+
+import pytest
+
+from repro.circuits.interaction_graph import interaction_graph
+from repro.circuits.library import (
+    CIRCUIT_FACTORIES,
+    aqft9,
+    aqft12,
+    benchmark_circuit,
+    benchmark_circuit_names,
+    cat_state_circuit,
+    phase_estimation_circuit,
+    phaseest,
+    pseudo_cat_state_10q,
+    qec3_decoder,
+    qec3_encode_decode,
+    qec3_encoder,
+    qec5_encoder,
+    qec5_round,
+    qft6,
+    qft_circuit,
+    steane_xz1,
+    steane_xz2,
+)
+from repro.exceptions import CircuitError
+
+
+class TestQec3Encoder:
+    """Figure 2 of the paper, reproduced verbatim."""
+
+    def test_gate_count_and_qubits(self):
+        circuit = qec3_encoder()
+        assert circuit.num_qubits == 3
+        assert circuit.num_gates == 9
+        assert circuit.num_two_qubit_gates == 2
+
+    def test_gate_sequence_matches_figure2(self):
+        names = [gate.name for gate in qec3_encoder()]
+        assert names == ["Ry", "ZZ", "Rz", "Rz", "Ry", "ZZ", "Rz", "Rz", "Ry"]
+
+    def test_interactions_are_ab_and_bc(self):
+        graph = interaction_graph(qec3_encoder())
+        assert set(map(frozenset, graph.edges())) == {
+            frozenset({"a", "b"}),
+            frozenset({"b", "c"}),
+        }
+
+    def test_decoder_reverses_encoder(self):
+        encoder = qec3_encoder()
+        decoder = qec3_decoder()
+        assert decoder.num_gates == encoder.num_gates
+        assert decoder[0].name == encoder[-1].name
+
+    def test_encode_decode_doubles_gate_count(self):
+        assert qec3_encode_decode().num_gates == 18
+
+
+class TestQftFamily:
+    def test_qft6_sizes(self):
+        circuit = qft6()
+        assert circuit.num_qubits == 6
+        assert circuit.num_two_qubit_gates == 15  # complete graph K6
+
+    def test_qft_interaction_graph_complete(self):
+        graph = interaction_graph(qft6())
+        assert graph.number_of_edges() == 15
+
+    def test_aqft_drops_long_range_rotations(self):
+        exact = qft_circuit(9)
+        approx = aqft9()
+        assert approx.num_two_qubit_gates < exact.num_two_qubit_gates
+
+    def test_aqft12_has_twelve_qubits(self):
+        assert aqft12().num_qubits == 12
+
+    def test_qft_rotation_angles_halve_with_distance(self):
+        circuit = qft_circuit(4)
+        cphases = [gate for gate in circuit if gate.name == "CPHASE"]
+        angles = sorted({gate.angle for gate in cphases}, reverse=True)
+        assert angles == [90.0, 45.0, 22.5]
+
+    def test_final_swaps_optional(self):
+        with_swaps = qft_circuit(4, include_final_swaps=True)
+        without = qft_circuit(4)
+        assert with_swaps.num_gates == without.num_gates + 2
+
+    def test_qft_too_small_rejected(self):
+        with pytest.raises(CircuitError):
+            qft_circuit(1)
+
+
+class TestPhaseEstimation:
+    def test_phaseest_is_five_qubits(self):
+        circuit = phaseest()
+        assert circuit.num_qubits == 5
+        assert circuit.name == "phaseest"
+
+    def test_counting_register_size_configurable(self):
+        circuit = phase_estimation_circuit(3, 1)
+        assert circuit.num_qubits == 4
+
+    def test_every_counting_qubit_touches_the_eigenstate(self):
+        graph = interaction_graph(phaseest())
+        eigenstate = 4
+        assert all(graph.has_edge(q, eigenstate) for q in range(4))
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(CircuitError):
+            phase_estimation_circuit(0, 1)
+        with pytest.raises(CircuitError):
+            phase_estimation_circuit(3, 0)
+
+
+class TestErrorCorrectionAndCatState:
+    def test_qec5_sizes_match_table2(self):
+        circuit = qec5_encoder()
+        assert circuit.num_qubits == 5
+        assert circuit.num_gates == 25
+
+    def test_qec5_round_doubles(self):
+        assert qec5_round().num_gates == 50
+
+    def test_cat_state_sizes_match_table2(self):
+        circuit = pseudo_cat_state_10q()
+        assert circuit.num_qubits == 10
+        assert 50 <= circuit.num_gates <= 56  # the paper reports 54
+
+    def test_cat_state_interaction_graph_is_a_path(self):
+        graph = interaction_graph(pseudo_cat_state_10q())
+        degrees = sorted(d for _, d in graph.degree())
+        assert degrees == [1, 1] + [2] * 8
+
+    def test_cat_state_minimum_size(self):
+        with pytest.raises(CircuitError):
+            cat_state_circuit(1)
+
+    def test_cat_state_custom_labels(self):
+        circuit = cat_state_circuit(3, qubits=["x", "y", "z"])
+        assert circuit.qubits == ("x", "y", "z")
+
+
+class TestSteane:
+    def test_both_variants_have_ten_qubits(self):
+        assert steane_xz1().num_qubits == 10
+        assert steane_xz2().num_qubits == 10
+
+    def test_variant1_uses_twelve_data_couplings(self):
+        circuit = steane_xz1()
+        assert circuit.num_two_qubit_gates == 12
+
+    def test_variant2_adds_ancilla_entanglement(self):
+        graph = interaction_graph(steane_xz2())
+        assert graph.has_edge("a0", "a1")
+        assert graph.has_edge("a1", "a2")
+
+    def test_variants_differ(self):
+        assert steane_xz1().gates != steane_xz2().gates
+
+    def test_invalid_variant_rejected(self):
+        from repro.circuits.library.steane import steane_syndrome_circuit
+
+        with pytest.raises(CircuitError):
+            steane_syndrome_circuit(3)
+
+
+class TestRegistry:
+    def test_registry_contains_all_paper_circuits(self):
+        expected = {
+            "error-correction-encoding", "5-bit-error-correction",
+            "pseudo-cat-state", "phaseest", "qft6", "aqft9", "aqft12",
+            "steane-x/z1", "steane-x/z2",
+        }
+        assert set(CIRCUIT_FACTORIES) == expected
+
+    def test_benchmark_circuit_lookup(self):
+        assert benchmark_circuit("qft6").num_qubits == 6
+
+    def test_unknown_circuit_raises(self):
+        with pytest.raises(KeyError):
+            benchmark_circuit("shor-2048")
+
+    def test_names_sorted(self):
+        assert benchmark_circuit_names() == sorted(CIRCUIT_FACTORIES)
+
+    def test_all_registry_circuits_have_only_small_gates(self):
+        for name in CIRCUIT_FACTORIES:
+            circuit = benchmark_circuit(name)
+            assert all(gate.num_qubits <= 2 for gate in circuit)

@@ -1,0 +1,72 @@
+"""Tests of the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.circuits import qasm
+from repro.circuits.library import qec3_encoder
+from repro.hardware import io as hio
+from repro.hardware.molecules import acetyl_chloride
+
+
+class TestParser:
+    def test_parser_has_three_subcommands(self):
+        parser = build_parser()
+        actions = [a for a in parser._actions if hasattr(a, "choices") and a.choices]
+        subcommands = set(actions[0].choices)
+        assert subcommands == {"place", "sweep", "list"}
+
+    def test_missing_subcommand_errors(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        assert "qft6" in output
+        assert "acetyl-chloride" in output
+
+    def test_place_benchmark_on_molecule(self, capsys):
+        code = main(["place", "error-correction-encoding", "acetyl-chloride"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "0.0136" in output
+        assert "stage 0" in output
+
+    def test_place_with_threshold_flag(self, capsys):
+        code = main(
+            ["place", "phaseest", "trans-crotonic-acid", "--threshold", "100"]
+        )
+        assert code == 0
+        assert "subcircuit" in capsys.readouterr().out
+
+    def test_place_from_files(self, tmp_path, capsys):
+        circuit_path = tmp_path / "encoder.qc"
+        env_path = tmp_path / "molecule.json"
+        qasm.dump(qec3_encoder(), str(circuit_path))
+        hio.save(acetyl_chloride(), str(env_path))
+        code = main(["place", str(circuit_path), str(env_path)])
+        assert code == 0
+        assert "0.0136" in capsys.readouterr().out
+
+    def test_sweep_command(self, capsys):
+        code = main(
+            ["sweep", "error-correction-encoding", "acetyl-chloride",
+             "--thresholds", "50", "100"]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "threshold 50" in output
+        assert "threshold 100" in output
+
+    def test_unknown_circuit_is_a_clean_error(self, capsys):
+        code = main(["place", "not-a-circuit", "acetyl-chloride"])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_unknown_molecule_is_a_clean_error(self, capsys):
+        code = main(["place", "qft6", "not-a-molecule"])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err

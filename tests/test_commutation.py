@@ -1,0 +1,131 @@
+"""Unit tests for gate commutation and commutation-aware reordering."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import gates as g
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.commutation import (
+    commutation_aware_reorder,
+    count_interaction_alternations,
+    gates_commute,
+)
+from repro.circuits.library import qft_circuit
+from repro.simulation.statevector import circuit_unitary
+from repro.simulation.unitaries import gate_unitary
+
+
+def _matrices_commute(first, second, qubits):
+    """Numerical ground truth: do the two gates commute on this register?"""
+    circuit_ab = QuantumCircuit(qubits, [first, second])
+    circuit_ba = QuantumCircuit(qubits, [second, first])
+    return np.allclose(circuit_unitary(circuit_ab), circuit_unitary(circuit_ba), atol=1e-9)
+
+
+class TestGatesCommute:
+    def test_disjoint_supports_commute(self):
+        assert gates_commute(g.rx("a", 90), g.ry("b", 90))
+        assert gates_commute(g.zz("a", "b"), g.zz("c", "d"))
+
+    def test_diagonal_gates_commute_even_when_sharing_qubits(self):
+        assert gates_commute(g.zz("a", "b"), g.zz("b", "c"))
+        assert gates_commute(g.rz("a"), g.zz("a", "b"))
+        assert gates_commute(g.cz("a", "b"), g.controlled_phase("b", "c", 45))
+
+    def test_same_axis_rotations_commute(self):
+        assert gates_commute(g.rx("a", 30), g.rx("a", 60))
+        assert gates_commute(g.ry("a", 30), g.ry("a", 60))
+
+    def test_different_axis_rotations_do_not_commute(self):
+        assert not gates_commute(g.rx("a", 90), g.ry("a", 90))
+
+    def test_non_diagonal_two_qubit_gates_sharing_a_qubit(self):
+        assert not gates_commute(g.cnot("a", "b"), g.cnot("b", "c"))
+
+    @pytest.mark.parametrize(
+        "first,second",
+        [
+            (g.zz("a", "b", 90), g.zz("b", "c", 45)),
+            (g.rz("a", 30), g.zz("a", "b", 90)),
+            (g.rx("a", 30), g.rx("a", 45)),
+            (g.cz("a", "b"), g.rz("b", 90)),
+            (g.controlled_phase("a", "b", 60), g.cz("b", "c")),
+        ],
+    )
+    def test_positive_answers_are_numerically_sound(self, first, second):
+        assert gates_commute(first, second)
+        assert _matrices_commute(first, second, ["a", "b", "c"])
+
+
+class TestReordering:
+    def test_reordering_preserves_the_unitary(self):
+        circuit = qft_circuit(4)
+        reordered = commutation_aware_reorder(circuit)
+        assert np.allclose(
+            circuit_unitary(reordered), circuit_unitary(circuit), atol=1e-9
+        )
+
+    def test_reordering_preserves_gate_multiset(self):
+        circuit = qft_circuit(5)
+        reordered = commutation_aware_reorder(circuit)
+        assert sorted(map(repr, reordered.gates)) == sorted(map(repr, circuit.gates))
+
+    def test_reordering_groups_same_pair_gates(self):
+        # Two ZZ blocks on (a, b) separated by a commuting ZZ on (b, c).
+        circuit = QuantumCircuit(
+            ["a", "b", "c"],
+            [g.zz("a", "b", 90), g.zz("b", "c", 90), g.zz("a", "b", 45)],
+        )
+        reordered = commutation_aware_reorder(circuit)
+        assert count_interaction_alternations(reordered) < count_interaction_alternations(circuit)
+
+    def test_reordering_never_increases_alternations(self):
+        for circuit in (qft_circuit(5), qft_circuit(6)):
+            before = count_interaction_alternations(circuit)
+            after = count_interaction_alternations(commutation_aware_reorder(circuit))
+            assert after <= before
+
+    def test_non_commuting_gates_keep_their_order(self):
+        circuit = QuantumCircuit(
+            ["a", "b", "c"],
+            [g.cnot("a", "b"), g.cnot("b", "c"), g.cnot("a", "b")],
+        )
+        reordered = commutation_aware_reorder(circuit)
+        assert reordered.gates == circuit.gates
+
+
+class TestAlternationMetric:
+    def test_counts_pair_switches(self):
+        circuit = QuantumCircuit(
+            ["a", "b", "c"],
+            [g.zz("a", "b"), g.zz("a", "b"), g.zz("b", "c"), g.zz("a", "b")],
+        )
+        assert count_interaction_alternations(circuit) == 2
+
+    def test_single_qubit_gates_ignored(self):
+        circuit = QuantumCircuit(["a", "b"], [g.zz("a", "b"), g.rx("a"), g.zz("a", "b")])
+        assert count_interaction_alternations(circuit) == 0
+
+
+class TestPlacerIntegration:
+    def test_reorder_option_preserves_placement_correctness(self, crotonic):
+        from repro.core.config import PlacementOptions
+        from repro.core.placement import place_circuit
+        from repro.simulation.verify import verify_placement
+
+        circuit = qft_circuit(5)
+        options = PlacementOptions(threshold=100.0, reorder_commuting_gates=True)
+        result = place_circuit(circuit, crotonic, options)
+        report = verify_placement(circuit, result, crotonic, num_random_states=1)
+        assert report.equivalent
+
+    def test_reorder_option_does_not_hurt_much(self, crotonic):
+        from repro.core.config import PlacementOptions
+        from repro.core.placement import place_circuit
+
+        plain = place_circuit(qft_circuit(6), crotonic, PlacementOptions(threshold=200.0))
+        reordered = place_circuit(
+            qft_circuit(6), crotonic,
+            PlacementOptions(threshold=200.0, reorder_commuting_gates=True),
+        )
+        assert reordered.total_runtime <= plain.total_runtime * 1.25

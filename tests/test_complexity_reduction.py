@@ -1,0 +1,85 @@
+"""Tests of the Hamiltonian-cycle reduction (Section 4, experiment E8)."""
+
+import networkx as nx
+import pytest
+
+from repro.complexity.hamiltonian_cycle import (
+    find_zero_cost_placement,
+    has_hamiltonian_cycle,
+    placement_cost,
+    reduction_circuit,
+    reduction_environment,
+    verify_reduction,
+)
+from repro.exceptions import ReproError
+
+
+class TestReductionConstruction:
+    def test_environment_weights_encode_graph(self):
+        graph = nx.cycle_graph(4)
+        env = reduction_environment(graph)
+        assert env.pair_delay(0, 1) == 0.0  # edge of H
+        assert env.pair_delay(0, 2) == 1.0  # non-edge of H
+
+    def test_environment_single_qubit_delays_are_zero(self):
+        env = reduction_environment(nx.cycle_graph(4))
+        assert all(env.single_qubit_delay(node) == 0.0 for node in env.nodes)
+
+    def test_circuit_has_one_gate_per_level(self):
+        circuit = reduction_circuit(5)
+        assert circuit.num_gates == 5
+        assert all(gate.is_two_qubit for gate in circuit)
+
+    def test_circuit_interactions_form_a_cycle(self):
+        from repro.circuits.interaction_graph import interaction_graph
+
+        graph = interaction_graph(reduction_circuit(5))
+        assert nx.is_isomorphic(graph, nx.cycle_graph(5))
+
+    def test_too_small_inputs_rejected(self):
+        with pytest.raises(ReproError):
+            reduction_environment(nx.path_graph(2))
+        with pytest.raises(ReproError):
+            reduction_circuit(2)
+
+
+class TestEquivalence:
+    def test_cycle_graph_has_zero_cost_placement(self):
+        graph = nx.cycle_graph(5)
+        assignment = find_zero_cost_placement(graph)
+        assert assignment is not None
+        assert placement_cost(graph, assignment) == 0.0
+
+    def test_tree_has_no_zero_cost_placement(self):
+        tree = nx.balanced_tree(2, 2)
+        assert find_zero_cost_placement(tree) is None
+        assert not has_hamiltonian_cycle(tree)
+
+    def test_complete_graph_is_hamiltonian(self):
+        assert has_hamiltonian_cycle(nx.complete_graph(5))
+
+    def test_petersen_graph_is_not_hamiltonian(self):
+        """The Petersen graph is the classic non-Hamiltonian counterexample."""
+        assert not has_hamiltonian_cycle(nx.petersen_graph())
+
+    def test_star_graph_is_not_hamiltonian(self):
+        assert not has_hamiltonian_cycle(nx.star_graph(4))
+
+    def test_nonzero_cost_counts_missing_edges(self):
+        graph = nx.path_graph(4)  # 0-1-2-3, no cycle edge 3-0
+        cost = placement_cost(graph, [0, 1, 2, 3])
+        assert cost >= 1.0
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_verify_reduction_on_random_graphs(self, seed):
+        graph = nx.gnp_random_graph(6, 0.5, seed=seed)
+        if graph.number_of_nodes() < 3:
+            pytest.skip("degenerate random graph")
+        assert verify_reduction(graph)
+
+    def test_zero_cost_placement_is_a_hamiltonian_cycle(self):
+        graph = nx.cycle_graph(6)
+        assignment = find_zero_cost_placement(graph)
+        pairs = list(zip(assignment, assignment[1:] + [assignment[0]]))
+        assert all(graph.has_edge(a, b) for a, b in pairs)
+        assert len(set(assignment)) == 6

@@ -1,0 +1,140 @@
+"""Unit tests for gate decompositions and NMR rewriting."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import gates as g
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.decompose import (
+    cnot_to_zz,
+    cphase_to_zz,
+    cz_to_zz,
+    expand_multi_qubit_gate,
+    hadamard_to_rotations,
+    rewrite_gate_to_nmr,
+    rewrite_to_nmr,
+    swap_to_cnots,
+    toffoli,
+)
+from repro.circuits.interaction_graph import interaction_graph
+from repro.exceptions import CircuitError
+from repro.simulation.statevector import circuit_unitary
+
+
+def _equal_up_to_phase(u, v, atol=1e-9):
+    index = np.unravel_index(np.argmax(np.abs(v)), v.shape)
+    if abs(v[index]) < atol:
+        return np.allclose(u, v, atol=atol)
+    phase = u[index] / v[index]
+    return np.allclose(u, phase * v, atol=atol)
+
+
+class TestTwoQubitDecompositions:
+    def test_cnot_decomposition_preserves_interaction_pair(self):
+        gates = cnot_to_zz("a", "b")
+        pairs = {gate.interaction() for gate in gates if gate.is_two_qubit}
+        assert pairs == {("a", "b")}
+
+    def test_cnot_decomposition_total_two_qubit_duration(self):
+        gates = cnot_to_zz("a", "b")
+        assert sum(gate.duration for gate in gates if gate.is_two_qubit) == 1.0
+
+    def test_cz_decomposition_single_interaction(self):
+        gates = cz_to_zz("a", "b")
+        assert sum(1 for gate in gates if gate.is_two_qubit) == 1
+
+    def test_cz_decomposition_is_unitarily_correct(self):
+        circuit = QuantumCircuit(["a", "b"], cz_to_zz("a", "b"))
+        expected = QuantumCircuit(["a", "b"], [g.cz("a", "b")])
+        assert _equal_up_to_phase(circuit_unitary(circuit), circuit_unitary(expected))
+
+    def test_cphase_decomposition_is_unitarily_correct(self):
+        circuit = QuantumCircuit(["a", "b"], cphase_to_zz("a", "b", 90.0))
+        expected = QuantumCircuit(["a", "b"], [g.controlled_phase("a", "b", 90.0)])
+        assert _equal_up_to_phase(circuit_unitary(circuit), circuit_unitary(expected))
+
+    def test_swap_to_cnots_is_unitarily_correct(self):
+        circuit = QuantumCircuit(["a", "b"], swap_to_cnots("a", "b"))
+        expected = QuantumCircuit(["a", "b"], [g.swap("a", "b")])
+        assert _equal_up_to_phase(circuit_unitary(circuit), circuit_unitary(expected))
+
+    def test_hadamard_decomposition_is_unitarily_correct(self):
+        circuit = QuantumCircuit(["a"], hadamard_to_rotations("a"))
+        expected = QuantumCircuit(["a"], [g.hadamard("a")])
+        assert _equal_up_to_phase(circuit_unitary(circuit), circuit_unitary(expected))
+
+
+class TestToffoli:
+    def test_toffoli_uses_only_one_and_two_qubit_gates(self):
+        gates = toffoli("a", "b", "c")
+        assert all(gate.num_qubits <= 2 for gate in gates)
+
+    def test_toffoli_is_unitarily_correct_on_basis_states(self):
+        circuit = QuantumCircuit(["a", "b", "c"], toffoli("a", "b", "c"))
+        unitary = circuit_unitary(circuit)
+        # The Toffoli permutes basis states: |110> <-> |111> and fixes others.
+        dim = 8
+        expected = np.eye(dim, dtype=complex)
+        # Qubit order (a, b, c) with a the least significant bit.
+        idx_110 = 0b011  # a=1, b=1, c=0
+        idx_111 = 0b111
+        expected[[idx_110, idx_111]] = expected[[idx_111, idx_110]]
+        assert _equal_up_to_phase(unitary, expected)
+
+    def test_expand_multi_qubit_gate_toffoli(self):
+        gates = expand_multi_qubit_gate("toffoli", ["x", "y", "z"])
+        assert all(gate.num_qubits <= 2 for gate in gates)
+
+    def test_expand_unknown_gate_raises(self):
+        with pytest.raises(CircuitError):
+            expand_multi_qubit_gate("FREDKIN", ["x", "y", "z"])
+
+
+class TestRewriteToNmr:
+    def test_native_gates_untouched(self):
+        gate = g.zz("a", "b", 90)
+        assert rewrite_gate_to_nmr(gate) == [gate]
+
+    def test_unknown_gate_passes_through(self):
+        gate = g.generic_2q("a", "b", 3.0)
+        assert rewrite_gate_to_nmr(gate) == [gate]
+
+    def test_rewrite_preserves_interaction_graph(self):
+        circuit = QuantumCircuit(
+            ["a", "b", "c"], [g.cnot("a", "b"), g.cz("b", "c"), g.hadamard("a")]
+        )
+        original = interaction_graph(circuit)
+        rewritten = interaction_graph(rewrite_to_nmr(circuit))
+        assert set(map(frozenset, original.edges())) == set(
+            map(frozenset, rewritten.edges())
+        )
+
+    def test_rewrite_preserves_two_qubit_duration_per_pair(self):
+        circuit = QuantumCircuit(["a", "b"], [g.cnot("a", "b")])
+        rewritten = rewrite_to_nmr(circuit)
+        original_duration = sum(
+            gate.duration for gate in circuit if gate.is_two_qubit
+        )
+        rewritten_duration = sum(
+            gate.duration for gate in rewritten if gate.is_two_qubit
+        )
+        assert rewritten_duration == pytest.approx(original_duration)
+
+    def test_rewrite_only_uses_nmr_names(self):
+        circuit = QuantumCircuit(
+            ["a", "b"], [g.cnot("a", "b"), g.hadamard("a"), g.pauli_x("b")]
+        )
+        rewritten = rewrite_to_nmr(circuit)
+        assert set(gate.name for gate in rewritten) <= {"Rx", "Ry", "Rz", "ZZ"}
+
+    def test_cnot_rewrite_is_unitarily_correct(self):
+        circuit = QuantumCircuit(["a", "b"], [g.cnot("a", "b")])
+        rewritten = rewrite_to_nmr(circuit)
+        assert _equal_up_to_phase(
+            circuit_unitary(rewritten), circuit_unitary(circuit), atol=1e-8
+        )
+
+    def test_cnot_decomposition_is_unitarily_correct(self):
+        circuit = QuantumCircuit(["a", "b"], cnot_to_zz("a", "b"))
+        expected = QuantumCircuit(["a", "b"], [g.cnot("a", "b")])
+        assert _equal_up_to_phase(circuit_unitary(circuit), circuit_unitary(expected))

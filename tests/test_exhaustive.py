@@ -1,0 +1,83 @@
+"""Unit tests for the whole-circuit placement baselines."""
+
+import pytest
+
+from repro.circuits import gates as g
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.library import qec3_encoder
+from repro.core.exhaustive import (
+    hill_climbing_whole_circuit_placement,
+    iter_placements,
+    optimal_whole_circuit_placement,
+    search_space_size,
+    whole_circuit_runtime,
+)
+from repro.exceptions import PlacementError
+from repro.hardware.molecules import histidine
+
+
+class TestSearchSpace:
+    def test_table2_search_space_sizes(self, acetyl, crotonic, histidine_env):
+        assert search_space_size(qec3_encoder(), acetyl) == 6
+        five_qubit = QuantumCircuit(range(5), [g.cnot(0, 1)])
+        assert search_space_size(five_qubit, crotonic) == 2520
+        ten_qubit = QuantumCircuit(range(10), [g.cnot(0, 1)])
+        assert search_space_size(ten_qubit, histidine_env) == 239_500_800
+
+    def test_iter_placements_count(self, acetyl):
+        circuit = QuantumCircuit(["a", "b"], [g.zz("a", "b")])
+        assert len(list(iter_placements(circuit, acetyl))) == 6
+
+
+class TestOptimalPlacement:
+    def test_encoder_optimum_matches_paper(self, acetyl, encoder_circuit):
+        placement, runtime = optimal_whole_circuit_placement(
+            encoder_circuit, acetyl, apply_interaction_cap=False
+        )
+        assert runtime == 136.0
+        assert placement == {"a": "C2", "b": "C1", "c": "M"}
+
+    def test_circuit_too_large_rejected(self, acetyl):
+        circuit = QuantumCircuit(range(4), [g.cnot(0, 1)])
+        with pytest.raises(PlacementError):
+            optimal_whole_circuit_placement(circuit, acetyl)
+
+    def test_search_space_limit_enforced(self, histidine_env):
+        circuit = QuantumCircuit(range(10), [g.cnot(0, 1)])
+        with pytest.raises(PlacementError):
+            optimal_whole_circuit_placement(
+                circuit, histidine_env, search_space_limit=1000
+            )
+
+    def test_restricting_nodes(self, crotonic, encoder_circuit):
+        placement, runtime = optimal_whole_circuit_placement(
+            encoder_circuit, crotonic, nodes=["M", "C1", "C2"]
+        )
+        assert set(placement.values()) <= {"M", "C1", "C2"}
+
+
+class TestHillClimbingBaseline:
+    def test_matches_exhaustive_on_encoder(self, acetyl, encoder_circuit):
+        _, exhaustive_runtime = optimal_whole_circuit_placement(
+            encoder_circuit, acetyl, apply_interaction_cap=False
+        )
+        _, climbed_runtime = hill_climbing_whole_circuit_placement(
+            encoder_circuit, acetyl, apply_interaction_cap=False
+        )
+        assert climbed_runtime == exhaustive_runtime
+
+    def test_rejects_oversized_circuit(self, acetyl):
+        circuit = QuantumCircuit(range(4), [g.cnot(0, 1)])
+        with pytest.raises(PlacementError):
+            hill_climbing_whole_circuit_placement(circuit, acetyl)
+
+
+class TestWholeCircuitRuntime:
+    def test_falls_back_to_hill_climbing_for_large_spaces(self, histidine_env):
+        circuit = QuantumCircuit(
+            range(10), [g.cnot(i, i + 1) for i in range(9)]
+        )
+        runtime = whole_circuit_runtime(
+            circuit, histidine_env, search_space_limit=1000
+        )
+        assert runtime > 0

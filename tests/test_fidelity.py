@@ -1,0 +1,86 @@
+"""Unit tests for the fidelity model."""
+
+import pytest
+
+from repro.circuits import gates as g
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.library import qec3_encoder
+from repro.core.placement import place_circuit
+from repro.exceptions import ReproError
+from repro.timing.fidelity import (
+    FidelityModel,
+    estimate_fidelity,
+    fidelity_of_placement_result,
+    gate_fidelity,
+)
+
+
+class TestFidelityModel:
+    def test_invalid_time_constants_rejected(self):
+        with pytest.raises(ReproError):
+            FidelityModel(coherence_time=0)
+        with pytest.raises(ReproError):
+            FidelityModel(gate_quality_time=-1)
+
+    def test_gate_fidelity_bounds(self):
+        model = FidelityModel()
+        assert gate_fidelity(0.0, model) == 1.0
+        assert 0 < gate_fidelity(1000.0, model) < 1.0
+
+
+class TestEstimateFidelity:
+    def test_fidelity_in_unit_interval(self, acetyl, encoder_circuit):
+        value = estimate_fidelity(
+            encoder_circuit, {"a": "C2", "b": "C1", "c": "M"}, acetyl
+        )
+        assert 0 < value <= 1
+
+    def test_better_placement_has_higher_fidelity(self, acetyl, encoder_circuit):
+        good = estimate_fidelity(
+            encoder_circuit, {"a": "C2", "b": "C1", "c": "M"}, acetyl
+        )
+        bad = estimate_fidelity(
+            encoder_circuit, {"a": "M", "b": "C2", "c": "C1"}, acetyl
+        )
+        assert good > bad
+
+    def test_empty_circuit_has_unit_fidelity(self, acetyl):
+        circuit = QuantumCircuit(["a"])
+        assert estimate_fidelity(circuit, {"a": "M"}, acetyl) == pytest.approx(1.0)
+
+    def test_longer_coherence_time_helps(self, acetyl, encoder_circuit):
+        placement = {"a": "C2", "b": "C1", "c": "M"}
+        short = estimate_fidelity(
+            encoder_circuit, placement, acetyl, FidelityModel(coherence_time=1000.0)
+        )
+        long = estimate_fidelity(
+            encoder_circuit, placement, acetyl, FidelityModel(coherence_time=100000.0)
+        )
+        assert long > short
+
+    def test_adding_gates_lowers_fidelity(self, acetyl):
+        placement = {"a": "M", "b": "C1"}
+        small = QuantumCircuit(["a", "b"], [g.zz("a", "b", 90)])
+        large = QuantumCircuit(["a", "b"], [g.zz("a", "b", 90)] * 4)
+        assert estimate_fidelity(large, placement, acetyl) < estimate_fidelity(
+            small, placement, acetyl
+        )
+
+
+class TestPlacementResultFidelity:
+    def test_fidelity_of_placement_result(self, acetyl):
+        result = place_circuit(qec3_encoder(), acetyl)
+        value = fidelity_of_placement_result(result, acetyl)
+        assert 0 < value <= 1
+
+    def test_swap_overhead_is_charged(self, crotonic):
+        from repro.circuits.library import phaseest
+        from repro.core.config import PlacementOptions
+
+        multi = place_circuit(phaseest(), crotonic, PlacementOptions(threshold=100.0))
+        whole = place_circuit(phaseest(), crotonic, PlacementOptions(threshold=10000.0))
+        fidelity_multi = fidelity_of_placement_result(multi, crotonic)
+        fidelity_whole = fidelity_of_placement_result(whole, crotonic)
+        # The faster multi-stage placement also has the better estimated
+        # fidelity, despite paying for its SWAP gates.
+        assert fidelity_multi > fidelity_whole

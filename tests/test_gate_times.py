@@ -1,0 +1,130 @@
+"""Unit tests for gate operating times and the interaction-run cap."""
+
+import pytest
+
+from repro.circuits import gates as g
+from repro.circuits.circuit import QuantumCircuit
+from repro.exceptions import PlacementError
+from repro.timing.gate_times import (
+    MAX_INTERACTION_USES,
+    cap_interaction_runs,
+    capped_circuit,
+    gate_operating_time,
+    identity_placement,
+    total_interaction_time,
+    validate_placement,
+)
+
+
+class TestGateOperatingTime:
+    def test_two_qubit_gate_uses_pair_delay(self, acetyl):
+        placement = {"a": "M", "b": "C2"}
+        gate = g.zz("a", "b", 90.0)
+        assert gate_operating_time(gate, placement, acetyl) == 672.0
+
+    def test_duration_scales_operating_time(self, acetyl):
+        placement = {"a": "M", "b": "C1"}
+        gate = g.zz("a", "b", 180.0)
+        assert gate_operating_time(gate, placement, acetyl) == 76.0
+
+    def test_single_qubit_gate_uses_node_delay(self, acetyl):
+        placement = {"a": "C2"}
+        assert gate_operating_time(g.ry("a", 90.0), placement, acetyl) == 1.0
+
+    def test_free_gate_costs_nothing(self, acetyl):
+        placement = {"a": "M"}
+        assert gate_operating_time(g.rz("a", 90.0), placement, acetyl) == 0.0
+
+
+class TestValidatePlacement:
+    def test_valid_placement_passes(self, acetyl, encoder_circuit):
+        validate_placement({"a": "M", "b": "C1", "c": "C2"}, encoder_circuit, acetyl)
+
+    def test_missing_qubit_rejected(self, acetyl, encoder_circuit):
+        with pytest.raises(PlacementError):
+            validate_placement({"a": "M", "b": "C1"}, encoder_circuit, acetyl)
+
+    def test_unknown_node_rejected(self, acetyl, encoder_circuit):
+        with pytest.raises(PlacementError):
+            validate_placement({"a": "M", "b": "C1", "c": "X"}, encoder_circuit, acetyl)
+
+    def test_non_injective_rejected(self, acetyl, encoder_circuit):
+        with pytest.raises(PlacementError):
+            validate_placement({"a": "M", "b": "M", "c": "C1"}, encoder_circuit, acetyl)
+
+    def test_identity_placement(self, chain8):
+        circuit = QuantumCircuit(range(4), [g.cnot(0, 1)])
+        placement = identity_placement(circuit, chain8)
+        assert placement == {0: 0, 1: 1, 2: 2, 3: 3}
+
+    def test_identity_placement_too_many_qubits(self, acetyl):
+        circuit = QuantumCircuit(range(5), [g.cnot(0, 1)])
+        with pytest.raises(PlacementError):
+            identity_placement(circuit, acetyl)
+
+
+class TestInteractionCap:
+    def test_cap_constant(self):
+        assert MAX_INTERACTION_USES == 3.0
+
+    def test_short_runs_untouched(self):
+        gates = [g.zz("a", "b", 90.0), g.zz("a", "b", 90.0)]
+        assert cap_interaction_runs(gates) == gates
+
+    def test_long_run_capped_to_three_units(self):
+        gates = [g.zz("a", "b", 90.0) for _ in range(5)]
+        capped = cap_interaction_runs(gates)
+        assert sum(gate.duration for gate in capped) == pytest.approx(3.0)
+
+    def test_runs_on_different_pairs_not_merged(self):
+        gates = [
+            g.zz("a", "b", 90.0),
+            g.zz("a", "b", 90.0),
+            g.zz("b", "c", 90.0),
+            g.zz("a", "b", 90.0),
+            g.zz("a", "b", 90.0),
+        ]
+        capped = cap_interaction_runs(gates)
+        assert sum(gate.duration for gate in capped) == pytest.approx(5.0)
+
+    def test_free_single_qubit_gates_do_not_break_a_run(self):
+        gates = [
+            g.zz("a", "b", 180.0),
+            g.rz("a", 90.0),
+            g.zz("a", "b", 180.0),
+        ]
+        capped = cap_interaction_runs(gates)
+        two_qubit_total = sum(gate.duration for gate in capped if gate.is_two_qubit)
+        assert two_qubit_total == pytest.approx(3.0)
+        assert any(gate.name == "Rz" for gate in capped)
+
+    def test_timed_single_qubit_gate_breaks_a_run(self):
+        gates = [
+            g.zz("a", "b", 180.0),
+            g.ry("a", 90.0),
+            g.zz("a", "b", 180.0),
+        ]
+        capped = cap_interaction_runs(gates)
+        two_qubit_total = sum(gate.duration for gate in capped if gate.is_two_qubit)
+        assert two_qubit_total == pytest.approx(4.0)
+
+    def test_cap_never_increases_total_duration(self):
+        gates = [g.zz("a", "b", 45.0) for _ in range(10)] + [g.ry("a", 90.0)]
+        original = sum(gate.duration for gate in gates)
+        capped_total = sum(gate.duration for gate in cap_interaction_runs(gates))
+        assert capped_total <= original
+
+    def test_capped_circuit_wrapper(self):
+        circuit = QuantumCircuit(["a", "b"], [g.zz("a", "b", 90.0) for _ in range(4)])
+        capped = capped_circuit(circuit)
+        assert capped.total_duration() == pytest.approx(3.0)
+        assert capped.qubits == circuit.qubits
+
+
+class TestTotals:
+    def test_total_interaction_time_ignores_single_qubit_gates(self, acetyl):
+        circuit = QuantumCircuit(
+            ["a", "b"], [g.ry("a", 90.0), g.zz("a", "b", 90.0)]
+        )
+        placement = {"a": "M", "b": "C1"}
+        assert total_interaction_time(circuit, placement, acetyl) == 38.0

@@ -1,0 +1,127 @@
+"""Unit tests for the gate primitives."""
+
+import pytest
+
+from repro.circuits import gates as g
+from repro.circuits.gates import Gate, total_duration
+from repro.exceptions import GateError
+
+
+class TestGateConstruction:
+    def test_single_qubit_gate_basic_fields(self):
+        gate = g.rx("q0", 90.0)
+        assert gate.name == "Rx"
+        assert gate.qubits == ("q0",)
+        assert gate.num_qubits == 1
+        assert not gate.is_two_qubit
+
+    def test_two_qubit_gate_basic_fields(self):
+        gate = g.zz("a", "b", 90.0)
+        assert gate.qubits == ("a", "b")
+        assert gate.num_qubits == 2
+        assert gate.is_two_qubit
+
+    def test_gate_rejects_zero_qubits(self):
+        with pytest.raises(GateError):
+            Gate("X", (), 1.0)
+
+    def test_gate_rejects_three_qubits(self):
+        with pytest.raises(GateError):
+            Gate("CCX", ("a", "b", "c"), 1.0)
+
+    def test_two_qubit_gate_rejects_repeated_qubit(self):
+        with pytest.raises(GateError):
+            g.zz("a", "a", 90.0)
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(GateError):
+            Gate("U", ("a",), -1.0)
+
+    def test_nan_angle_rejected(self):
+        with pytest.raises(GateError):
+            g.rx("a", float("nan"))
+
+    def test_infinite_angle_rejected(self):
+        with pytest.raises(GateError):
+            g.ry("a", float("inf"))
+
+
+class TestDurations:
+    def test_ninety_degree_rotation_is_one_unit(self):
+        assert g.rx("a", 90.0).duration == 1.0
+        assert g.ry("a", 90.0).duration == 1.0
+
+    def test_duration_scales_with_angle(self):
+        # The paper: T(Rx(180)) = 2 * T(Rx(90)).
+        assert g.rx("a", 180.0).duration == pytest.approx(2 * g.rx("a", 90.0).duration)
+
+    def test_negative_angle_costs_like_positive(self):
+        assert g.ry("a", -90.0).duration == g.ry("a", 90.0).duration
+
+    def test_rz_is_free(self):
+        assert g.rz("a", 90.0).duration == 0.0
+        assert g.rz("a", -720.0).duration == 0.0
+        assert g.rz("a").is_free
+
+    def test_zz_ninety_is_one_unit(self):
+        assert g.zz("a", "b", 90.0).duration == 1.0
+
+    def test_zz_scales_with_angle(self):
+        assert g.zz("a", "b", 45.0).duration == pytest.approx(0.5)
+
+    def test_cnot_costs_one_interaction_unit(self):
+        assert g.cnot("a", "b").duration == 1.0
+
+    def test_swap_costs_three_interaction_units(self):
+        assert g.swap("a", "b").duration == 3.0
+
+    def test_controlled_phase_uses_half_angle(self):
+        assert g.controlled_phase("a", "b", 90.0).duration == pytest.approx(0.5)
+
+    def test_pauli_z_is_free(self):
+        assert g.pauli_z("a").duration == 0.0
+
+    def test_pauli_x_is_two_units(self):
+        assert g.pauli_x("a").duration == 2.0
+
+    def test_total_duration_sums_gates(self):
+        gates = [g.rx("a", 90), g.zz("a", "b", 90), g.rz("a", 90)]
+        assert total_duration(gates) == pytest.approx(2.0)
+
+
+class TestGateBehaviour:
+    def test_interaction_returns_canonical_pair(self):
+        assert g.zz("b", "a", 90).interaction() == g.zz("a", "b", 90).interaction()
+
+    def test_interaction_none_for_single_qubit(self):
+        assert g.rx("a").interaction() is None
+
+    def test_remap_changes_qubits(self):
+        gate = g.zz("a", "b", 90).remap({"a": "X", "b": "Y"})
+        assert gate.qubits == ("X", "Y")
+
+    def test_remap_keeps_unmapped_qubits(self):
+        gate = g.zz("a", "b", 90).remap({"a": "X"})
+        assert gate.qubits == ("X", "b")
+
+    def test_remap_preserves_duration_and_angle(self):
+        gate = g.zz("a", "b", 45).remap({"a": 0, "b": 1})
+        assert gate.duration == pytest.approx(0.5)
+        assert gate.angle == 45
+
+    def test_with_duration(self):
+        gate = g.cnot("a", "b").with_duration(3.0)
+        assert gate.duration == 3.0
+        assert gate.name == "CNOT"
+
+    def test_equality_and_hash(self):
+        assert g.zz("a", "b", 90) == g.zz("a", "b", 90)
+        assert g.zz("a", "b", 90) != g.zz("a", "b", 45)
+        assert hash(g.rx("a", 90)) == hash(g.rx("a", 90))
+
+    def test_generic_gates_carry_custom_duration(self):
+        assert g.generic_1q("a", 2.5).duration == 2.5
+        assert g.generic_2q("a", "b", 3.0).duration == 3.0
+
+    def test_generic_gate_custom_name(self):
+        assert g.generic_2q("a", "b", 1.0, name="ISWAP").name == "ISWAP"

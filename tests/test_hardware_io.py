@@ -1,0 +1,61 @@
+"""Unit tests for environment JSON serialization."""
+
+import math
+
+import pytest
+
+from repro.exceptions import SerializationError
+from repro.hardware import io as hio
+from repro.hardware.architectures import linear_chain
+from repro.hardware.molecules import acetyl_chloride, all_molecules
+
+
+class TestRoundTrip:
+    def test_acetyl_chloride_round_trip(self):
+        env = acetyl_chloride()
+        restored = hio.loads(hio.dumps(env))
+        assert restored.name == env.name
+        assert set(restored.nodes) == set(env.nodes)
+        assert restored.pair_delay("M", "C2") == 672.0
+        assert restored.single_qubit_delay("C2") == 1.0
+
+    def test_all_molecules_round_trip(self):
+        for env in all_molecules():
+            restored = hio.loads(hio.dumps(env))
+            for (a, b), delay in env.explicit_pairs().items():
+                assert restored.pair_delay(a, b) == delay
+
+    def test_integer_labels_round_trip(self):
+        env = linear_chain(4)
+        restored = hio.loads(hio.dumps(env))
+        assert set(restored.nodes) == {0, 1, 2, 3}
+        assert restored.pair_delay(1, 2) == 10.0
+
+    def test_infinite_default_round_trip(self):
+        env = linear_chain(3)
+        restored = hio.loads(hio.dumps(env))
+        assert math.isinf(restored.default_pair_delay)
+
+    def test_file_round_trip(self, tmp_path):
+        path = tmp_path / "env.json"
+        hio.save(acetyl_chloride(), str(path))
+        restored = hio.load(str(path))
+        assert restored.pair_delay("M", "C1") == 38.0
+
+
+class TestErrors:
+    def test_invalid_json(self):
+        with pytest.raises(SerializationError):
+            hio.loads("{not json")
+
+    def test_missing_nodes_key(self):
+        with pytest.raises(SerializationError):
+            hio.from_dict({"pairs": []})
+
+    def test_malformed_pair_entry(self):
+        with pytest.raises(SerializationError):
+            hio.from_dict({"nodes": {"a": 1.0, "b": 1.0}, "pairs": [["a", "b"]]})
+
+    def test_unsupported_default(self):
+        with pytest.raises(SerializationError):
+            hio.from_dict({"nodes": {"a": 1.0}, "pairs": [], "default_pair_delay": "huge"})

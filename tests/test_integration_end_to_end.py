@@ -1,0 +1,93 @@
+"""End-to-end integration tests: place, route, schedule, simulate, verify."""
+
+import pytest
+
+from repro.circuits.library import (
+    cat_state_circuit,
+    phase_estimation_circuit,
+    qec3_encoder,
+    qec5_encoder,
+    qft_circuit,
+)
+from repro.core.config import PlacementOptions
+from repro.core.placement import place_circuit
+from repro.hardware.architectures import grid, linear_chain, ring
+from repro.hardware.molecules import (
+    acetyl_chloride,
+    boc_glycine_fluoride,
+    histidine,
+    trans_crotonic_acid,
+)
+from repro.simulation.verify import verify_placement
+from repro.timing.scheduler import runtime_lower_bound
+
+
+CASES = [
+    # (circuit factory, environment factory, options)
+    (qec3_encoder, acetyl_chloride, PlacementOptions()),
+    (qec5_encoder, trans_crotonic_acid, PlacementOptions()),
+    (lambda: phase_estimation_circuit(3, 1), boc_glycine_fluoride, PlacementOptions(threshold=200.0)),
+    (lambda: qft_circuit(5), trans_crotonic_acid, PlacementOptions(threshold=100.0)),
+    (lambda: cat_state_circuit(6), trans_crotonic_acid, PlacementOptions(threshold=100.0)),
+    (lambda: qft_circuit(4), lambda: linear_chain(6), PlacementOptions(threshold=10.0)),
+    (lambda: cat_state_circuit(5), lambda: ring(6), PlacementOptions(threshold=10.0)),
+    (lambda: qft_circuit(4), lambda: grid(2, 3), PlacementOptions(threshold=10.0)),
+]
+
+
+@pytest.mark.parametrize("circuit_factory,environment_factory,options", CASES)
+def test_place_and_verify(circuit_factory, environment_factory, options):
+    """The placed physical circuit implements the logical circuit exactly."""
+    circuit = circuit_factory()
+    environment = environment_factory()
+    result = place_circuit(circuit, environment, options)
+
+    # Structural invariants of the result.
+    assert result.num_subcircuits >= 1
+    assert len(result.swap_stages) == result.num_subcircuits - 1
+    assert result.total_runtime > 0
+    assert result.total_runtime >= runtime_lower_bound(circuit, environment) - 1e-9
+    for stage in result.stages:
+        assert len(set(stage.placement.values())) == circuit.num_qubits
+
+    # Full quantum verification (small registers only).
+    if environment.num_qubits <= 12:
+        report = verify_placement(circuit, result, environment, num_random_states=1)
+        assert report.equivalent, (
+            f"placement of {circuit.name} on {environment.name} changed the "
+            f"computation (fidelity {report.worst_fidelity})"
+        )
+
+
+def test_larger_histidine_placement_structurally_sound():
+    """aqft on histidine exercises deep multi-stage placement + routing."""
+    from repro.circuits.library import aqft9
+
+    circuit = aqft9()
+    environment = histidine()
+    result = place_circuit(circuit, environment, PlacementOptions(threshold=100.0))
+    assert result.num_subcircuits >= 2
+    # Every logical qubit is delivered from its stage-i node to its stage-i+1
+    # node by the corresponding swap stage.
+    for index, swap_stage in enumerate(result.swap_stages):
+        before = result.stages[index].placement
+        after = result.stages[index + 1].placement
+        position = {node: node for node in environment.nodes}
+        for layer in swap_stage.routing.layers:
+            for a, b in layer:
+                position[a], position[b] = position[b], position[a]
+        location = {token: node for node, token in position.items()}
+        for qubit, node in before.items():
+            assert location[node] == after[qubit]
+
+
+def test_threshold_sweep_consistency_on_crotonic():
+    """Higher thresholds can only merge workspaces, never split them."""
+    counts = []
+    for threshold in (100.0, 500.0, 10000.0):
+        result = place_circuit(
+            qft_circuit(6), trans_crotonic_acid(), PlacementOptions(threshold=threshold)
+        )
+        counts.append(result.num_subcircuits)
+    assert counts[0] >= counts[1] >= counts[2]
+    assert counts[2] == 1

@@ -1,0 +1,93 @@
+"""Unit tests for interaction graph extraction."""
+
+import networkx as nx
+
+from repro.circuits import gates as g
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.interaction_graph import (
+    densest_interaction,
+    gates_embed,
+    interaction_graph,
+    interaction_pairs,
+    is_line_graph_circuit,
+)
+from repro.circuits.library import qft_circuit
+
+
+class TestInteractionGraph:
+    def test_single_qubit_gates_produce_no_edges(self):
+        circuit = QuantumCircuit(["a", "b"], [g.rx("a"), g.ry("b")])
+        assert interaction_graph(circuit).number_of_edges() == 0
+
+    def test_edges_match_two_qubit_gates(self):
+        circuit = QuantumCircuit(
+            ["a", "b", "c"], [g.zz("a", "b"), g.zz("b", "c"), g.zz("a", "b")]
+        )
+        graph = interaction_graph(circuit)
+        assert set(map(frozenset, graph.edges())) == {
+            frozenset({"a", "b"}),
+            frozenset({"b", "c"}),
+        }
+
+    def test_edge_count_attribute(self):
+        circuit = QuantumCircuit(["a", "b"], [g.zz("a", "b"), g.zz("a", "b")])
+        graph = interaction_graph(circuit)
+        assert graph["a"]["b"]["count"] == 2
+
+    def test_edge_duration_attribute_sums(self):
+        circuit = QuantumCircuit(["a", "b"], [g.zz("a", "b", 90), g.zz("a", "b", 45)])
+        graph = interaction_graph(circuit)
+        assert graph["a"]["b"]["duration"] == 1.5
+
+    def test_isolated_qubits_optional(self):
+        circuit = QuantumCircuit(["a", "b", "c"], [g.zz("a", "b")])
+        assert "c" not in interaction_graph(circuit)
+        assert "c" in interaction_graph(circuit, include_isolated_qubits=True)
+
+    def test_qft_interaction_graph_is_complete(self):
+        circuit = qft_circuit(5)
+        graph = interaction_graph(circuit)
+        assert graph.number_of_edges() == 10  # K5
+
+    def test_accepts_plain_gate_iterable(self):
+        graph = interaction_graph([g.zz("x", "y")])
+        assert graph.has_edge("x", "y")
+
+
+class TestEmbeddingChecks:
+    def test_gates_embed_respects_node_count(self):
+        host = nx.path_graph(2)
+        gates = [g.zz(0, 1), g.zz(1, 2)]
+        assert not gates_embed(gates, host)
+
+    def test_gates_embed_respects_degree_sequence(self):
+        host = nx.path_graph(4)  # max degree 2
+        star_gates = [g.zz(0, 1), g.zz(0, 2), g.zz(0, 3)]
+        assert not gates_embed(star_gates, host)
+
+    def test_gates_embed_accepts_matching_path(self):
+        host = nx.path_graph(4)
+        gates = [g.zz(0, 1), g.zz(1, 2)]
+        assert gates_embed(gates, host)
+
+
+class TestHelpers:
+    def test_interaction_pairs_in_first_use_order(self):
+        gates = [g.zz("b", "c"), g.zz("a", "b"), g.zz("b", "c")]
+        assert interaction_pairs(gates) == [("b", "c"), ("a", "b")]
+
+    def test_is_line_graph_circuit_true_for_chain(self):
+        circuit = QuantumCircuit(range(4), [g.zz(0, 1), g.zz(1, 2), g.zz(2, 3)])
+        assert is_line_graph_circuit(circuit)
+
+    def test_is_line_graph_circuit_false_for_qft(self):
+        assert not is_line_graph_circuit(qft_circuit(4))
+
+    def test_densest_interaction(self):
+        circuit = QuantumCircuit(
+            ["a", "b", "c"], [g.zz("a", "b"), g.zz("a", "b"), g.zz("b", "c")]
+        )
+        assert densest_interaction(circuit) == ("a", "b")
+
+    def test_densest_interaction_none_without_two_qubit_gates(self):
+        assert densest_interaction(QuantumCircuit(["a"], [g.rx("a")])) is None

@@ -1,0 +1,88 @@
+"""Unit tests for circuit levelization."""
+
+import pytest
+
+from repro.circuits import gates as g
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.levelize import circuit_depth, from_levels, levelize, two_qubit_depth
+from repro.exceptions import CircuitError
+
+
+class TestLevelize:
+    def test_empty_circuit_has_no_levels(self):
+        assert levelize(QuantumCircuit(["a"])) == []
+
+    def test_parallel_gates_share_a_level(self):
+        circuit = QuantumCircuit(["a", "b", "c", "d"], [g.zz("a", "b"), g.zz("c", "d")])
+        levels = levelize(circuit)
+        assert len(levels) == 1
+        assert len(levels[0]) == 2
+
+    def test_sequential_gates_on_same_qubit_get_levels(self):
+        circuit = QuantumCircuit(["a"], [g.rx("a"), g.rx("a"), g.rx("a")])
+        assert circuit_depth(circuit) == 3
+
+    def test_chain_dependency(self):
+        circuit = QuantumCircuit(
+            ["a", "b", "c"], [g.zz("a", "b"), g.zz("b", "c"), g.zz("a", "b")]
+        )
+        assert circuit_depth(circuit) == 3
+
+    def test_level_gates_are_disjoint(self):
+        circuit = QuantumCircuit(
+            ["a", "b", "c", "d"],
+            [g.zz("a", "b"), g.rx("c"), g.zz("c", "d"), g.zz("a", "c"), g.rx("b")],
+        )
+        for level in levelize(circuit):
+            used = set()
+            for gate in level:
+                assert not used.intersection(gate.qubits)
+                used.update(gate.qubits)
+
+    def test_levelization_preserves_gate_multiset(self):
+        circuit = QuantumCircuit(
+            ["a", "b", "c"], [g.zz("a", "b"), g.rx("c"), g.zz("b", "c"), g.ry("a")]
+        )
+        flattened = [gate for level in levelize(circuit) for gate in level]
+        assert sorted(gate.name for gate in flattened) == sorted(
+            gate.name for gate in circuit
+        )
+        assert len(flattened) == circuit.num_gates
+
+    def test_per_qubit_order_preserved(self):
+        circuit = QuantumCircuit(["a", "b"], [g.rx("a", 10), g.rx("a", 20), g.zz("a", "b")])
+        levels = levelize(circuit)
+        angles_on_a = [
+            gate.angle for level in levels for gate in level if gate.qubits == ("a",)
+        ]
+        assert angles_on_a == [10, 20]
+
+    def test_free_gates_still_impose_order(self):
+        circuit = QuantumCircuit(["a"], [g.rz("a"), g.rz("a")])
+        assert circuit_depth(circuit) == 2
+
+
+class TestTwoQubitDepth:
+    def test_single_qubit_gates_ignored(self):
+        circuit = QuantumCircuit(
+            ["a", "b"], [g.rx("a"), g.rx("a"), g.zz("a", "b"), g.rx("b")]
+        )
+        assert two_qubit_depth(circuit) == 1
+
+    def test_counts_dependent_interactions(self):
+        circuit = QuantumCircuit(
+            ["a", "b", "c"], [g.zz("a", "b"), g.zz("b", "c"), g.zz("a", "c")]
+        )
+        assert two_qubit_depth(circuit) == 3
+
+
+class TestFromLevels:
+    def test_valid_levels_roundtrip(self):
+        levels = [[g.zz("a", "b"), g.rx("c")], [g.zz("b", "c")]]
+        circuit = from_levels(["a", "b", "c"], levels)
+        assert circuit.num_gates == 3
+        assert circuit_depth(circuit) == 2
+
+    def test_overlapping_level_rejected(self):
+        with pytest.raises(CircuitError):
+            from_levels(["a", "b", "c"], [[g.zz("a", "b"), g.rx("a")]])

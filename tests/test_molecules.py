@@ -1,0 +1,121 @@
+"""Tests of the NMR molecule data set (experiment E5 and its neighbours)."""
+
+import networkx as nx
+import pytest
+
+from repro.hardware.molecules import (
+    MOLECULE_FACTORIES,
+    acetyl_chloride,
+    all_molecules,
+    boc_glycine_fluoride,
+    histidine,
+    molecule,
+    pentafluorobutadienyl_iron,
+    trans_crotonic_acid,
+)
+
+
+class TestAcetylChloride:
+    """Figure 1: the weights are pinned exactly by Example 3 / Table 1."""
+
+    def test_qubit_set(self):
+        env = acetyl_chloride()
+        assert set(env.nodes) == {"M", "C1", "C2"}
+
+    def test_single_qubit_delays(self):
+        env = acetyl_chloride()
+        assert env.single_qubit_delay("M") == 8.0
+        assert env.single_qubit_delay("C1") == 8.0
+        assert env.single_qubit_delay("C2") == 1.0
+
+    def test_pair_delays(self):
+        env = acetyl_chloride()
+        assert env.pair_delay("M", "C1") == 38.0
+        assert env.pair_delay("C1", "C2") == 89.0
+        assert env.pair_delay("M", "C2") == 672.0
+
+    def test_time_unit(self):
+        assert acetyl_chloride().time_unit_seconds == pytest.approx(1e-4)
+
+
+class TestTransCrotonicAcid:
+    def test_seven_qubits(self):
+        assert trans_crotonic_acid().num_qubits == 7
+
+    def test_chemical_bond_graph_topology(self):
+        """The fast-interaction graph must match Fig. 3's chemical bonds."""
+        graph = trans_crotonic_acid().adjacency_graph(100.0)
+        expected = {
+            frozenset({"M", "C1"}),
+            frozenset({"C1", "C2"}),
+            frozenset({"C2", "C3"}),
+            frozenset({"C3", "C4"}),
+            frozenset({"C2", "H1"}),
+            frozenset({"C3", "H2"}),
+        }
+        assert set(map(frozenset, graph.edges())) == expected
+
+    def test_bond_graph_is_a_tree(self):
+        graph = trans_crotonic_acid().adjacency_graph(100.0)
+        assert nx.is_tree(graph)
+
+    def test_disconnected_at_threshold_50(self):
+        """C3-C4 is the slowest bond; threshold 50 cuts C4 off (Section 6)."""
+        env = trans_crotonic_acid()
+        assert not env.is_connected_at(50.0)
+        assert env.is_connected_at(100.0)
+
+
+class TestOtherMolecules:
+    def test_histidine_has_twelve_qubits(self):
+        assert histidine().num_qubits == 12
+
+    def test_histidine_bond_graph_connected_at_50(self):
+        assert histidine().is_connected_at(50.0)
+
+    def test_histidine_bond_graph_contains_ring(self):
+        graph = histidine().adjacency_graph(50.0)
+        assert len(nx.cycle_basis(graph)) >= 1
+
+    def test_boc_glycine_has_five_qubits(self):
+        assert boc_glycine_fluoride().num_qubits == 5
+
+    def test_boc_glycine_connected_at_50(self):
+        assert boc_glycine_fluoride().is_connected_at(50.0)
+
+    def test_iron_complex_has_five_qubits(self):
+        assert pentafluorobutadienyl_iron().num_qubits == 5
+
+    def test_iron_complex_has_no_fast_interaction_below_100(self):
+        """The Table 3 N/A rows: thresholds 50 and 100 disallow everything."""
+        env = pentafluorobutadienyl_iron()
+        assert env.adjacency_graph(50.0).number_of_edges() == 0
+        assert env.adjacency_graph(100.0).number_of_edges() == 0
+        assert env.adjacency_graph(200.0).number_of_edges() >= 4
+
+
+class TestRegistry:
+    def test_all_molecules_count(self):
+        assert len(all_molecules()) == len(MOLECULE_FACTORIES) == 5
+
+    def test_molecule_lookup(self):
+        assert molecule("acetyl-chloride").name == "acetyl chloride"
+
+    def test_unknown_molecule_raises(self):
+        with pytest.raises(KeyError):
+            molecule("water")
+
+    def test_every_molecule_has_positive_delays(self):
+        for env in all_molecules():
+            for node in env.nodes:
+                assert env.single_qubit_delay(node) > 0
+            for delay in env.explicit_pairs().values():
+                assert delay > 0
+
+    def test_every_molecule_is_connected_somewhere(self):
+        for env in all_molecules():
+            threshold = env.minimal_connecting_threshold()
+            assert env.is_connected_at(threshold)
+
+    def test_factories_return_fresh_objects(self):
+        assert acetyl_chloride() is not acetyl_chloride()

@@ -1,0 +1,95 @@
+"""Tests for the odd-even transposition chain router."""
+
+import random
+
+import networkx as nx
+import pytest
+
+from repro.exceptions import RoutingError
+from repro.hardware.architectures import linear_chain
+from repro.routing.bubble import route_permutation
+from repro.routing.odd_even import chain_order_from_graph, route_permutation_odd_even
+from repro.simulation.verify import verify_routing_layers
+
+
+class TestChainOrder:
+    def test_path_graph_order(self):
+        order = chain_order_from_graph(nx.path_graph(5))
+        assert order == [0, 1, 2, 3, 4] or order == [4, 3, 2, 1, 0]
+
+    def test_single_node(self):
+        assert chain_order_from_graph(nx.path_graph(1)) == [0]
+
+    def test_non_chain_rejected(self):
+        with pytest.raises(RoutingError):
+            chain_order_from_graph(nx.star_graph(3))
+        with pytest.raises(RoutingError):
+            chain_order_from_graph(nx.cycle_graph(4))
+
+    def test_disconnected_rejected(self):
+        with pytest.raises(RoutingError):
+            chain_order_from_graph(nx.Graph([(0, 1), (2, 3)]))
+
+
+class TestOddEvenRouting:
+    def test_identity_needs_no_layers(self):
+        graph = nx.path_graph(6)
+        result = route_permutation_odd_even(graph, {i: i for i in range(6)})
+        assert result.num_swaps == 0
+
+    def test_reversal_depth_at_most_n(self):
+        n = 10
+        graph = nx.path_graph(n)
+        permutation = {i: n - 1 - i for i in range(n)}
+        result = route_permutation_odd_even(graph, permutation)
+        assert verify_routing_layers(result.layers, permutation)
+        assert result.depth <= n
+
+    def test_random_permutations_delivered_with_linear_depth(self):
+        rng = random.Random(13)
+        n = 12
+        graph = nx.path_graph(n)
+        nodes = list(range(n))
+        for _ in range(10):
+            shuffled = list(nodes)
+            rng.shuffle(shuffled)
+            permutation = dict(zip(nodes, shuffled))
+            result = route_permutation_odd_even(graph, permutation)
+            assert verify_routing_layers(result.layers, permutation)
+            assert result.depth <= n
+
+    def test_partial_permutation(self):
+        graph = nx.path_graph(6)
+        result = route_permutation_odd_even(graph, {0: 5})
+        position = {node: node for node in graph.nodes()}
+        for layer in result.layers:
+            for a, b in layer:
+                position[a], position[b] = position[b], position[a]
+        location = {token: node for node, token in position.items()}
+        assert location[0] == 5
+
+    def test_layers_use_chain_edges_only(self):
+        graph = nx.path_graph(8)
+        permutation = {i: (i + 3) % 8 for i in range(8)}
+        result = route_permutation_odd_even(graph, permutation)
+        for layer in result.layers:
+            for a, b in layer:
+                assert abs(a - b) == 1
+
+    def test_usually_no_deeper_than_bubble_router_on_chains(self):
+        """On chains the specialised router should not lose to the general one."""
+        rng = random.Random(5)
+        env = linear_chain(10)
+        graph = env.adjacency_graph(10.0)
+        nodes = list(graph.nodes())
+        wins = 0
+        trials = 10
+        for _ in range(trials):
+            shuffled = list(nodes)
+            rng.shuffle(shuffled)
+            permutation = dict(zip(nodes, shuffled))
+            odd_even = route_permutation_odd_even(graph, permutation)
+            bubble = route_permutation(graph, permutation)
+            if odd_even.depth <= bubble.depth:
+                wins += 1
+        assert wins >= trials // 2

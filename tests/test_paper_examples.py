@@ -1,0 +1,56 @@
+"""Exact reproduction of the paper's worked examples (experiment E1).
+
+Everything in this module is pinned to the numbers printed in the paper:
+Example 3 / Table 1 (the 770-unit mapping and its trace), the 136-unit
+optimum, and the Table 2 row for the same circuit (0.0136 seconds, search
+space 6, a single workspace).
+"""
+
+import pytest
+
+from repro.circuits.library import qec3_encoder
+from repro.core.exhaustive import (
+    optimal_whole_circuit_placement,
+    search_space_size,
+)
+from repro.core.placement import place_circuit
+from repro.hardware.molecules import acetyl_chloride
+from repro.timing.scheduler import circuit_runtime, schedule
+from repro.timing.trace import trace_rows
+
+PAPER_MAPPING = {"a": "M", "b": "C2", "c": "C1"}
+OPTIMAL_MAPPING = {"a": "C2", "b": "C1", "c": "M"}
+
+
+class TestExample3:
+    def test_paper_mapping_costs_770(self):
+        runtime = circuit_runtime(qec3_encoder(), PAPER_MAPPING, acetyl_chloride())
+        assert runtime == 770.0
+
+    def test_optimal_mapping_costs_136(self):
+        runtime = circuit_runtime(qec3_encoder(), OPTIMAL_MAPPING, acetyl_chloride())
+        assert runtime == 136.0
+
+    def test_table1_trace_matches_paper(self):
+        result = schedule(qec3_encoder(), PAPER_MAPPING, acetyl_chloride())
+        rows = {row[0]: row[1:] for row in trace_rows(result, qubit_order=["a", "b", "c"])}
+        assert rows["a"] == ["8", "680", "680", "680", "680"]
+        assert rows["b"] == ["0", "680", "680", "769", "770"]
+        assert rows["c"] == ["0", "0", "8", "769", "769"]
+
+    def test_search_space_has_six_assignments(self):
+        assert search_space_size(qec3_encoder(), acetyl_chloride()) == 6
+
+    def test_exhaustive_search_confirms_136_is_optimal(self):
+        _, runtime = optimal_whole_circuit_placement(
+            qec3_encoder(), acetyl_chloride(), apply_interaction_cap=False
+        )
+        assert runtime == 136.0
+
+
+class TestTable2FirstRow:
+    def test_placer_reconstructs_the_experimentalists_mapping(self):
+        result = place_circuit(qec3_encoder(), acetyl_chloride())
+        assert result.num_subcircuits == 1
+        assert result.runtime_seconds == pytest.approx(0.0136)
+        assert result.initial_placement == OPTIMAL_MAPPING

@@ -1,0 +1,108 @@
+"""Unit tests for permutations over physical nodes."""
+
+import networkx as nx
+import pytest
+
+from repro.exceptions import RoutingError
+from repro.routing.permutation import (
+    Permutation,
+    complete_partial_permutation,
+    permutation_between_placements,
+    required_permutation,
+)
+
+
+class TestPermutation:
+    def test_identity(self):
+        perm = Permutation.identity(["a", "b", "c"])
+        assert perm.is_identity()
+        assert perm.num_non_fixed() == 0
+
+    def test_non_bijection_rejected(self):
+        with pytest.raises(RoutingError):
+            Permutation({"a": "b", "b": "b"})
+
+    def test_target_outside_sources_rejected(self):
+        with pytest.raises(RoutingError):
+            Permutation({"a": "z"})
+
+    def test_from_cycle(self):
+        perm = Permutation.from_cycle(["a", "b", "c"], ["a", "b", "c", "d"])
+        assert perm["a"] == "b"
+        assert perm["c"] == "a"
+        assert perm["d"] == "d"
+
+    def test_cycles_decomposition(self):
+        perm = Permutation({"a": "b", "b": "a", "c": "c", "d": "e", "e": "d"})
+        cycles = perm.cycles()
+        assert sorted(len(cycle) for cycle in cycles) == [2, 2]
+
+    def test_cycles_with_fixed_points(self):
+        perm = Permutation({"a": "a", "b": "b"})
+        assert perm.cycles(include_fixed_points=True) == [["a"], ["b"]]
+
+    def test_inverse(self):
+        perm = Permutation({"a": "b", "b": "c", "c": "a"})
+        assert perm.inverse().compose(perm).is_identity() or perm.compose(perm.inverse()).is_identity()
+
+    def test_compose(self):
+        first = Permutation({"a": "b", "b": "a", "c": "c"})
+        second = Permutation({"a": "c", "c": "a", "b": "b"})
+        composed = first.compose(second)
+        # a -> b -> b; b -> a -> c; c -> c -> a
+        assert composed["a"] == "b"
+        assert composed["b"] == "c"
+        assert composed["c"] == "a"
+
+    def test_compose_different_node_sets_rejected(self):
+        with pytest.raises(RoutingError):
+            Permutation({"a": "a"}).compose(Permutation({"b": "b"}))
+
+    def test_displaced_nodes(self):
+        perm = Permutation({"a": "b", "b": "a", "c": "c"})
+        assert set(perm.displaced_nodes()) == {"a", "b"}
+
+    def test_apply_to_assignment(self):
+        perm = Permutation({"n1": "n2", "n2": "n1", "n3": "n3"})
+        assert perm.apply_to_assignment({"q": "n1", "r": "n3"}) == {"q": "n2", "r": "n3"}
+
+
+class TestRequiredPermutation:
+    def test_basic(self):
+        partial = required_permutation({"q": "x", "r": "y"}, {"q": "y", "r": "x"})
+        assert partial == {"x": "y", "y": "x"}
+
+    def test_qubits_missing_from_target_ignored(self):
+        partial = required_permutation({"q": "x", "r": "y"}, {"q": "z"})
+        assert partial == {"x": "z"}
+
+    def test_conflicting_destination_rejected(self):
+        with pytest.raises(RoutingError):
+            required_permutation({"q": "x", "r": "y"}, {"q": "z", "r": "z"})
+
+
+class TestCompletion:
+    def test_dont_care_tokens_stay_in_place_when_possible(self):
+        graph = nx.path_graph(4)
+        perm = complete_partial_permutation(graph, {0: 1, 1: 0})
+        assert perm[2] == 2
+        assert perm[3] == 3
+
+    def test_displaced_dont_care_goes_to_nearest_free_node(self):
+        graph = nx.path_graph(4)
+        # Token at 0 must go to 3; therefore the token at 3 must vacate.
+        perm = complete_partial_permutation(graph, {0: 3})
+        assert perm[0] == 3
+        assert perm[3] != 3
+        assert set(perm.as_dict().values()) == {0, 1, 2, 3}
+
+    def test_reference_to_unknown_node_rejected(self):
+        graph = nx.path_graph(3)
+        with pytest.raises(RoutingError):
+            complete_partial_permutation(graph, {0: 99})
+
+    def test_between_placements(self):
+        graph = nx.path_graph(3)
+        perm = permutation_between_placements(graph, {"q": 0}, {"q": 2})
+        assert perm[0] == 2
+        assert len(perm) == 3

@@ -1,0 +1,244 @@
+"""Property-based tests (hypothesis) for the core data structures and invariants."""
+
+import networkx as nx
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import gates as g
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.levelize import levelize
+from repro.core.monomorphism import (
+    find_monomorphisms,
+    has_monomorphism,
+    verify_monomorphism,
+)
+from repro.hardware.architectures import linear_chain
+from repro.routing.bubble import route_permutation
+from repro.routing.permutation import Permutation
+from repro.routing.separators import balanced_connected_bisection, separability
+from repro.routing.token_swapping import route_permutation_greedy
+from repro.simulation.verify import verify_routing_layers
+from repro.timing.gate_times import cap_interaction_runs
+from repro.timing.scheduler import circuit_runtime, sequential_level_runtime
+
+RELAXED = settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+# ---------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def connected_graphs(draw, min_nodes=3, max_nodes=10):
+    """Random connected graphs: a random tree plus a few extra edges."""
+    num_nodes = draw(st.integers(min_nodes, max_nodes))
+    seed = draw(st.integers(0, 10_000))
+    rng = nx.utils.create_random_state(seed)
+    prufer = [rng.randint(0, num_nodes) for _ in range(max(0, num_nodes - 2))]
+    graph = nx.from_prufer_sequence(prufer) if num_nodes > 2 else nx.path_graph(num_nodes)
+    extra = draw(st.integers(0, 3))
+    nodes = list(graph.nodes())
+    for _ in range(extra):
+        a, b = rng.choice(len(nodes)), rng.choice(len(nodes))
+        if a != b:
+            graph.add_edge(nodes[a], nodes[b])
+    return graph
+
+
+@st.composite
+def graph_with_permutation(draw):
+    graph = draw(connected_graphs())
+    nodes = sorted(graph.nodes())
+    shuffled = draw(st.permutations(nodes))
+    return graph, dict(zip(nodes, shuffled))
+
+
+@st.composite
+def random_circuits(draw, max_qubits=6, max_gates=20):
+    num_qubits = draw(st.integers(2, max_qubits))
+    num_gates = draw(st.integers(0, max_gates))
+    qubits = list(range(num_qubits))
+    gates = []
+    for _ in range(num_gates):
+        if draw(st.booleans()):
+            gates.append(g.ry(draw(st.sampled_from(qubits)), 90.0))
+        else:
+            a = draw(st.sampled_from(qubits))
+            b = draw(st.sampled_from([q for q in qubits if q != a]))
+            gates.append(g.generic_2q(a, b, draw(st.sampled_from([1.0, 2.0, 3.0]))))
+    return QuantumCircuit(qubits, gates)
+
+
+# ---------------------------------------------------------------------------
+# Routing invariants
+# ---------------------------------------------------------------------------
+
+
+class TestRoutingProperties:
+    @RELAXED
+    @given(graph_with_permutation())
+    def test_bubble_router_always_delivers(self, data):
+        graph, permutation = data
+        result = route_permutation(graph, permutation)
+        assert verify_routing_layers(result.layers, permutation)
+
+    @RELAXED
+    @given(graph_with_permutation())
+    def test_bubble_router_layers_are_valid(self, data):
+        graph, permutation = data
+        result = route_permutation(graph, permutation)
+        for layer in result.layers:
+            used = set()
+            for a, b in layer:
+                assert graph.has_edge(a, b)
+                assert a not in used and b not in used
+                used.update((a, b))
+
+    @RELAXED
+    @given(graph_with_permutation())
+    def test_bubble_router_depth_is_linear(self, data):
+        """The paper's 8n + const bound (with a generous constant)."""
+        graph, permutation = data
+        result = route_permutation(graph, permutation)
+        assert result.depth <= 8 * graph.number_of_nodes() + 8
+
+    @RELAXED
+    @given(graph_with_permutation())
+    def test_greedy_router_always_delivers(self, data):
+        graph, permutation = data
+        result = route_permutation_greedy(graph, permutation)
+        assert verify_routing_layers(result.layers, permutation)
+
+    @RELAXED
+    @given(connected_graphs())
+    def test_identity_permutation_needs_no_swaps(self, graph):
+        result = route_permutation(graph, Permutation.identity(graph.nodes()))
+        assert result.num_swaps == 0
+
+
+class TestSeparatorProperties:
+    @RELAXED
+    @given(connected_graphs(min_nodes=2))
+    def test_bisection_is_valid(self, graph):
+        bisection = balanced_connected_bisection(graph)
+        part_one, part_two = set(bisection.part_one), set(bisection.part_two)
+        assert part_one | part_two == set(graph.nodes())
+        assert not part_one & part_two
+        assert nx.is_connected(graph.subgraph(part_one))
+        assert nx.is_connected(graph.subgraph(part_two))
+        assert bisection.channel_edges
+
+    @RELAXED
+    @given(connected_graphs())
+    def test_separability_is_a_valid_ratio(self, graph):
+        value = separability(graph)
+        assert 0 < value <= 1
+
+
+# ---------------------------------------------------------------------------
+# Permutation algebra
+# ---------------------------------------------------------------------------
+
+
+class TestPermutationProperties:
+    @RELAXED
+    @given(st.permutations(list(range(8))))
+    def test_inverse_composes_to_identity(self, targets):
+        perm = Permutation(dict(zip(range(8), targets)))
+        assert perm.compose(perm.inverse()).is_identity()
+        assert perm.inverse().compose(perm).is_identity()
+
+    @RELAXED
+    @given(st.permutations(list(range(7))))
+    def test_cycles_partition_displaced_nodes(self, targets):
+        perm = Permutation(dict(zip(range(7), targets)))
+        cycle_nodes = [node for cycle in perm.cycles() for node in cycle]
+        assert sorted(cycle_nodes) == sorted(perm.displaced_nodes())
+        assert len(set(cycle_nodes)) == len(cycle_nodes)
+
+
+# ---------------------------------------------------------------------------
+# Scheduling invariants
+# ---------------------------------------------------------------------------
+
+
+class TestSchedulingProperties:
+    @RELAXED
+    @given(random_circuits())
+    def test_runtime_non_negative_and_bounded_by_total_work(self, circuit):
+        env = linear_chain(circuit.num_qubits, slow_pair_delay=50.0)
+        placement = dict(zip(circuit.qubits, env.nodes))
+        runtime = circuit_runtime(circuit, placement, env)
+        total_work = sum(
+            gate.duration * 50.0 if gate.is_two_qubit else gate.duration * 1.0
+            for gate in circuit
+        )
+        assert 0 <= runtime <= total_work + 1e-9
+
+    @RELAXED
+    @given(random_circuits())
+    def test_sequential_model_never_faster(self, circuit):
+        env = linear_chain(circuit.num_qubits, slow_pair_delay=50.0)
+        placement = dict(zip(circuit.qubits, env.nodes))
+        asynchronous = circuit_runtime(circuit, placement, env)
+        sequential = sequential_level_runtime(circuit, placement, env)
+        assert sequential >= asynchronous - 1e-9
+
+    @RELAXED
+    @given(random_circuits())
+    def test_appending_a_gate_never_reduces_runtime(self, circuit):
+        env = linear_chain(circuit.num_qubits, slow_pair_delay=50.0)
+        placement = dict(zip(circuit.qubits, env.nodes))
+        before = circuit_runtime(circuit, placement, env)
+        extended = circuit.copy()
+        extended.append(g.ry(circuit.qubits[0], 90.0))
+        after = circuit_runtime(extended, placement, env)
+        assert after >= before
+
+    @RELAXED
+    @given(random_circuits())
+    def test_interaction_cap_never_increases_duration(self, circuit):
+        capped = cap_interaction_runs(circuit.gates)
+        assert sum(gate.duration for gate in capped) <= circuit.total_duration() + 1e-9
+
+    @RELAXED
+    @given(random_circuits())
+    def test_levelize_preserves_gates_and_disjointness(self, circuit):
+        levels = levelize(circuit)
+        flattened = [gate for level in levels for gate in level]
+        assert len(flattened) == circuit.num_gates
+        for level in levels:
+            used = set()
+            for gate in level:
+                assert not used.intersection(gate.qubits)
+                used.update(gate.qubits)
+
+
+# ---------------------------------------------------------------------------
+# Monomorphism invariants
+# ---------------------------------------------------------------------------
+
+
+class TestMonomorphismProperties:
+    @RELAXED
+    @given(connected_graphs(min_nodes=4, max_nodes=9), st.integers(2, 4))
+    def test_subgraphs_always_embed(self, graph, pattern_size):
+        nodes = sorted(graph.nodes())[:pattern_size]
+        pattern = graph.subgraph(nodes).copy()
+        pattern = nx.relabel_nodes(pattern, {n: f"p{n}" for n in pattern.nodes()})
+        pattern.remove_nodes_from(list(nx.isolates(pattern)))
+        if pattern.number_of_edges() == 0:
+            return
+        assert has_monomorphism(pattern, graph)
+
+    @RELAXED
+    @given(connected_graphs(min_nodes=4, max_nodes=9))
+    def test_found_mappings_are_valid(self, graph):
+        pattern = nx.path_graph(3)
+        for mapping in find_monomorphisms(pattern, graph, max_count=10):
+            assert verify_monomorphism(pattern, graph, mapping)

@@ -1,0 +1,84 @@
+"""Unit tests for the random workload generators (Table 4 inputs)."""
+
+import pytest
+
+from repro.circuits.interaction_graph import interaction_graph
+from repro.circuits.random_circuits import (
+    hidden_stage_circuit,
+    random_nearest_neighbour_circuit,
+    random_two_qubit_circuit,
+)
+from repro.exceptions import CircuitError
+
+
+class TestHiddenStageCircuit:
+    def test_default_sizes_match_paper(self):
+        generated = hidden_stage_circuit(16, seed=1)
+        # log2(16) = 4 stages of 16*4 = 64 gates each.
+        assert generated.num_stages == 4
+        assert generated.circuit.num_gates == 4 * 64
+
+    def test_all_gates_are_two_qubit_with_maximal_duration(self):
+        generated = hidden_stage_circuit(8, seed=2)
+        assert all(gate.is_two_qubit for gate in generated.circuit)
+        assert all(gate.duration == 3.0 for gate in generated.circuit)
+
+    def test_each_stage_respects_its_virtual_chain(self):
+        generated = hidden_stage_circuit(8, seed=3)
+        gates = list(generated.circuit.gates)
+        position = 0
+        for stage in generated.stages:
+            chain_position = {q: i for i, q in enumerate(stage.permutation)}
+            for gate in gates[position: position + stage.num_gates]:
+                a, b = gate.qubits
+                assert abs(chain_position[a] - chain_position[b]) == 1
+            position += stage.num_gates
+
+    def test_reproducible_with_same_seed(self):
+        first = hidden_stage_circuit(8, seed=42)
+        second = hidden_stage_circuit(8, seed=42)
+        assert first.circuit.gates == second.circuit.gates
+
+    def test_different_seeds_differ(self):
+        first = hidden_stage_circuit(8, seed=1)
+        second = hidden_stage_circuit(8, seed=2)
+        assert first.circuit.gates != second.circuit.gates
+
+    def test_custom_stage_parameters(self):
+        generated = hidden_stage_circuit(8, num_stages=2, gates_per_stage=5, seed=0)
+        assert generated.num_stages == 2
+        assert generated.circuit.num_gates == 10
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(CircuitError):
+            hidden_stage_circuit(1)
+        with pytest.raises(CircuitError):
+            hidden_stage_circuit(8, num_stages=0)
+
+
+class TestOtherGenerators:
+    def test_random_two_qubit_circuit_size(self):
+        circuit = random_two_qubit_circuit(6, 30, seed=0)
+        assert circuit.num_gates == 30
+        assert circuit.num_qubits == 6
+
+    def test_random_two_qubit_circuit_single_qubit_fraction(self):
+        circuit = random_two_qubit_circuit(6, 100, single_qubit_fraction=0.5, seed=0)
+        single = sum(1 for gate in circuit if not gate.is_two_qubit)
+        assert 20 <= single <= 80
+
+    def test_random_two_qubit_invalid_fraction(self):
+        with pytest.raises(CircuitError):
+            random_two_qubit_circuit(4, 10, single_qubit_fraction=1.5)
+
+    def test_nearest_neighbour_circuit_interactions_on_chain(self):
+        circuit = random_nearest_neighbour_circuit(10, 50, seed=5)
+        graph = interaction_graph(circuit)
+        for a, b in graph.edges():
+            assert abs(a - b) == 1
+
+    def test_generators_reject_single_qubit(self):
+        with pytest.raises(CircuitError):
+            random_two_qubit_circuit(1, 5)
+        with pytest.raises(CircuitError):
+            random_nearest_neighbour_circuit(1, 5)

@@ -1,0 +1,53 @@
+"""Unit tests for PlacementResult and its sub-objects."""
+
+import pytest
+
+from repro.circuits.library import phaseest, qec3_encoder
+from repro.core.config import PlacementOptions
+from repro.core.placement import place_circuit
+
+
+class TestResultAccessors:
+    def test_summary_mentions_names_and_runtime(self, acetyl, encoder_circuit):
+        result = place_circuit(encoder_circuit, acetyl)
+        text = result.summary()
+        assert "acetyl chloride" in text
+        assert "0.0136" in text
+
+    def test_initial_and_final_placement_single_stage(self, acetyl, encoder_circuit):
+        result = place_circuit(encoder_circuit, acetyl)
+        assert result.initial_placement == result.final_placement
+
+    def test_final_placement_differs_after_swapping(self, crotonic):
+        result = place_circuit(phaseest(), crotonic, PlacementOptions(threshold=100.0))
+        assert result.num_subcircuits > 1
+        assert result.initial_placement != result.final_placement
+
+    def test_stage_and_swap_runtime_lists(self, crotonic):
+        result = place_circuit(phaseest(), crotonic, PlacementOptions(threshold=100.0))
+        assert len(result.stage_runtimes()) == result.num_subcircuits
+        assert len(result.swap_runtimes()) == result.num_subcircuits - 1
+        assert all(value >= 0 for value in result.stage_runtimes())
+
+    def test_swap_depth_and_count_consistency(self, crotonic):
+        result = place_circuit(phaseest(), crotonic, PlacementOptions(threshold=100.0))
+        assert result.total_swap_depth >= 0
+        assert result.total_swap_count >= result.total_swap_depth  # layers hold >= 1 swap
+        for stage in result.swap_stages:
+            assert stage.num_swaps >= stage.depth
+
+    def test_runtime_seconds_uses_environment_unit(self, acetyl, encoder_circuit):
+        result = place_circuit(encoder_circuit, acetyl)
+        assert result.runtime_seconds == pytest.approx(
+            result.total_runtime * acetyl.time_unit_seconds
+        )
+
+    def test_physical_circuit_is_over_environment_nodes(self, crotonic):
+        result = place_circuit(phaseest(), crotonic, PlacementOptions(threshold=100.0))
+        assert set(result.physical_circuit.qubits) == set(crotonic.nodes)
+
+    def test_total_runtime_not_more_than_sum_of_parts(self, crotonic):
+        """The asynchronous model may overlap stage boundaries, never stretch them."""
+        result = place_circuit(phaseest(), crotonic, PlacementOptions(threshold=100.0))
+        parts = sum(result.stage_runtimes()) + sum(result.swap_runtimes())
+        assert result.total_runtime <= parts + 1e-9

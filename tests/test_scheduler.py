@@ -1,0 +1,130 @@
+"""Unit tests for the runtime models (the paper's DP algorithm)."""
+
+import pytest
+
+from repro.circuits import gates as g
+from repro.circuits.circuit import QuantumCircuit
+from repro.exceptions import PlacementError
+from repro.timing.scheduler import (
+    circuit_runtime,
+    runtime_lower_bound,
+    schedule,
+    sequential_level_runtime,
+)
+
+
+class TestAsynchronousModel:
+    def test_empty_circuit_runs_in_zero_time(self, acetyl):
+        circuit = QuantumCircuit(["a"])
+        assert circuit_runtime(circuit, {"a": "M"}, acetyl) == 0.0
+
+    def test_single_qubit_gates_accumulate_per_qubit(self, acetyl):
+        circuit = QuantumCircuit(["a"], [g.ry("a", 90.0), g.ry("a", 90.0)])
+        assert circuit_runtime(circuit, {"a": "M"}, acetyl) == 16.0
+
+    def test_two_qubit_gate_synchronises_qubits(self, acetyl):
+        circuit = QuantumCircuit(
+            ["a", "b"], [g.ry("a", 90.0), g.zz("a", "b", 90.0)]
+        )
+        runtime = circuit_runtime(circuit, {"a": "M", "b": "C1"}, acetyl)
+        # b waits for a (8 units), then the interaction takes 38.
+        assert runtime == 46.0
+
+    def test_parallel_gates_overlap(self, acetyl):
+        circuit = QuantumCircuit(
+            ["a", "b", "c"], [g.ry("a", 90.0), g.ry("c", 90.0)]
+        )
+        runtime = circuit_runtime(
+            circuit, {"a": "M", "b": "C1", "c": "C2"}, acetyl
+        )
+        assert runtime == 8.0  # M and C2 pulses run in parallel
+
+    def test_paper_example3_suboptimal_mapping(self, acetyl, encoder_circuit):
+        runtime = circuit_runtime(
+            encoder_circuit, {"a": "M", "b": "C2", "c": "C1"}, acetyl
+        )
+        assert runtime == 770.0
+
+    def test_paper_example3_optimal_mapping(self, acetyl, encoder_circuit):
+        runtime = circuit_runtime(
+            encoder_circuit, {"a": "C2", "b": "C1", "c": "M"}, acetyl
+        )
+        assert runtime == 136.0
+
+    def test_validation_can_be_disabled(self, acetyl):
+        circuit = QuantumCircuit(["a", "b"], [g.ry("a", 90.0)])
+        # "b" is unplaced; with validation on this raises, with it off the
+        # runtime of the placed gates is still computed.
+        with pytest.raises(PlacementError):
+            circuit_runtime(circuit, {"a": "M"}, acetyl)
+        assert circuit_runtime(circuit, {"a": "M"}, acetyl, validate=False) == 8.0
+
+    def test_interaction_cap_reduces_runtime(self, acetyl):
+        circuit = QuantumCircuit(
+            ["a", "b"], [g.zz("a", "b", 90.0) for _ in range(5)]
+        )
+        placement = {"a": "M", "b": "C1"}
+        plain = circuit_runtime(circuit, placement, acetyl)
+        capped = circuit_runtime(circuit, placement, acetyl, apply_interaction_cap=True)
+        assert plain == 5 * 38.0
+        assert capped == 3 * 38.0
+
+
+class TestSchedule:
+    def test_schedule_matches_runtime(self, acetyl, encoder_circuit):
+        placement = {"a": "M", "b": "C2", "c": "C1"}
+        result = schedule(encoder_circuit, placement, acetyl)
+        assert result.runtime == circuit_runtime(encoder_circuit, placement, acetyl)
+
+    def test_schedule_trace_reproduces_table1(self, acetyl, encoder_circuit):
+        placement = {"a": "M", "b": "C2", "c": "C1"}
+        result = schedule(encoder_circuit, placement, acetyl)
+        # Table 1 columns: Ya90, ZZab90, Yc90, ZZbc90, Yb90.
+        times_a = [step.qubit_times["a"] for step in result.steps]
+        times_b = [step.qubit_times["b"] for step in result.steps]
+        times_c = [step.qubit_times["c"] for step in result.steps]
+        assert times_a == [8, 680, 680, 680, 680]
+        assert times_b == [0, 680, 680, 769, 770]
+        assert times_c == [0, 0, 8, 769, 769]
+
+    def test_free_gates_skipped_from_trace(self, acetyl, encoder_circuit):
+        placement = {"a": "M", "b": "C2", "c": "C1"}
+        result = schedule(encoder_circuit, placement, acetyl)
+        assert len(result.steps) == 5  # 9 gates, 4 of which are free Rz
+
+    def test_busiest_qubit(self, acetyl, encoder_circuit):
+        placement = {"a": "M", "b": "C2", "c": "C1"}
+        result = schedule(encoder_circuit, placement, acetyl)
+        assert result.busiest_qubit == "b"
+
+    def test_final_qubit_times(self, acetyl, encoder_circuit):
+        placement = {"a": "M", "b": "C2", "c": "C1"}
+        final = schedule(encoder_circuit, placement, acetyl).final_qubit_times()
+        assert final == {"a": 680, "b": 770, "c": 769}
+
+
+class TestSequentialLevels:
+    def test_sequential_at_least_asynchronous(self, acetyl, encoder_circuit):
+        placement = {"a": "C2", "b": "C1", "c": "M"}
+        asynchronous = circuit_runtime(encoder_circuit, placement, acetyl)
+        sequential = sequential_level_runtime(encoder_circuit, placement, acetyl)
+        assert sequential >= asynchronous
+
+    def test_sequential_sums_level_maxima(self, acetyl):
+        circuit = QuantumCircuit(
+            ["a", "b", "c"],
+            [g.ry("a", 90.0), g.ry("c", 90.0), g.zz("a", "b", 90.0)],
+        )
+        placement = {"a": "M", "b": "C1", "c": "C2"}
+        # Level 1: max(8, 1) = 8; level 2: 38.
+        assert sequential_level_runtime(circuit, placement, acetyl) == 46.0
+
+
+class TestLowerBound:
+    def test_lower_bound_below_every_placement(self, acetyl, encoder_circuit):
+        bound = runtime_lower_bound(encoder_circuit, acetyl)
+        assert bound <= 136.0
+        assert bound > 0.0
+
+    def test_lower_bound_zero_for_empty_circuit(self, acetyl):
+        assert runtime_lower_bound(QuantumCircuit(["a"]), acetyl) == 0.0

@@ -1,0 +1,111 @@
+"""Unit tests for balanced connected bisection and separability."""
+
+import networkx as nx
+import pytest
+
+from repro.exceptions import RoutingError
+from repro.routing.separators import (
+    balanced_connected_bisection,
+    degree_separability_bound,
+    recursive_bisections,
+    separability,
+)
+
+
+def _is_valid_bisection(graph, bisection):
+    part_one, part_two = set(bisection.part_one), set(bisection.part_two)
+    assert part_one | part_two == set(graph.nodes())
+    assert not part_one & part_two
+    assert nx.is_connected(graph.subgraph(part_one))
+    assert nx.is_connected(graph.subgraph(part_two))
+    return True
+
+
+class TestBisection:
+    def test_path_graph_split_in_half(self):
+        graph = nx.path_graph(8)
+        bisection = balanced_connected_bisection(graph)
+        assert _is_valid_bisection(graph, bisection)
+        assert bisection.balance == 0
+
+    def test_odd_path_split_off_by_one(self):
+        graph = nx.path_graph(7)
+        bisection = balanced_connected_bisection(graph)
+        assert _is_valid_bisection(graph, bisection)
+        assert bisection.balance == 1
+
+    def test_cycle_graph(self):
+        graph = nx.cycle_graph(10)
+        bisection = balanced_connected_bisection(graph)
+        assert _is_valid_bisection(graph, bisection)
+        assert bisection.ratio >= 0.5
+
+    def test_grid_graph(self):
+        graph = nx.convert_node_labels_to_integers(nx.grid_2d_graph(4, 4))
+        bisection = balanced_connected_bisection(graph)
+        assert _is_valid_bisection(graph, bisection)
+        assert bisection.ratio >= 0.5
+
+    def test_star_graph_ratio_matches_bound(self):
+        graph = nx.star_graph(6)  # center 0, leaves 1..6
+        bisection = balanced_connected_bisection(graph)
+        assert _is_valid_bisection(graph, bisection)
+        # Only a single leaf can be split off a star.
+        assert len(bisection.part_two) == 1
+
+    def test_channel_edges_cross_the_cut(self):
+        graph = nx.path_graph(6)
+        bisection = balanced_connected_bisection(graph)
+        for a, b in bisection.channel_edges:
+            assert (a in bisection.part_one) != (b in bisection.part_one)
+
+    def test_crotonic_acid_cut_matches_figure3(self, crotonic):
+        graph = crotonic.adjacency_graph(100.0)
+        bisection = balanced_connected_bisection(graph)
+        parts = {frozenset(bisection.part_one), frozenset(bisection.part_two)}
+        assert frozenset({"C3", "C4", "H2"}) in parts or frozenset({"M", "C1", "H1"}) in parts or bisection.balance <= 1
+
+    def test_single_node_rejected(self):
+        with pytest.raises(RoutingError):
+            balanced_connected_bisection(nx.path_graph(1))
+
+    def test_disconnected_graph_rejected(self):
+        graph = nx.Graph([(0, 1), (2, 3)])
+        with pytest.raises(RoutingError):
+            balanced_connected_bisection(graph)
+
+
+class TestSeparability:
+    def test_single_node_is_perfectly_separable(self):
+        assert separability(nx.path_graph(1)) == 1.0
+
+    def test_chain_separability_at_least_half(self):
+        assert separability(nx.path_graph(16)) >= 0.5
+
+    def test_grid_separability_at_least_half(self):
+        graph = nx.convert_node_labels_to_integers(nx.grid_2d_graph(4, 4))
+        assert separability(graph) >= 0.5
+
+    def test_crotonic_separability_is_half(self, crotonic):
+        """The paper: liquid-state NMR molecules have s = 1/2."""
+        graph = crotonic.adjacency_graph(100.0)
+        assert separability(graph) == pytest.approx(0.5)
+
+    def test_separability_never_below_degree_bound(self):
+        for graph in (
+            nx.path_graph(9),
+            nx.cycle_graph(7),
+            nx.star_graph(5),
+            nx.convert_node_labels_to_integers(nx.grid_2d_graph(3, 5)),
+        ):
+            assert separability(graph) >= degree_separability_bound(graph) - 1e-12
+
+    def test_recursive_bisections_cover_whole_graph(self):
+        graph = nx.path_graph(8)
+        bisections = recursive_bisections(graph)
+        # A binary recursion over 8 nodes performs 7 cuts.
+        assert len(bisections) == 7
+
+    def test_degree_bound_values(self):
+        assert degree_separability_bound(nx.path_graph(5)) == pytest.approx(0.5)
+        assert degree_separability_bound(nx.star_graph(4)) == pytest.approx(0.25)

@@ -1,0 +1,151 @@
+"""Unit tests for the statevector simulator and gate unitaries."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuits import gates as g
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.library import qft_circuit
+from repro.exceptions import SimulationError
+from repro.simulation.statevector import (
+    StatevectorSimulator,
+    circuit_unitary,
+    statevector,
+)
+from repro.simulation.unitaries import (
+    gate_unitary,
+    is_unitary,
+    quantum_fourier_transform_matrix,
+    rx_matrix,
+    ry_matrix,
+    rz_matrix,
+    zz_matrix,
+)
+
+
+class TestUnitaries:
+    @pytest.mark.parametrize("matrix_fn", [rx_matrix, ry_matrix, rz_matrix, zz_matrix])
+    @pytest.mark.parametrize("angle", [0.0, 45.0, 90.0, 180.0, -90.0])
+    def test_rotation_matrices_are_unitary(self, matrix_fn, angle):
+        assert is_unitary(matrix_fn(angle))
+
+    def test_rx_90_matches_paper_formula(self):
+        matrix = rx_matrix(90.0)
+        c = math.cos(math.pi / 4)
+        assert matrix[0, 0] == pytest.approx(c)
+        assert matrix[0, 1] == pytest.approx(-1j * c)
+
+    def test_zz_matrix_diagonal_structure(self):
+        matrix = zz_matrix(90.0)
+        assert np.allclose(matrix, np.diag(np.diag(matrix)))
+        assert matrix[0, 0] == pytest.approx(matrix[3, 3])
+        assert matrix[1, 1] == pytest.approx(matrix[2, 2])
+
+    def test_gate_unitary_dispatch(self):
+        assert gate_unitary(g.hadamard("a")).shape == (2, 2)
+        assert gate_unitary(g.cnot("a", "b")).shape == (4, 4)
+        assert gate_unitary(g.swap("a", "b")).shape == (4, 4)
+        assert gate_unitary(g.zz("a", "b", 45.0)).shape == (4, 4)
+
+    def test_generic_gate_has_no_unitary(self):
+        with pytest.raises(SimulationError):
+            gate_unitary(g.generic_2q("a", "b", 3.0))
+
+    def test_every_dispatchable_gate_is_unitary(self):
+        for gate in [
+            g.rx("a", 37.0), g.ry("a", 122.0), g.rz("a", -45.0),
+            g.hadamard("a"), g.pauli_x("a"), g.pauli_y("a"), g.pauli_z("a"),
+            g.zz("a", "b", 61.0), g.cnot("a", "b"), g.cz("a", "b"),
+            g.swap("a", "b"), g.controlled_phase("a", "b", 30.0),
+        ]:
+            assert is_unitary(gate_unitary(gate))
+
+
+class TestSimulator:
+    def test_zero_state(self):
+        sim = StatevectorSimulator(["a", "b"])
+        state = sim.zero_state()
+        assert state[0] == 1.0
+        assert np.sum(np.abs(state)) == 1.0
+
+    def test_basis_state(self):
+        sim = StatevectorSimulator(["a", "b"])
+        state = sim.basis_state({"a": 1})
+        assert state[1] == 1.0  # qubit "a" is bit 0
+
+    def test_pauli_x_flips_basis_state(self):
+        circuit = QuantumCircuit(["a"], [g.pauli_x("a")])
+        state = statevector(circuit)
+        assert abs(state[1]) == pytest.approx(1.0)
+
+    def test_cnot_on_flipped_control(self):
+        circuit = QuantumCircuit(["c", "t"], [g.pauli_x("c"), g.cnot("c", "t")])
+        state = statevector(circuit)
+        # Both qubits end in |1>: index 0b11 = 3.
+        assert abs(state[3]) == pytest.approx(1.0)
+
+    def test_hadamard_creates_uniform_superposition(self):
+        circuit = QuantumCircuit(["a"], [g.hadamard("a")])
+        probabilities = np.abs(statevector(circuit)) ** 2
+        assert probabilities == pytest.approx([0.5, 0.5])
+
+    def test_swap_gate_exchanges_values(self):
+        circuit = QuantumCircuit(["a", "b"], [g.pauli_x("a"), g.swap("a", "b")])
+        state = statevector(circuit)
+        assert abs(state[0b10]) == pytest.approx(1.0)  # b now holds the 1
+
+    def test_state_norm_preserved(self):
+        circuit = qft_circuit(4)
+        state = statevector(circuit)
+        assert np.linalg.norm(state) == pytest.approx(1.0)
+
+    def test_marginal_probability(self):
+        sim = StatevectorSimulator(["a", "b"])
+        circuit = QuantumCircuit(["a", "b"], [g.hadamard("a")])
+        state = sim.run(circuit)
+        assert sim.marginal_probability(state, "a", 1) == pytest.approx(0.5)
+        assert sim.marginal_probability(state, "b", 1) == pytest.approx(0.0)
+
+    def test_unknown_circuit_qubit_rejected(self):
+        sim = StatevectorSimulator(["a"])
+        with pytest.raises(SimulationError):
+            sim.run(QuantumCircuit(["z"], [g.rx("z")]))
+
+    def test_too_many_qubits_rejected(self):
+        with pytest.raises(SimulationError):
+            StatevectorSimulator(list(range(20)))
+
+    def test_duplicate_qubits_rejected(self):
+        with pytest.raises(SimulationError):
+            StatevectorSimulator(["a", "a"])
+
+
+class TestCircuitUnitary:
+    def test_unitary_of_unitary_circuit_is_unitary(self):
+        assert is_unitary(circuit_unitary(qft_circuit(3)))
+
+    def test_qft_circuit_matches_exact_qft_up_to_bit_reversal(self):
+        num_qubits = 3
+        dimension = 2 ** num_qubits
+        exact = quantum_fourier_transform_matrix(num_qubits)
+        reversal = np.zeros((dimension, dimension))
+        for index in range(dimension):
+            reversed_index = int(format(index, f"0{num_qubits}b")[::-1], 2)
+            reversal[reversed_index, index] = 1
+        # The simulator orders basis states with qubit 0 as the least
+        # significant bit while the circuit treats qubit 0 as the most
+        # significant, so the circuit equals the exact QFT composed with the
+        # bit-reversal permutation (and the optional final SWAPs apply the
+        # reversal on the output side as well).
+        unitary_plain = circuit_unitary(qft_circuit(num_qubits))
+        unitary_swapped = circuit_unitary(qft_circuit(num_qubits, include_final_swaps=True))
+        assert np.allclose(unitary_plain, exact @ reversal, atol=1e-9)
+        assert np.allclose(unitary_swapped, reversal @ exact @ reversal, atol=1e-9)
+
+    def test_gate_order_is_left_to_right_in_time(self):
+        circuit = QuantumCircuit(["a"], [g.pauli_x("a"), g.hadamard("a")])
+        unitary = circuit_unitary(circuit)
+        expected = gate_unitary(g.hadamard("a")) @ gate_unitary(g.pauli_x("a"))
+        assert np.allclose(unitary, expected)

@@ -1,0 +1,82 @@
+"""Unit tests for SWAP-stage circuits and their costing."""
+
+import pytest
+
+from repro.hardware.architectures import linear_chain
+from repro.routing.bubble import RoutingResult, route_permutation
+from repro.routing.permutation import Permutation
+from repro.routing.swap_circuit import (
+    apply_layers_to_placement,
+    routing_circuit,
+    routing_runtime,
+    swap_stage_circuit,
+    swap_stage_runtime,
+    uniform_swap_depth_cost,
+)
+
+
+class TestSwapStageCircuit:
+    def test_circuit_contains_one_swap_gate_per_swap(self):
+        layers = [[(0, 1), (2, 3)], [(1, 2)]]
+        circuit = swap_stage_circuit(layers, range(4))
+        assert circuit.num_gates == 3
+        assert all(gate.name == "SWAP" for gate in circuit)
+
+    def test_swap_gates_have_duration_three(self):
+        circuit = swap_stage_circuit([[(0, 1)]], range(2))
+        assert circuit[0].duration == 3.0
+
+    def test_empty_layers_give_empty_circuit(self):
+        assert swap_stage_circuit([], range(3)).num_gates == 0
+
+
+class TestCosting:
+    def test_single_swap_runtime(self):
+        env = linear_chain(4)  # pair delay 10 units
+        assert swap_stage_runtime([[(0, 1)]], env) == 30.0
+
+    def test_parallel_swaps_cost_one_swap(self):
+        env = linear_chain(4)
+        assert swap_stage_runtime([[(0, 1), (2, 3)]], env) == 30.0
+
+    def test_sequential_layers_add_up(self):
+        env = linear_chain(4)
+        assert swap_stage_runtime([[(0, 1)], [(1, 2)]], env) == 60.0
+
+    def test_disjoint_layers_overlap_in_asynchronous_model(self):
+        env = linear_chain(6)
+        # Layers touch disjoint qubits, so the asynchronous model overlaps them.
+        runtime = swap_stage_runtime([[(0, 1)], [(3, 4)]], env)
+        assert runtime == 30.0
+
+    def test_sequential_levels_model_does_not_overlap(self):
+        env = linear_chain(6)
+        runtime = swap_stage_runtime([[(0, 1)], [(3, 4)]], env, sequential_levels=True)
+        assert runtime == 60.0
+
+    def test_empty_stage_costs_nothing(self):
+        assert swap_stage_runtime([], linear_chain(3)) == 0.0
+
+    def test_uniform_depth_cost(self):
+        result = RoutingResult([[(0, 1)], [(1, 2)]], Permutation.identity(range(3)))
+        assert uniform_swap_depth_cost(result, swap_time=2.0) == 4.0
+
+    def test_routing_runtime_and_circuit_wrappers(self):
+        env = linear_chain(5)
+        result = route_permutation(env.adjacency_graph(10.0), {0: 2, 2: 0})
+        circuit = routing_circuit(result, env)
+        assert circuit.num_gates == result.num_swaps
+        assert routing_runtime(result, env) > 0
+
+
+class TestApplyLayers:
+    def test_tracks_qubit_positions(self):
+        placement = {"q": 0, "r": 2}
+        layers = [[(0, 1)], [(1, 2)]]
+        final = apply_layers_to_placement(placement, layers)
+        assert final["q"] == 2
+        assert final["r"] == 1
+
+    def test_untouched_qubits_stay(self):
+        placement = {"q": 3}
+        assert apply_layers_to_placement(placement, [[(0, 1)]]) == {"q": 3}

@@ -1,0 +1,63 @@
+"""Unit tests for threshold / adjacency-graph utilities."""
+
+import pytest
+
+from repro.exceptions import ThresholdError
+from repro.hardware.molecules import pentafluorobutadienyl_iron, trans_crotonic_acid
+from repro.hardware.threshold_graph import (
+    PAPER_THRESHOLDS,
+    connectivity_threshold,
+    largest_connected_nodes,
+    summarize,
+    sweep_summaries,
+    usable_thresholds,
+)
+
+
+class TestSummaries:
+    def test_paper_thresholds_constant(self):
+        assert PAPER_THRESHOLDS == (50.0, 100.0, 200.0, 500.0, 1000.0, 10000.0)
+
+    def test_summary_fields(self, crotonic):
+        summary = summarize(crotonic, 100.0)
+        assert summary.num_nodes == 7
+        assert summary.num_edges == 6
+        assert summary.is_connected
+        assert summary.num_components == 1
+        assert summary.usable
+
+    def test_summary_disconnected(self, crotonic):
+        summary = summarize(crotonic, 50.0)
+        assert not summary.is_connected
+        assert summary.num_components == 2
+
+    def test_unusable_threshold(self):
+        summary = summarize(pentafluorobutadienyl_iron(), 50.0)
+        assert not summary.usable
+
+    def test_sweep_is_monotone_in_edges(self, crotonic):
+        summaries = sweep_summaries(crotonic)
+        edge_counts = [s.num_edges for s in summaries]
+        assert edge_counts == sorted(edge_counts)
+
+
+class TestConnectivity:
+    def test_connectivity_threshold_crotonic(self, crotonic):
+        value = connectivity_threshold(crotonic)
+        assert value == 60.0  # the slowest chemical bond (C3-C4)
+        assert crotonic.is_connected_at(value)
+
+    def test_largest_connected_nodes(self, crotonic):
+        nodes = largest_connected_nodes(crotonic, 50.0)
+        assert "C4" not in nodes
+        assert len(nodes) == 6
+
+    def test_largest_connected_nodes_unusable_raises(self):
+        with pytest.raises(ThresholdError):
+            largest_connected_nodes(pentafluorobutadienyl_iron(), 50.0)
+
+    def test_usable_thresholds_iron_complex(self):
+        usable = usable_thresholds(pentafluorobutadienyl_iron())
+        assert 50.0 not in usable
+        assert 100.0 not in usable
+        assert 200.0 in usable

@@ -1,0 +1,81 @@
+"""Unit tests for the greedy token-swapping baseline router."""
+
+import random
+
+import networkx as nx
+import pytest
+
+from repro.exceptions import RoutingError
+from repro.routing.permutation import Permutation
+from repro.routing.token_swapping import (
+    greedy_token_swapping,
+    pack_layers,
+    route_permutation_greedy,
+)
+from repro.simulation.verify import verify_routing_layers
+
+
+class TestGreedyTokenSwapping:
+    def test_identity_needs_no_swaps(self):
+        graph = nx.path_graph(4)
+        assert greedy_token_swapping(graph, Permutation.identity(range(4))) == []
+
+    def test_transposition_on_edge(self):
+        graph = nx.path_graph(3)
+        swaps = greedy_token_swapping(graph, {0: 1, 1: 0})
+        assert len(swaps) == 1
+
+    def test_reversal_on_path_uses_quadratic_swaps(self):
+        n = 6
+        graph = nx.path_graph(n)
+        swaps = greedy_token_swapping(graph, {i: n - 1 - i for i in range(n)})
+        assert len(swaps) <= n * (n - 1) // 2 + n
+
+    def test_unreachable_target_raises(self):
+        graph = nx.Graph([(0, 1), (2, 3)])
+        with pytest.raises(RoutingError):
+            greedy_token_swapping(graph, {0: 3, 3: 0})
+
+    def test_random_permutations_delivered(self):
+        rng = random.Random(5)
+        graph = nx.convert_node_labels_to_integers(nx.grid_2d_graph(3, 3))
+        nodes = list(graph.nodes())
+        for _ in range(8):
+            shuffled = list(nodes)
+            rng.shuffle(shuffled)
+            permutation = dict(zip(nodes, shuffled))
+            result = route_permutation_greedy(graph, permutation)
+            assert verify_routing_layers(result.layers, permutation)
+
+
+class TestPackLayers:
+    def test_disjoint_swaps_share_a_layer(self):
+        layers = pack_layers([(0, 1), (2, 3)])
+        assert len(layers) == 1
+
+    def test_conflicting_swaps_get_separate_layers(self):
+        layers = pack_layers([(0, 1), (1, 2)])
+        assert len(layers) == 2
+
+    def test_packing_preserves_order_per_node(self):
+        layers = pack_layers([(0, 1), (1, 2), (0, 1)])
+        flattened = [swap for layer in layers for swap in layer]
+        assert flattened.count((0, 1)) == 2
+
+    def test_empty_input(self):
+        assert pack_layers([]) == []
+
+
+class TestComparisonWithBubbleRouter:
+    def test_both_routers_realise_the_same_permutation(self, crotonic):
+        from repro.routing.bubble import route_permutation
+
+        graph = crotonic.adjacency_graph(100.0)
+        permutation = {
+            "M": "C4", "C4": "M", "C1": "C3", "C3": "C1",
+            "C2": "C2", "H1": "H2", "H2": "H1",
+        }
+        bubble = route_permutation(graph, permutation)
+        greedy = route_permutation_greedy(graph, permutation)
+        assert verify_routing_layers(bubble.layers, permutation)
+        assert verify_routing_layers(greedy.layers, permutation)

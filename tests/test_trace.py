@@ -1,0 +1,38 @@
+"""Unit tests for trace rendering (Table 1 layout)."""
+
+from repro.timing.scheduler import schedule
+from repro.timing.trace import format_trace, trace_rows
+
+
+class TestTraceRows:
+    def test_rows_follow_requested_qubit_order(self, acetyl, encoder_circuit):
+        result = schedule(encoder_circuit, {"a": "M", "b": "C2", "c": "C1"}, acetyl)
+        rows = trace_rows(result, qubit_order=["a", "b", "c"])
+        assert [row[0] for row in rows] == ["a", "b", "c"]
+
+    def test_rows_contain_table1_values(self, acetyl, encoder_circuit):
+        result = schedule(encoder_circuit, {"a": "M", "b": "C2", "c": "C1"}, acetyl)
+        rows = trace_rows(result, qubit_order=["a", "b", "c"])
+        assert rows[0][1:] == ["8", "680", "680", "680", "680"]
+        assert rows[1][1:] == ["0", "680", "680", "769", "770"]
+        assert rows[2][1:] == ["0", "0", "8", "769", "769"]
+
+    def test_default_order_is_sorted(self, acetyl, encoder_circuit):
+        result = schedule(encoder_circuit, {"a": "M", "b": "C2", "c": "C1"}, acetyl)
+        rows = trace_rows(result)
+        assert [row[0] for row in rows] == ["a", "b", "c"]
+
+
+class TestFormatTrace:
+    def test_formatted_trace_contains_final_runtime(self, acetyl, encoder_circuit):
+        result = schedule(encoder_circuit, {"a": "M", "b": "C2", "c": "C1"}, acetyl)
+        text = format_trace(result, qubit_order=["a", "b", "c"])
+        assert "770" in text
+        assert text.splitlines()[0].startswith("time[ ]")
+
+    def test_formatted_trace_has_one_line_per_qubit_plus_header(
+        self, acetyl, encoder_circuit
+    ):
+        result = schedule(encoder_circuit, {"a": "M", "b": "C2", "c": "C1"}, acetyl)
+        text = format_trace(result)
+        assert len(text.splitlines()) == 4

@@ -1,0 +1,106 @@
+"""Unit tests for greedy workspace extraction."""
+
+import networkx as nx
+import pytest
+
+from repro.circuits import gates as g
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.library import qft_circuit
+from repro.core.workspace import extract_workspaces, workspace_boundaries
+from repro.exceptions import PlacementError
+
+
+@pytest.fixture
+def chain_host():
+    return nx.path_graph(4)  # 0-1-2-3
+
+
+class TestExtraction:
+    def test_single_workspace_when_circuit_fits(self, chain_host):
+        circuit = QuantumCircuit(
+            ["a", "b", "c"], [g.zz("a", "b"), g.zz("b", "c"), g.zz("a", "b")]
+        )
+        workspaces = extract_workspaces(circuit, chain_host)
+        assert len(workspaces) == 1
+        assert workspaces[0].start == 0
+        assert workspaces[0].stop == 3
+
+    def test_star_interaction_splits_on_chain_host(self, chain_host):
+        # A degree-3 star cannot embed in a path (max degree 2).
+        circuit = QuantumCircuit(
+            ["a", "b", "c", "d"],
+            [g.zz("a", "b"), g.zz("a", "c"), g.zz("a", "d")],
+        )
+        workspaces = extract_workspaces(circuit, chain_host)
+        assert len(workspaces) == 2
+        assert workspaces[0].stop == 2
+        assert workspaces[1].start == 2
+
+    def test_workspaces_partition_the_gate_sequence(self, chain_host):
+        circuit = qft_circuit(4)
+        workspaces = extract_workspaces(circuit, chain_host)
+        assert workspaces[0].start == 0
+        assert workspaces[-1].stop == circuit.num_gates
+        for previous, current in zip(workspaces, workspaces[1:]):
+            assert previous.stop == current.start
+
+    def test_each_workspace_embeds(self, chain_host):
+        from repro.core.monomorphism import has_monomorphism
+
+        circuit = qft_circuit(4)
+        for workspace in extract_workspaces(circuit, chain_host):
+            assert has_monomorphism(workspace.interaction_graph, chain_host)
+
+    def test_single_qubit_gates_do_not_split(self, chain_host):
+        circuit = QuantumCircuit(
+            ["a", "b"], [g.ry("a"), g.zz("a", "b"), g.ry("b"), g.ry("a")]
+        )
+        assert len(extract_workspaces(circuit, chain_host)) == 1
+
+    def test_circuit_without_two_qubit_gates(self, chain_host):
+        circuit = QuantumCircuit(["a", "b"], [g.ry("a"), g.ry("b")])
+        workspaces = extract_workspaces(circuit, chain_host)
+        assert len(workspaces) == 1
+        assert workspaces[0].num_two_qubit_gates == 0
+
+    def test_empty_adjacency_graph_rejected(self):
+        circuit = QuantumCircuit(["a", "b"], [g.zz("a", "b")])
+        with pytest.raises(PlacementError):
+            extract_workspaces(circuit, nx.empty_graph(3))
+
+    def test_qft6_on_crotonic_bond_graph_needs_multiple_workspaces(self, crotonic):
+        """The QFT interaction graph is complete; the bond tree cannot host it whole."""
+        host = crotonic.adjacency_graph(100.0)
+        workspaces = extract_workspaces(qft_circuit(6), host)
+        assert len(workspaces) > 1
+
+    def test_repeated_interactions_do_not_grow_the_pattern(self, chain_host):
+        circuit = QuantumCircuit(
+            ["a", "b"], [g.zz("a", "b") for _ in range(10)]
+        )
+        workspaces = extract_workspaces(circuit, chain_host)
+        assert len(workspaces) == 1
+        assert workspaces[0].interaction_graph.number_of_edges() == 1
+
+
+class TestWorkspaceObject:
+    def test_active_qubits(self, chain_host):
+        circuit = QuantumCircuit(
+            ["a", "b", "c"], [g.ry("c"), g.zz("a", "b")]
+        )
+        workspace = extract_workspaces(circuit, chain_host)[0]
+        assert set(workspace.active_qubits) == {"a", "b"}
+
+    def test_subcircuit_round_trip(self, chain_host):
+        circuit = qft_circuit(4)
+        workspaces = extract_workspaces(circuit, chain_host)
+        total = sum(ws.subcircuit(circuit).num_gates for ws in workspaces)
+        assert total == circuit.num_gates
+
+    def test_boundaries(self, chain_host):
+        circuit = QuantumCircuit(
+            ["a", "b", "c", "d"],
+            [g.zz("a", "b"), g.zz("a", "c"), g.zz("a", "d")],
+        )
+        workspaces = extract_workspaces(circuit, chain_host)
+        assert workspace_boundaries(workspaces) == [2]

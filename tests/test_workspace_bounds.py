@@ -1,0 +1,77 @@
+"""Tests for the bounded-workspace extraction strategy."""
+
+import networkx as nx
+import pytest
+
+from repro.circuits import gates as g
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.library import qft_circuit
+from repro.core.config import PlacementOptions
+from repro.core.placement import place_circuit
+from repro.core.workspace import extract_workspaces
+from repro.exceptions import PlacementError
+from repro.simulation.verify import verify_placement
+
+
+class TestBoundedExtraction:
+    def test_cap_splits_long_runs(self):
+        host = nx.path_graph(3)
+        circuit = QuantumCircuit(["a", "b"], [g.zz("a", "b") for _ in range(6)])
+        workspaces = extract_workspaces(circuit, host, max_two_qubit_gates=2)
+        assert len(workspaces) == 3
+        assert all(ws.num_two_qubit_gates == 2 for ws in workspaces)
+
+    def test_cap_of_one_gives_one_gate_per_workspace(self):
+        host = nx.path_graph(4)
+        circuit = QuantumCircuit(
+            ["a", "b", "c"], [g.zz("a", "b"), g.zz("b", "c"), g.zz("a", "b")]
+        )
+        workspaces = extract_workspaces(circuit, host, max_two_qubit_gates=1)
+        assert len(workspaces) == 3
+
+    def test_invalid_cap_rejected(self):
+        host = nx.path_graph(3)
+        circuit = QuantumCircuit(["a", "b"], [g.zz("a", "b")])
+        with pytest.raises(PlacementError):
+            extract_workspaces(circuit, host, max_two_qubit_gates=0)
+
+    def test_unbounded_matches_default(self):
+        host = nx.path_graph(4)
+        circuit = qft_circuit(4)
+        default = extract_workspaces(circuit, host)
+        unbounded = extract_workspaces(circuit, host, max_two_qubit_gates=None)
+        assert [ws.start for ws in default] == [ws.start for ws in unbounded]
+
+    def test_partition_still_covers_the_circuit(self):
+        host = nx.path_graph(4)
+        circuit = qft_circuit(4)
+        workspaces = extract_workspaces(circuit, host, max_two_qubit_gates=2)
+        assert workspaces[0].start == 0
+        assert workspaces[-1].stop == circuit.num_gates
+        for previous, current in zip(workspaces, workspaces[1:]):
+            assert previous.stop == current.start
+
+
+class TestPlacerIntegration:
+    def test_bounded_workspaces_increase_stage_count(self, crotonic):
+        greedy = place_circuit(
+            qft_circuit(5), crotonic, PlacementOptions(threshold=100.0)
+        )
+        bounded = place_circuit(
+            qft_circuit(5), crotonic,
+            PlacementOptions(threshold=100.0, max_workspace_two_qubit_gates=2),
+        )
+        assert bounded.num_subcircuits >= greedy.num_subcircuits
+
+    def test_bounded_workspaces_preserve_correctness(self, crotonic):
+        circuit = qft_circuit(5)
+        result = place_circuit(
+            circuit, crotonic,
+            PlacementOptions(threshold=100.0, max_workspace_two_qubit_gates=3),
+        )
+        report = verify_placement(circuit, result, crotonic, num_random_states=1)
+        assert report.equivalent
+
+    def test_invalid_option_rejected(self):
+        with pytest.raises(PlacementError):
+            PlacementOptions(max_workspace_two_qubit_gates=0)
