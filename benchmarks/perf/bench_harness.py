@@ -1,0 +1,246 @@
+"""Timed micro/macro benchmark scenarios for the placement engine.
+
+Each scenario is a callable that performs a realistic unit of placement
+work — a threshold sweep, a single placement, a raw monomorphism
+enumeration — on the paper's molecule environments and library circuits.
+The harness times it, snapshots the :data:`repro.core.stats.STATS` counters
+around it, and records a small *fingerprint* of the outputs so that a
+human comparing two ``BENCH_placement.json`` files can tell an honest
+speedup from a benchmark that silently started doing different work.
+
+Used by ``scripts/run_bench.py`` (the command-line entry point, including
+the ``--check`` regression gate) and by the ``bench``-marked pytest in
+this directory.  Wall times are machine-dependent; the counter metrics
+(search-tree nodes explored, cache hits, incremental evaluations) are
+deterministic and are tracked with the same regression tolerance.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, List, Tuple
+
+import networkx as nx
+
+from repro.analysis.scalability import run_scalability_point
+from repro.analysis.sweep import SweepRow, sweep_circuit
+from repro.circuits.library import aqft9, phaseest, qec5_encoder, qft_circuit
+from repro.core.config import PlacementOptions
+from repro.core.monomorphism import find_monomorphisms
+from repro.core.placement import place_circuit
+from repro.core.stats import STATS
+from repro.hardware.architectures import heavy_hex, grid
+from repro.hardware.molecules import (
+    boc_glycine_fluoride,
+    histidine,
+    trans_crotonic_acid,
+)
+
+#: Counter names whose per-scenario deltas are recorded and regression-checked.
+TRACKED_COUNTERS = (
+    "monomorphism.searches",
+    "monomorphism.nodes_explored",
+    "monomorphism.mappings_yielded",
+    "monomorphism.host_encodings",
+    "monomorphism.host_encoding_hits",
+    "environment.adjacency_cache_hits",
+    "environment.adjacency_cache_misses",
+    "environment.component_cache_hits",
+    "environment.component_cache_misses",
+    "scheduler.full_evals",
+    "scheduler.incremental_evals",
+    "scheduler.ops_skipped",
+    "scheduler.ops_replayed",
+)
+
+
+def _sweep_fingerprint(row: SweepRow) -> Dict:
+    best = row.best_cell()
+    return {
+        "num_subcircuits": [cell.num_subcircuits for cell in row.cells],
+        "feasible": [cell.feasible for cell in row.cells],
+        "best_threshold": best.threshold if best else None,
+    }
+
+
+def _placement_fingerprint(result) -> Dict:
+    return {
+        "num_subcircuits": result.num_subcircuits,
+        "num_swap_stages": len(result.swap_stages),
+        "threshold": result.threshold,
+    }
+
+
+def scenario_sweep_qft7_crotonic() -> Dict:
+    """The macro benchmark: QFT threshold sweep over trans-crotonic acid.
+
+    The 7-qubit QFT is the largest QFT the 7-qubit molecule admits; its
+    interaction graph is the complete graph, so every cell exercises
+    workspace extraction, monomorphism enumeration, fine tuning and SWAP
+    routing at the paper's six Table-3 thresholds.
+    """
+    row = sweep_circuit(lambda: qft_circuit(7), trans_crotonic_acid())
+    return _sweep_fingerprint(row)
+
+
+def scenario_sweep_qft8_histidine() -> Dict:
+    """An 8-qubit QFT swept over the 12-qubit histidine molecule."""
+    row = sweep_circuit(lambda: qft_circuit(8), histidine())
+    return _sweep_fingerprint(row)
+
+
+def scenario_place_phaseest_crotonic() -> Dict:
+    """Phase estimation on trans-crotonic acid at threshold 100 (Table 3)."""
+    result = place_circuit(
+        phaseest(), trans_crotonic_acid(), PlacementOptions(threshold=100.0)
+    )
+    return _placement_fingerprint(result)
+
+
+def scenario_place_aqft9_histidine() -> Dict:
+    """The approximate 9-qubit QFT on histidine at threshold 200."""
+    result = place_circuit(aqft9(), histidine(), PlacementOptions(threshold=200.0))
+    return _placement_fingerprint(result)
+
+
+def scenario_place_qec5_boc() -> Dict:
+    """The 5-qubit error-correction encoder on BOC-glycine-fluoride."""
+    result = place_circuit(qec5_encoder(), boc_glycine_fluoride())
+    return _placement_fingerprint(result)
+
+
+def scenario_scalability_chain32() -> Dict:
+    """One Table-4 scalability point: a 32-qubit hidden-stage chain instance."""
+    record = run_scalability_point(32, seed=0)
+    return {
+        "num_subcircuits": record.num_subcircuits,
+        "hidden_stages": record.hidden_stages,
+        "num_gates": record.num_gates,
+    }
+
+
+def scenario_monomorphism_micro() -> Dict:
+    """Raw enumerator stress: paths and grids embedded into sparse hosts."""
+    host_hex = heavy_hex(3)
+    graph_hex = host_hex.adjacency_graph(10.0)
+    host_grid = grid(5, 5)
+    graph_grid = host_grid.adjacency_graph(10.0)
+    counts = [
+        len(find_monomorphisms(nx.path_graph(12), graph_hex, max_count=100)),
+        len(find_monomorphisms(nx.cycle_graph(8), graph_grid, max_count=100)),
+        len(find_monomorphisms(nx.star_graph(4), graph_grid, max_count=100)),
+        # No triangle embeds into a bipartite grid: a full refutation search.
+        len(find_monomorphisms(nx.complete_graph(3), graph_grid, max_count=1)),
+    ]
+    return {"mapping_counts": counts}
+
+
+#: Registry of named scenarios (insertion order is the report order).
+SCENARIOS: Dict[str, Callable[[], Dict]] = {
+    "sweep_qft7_crotonic": scenario_sweep_qft7_crotonic,
+    "sweep_qft8_histidine": scenario_sweep_qft8_histidine,
+    "place_phaseest_crotonic": scenario_place_phaseest_crotonic,
+    "place_aqft9_histidine": scenario_place_aqft9_histidine,
+    "place_qec5_boc": scenario_place_qec5_boc,
+    "scalability_chain32": scenario_scalability_chain32,
+    "monomorphism_micro": scenario_monomorphism_micro,
+}
+
+
+def run_scenario(name: str, repeats: int = 3) -> Dict:
+    """Run one scenario ``repeats`` times; report best wall time.
+
+    Counter deltas and the fingerprint are taken from the first repeat
+    (fresh caches); later repeats only tighten the wall-time measurement.
+    """
+    function = SCENARIOS[name]
+    wall_times: List[float] = []
+    fingerprint: Dict = {}
+    metrics: Dict[str, int] = {}
+    for repeat in range(max(1, repeats)):
+        before = STATS.snapshot()
+        start = time.perf_counter()
+        result = function()
+        wall_times.append(time.perf_counter() - start)
+        if repeat == 0:
+            delta = STATS.delta_since(before)
+            metrics = {
+                key: delta.get(key, 0)
+                for key in TRACKED_COUNTERS
+                if key in delta
+            }
+            fingerprint = result
+    hits = metrics.get("environment.adjacency_cache_hits", 0)
+    misses = metrics.get("environment.adjacency_cache_misses", 0)
+    cache_rates = {}
+    if hits + misses:
+        cache_rates["adjacency_cache_hit_rate"] = round(hits / (hits + misses), 4)
+    encoding_hits = metrics.get("monomorphism.host_encoding_hits", 0)
+    encodings = metrics.get("monomorphism.host_encodings", 0)
+    if encoding_hits + encodings:
+        cache_rates["host_encoding_hit_rate"] = round(
+            encoding_hits / (encoding_hits + encodings), 4
+        )
+    return {
+        "wall_time_s": round(min(wall_times), 6),
+        "metrics": {**metrics, **cache_rates},
+        "fingerprint": fingerprint,
+    }
+
+
+def run_all(repeats: int = 3) -> Dict[str, Dict]:
+    """Run every registered scenario and return the results by name."""
+    return {name: run_scenario(name, repeats=repeats) for name in SCENARIOS}
+
+
+def check_results(
+    baseline: Dict[str, Dict],
+    current: Dict[str, Dict],
+    tolerance: float = 0.20,
+    min_wall_time_s: float = 0.15,
+) -> List[str]:
+    """Compare a fresh run against a committed baseline.
+
+    Returns a list of human-readable failure strings, one per regression:
+    a tracked scenario whose wall time or deterministic counters grew by
+    more than ``tolerance`` (wall times below ``min_wall_time_s`` in the
+    baseline are too noisy to gate on and are covered by their counters and
+    fingerprints instead), a scenario whose output fingerprint changed (it
+    no longer does the same work), or a scenario that disappeared.  Improvements never fail — refresh the baseline with
+    ``run_bench.py --update`` to lock them in.
+    """
+    failures: List[str] = []
+    baseline_scenarios = baseline.get("scenarios", baseline)
+    for name, base in baseline_scenarios.items():
+        now = current.get(name)
+        if now is None:
+            failures.append(f"{name}: scenario missing from current run")
+            continue
+        base_wall = base.get("wall_time_s", 0.0)
+        now_wall = now.get("wall_time_s", 0.0)
+        if base_wall >= min_wall_time_s and now_wall > base_wall * (1 + tolerance):
+            failures.append(
+                f"{name}: wall time regressed {base_wall:.4f}s -> "
+                f"{now_wall:.4f}s (> {tolerance:.0%})"
+            )
+        base_metrics = base.get("metrics", {})
+        now_metrics = now.get("metrics", {})
+        for key, base_value in base_metrics.items():
+            if key.endswith("_rate") or not isinstance(base_value, (int, float)):
+                continue
+            now_value = now_metrics.get(key, 0)
+            if base_value > 0 and now_value > base_value * (1 + tolerance):
+                failures.append(
+                    f"{name}: {key} regressed {base_value} -> {now_value} "
+                    f"(> {tolerance:.0%})"
+                )
+        base_fingerprint = base.get("fingerprint")
+        now_fingerprint = now.get("fingerprint")
+        if base_fingerprint is not None and now_fingerprint != base_fingerprint:
+            failures.append(
+                f"{name}: output fingerprint changed "
+                f"{base_fingerprint!r} -> {now_fingerprint!r} "
+                "(the scenario no longer does the same work; if intentional, "
+                "refresh the baseline with run_bench.py --update)"
+            )
+    return failures

@@ -1,0 +1,49 @@
+"""Optional benchmark-regression gate (``pytest -m bench``).
+
+Runs every scenario of ``bench_harness`` and fails if any tracked
+benchmark regressed more than 20% against the committed
+``BENCH_placement.json`` baseline — the pytest face of
+``scripts/run_bench.py --check``.  Excluded from the tier-1 suite via the
+``bench`` marker (see ``pytest.ini``); run explicitly with::
+
+    PYTHONPATH=src python -m pytest -m bench benchmarks/perf -q
+
+Wall-clock tolerances are machine-sensitive; on very different hardware
+use ``REPRO_BENCH_TOLERANCE`` (e.g. ``=0.5``) or regenerate the baseline
+with ``python scripts/run_bench.py``.
+"""
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+import bench_harness
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+BASELINE = REPO_ROOT / "BENCH_placement.json"
+
+
+@pytest.mark.bench
+def test_benchmarks_do_not_regress():
+    assert BASELINE.exists(), (
+        "no committed BENCH_placement.json baseline; "
+        "generate one with: python scripts/run_bench.py"
+    )
+    baseline = json.loads(BASELINE.read_text())
+    tolerance = float(os.environ.get("REPRO_BENCH_TOLERANCE", "0.20"))
+    current = bench_harness.run_all(repeats=3)
+    failures = bench_harness.check_results(baseline, current, tolerance=tolerance)
+    assert not failures, "benchmark regressions:\n" + "\n".join(failures)
+
+
+@pytest.mark.bench
+def test_all_scenarios_produce_metrics():
+    """Every scenario reports a wall time and at least one counter metric."""
+    results = bench_harness.run_all(repeats=1)
+    assert len(results) >= 6
+    for name, data in results.items():
+        assert data["wall_time_s"] > 0, name
+        assert data["metrics"], name
+        assert data["fingerprint"], name

@@ -1,0 +1,127 @@
+#!/usr/bin/env python
+"""Run the placement-engine performance benchmarks.
+
+Produces ``BENCH_placement.json`` at the repository root: wall time,
+monomorphism search-tree nodes explored, cache hit rates and incremental
+scheduling counters for every named scenario in
+``benchmarks/perf/bench_harness.py``, plus a fingerprint of each
+scenario's outputs.
+
+Usage::
+
+    python scripts/run_bench.py                 # run + write BENCH_placement.json
+    python scripts/run_bench.py --check         # compare against the committed
+                                                # baseline; exit 1 on >20% regression
+    python scripts/run_bench.py --check --update  # check, then refresh the baseline
+    python scripts/run_bench.py --repeats 5 --output /tmp/bench.json
+
+The regression gate compares wall times (ignoring scenarios whose baseline
+is under 150 ms — too noisy) and the deterministic counter metrics, both
+with the same relative tolerance (``--tolerance``, default 0.20, or the
+``REPRO_BENCH_TOLERANCE`` environment variable).  See
+``docs/performance.md`` for how to read the report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+sys.path.insert(0, str(REPO_ROOT / "benchmarks" / "perf"))
+
+import bench_harness  # noqa: E402  (path set up above)
+
+DEFAULT_BASELINE = REPO_ROOT / "BENCH_placement.json"
+
+
+def build_report(repeats: int) -> dict:
+    results = bench_harness.run_all(repeats=repeats)
+    return {
+        "schema_version": 1,
+        "description": "Placement-engine performance benchmarks "
+        "(scripts/run_bench.py)",
+        "python": platform.python_version(),
+        "repeats": repeats,
+        "scenarios": results,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=DEFAULT_BASELINE,
+        help="where to write the report (default: BENCH_placement.json)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=DEFAULT_BASELINE,
+        help="committed baseline to compare against with --check",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3, help="timing repeats per scenario"
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=float(os.environ.get("REPRO_BENCH_TOLERANCE", "0.20")),
+        help="allowed relative regression before --check fails (default 0.20)",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="compare against the baseline instead of overwriting it; "
+        "exit 1 if any tracked benchmark regressed beyond the tolerance",
+    )
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="with --check: rewrite the baseline after reporting",
+    )
+    args = parser.parse_args(argv)
+
+    report = build_report(args.repeats)
+    scenarios = report["scenarios"]
+    width = max(len(name) for name in scenarios)
+    for name, data in scenarios.items():
+        explored = data["metrics"].get("monomorphism.nodes_explored", 0)
+        print(
+            f"{name:<{width}}  {data['wall_time_s']*1000:9.2f} ms  "
+            f"nodes={explored:>8}  "
+            f"adj-hit={data['metrics'].get('adjacency_cache_hit_rate', 0.0):.2f}"
+        )
+
+    if args.check:
+        if not args.baseline.exists():
+            print(f"error: baseline {args.baseline} not found", file=sys.stderr)
+            return 2
+        baseline = json.loads(args.baseline.read_text())
+        failures = bench_harness.check_results(
+            baseline, scenarios, tolerance=args.tolerance
+        )
+        if failures:
+            print("\nREGRESSIONS:", file=sys.stderr)
+            for failure in failures:
+                print(f"  {failure}", file=sys.stderr)
+            return 1
+        print(f"\nOK: no benchmark regressed more than {args.tolerance:.0%}")
+        if args.update:
+            args.output.write_text(json.dumps(report, indent=1, sort_keys=False) + "\n")
+            print(f"baseline updated: {args.output}")
+        return 0
+
+    args.output.write_text(json.dumps(report, indent=1, sort_keys=False) + "\n")
+    print(f"\nwrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

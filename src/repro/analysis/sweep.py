@@ -73,34 +73,53 @@ def sweep_circuit(
     environment: PhysicalEnvironment,
     thresholds: Sequence[float] = PAPER_THRESHOLDS,
     options: Optional[PlacementOptions] = None,
+    reuse_equivalent_cells: bool = True,
 ) -> SweepRow:
-    """Place one circuit at every threshold (fresh circuit per threshold)."""
+    """Place one circuit at every threshold (fresh circuit per threshold).
+
+    Two thresholds falling between the same consecutive delay values of the
+    environment admit exactly the same fast interactions, so the placer
+    would do byte-identical work for both cells (only the reported
+    threshold differs).  With ``reuse_equivalent_cells`` (the default) such
+    cells are computed once and shared via the environment's
+    :meth:`~repro.hardware.environment.PhysicalEnvironment.threshold_signature`;
+    disable it to force one full placement run per threshold (e.g. when
+    benchmarking the placer itself).
+    """
     base_options = options or PlacementOptions()
     cells: List[SweepCell] = []
     circuit_name = circuit_factory().name
+    memo: Dict = {}
     for threshold in thresholds:
-        circuit = circuit_factory()
-        try:
-            result = place_circuit(
-                circuit, environment, base_options.replace(threshold=threshold)
-            )
-            cells.append(
-                SweepCell(
-                    circuit_name=circuit.name,
-                    threshold=float(threshold),
-                    runtime_seconds=result.runtime_seconds,
-                    num_subcircuits=result.num_subcircuits,
+        signature = (
+            environment.threshold_signature(threshold)
+            if reuse_equivalent_cells
+            else None
+        )
+        if signature is not None and signature in memo:
+            runtime_seconds, num_subcircuits = memo[signature]
+        else:
+            try:
+                result = place_circuit(
+                    circuit_factory(),
+                    environment,
+                    base_options.replace(threshold=threshold),
                 )
+                runtime_seconds = result.runtime_seconds
+                num_subcircuits = result.num_subcircuits
+            except (ThresholdError, PlacementError):
+                runtime_seconds = None
+                num_subcircuits = None
+            if signature is not None:
+                memo[signature] = (runtime_seconds, num_subcircuits)
+        cells.append(
+            SweepCell(
+                circuit_name=circuit_name,
+                threshold=float(threshold),
+                runtime_seconds=runtime_seconds,
+                num_subcircuits=num_subcircuits,
             )
-        except (ThresholdError, PlacementError):
-            cells.append(
-                SweepCell(
-                    circuit_name=circuit.name,
-                    threshold=float(threshold),
-                    runtime_seconds=None,
-                    num_subcircuits=None,
-                )
-            )
+        )
     return SweepRow(circuit_name, environment.name, cells)
 
 

@@ -1,0 +1,141 @@
+"""Integer-bitset host encodings for the monomorphism engine.
+
+The backtracking enumerator in :mod:`repro.core.monomorphism` spends its
+time asking two questions: "which host nodes are still available?" and
+"which host nodes are adjacent to every already-placed neighbour?".  Both
+become single big-int operations once the host graph is relabelled to
+contiguous integers and its adjacency is stored as one Python-int bitmask
+per node: bit ``j`` of ``adjacency[i]`` is set iff host nodes ``i`` and
+``j`` share an edge.
+
+The bit order is the engine's canonical *node order*: host nodes sorted by
+``repr`` — the same deterministic order the original enumerator used — with
+the ``repr`` computed exactly once per node instead of inside every
+comparison of every search.  Iterating the set bits of a mask from least to
+most significant therefore visits host nodes in exactly the order the
+original ``for host_node in sorted(host.nodes(), key=repr)`` scan did,
+which keeps the enumeration-order contract intact.
+
+Encodings are cached per host graph in a :class:`weakref.WeakKeyDictionary`
+(with a cheap size check to catch in-place mutation) because the placer
+asks for monomorphisms into the same adjacency graph hundreds of times per
+run — once per workspace-extraction step and once per workspace placement.
+"""
+
+from __future__ import annotations
+
+import weakref
+from typing import Dict, Hashable, Iterator, List, Tuple
+
+import networkx as nx
+
+from repro.core.stats import STATS
+
+Node = Hashable
+
+
+def node_index_table(nodes) -> Dict[Node, int]:
+    """Deterministic node -> index table (``repr``-sorted, computed once).
+
+    This is the shared replacement for the ad-hoc ``sorted(..., key=repr)``
+    calls that used to appear in every tie-break of the placer: the ``repr``
+    of each node is computed exactly once here, and every later comparison
+    is an integer comparison.  Works for mixed node types (integers, strings,
+    tuples, ...) because only the ``repr`` strings are ever compared.
+    """
+    return {node: index for index, node in enumerate(sorted(nodes, key=repr))}
+
+
+class HostEncoding:
+    """A host graph relabelled to contiguous ints with bitmask adjacency."""
+
+    __slots__ = (
+        "nodes",
+        "index",
+        "adjacency",
+        "degree",
+        "neighbor_degrees",
+        "full_mask",
+        "_size_signature",
+    )
+
+    def __init__(self, host: nx.Graph) -> None:
+        self.nodes: List[Node] = sorted(host.nodes(), key=repr)
+        self.index: Dict[Node, int] = {
+            node: position for position, node in enumerate(self.nodes)
+        }
+        count = len(self.nodes)
+        adjacency = [0] * count
+        degree = [0] * count
+        for a, b in host.edges():
+            i = self.index[a]
+            j = self.index[b]
+            if i == j:  # self-loops carry no placement meaning
+                continue
+            adjacency[i] |= 1 << j
+            adjacency[j] |= 1 << i
+        for position in range(count):
+            degree[position] = adjacency[position].bit_count()
+        self.adjacency: List[int] = adjacency
+        self.degree: List[int] = degree
+        # Descending degree multiset of each node's neighbourhood, used by
+        # the candidate-domain pruning in the enumerator.
+        self.neighbor_degrees: List[Tuple[int, ...]] = [
+            tuple(
+                sorted(
+                    (degree[j] for j in iter_bits(adjacency[i])),
+                    reverse=True,
+                )
+            )
+            for i in range(count)
+        ]
+        self.full_mask: int = (1 << count) - 1
+        self._size_signature = (host.number_of_nodes(), host.number_of_edges())
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.nodes)
+
+    def matches(self, host: nx.Graph) -> bool:
+        """Cheap staleness check against in-place host mutation."""
+        return self._size_signature == (
+            host.number_of_nodes(),
+            host.number_of_edges(),
+        )
+
+
+def iter_bits(mask: int) -> Iterator[int]:
+    """Yield the set-bit positions of ``mask``, lowest first."""
+    while mask:
+        low = mask & -mask
+        yield low.bit_length() - 1
+        mask ^= low
+
+
+_ENCODING_CACHE: "weakref.WeakKeyDictionary[nx.Graph, HostEncoding]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def encode_host(host: nx.Graph) -> HostEncoding:
+    """Return a (cached) :class:`HostEncoding` for ``host``.
+
+    The cache is keyed by graph identity and validated against the graph's
+    node/edge counts, so the common case — the placer reusing one adjacency
+    graph across hundreds of searches — hits, while a graph that was
+    mutated in place (same object, different size) is re-encoded.  Mutations
+    that preserve both counts are not detected; the placement engine never
+    mutates adjacency graphs, and external callers can simply pass a fresh
+    graph object.
+    """
+    encoding = _ENCODING_CACHE.get(host)
+    if encoding is not None and encoding.matches(host):
+        STATS.increment("monomorphism.host_encoding_hits")
+        return encoding
+    encoding = HostEncoding(host)
+    STATS.increment("monomorphism.host_encodings")
+    try:
+        _ENCODING_CACHE[host] = encoding
+    except TypeError:  # pragma: no cover - non-weakrefable graph subclass
+        pass
+    return encoding

@@ -54,6 +54,11 @@ class PlacementOptions:
         Optional cap on the number of two-qubit gates per workspace.  The
         paper's strategy is greedy-maximal (``None``); a finite cap explores
         the computation-depth vs. swap-depth balance its conclusions mention.
+    debug_full_recompute:
+        Debug-only: make the incremental cost evaluator verify every
+        delta-cost evaluation against a from-scratch scheduling run and
+        assert exact equality.  Slows fine tuning down to (worse than) the
+        non-incremental speed; useful when auditing scheduler changes.
     """
 
     threshold: Optional[float] = None
@@ -68,6 +73,7 @@ class PlacementOptions:
     restrict_to_largest_component: bool = True
     reorder_commuting_gates: bool = False
     max_workspace_two_qubit_gates: Optional[int] = None
+    debug_full_recompute: bool = False
 
     def __post_init__(self) -> None:
         if self.max_monomorphisms < 1:

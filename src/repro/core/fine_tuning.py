@@ -8,6 +8,21 @@ alternative physical node (moving to a free node, or swapping with the qubit
 currently there) and keep the change whenever the scheduled runtime improves.
 The sweep is repeated until no improvement is found or a round budget is
 exhausted.
+
+Two execution paths implement the same search:
+
+* the generic :func:`hill_climb`, which accepts an arbitrary cost function
+  and re-evaluates every candidate placement from scratch;
+* the incremental path used by the placer, driven by a
+  :class:`~repro.timing.scheduler.RuntimeEvaluator` — each candidate move
+  re-schedules only the operations after the first one that touches a moved
+  qubit, reusing recorded busy-time checkpoints and per-operation durations
+  for the untouched prefix.
+
+Both paths enumerate candidates in the same order and accept the first
+improving move, and the incremental evaluator is bit-for-bit equal to a full
+evaluation (``full_recompute=True`` asserts this on every step), so they
+return identical placements.
 """
 
 from __future__ import annotations
@@ -17,7 +32,7 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 from repro.circuits.circuit import QuantumCircuit
 from repro.circuits.gates import Qubit
 from repro.hardware.environment import Node, PhysicalEnvironment
-from repro.timing.scheduler import circuit_runtime
+from repro.timing.scheduler import RuntimeEvaluator, circuit_runtime
 
 Placement = Dict[Qubit, Node]
 CostFunction = Callable[[Placement], float]
@@ -93,6 +108,64 @@ def hill_climb(
     return best, best_cost
 
 
+def hill_climb_incremental(
+    placement: Placement,
+    evaluator: RuntimeEvaluator,
+    movable_qubits: Sequence[Qubit],
+    allowed_nodes: Sequence[Node],
+    max_rounds: int = 10,
+    extra_cost: Optional[CostFunction] = None,
+) -> Tuple[Placement, float]:
+    """The same greedy search as :func:`hill_climb`, with delta-cost moves.
+
+    Candidate moves are scored through ``evaluator.runtime_with`` — a swap
+    of two qubits re-schedules only the levels after the first affected
+    operation — instead of a full :func:`circuit_runtime` per candidate.
+    Enumeration order and the first-improvement acceptance rule are exactly
+    those of :func:`hill_climb`, and the evaluator's incremental results are
+    bitwise equal to full evaluations, so both searches land on the same
+    placement at the same cost.
+    """
+    best = dict(placement)
+    best_cost = evaluator.set_base(best)
+    if extra_cost is not None:
+        best_cost += extra_cost(best)
+    for _ in range(max_rounds):
+        improved = False
+        for qubit in movable_qubits:
+            current_node = best[qubit]
+            node_to_qubit = {node: q for q, node in best.items()}
+            for node in allowed_nodes:
+                if node == current_node:
+                    continue
+                occupant = node_to_qubit.get(node)
+                if occupant is None:
+                    overrides = {qubit: node}
+                else:
+                    overrides = {qubit: node, occupant: current_node}
+                if extra_cost is None:
+                    # Rejected moves only need to be known to be >= the
+                    # incumbent, so the evaluator may stop scheduling early.
+                    candidate_cost = evaluator.runtime_with(
+                        overrides, limit=best_cost
+                    )
+                else:
+                    candidate_cost = evaluator.runtime_with(overrides)
+                    candidate = dict(best)
+                    candidate.update(overrides)
+                    candidate_cost += extra_cost(candidate)
+                if candidate_cost < best_cost:
+                    best.update(overrides)
+                    evaluator.set_base(best)
+                    best_cost = candidate_cost
+                    improved = True
+                    break
+        if not improved:
+            break
+    evaluator.flush_stats()
+    return best, best_cost
+
+
 def fine_tune_workspace_placement(
     subcircuit: QuantumCircuit,
     placement: Placement,
@@ -101,12 +174,18 @@ def fine_tune_workspace_placement(
     apply_interaction_cap: bool = True,
     max_rounds: int = 10,
     extra_cost: Optional[CostFunction] = None,
+    evaluator: Optional[RuntimeEvaluator] = None,
+    full_recompute: bool = False,
 ) -> Tuple[Placement, float]:
     """Fine tune a workspace placement with the default runtime cost.
 
     ``extra_cost`` (e.g. an incoming swap-stage estimate) is added to the
     runtime so that fine tuning does not wander away from cheap-to-reach
-    placements.
+    placements.  ``evaluator`` lets the placer share one compiled
+    :class:`~repro.timing.scheduler.RuntimeEvaluator` across the many
+    candidate monomorphisms of a workspace; ``full_recompute`` turns on the
+    evaluator's parity assertion (every incremental cost is checked against
+    a from-scratch evaluation — a debugging aid, not a production mode).
     """
     movable: List[Qubit] = sorted(
         {q for gate in subcircuit if gate.is_two_qubit for q in gate.qubits},
@@ -114,19 +193,21 @@ def fine_tune_workspace_placement(
     )
     if not movable:
         movable = list(subcircuit.used_qubits())
-    base_cost = default_cost_function(
-        subcircuit, environment, apply_interaction_cap=apply_interaction_cap
-    )
-    if extra_cost is None:
-        cost = base_cost
-    else:
-        def cost(candidate: Placement) -> float:
-            return base_cost(candidate) + extra_cost(candidate)
+    if evaluator is None:
+        evaluator = RuntimeEvaluator(
+            subcircuit,
+            environment,
+            apply_interaction_cap=apply_interaction_cap,
+            full_recompute=full_recompute,
+        )
+    elif full_recompute:
+        evaluator.full_recompute = True
 
-    return hill_climb(
+    return hill_climb_incremental(
         placement,
-        cost,
+        evaluator,
         movable_qubits=movable,
         allowed_nodes=list(allowed_nodes),
         max_rounds=max_rounds,
+        extra_cost=extra_cost,
     )

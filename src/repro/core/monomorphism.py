@@ -2,8 +2,8 @@
 
 The original implementation used the VFLib graph matching library to align a
 subcircuit's interaction graph with the adjacency graph of fast physical
-interactions.  This module provides a self-contained VF2-style backtracking
-enumerator with the same contract:
+interactions.  This module provides a self-contained backtracking enumerator
+with the same contract:
 
 * a *monomorphism* is an injective map from pattern nodes to host nodes that
   sends every pattern edge to a host edge (the host may have extra edges —
@@ -11,18 +11,31 @@ enumerator with the same contract:
 * enumeration is capped (the paper uses ``k = 100`` candidate mappings per
   workspace) and deterministic, so experiments are reproducible.
 
-The enumerator orders pattern nodes most-constrained-first (connected to
-already-matched nodes, then by degree) and prunes candidates by degree and by
-adjacency consistency with the partial map, which is entirely sufficient for
-the molecule-sized and chain-sized hosts used in the paper's evaluation.
+The search itself runs over integer bitmasks (:mod:`repro.core._bitset`):
+the host is relabelled to contiguous ints once (and cached per graph), its
+adjacency is stored as one Python-int mask per node, and every backtracking
+step computes the candidate set for the next pattern node with a handful of
+``&`` operations instead of a ``for host_node in host_nodes`` scan with
+``has_edge`` calls.  Per-pattern-node candidate *domains* are precomputed
+from two sound necessary conditions — host degree at least the pattern
+degree, and the host neighbourhood's degree multiset dominating the pattern
+neighbourhood's — so impossible candidates never enter the search at all.
+
+Both prunings only remove host nodes that cannot appear in *any* complete
+monomorphism, and candidate bits are visited lowest-index-first, i.e. in
+the canonical ``repr``-sorted host order; the sequence of yielded mappings
+is therefore exactly the one the original scan-based enumerator produced
+(property-tested in ``tests/test_monomorphism_equivalence.py``).
 """
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Iterator, List, Optional, Sequence
+from typing import Dict, Hashable, Iterator, List, Optional
 
 import networkx as nx
 
+from repro.core._bitset import HostEncoding, encode_host, iter_bits
+from repro.core.stats import STATS
 from repro.exceptions import MonomorphismError
 
 Node = Hashable
@@ -59,10 +72,51 @@ def _pattern_order(pattern: nx.Graph) -> List[Node]:
     return order
 
 
+def _candidate_domains(
+    pattern: nx.Graph,
+    order: List[Node],
+    host: HostEncoding,
+) -> List[int]:
+    """Per-position candidate masks from sound degree-based pruning.
+
+    A host node can only be the image of pattern node ``p`` if its degree is
+    at least ``deg(p)`` and if, matching neighbourhoods greedily by degree,
+    its ``t``-th best neighbour is at least as connected as ``p``'s ``t``-th
+    best neighbour (every pattern neighbour must map to a *distinct* host
+    neighbour of no smaller degree).  Both conditions are necessary for
+    membership in a complete monomorphism, so filtering by them cannot drop
+    or reorder any yielded mapping.
+    """
+    degree = host.degree
+    neighbor_degrees = host.neighbor_degrees
+    count = host.num_nodes
+    domains: List[int] = []
+    for pattern_node in order:
+        pattern_degree = pattern.degree(pattern_node)
+        pattern_profile = sorted(
+            (pattern.degree(nb) for nb in pattern.neighbors(pattern_node)),
+            reverse=True,
+        )
+        mask = 0
+        for i in range(count):
+            if degree[i] < pattern_degree:
+                continue
+            host_profile = neighbor_degrees[i]
+            if any(
+                host_profile[t] < pattern_profile[t]
+                for t in range(pattern_degree)
+            ):
+                continue
+            mask |= 1 << i
+        domains.append(mask)
+    return domains
+
+
 def iter_monomorphisms(
     pattern: nx.Graph,
     host: nx.Graph,
     max_count: Optional[int] = None,
+    host_encoding: Optional[HostEncoding] = None,
 ) -> Iterator[Mapping_]:
     """Yield injective pattern-to-host maps preserving pattern edges.
 
@@ -74,62 +128,107 @@ def iter_monomorphisms(
         The (larger) graph to embed into — the adjacency graph.
     max_count:
         Stop after yielding this many mappings (``None`` = unbounded).
+    host_encoding:
+        Optional precomputed :class:`~repro.core._bitset.HostEncoding` of
+        ``host``; callers embedding many patterns into one host (workspace
+        extraction, candidate placement) pass it to skip the per-call cache
+        lookup entirely.
     """
+    if max_count is not None and max_count <= 0:
+        return
     if pattern.number_of_nodes() > host.number_of_nodes():
         return
     order = _pattern_order(pattern)
-    host_nodes = sorted(host.nodes(), key=repr)
-    host_degree = dict(host.degree())
-    pattern_degree = dict(pattern.degree())
+    positions = len(order)
+    if positions == 0:
+        STATS.increment("monomorphism.searches")
+        STATS.increment("monomorphism.mappings_yielded")
+        yield {}
+        return
 
+    encoding = host_encoding if host_encoding is not None else encode_host(host)
+    domains = _candidate_domains(pattern, order, encoding)
+    # For each position, the earlier positions holding its pattern neighbours
+    # (the adjacency constraints active when this position is assigned).
+    position_of = {node: position for position, node in enumerate(order)}
+    anchors: List[List[int]] = [
+        sorted(
+            position_of[nb]
+            for nb in pattern.neighbors(order[position])
+            if position_of[nb] < position
+        )
+        for position in range(positions)
+    ]
+
+    host_nodes = encoding.nodes
+    adjacency = encoding.adjacency
+    last = positions - 1
+
+    images = [0] * positions  # host bit index chosen at each position
+    available = [0] * positions  # still-untried candidate masks per position
+    available[0] = domains[0]
+    used = 0
+    position = 0
     yielded = 0
-    assignment: Mapping_ = {}
-    used_hosts: set = set()
+    explored = 0
 
-    def backtrack(position: int) -> Iterator[Mapping_]:
-        nonlocal yielded
-        if max_count is not None and yielded >= max_count:
-            return
-        if position == len(order):
-            yielded += 1
-            yield dict(assignment)
-            return
-        pattern_node = order[position]
-        mapped_neighbours = [
-            assignment[nb]
-            for nb in pattern.neighbors(pattern_node)
-            if nb in assignment
-        ]
-        for host_node in host_nodes:
-            if host_node in used_hosts:
-                continue
-            if host_degree.get(host_node, 0) < pattern_degree.get(pattern_node, 0):
-                continue
-            if any(not host.has_edge(host_node, image) for image in mapped_neighbours):
-                continue
-            assignment[pattern_node] = host_node
-            used_hosts.add(host_node)
-            yield from backtrack(position + 1)
-            del assignment[pattern_node]
-            used_hosts.remove(host_node)
-            if max_count is not None and yielded >= max_count:
-                return
-
-    yield from backtrack(0)
+    try:
+        while True:
+            mask = available[position]
+            if mask:
+                low_bit = mask & -mask
+                available[position] = mask ^ low_bit
+                bit_index = low_bit.bit_length() - 1
+                explored += 1
+                images[position] = bit_index
+                if position == last:
+                    yielded += 1
+                    yield {
+                        order[p]: host_nodes[images[p]] for p in range(positions)
+                    }
+                    if max_count is not None and yielded >= max_count:
+                        return
+                    continue  # next candidate at the same position
+                used |= low_bit
+                position += 1
+                candidate_mask = domains[position] & ~used
+                for anchor in anchors[position]:
+                    candidate_mask &= adjacency[images[anchor]]
+                available[position] = candidate_mask
+            else:
+                position -= 1
+                if position < 0:
+                    return
+                used &= ~(1 << images[position])
+    finally:
+        STATS.increment("monomorphism.searches")
+        STATS.increment("monomorphism.nodes_explored", explored)
+        STATS.increment("monomorphism.mappings_yielded", yielded)
 
 
 def find_monomorphisms(
     pattern: nx.Graph,
     host: nx.Graph,
     max_count: int = 100,
+    host_encoding: Optional[HostEncoding] = None,
 ) -> List[Mapping_]:
     """Collect up to ``max_count`` monomorphisms (the paper's ``k``)."""
-    return list(iter_monomorphisms(pattern, host, max_count=max_count))
+    return list(
+        iter_monomorphisms(
+            pattern, host, max_count=max_count, host_encoding=host_encoding
+        )
+    )
 
 
-def has_monomorphism(pattern: nx.Graph, host: nx.Graph) -> bool:
+def has_monomorphism(
+    pattern: nx.Graph,
+    host: nx.Graph,
+    host_encoding: Optional[HostEncoding] = None,
+) -> bool:
     """Whether at least one monomorphism exists."""
-    for _ in iter_monomorphisms(pattern, host, max_count=1):
+    for _ in iter_monomorphisms(
+        pattern, host, max_count=1, host_encoding=host_encoding
+    ):
         return True
     return pattern.number_of_nodes() == 0
 

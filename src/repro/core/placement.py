@@ -24,6 +24,7 @@ import networkx as nx
 
 from repro.circuits.circuit import QuantumCircuit
 from repro.circuits.gates import Qubit
+from repro.core._bitset import HostEncoding, encode_host, node_index_table
 from repro.core.config import DEFAULT_OPTIONS, PlacementOptions
 from repro.core.fine_tuning import fine_tune_workspace_placement
 from repro.core.monomorphism import find_monomorphisms
@@ -34,9 +35,44 @@ from repro.hardware.environment import Node, PhysicalEnvironment
 from repro.routing.bubble import RoutingResult, route_permutation
 from repro.routing.permutation import required_permutation
 from repro.routing.swap_circuit import swap_stage_circuit, swap_stage_runtime
-from repro.timing.scheduler import circuit_runtime, sequential_level_runtime
+from repro.timing.scheduler import (
+    RuntimeEvaluator,
+    circuit_runtime,
+    sequential_level_runtime,
+)
 
 Placement = Dict[Qubit, Node]
+
+
+class _GraphContext:
+    """Shared integer-indexed lookups for one working graph.
+
+    Built once per :func:`place_circuit` run and threaded through the
+    helpers so that the hot loops never sort nodes by ``repr`` or launch a
+    fresh breadth-first search: the node-order table replaces every
+    ``sorted(..., key=repr)`` tie-break (one ``repr`` per node, total), and
+    hop distances are computed per source node at most once.
+    """
+
+    def __init__(self, graph: nx.Graph, circuit: QuantumCircuit) -> None:
+        self.graph = graph
+        self.node_order: Dict[Node, int] = node_index_table(graph.nodes())
+        self.host_encoding: HostEncoding = encode_host(graph)
+        self.qubits: Tuple[Qubit, ...] = tuple(circuit.qubits)
+        self._distances: Dict[Node, Dict[Node, int]] = {}
+
+    def distances_from(self, source: Node) -> Dict[Node, int]:
+        """Hop distances from ``source`` (cached per source node)."""
+        cached = self._distances.get(source)
+        if cached is None:
+            cached = nx.single_source_shortest_path_length(self.graph, source)
+            self._distances[source] = cached
+        return cached
+
+    def placement_key(self, placement: Placement) -> Tuple[int, ...]:
+        """Order-free integer fingerprint of a placement (for deduplication)."""
+        order = self.node_order
+        return tuple(order[placement[q]] for q in self.qubits)
 
 
 class QuantumCircuitPlacer:
@@ -86,32 +122,34 @@ def _working_graph(
             f"circuit {circuit.name!r} needs {circuit.num_qubits} qubits but "
             f"{environment.name!r} only provides {environment.num_qubits}"
         )
-    if nx.is_connected(adjacency):
+    if environment.is_connected_at(threshold):
         return adjacency
     if not options.restrict_to_largest_component:
         return adjacency
-    components = sorted(nx.connected_components(adjacency), key=len, reverse=True)
-    largest = components[0]
-    if len(largest) < circuit.num_qubits:
+    largest = environment.largest_component_graph(threshold)
+    if largest.number_of_nodes() < circuit.num_qubits:
         raise ThresholdError(
-            f"threshold {threshold:g} leaves only {len(largest)} connected "
+            f"threshold {threshold:g} leaves only {largest.number_of_nodes()} connected "
             f"physical qubits on {environment.name!r}, fewer than the "
             f"{circuit.num_qubits} the circuit needs (N/A)"
         )
-    return adjacency.subgraph(largest).copy()
+    return largest
 
 
 def _median_edge_delay(graph: nx.Graph) -> float:
     delays = sorted(data.get("delay", 1.0) for _, _, data in graph.edges(data=True))
     if not delays:
         return 1.0
-    return delays[len(delays) // 2]
+    middle = len(delays) // 2
+    if len(delays) % 2:
+        return delays[middle]
+    return (delays[middle - 1] + delays[middle]) / 2.0
 
 
 def _complete_placement(
     circuit: QuantumCircuit,
     partial: Placement,
-    graph: nx.Graph,
+    context: _GraphContext,
     previous: Optional[Placement],
 ) -> Placement:
     """Extend a monomorphism over the active qubits to all circuit qubits.
@@ -120,10 +158,11 @@ def _complete_placement(
     that node is still free), then take the free node closest to their old
     position, and finally any free node in a deterministic order.
     """
+    graph = context.graph
+    node_order = context.node_order
     placement: Placement = dict(partial)
     used = set(placement.values())
-    free = [node for node in sorted(graph.nodes(), key=repr) if node not in used]
-    free_set = set(free)
+    free_set = {node for node in graph.nodes() if node not in used}
 
     unplaced = [q for q in circuit.qubits if q not in placement]
     remaining: List[Qubit] = []
@@ -144,13 +183,16 @@ def _complete_placement(
                 "ran out of physical qubits while completing a placement"
             )
         if previous is not None and previous.get(qubit) in graph:
-            distances = nx.single_source_shortest_path_length(graph, previous[qubit])
+            distances = context.distances_from(previous[qubit])
             target = min(
                 free_set,
-                key=lambda node: (distances.get(node, float("inf")), repr(node)),
+                key=lambda node: (
+                    distances.get(node, float("inf")),
+                    node_order[node],
+                ),
             )
         else:
-            target = min(free_set, key=repr)
+            target = min(free_set, key=node_order.__getitem__)
         placement[qubit] = target
         free_set.remove(target)
     return placement
@@ -161,9 +203,12 @@ def _stage_runtime(
     placement: Placement,
     environment: PhysicalEnvironment,
     options: PlacementOptions,
+    evaluator: Optional[RuntimeEvaluator] = None,
 ) -> float:
     if options.sequential_levels:
         return sequential_level_runtime(subcircuit, placement, environment, validate=False)
+    if evaluator is not None:
+        return evaluator.runtime(placement)
     return circuit_runtime(
         subcircuit,
         placement,
@@ -176,7 +221,7 @@ def _stage_runtime(
 def _estimate_swap_cost(
     previous: Placement,
     candidate: Placement,
-    graph: nx.Graph,
+    context: _GraphContext,
     median_delay: float,
 ) -> float:
     """Cheap estimate of the swap-stage runtime between two placements.
@@ -191,15 +236,16 @@ def _estimate_swap_cost(
         old_node = previous.get(qubit)
         if old_node is None or old_node == new_node:
             continue
-        try:
-            hops = nx.shortest_path_length(graph, old_node, new_node)
-        except nx.NetworkXNoPath:  # pragma: no cover - guarded by construction
+        hops = context.distances_from(old_node).get(new_node)
+        if hops is None:  # pragma: no cover - guarded by construction
             return float("inf")
         max_hops = max(max_hops, hops)
         total_hops += hops
     if total_hops == 0:
         return 0.0
-    estimated_depth = max_hops + 0.5 * (total_hops - max_hops) / max(1, graph.number_of_nodes())
+    estimated_depth = max_hops + 0.5 * (total_hops - max_hops) / max(
+        1, context.graph.number_of_nodes()
+    )
     return 3.0 * median_delay * estimated_depth
 
 
@@ -207,43 +253,53 @@ def _candidate_placements(
     workspace: Workspace,
     subcircuit: QuantumCircuit,
     circuit: QuantumCircuit,
-    graph: nx.Graph,
+    context: _GraphContext,
     environment: PhysicalEnvironment,
     options: PlacementOptions,
     previous: Optional[Placement],
+    evaluator: Optional[RuntimeEvaluator] = None,
 ) -> List[Tuple[Placement, float]]:
     """Scored candidate placements for one workspace, cheapest first."""
     pattern = workspace.interaction_graph
+    graph = context.graph
     candidates: List[Tuple[Placement, float]] = []
 
     if pattern.number_of_edges() == 0:
         base = previous if previous is not None else {}
-        placement = _complete_placement(circuit, dict(base) if previous else {}, graph, previous)
-        runtime = _stage_runtime(subcircuit, placement, environment, options)
+        placement = _complete_placement(circuit, dict(base) if previous else {}, context, previous)
+        runtime = _stage_runtime(subcircuit, placement, environment, options, evaluator)
         return [(placement, runtime)]
 
-    monomorphisms = find_monomorphisms(pattern, graph, max_count=options.max_monomorphisms)
+    monomorphisms = find_monomorphisms(
+        pattern,
+        graph,
+        max_count=options.max_monomorphisms,
+        host_encoding=context.host_encoding,
+    )
     if not monomorphisms:
         raise PlacementError(
             f"workspace {workspace.index} has no monomorphism into the "
             "adjacency graph although extraction admitted it"
         )
 
+    allowed_nodes = list(graph.nodes())
     seen = set()
     for mapping in monomorphisms:
-        placement = _complete_placement(circuit, mapping, graph, previous)
+        placement = _complete_placement(circuit, mapping, context, previous)
         if options.fine_tuning:
             placement, runtime = fine_tune_workspace_placement(
                 subcircuit,
                 placement,
                 environment,
-                allowed_nodes=list(graph.nodes()),
+                allowed_nodes=allowed_nodes,
                 apply_interaction_cap=options.apply_interaction_cap,
                 max_rounds=options.fine_tuning_max_rounds,
+                evaluator=evaluator,
+                full_recompute=options.debug_full_recompute,
             )
         else:
-            runtime = _stage_runtime(subcircuit, placement, environment, options)
-        key = tuple(sorted(((repr(q), repr(n)) for q, n in placement.items())))
+            runtime = _stage_runtime(subcircuit, placement, environment, options, evaluator)
+        key = context.placement_key(placement)
         if key in seen:
             continue
         seen.add(key)
@@ -298,11 +354,29 @@ def place_circuit(
             f"{circuit.num_qubits} the circuit needs (N/A)"
         )
     median_delay = _median_edge_delay(graph)
+    context = _GraphContext(graph, circuit)
 
     workspaces = extract_workspaces(
         circuit, graph, max_two_qubit_gates=options.max_workspace_two_qubit_gates
     )
     subcircuits = [ws.subcircuit(circuit) for ws in workspaces]
+
+    # One compiled runtime evaluator per workspace, shared by every candidate
+    # monomorphism of that workspace (and by the lookahead, which scores the
+    # next workspace's candidates one iteration early).
+    evaluators: List[Optional[RuntimeEvaluator]] = [None] * len(workspaces)
+
+    def evaluator_for(index: int) -> Optional[RuntimeEvaluator]:
+        if options.sequential_levels:
+            return None
+        if evaluators[index] is None:
+            evaluators[index] = RuntimeEvaluator(
+                subcircuits[index],
+                environment,
+                apply_interaction_cap=options.apply_interaction_cap,
+                full_recompute=options.debug_full_recompute,
+            )
+        return evaluators[index]
 
     stages: List[StagePlacement] = []
     swap_stages: List[SwapStage] = []
@@ -311,8 +385,8 @@ def place_circuit(
     for index, workspace in enumerate(workspaces):
         subcircuit = subcircuits[index]
         candidates = _candidate_placements(
-            workspace, subcircuit, circuit, graph, environment, options,
-            previous_placement,
+            workspace, subcircuit, circuit, context, environment, options,
+            previous_placement, evaluator_for(index),
         )
 
         # The depth-2 lookahead scores each candidate together with the best
@@ -327,17 +401,18 @@ def place_circuit(
                 workspaces[index + 1],
                 subcircuits[index + 1],
                 circuit,
-                graph,
+                context,
                 environment,
                 options,
                 previous=None,
+                evaluator=evaluator_for(index + 1),
             )
 
         best_placement, best_runtime = _select_candidate(
             candidates,
             lookahead_candidates,
             previous_placement,
-            graph,
+            context,
             median_delay,
             options,
         )
@@ -354,7 +429,10 @@ def place_circuit(
                 start=workspace.start,
                 stop=workspace.stop,
                 placement=dict(best_placement),
-                runtime=_stage_runtime(subcircuit, best_placement, environment, options),
+                runtime=_stage_runtime(
+                    subcircuit, best_placement, environment, options,
+                    evaluator_for(index),
+                ),
             )
         )
         previous_placement = best_placement
@@ -393,7 +471,7 @@ def _select_candidate(
     candidates: List[Tuple[Placement, float]],
     lookahead_candidates: Optional[List[Tuple[Placement, float]]],
     previous: Optional[Placement],
-    graph: nx.Graph,
+    context: _GraphContext,
     median_delay: float,
     options: PlacementOptions,
 ) -> Tuple[Placement, float]:
@@ -405,12 +483,12 @@ def _select_candidate(
     for placement, runtime in shortlist:
         score = runtime
         if previous is not None:
-            score += _estimate_swap_cost(previous, placement, graph, median_delay)
+            score += _estimate_swap_cost(previous, placement, context, median_delay)
         if lookahead_candidates is not None:
             next_best = float("inf")
             for next_placement, next_runtime in lookahead_candidates[:width]:
                 next_score = next_runtime + _estimate_swap_cost(
-                    placement, next_placement, graph, median_delay
+                    placement, next_placement, context, median_delay
                 )
                 next_best = min(next_best, next_score)
             if next_best < float("inf"):

@@ -20,6 +20,7 @@ import networkx as nx
 
 from repro.circuits.circuit import QuantumCircuit
 from repro.circuits.gates import Gate, Qubit
+from repro.core._bitset import HostEncoding, encode_host
 from repro.core.monomorphism import has_monomorphism
 from repro.exceptions import PlacementError
 
@@ -66,7 +67,11 @@ class Workspace:
         return circuit.subcircuit(self.start, self.stop, name=f"{circuit.name}#W{self.index}")
 
 
-def _embeds(graph: nx.Graph, host: nx.Graph) -> bool:
+def _embeds(
+    graph: nx.Graph,
+    host: nx.Graph,
+    host_encoding: Optional[HostEncoding] = None,
+) -> bool:
     """Exact embeddability check with the cheap necessary conditions first."""
     if graph.number_of_nodes() == 0:
         return True
@@ -74,7 +79,7 @@ def _embeds(graph: nx.Graph, host: nx.Graph) -> bool:
         return False
     if graph.number_of_edges() > host.number_of_edges():
         return False
-    return has_monomorphism(graph, host)
+    return has_monomorphism(graph, host, host_encoding=host_encoding)
 
 
 def extract_workspaces(
@@ -105,6 +110,14 @@ def extract_workspaces(
         )
     if max_two_qubit_gates is not None and max_two_qubit_gates < 1:
         raise PlacementError("max_two_qubit_gates must be at least 1")
+
+    # One bitset encoding of the host serves every embeddability probe of
+    # the greedy scan (one probe per distinct two-qubit interaction).
+    host_encoding = (
+        encode_host(adjacency_graph)
+        if adjacency_graph.number_of_nodes() > 0
+        else None
+    )
 
     workspaces: List[Workspace] = []
     current_graph = nx.Graph()
@@ -145,7 +158,7 @@ def extract_workspaces(
             continue
         candidate = current_graph.copy()
         candidate.add_edge(a, b)
-        if _embeds(candidate, adjacency_graph):
+        if _embeds(candidate, adjacency_graph, host_encoding):
             current_graph = candidate
             current_two_qubit_count += 1
             continue
@@ -153,7 +166,7 @@ def extract_workspaces(
         close(position)
         current_graph.add_edge(a, b)
         current_two_qubit_count = 1
-        if not _embeds(current_graph, adjacency_graph):
+        if not _embeds(current_graph, adjacency_graph, host_encoding):
             raise PlacementError(
                 f"two-qubit gate {gate!r} cannot be aligned with any fast "
                 "interaction of the environment"

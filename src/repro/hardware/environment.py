@@ -17,10 +17,12 @@ delay is at most a chosen ``Threshold`` (see
 from __future__ import annotations
 
 import math
+from bisect import bisect_right
 from typing import Dict, FrozenSet, Hashable, Iterable, List, Mapping, Optional, Tuple
 
 import networkx as nx
 
+from repro.core.stats import STATS
 from repro.exceptions import EnvironmentError_
 
 Node = Hashable
@@ -95,6 +97,18 @@ class PhysicalEnvironment:
             if key in self._pairs:
                 raise EnvironmentError_(f"duplicate pair delay for {key!r}")
             self._pairs[key] = self._check_delay(delay, f"pair {key!r}")
+
+        # Derived-graph caches, keyed by threshold *signature* — the largest
+        # pair delay at or below the threshold — so that two thresholds
+        # admitting the same edge set share one cached graph (see
+        # ``invalidate_caches``).
+        _SigKey = Tuple[Optional[float], bool]
+        self._adjacency_cache: Dict[_SigKey, nx.Graph] = {}
+        self._component_cache: Dict[_SigKey, nx.Graph] = {}
+        self._connectivity_cache: Dict[_SigKey, bool] = {}
+        self._minimal_threshold: Optional[float] = None
+        self._delay_values: Optional[List[float]] = None
+        self._cache_version = 0
 
     @staticmethod
     def _check_delay(delay: float, what: str) -> float:
@@ -177,7 +191,21 @@ class PhysicalEnvironment:
 
         Nodes are always all physical qubits (a node may end up isolated).
         Edges carry the ``delay`` attribute.
+
+        The graph is built once per distinct threshold and cached: a
+        threshold sweep placing many circuits at the same thresholds reuses
+        one graph object per cell instead of re-deriving it from the
+        ``O(n^2)`` delay table every time.  Callers must treat the returned
+        graph as read-only; mutate the *environment* (``set_pair_delay``,
+        ``set_single_qubit_delay``) or call :meth:`invalidate_caches`
+        instead of editing the graph in place.
         """
+        key = self.threshold_signature(threshold)
+        cached = self._adjacency_cache.get(key)
+        if cached is not None:
+            STATS.increment("environment.adjacency_cache_hits")
+            return cached
+        STATS.increment("environment.adjacency_cache_misses")
         graph = nx.Graph(name=f"{self.name}@{threshold:g}")
         for node in self._nodes:
             graph.add_node(node, delay=self._single[node])
@@ -187,12 +215,114 @@ class PhysicalEnvironment:
                 delay = self.pair_delay(a, b)
                 if delay <= threshold:
                     graph.add_edge(a, b, delay=delay)
+        self._adjacency_cache[key] = graph
         return graph
+
+    def threshold_signature(self, threshold: float) -> Tuple[Optional[float], bool]:
+        """Canonical cache key for a threshold: the edge set it admits.
+
+        The adjacency graph depends on the threshold only through the set of
+        pair delays at or below it, so any two thresholds between the same
+        two consecutive delay values produce identical graphs (a threshold
+        sweep typically hits far fewer distinct graphs than thresholds).
+        The edge set is fully determined by the slowest *explicit* pair
+        delay admitted (``None`` when none is) and whether defaulted pairs
+        are admitted too.
+        """
+        if self._delay_values is None:
+            # Infinite explicit delays stay in the list: threshold=inf admits
+            # them, so it must not share a signature with finite thresholds.
+            self._delay_values = sorted(set(self._pairs.values()))
+        values = self._delay_values
+        position = bisect_right(values, threshold)
+        explicit = values[position - 1] if position else None
+        return (explicit, self.default_pair_delay <= threshold)
 
     def is_connected_at(self, threshold: float) -> bool:
         """Whether the adjacency graph at ``threshold`` is connected."""
+        key = self.threshold_signature(threshold)
+        cached = self._connectivity_cache.get(key)
+        if cached is not None:
+            return cached
         graph = self.adjacency_graph(threshold)
-        return graph.number_of_nodes() > 0 and nx.is_connected(graph)
+        connected = graph.number_of_nodes() > 0 and nx.is_connected(graph)
+        self._connectivity_cache[key] = connected
+        return connected
+
+    def largest_component_graph(self, threshold: float) -> nx.Graph:
+        """The adjacency graph restricted to its largest connected component.
+
+        Cached per threshold like :meth:`adjacency_graph` (same read-only
+        contract).  When the graph is connected this *is* the cached
+        adjacency graph; otherwise it is a one-time subgraph copy over the
+        largest component (ties broken by discovery order, matching
+        ``nx.connected_components``).
+        """
+        key = self.threshold_signature(threshold)
+        cached = self._component_cache.get(key)
+        if cached is not None:
+            STATS.increment("environment.component_cache_hits")
+            return cached
+        STATS.increment("environment.component_cache_misses")
+        graph = self.adjacency_graph(threshold)
+        if self.is_connected_at(threshold):
+            component = graph
+        else:
+            components = sorted(
+                nx.connected_components(graph), key=len, reverse=True
+            )
+            component = graph.subgraph(components[0]).copy()
+        self._component_cache[key] = component
+        return component
+
+    def invalidate_caches(self) -> None:
+        """Drop every cached derived graph.
+
+        Called automatically by the mutating methods; call it manually after
+        any out-of-band change that affects delays.
+        """
+        self._adjacency_cache.clear()
+        self._component_cache.clear()
+        self._connectivity_cache.clear()
+        self._minimal_threshold = None
+        self._delay_values = None
+        self._cache_version += 1
+
+    @property
+    def cache_version(self) -> int:
+        """Monotonic counter bumped on every invalidation.
+
+        Long-lived consumers that snapshot delay data (e.g.
+        :class:`~repro.timing.scheduler.RuntimeEvaluator`) compare this to
+        detect that the environment was recalibrated under them.
+        """
+        return self._cache_version
+
+    # -- calibration updates ---------------------------------------------------
+
+    def set_pair_delay(self, a: Node, b: Node, delay: float) -> None:
+        """Update (or introduce) the delay of one interaction pair.
+
+        Recalibration entry point: experimentalists re-measure couplings over
+        time; updating through this method keeps the cached adjacency and
+        component graphs consistent by invalidating them.
+        """
+        if a not in self._node_set or b not in self._node_set:
+            raise EnvironmentError_(f"unknown node in pair ({a!r}, {b!r})")
+        if a == b:
+            raise EnvironmentError_(
+                f"pair delays must connect distinct nodes, got ({a!r}, {b!r})"
+            )
+        key = _canonical_pair(a, b)
+        self._pairs[key] = self._check_delay(delay, f"pair {key!r}")
+        self.invalidate_caches()
+
+    def set_single_qubit_delay(self, node: Node, delay: float) -> None:
+        """Update the single-qubit pulse delay of ``node`` (invalidates caches)."""
+        if node not in self._node_set:
+            raise EnvironmentError_(f"unknown node {node!r}")
+        self._single[node] = self._check_delay(delay, f"node {node!r}")
+        self.invalidate_caches()
 
     def minimal_connecting_threshold(self) -> float:
         """Smallest pair delay whose adjacency graph is connected.
@@ -203,13 +333,18 @@ class PhysicalEnvironment:
         spanning tree over finite pair delays.  Raises if even the full
         finite graph is disconnected.
         """
+        if self._minimal_threshold is not None:
+            return self._minimal_threshold
         graph = self.to_networkx(include_infinite=False)
         if graph.number_of_edges() == 0 or not nx.is_connected(graph):
             raise EnvironmentError_(
                 f"environment {self.name!r} has no connected finite-delay graph"
             )
         tree = nx.minimum_spanning_tree(graph, weight="delay")
-        return max(data["delay"] for _, _, data in tree.edges(data=True))
+        self._minimal_threshold = max(
+            data["delay"] for _, _, data in tree.edges(data=True)
+        )
+        return self._minimal_threshold
 
     def delay_values(self) -> List[float]:
         """Sorted list of distinct finite pair delays (useful for sweeps)."""

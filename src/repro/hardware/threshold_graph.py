@@ -82,8 +82,7 @@ def largest_connected_nodes(
             f"threshold {threshold:g} disallows every interaction of "
             f"{environment.name!r}"
         )
-    components = sorted(nx.connected_components(graph), key=len, reverse=True)
-    return sorted(components[0], key=repr)
+    return sorted(environment.largest_component_graph(threshold), key=repr)
 
 
 def sweep_summaries(

@@ -15,6 +15,7 @@ from repro.timing.gate_times import (
     validate_placement,
 )
 from repro.timing.scheduler import (
+    RuntimeEvaluator,
     Schedule,
     ScheduleStep,
     circuit_runtime,
@@ -25,6 +26,7 @@ from repro.timing.scheduler import (
 from repro.timing.trace import format_trace, trace_rows
 
 __all__ = [
+    "RuntimeEvaluator",
     "circuit_runtime",
     "sequential_level_runtime",
     "schedule",

@@ -23,6 +23,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 from repro.circuits.circuit import QuantumCircuit
 from repro.circuits.gates import Gate, Qubit
 from repro.circuits.levelize import levelize
+from repro.core.stats import STATS
 from repro.hardware.environment import Node, PhysicalEnvironment
 from repro.timing.gate_times import (
     MAX_INTERACTION_USES,
@@ -171,6 +172,285 @@ def sequential_level_runtime(
             gate_operating_time(gate, placement, environment) for gate in level
         )
     return total
+
+
+class RuntimeEvaluator:
+    """Fast repeated asynchronous-runtime evaluation of one circuit.
+
+    The hill-climbing fine tuner evaluates the *same* subcircuit under
+    thousands of slightly different placements.  :func:`circuit_runtime`
+    pays for the interaction-run capping, the gate-object attribute walks
+    and the delay-table lookups on every call; this evaluator pays for them
+    once:
+
+    * the (optionally capped) gate list is compiled to integer-indexed
+      ``(qubit_a, qubit_b, relative_duration)`` triples, with free
+      single-qubit gates dropped (they cannot move any busy time);
+    * environment delays are memoised per node-index pair, so the canonical
+      pair construction (with its ``repr`` calls) happens at most once per
+      distinct pair;
+    * :meth:`set_base` runs the full dynamic program once, storing the
+      per-operation durations and periodic busy-time checkpoints, after
+      which :meth:`runtime_with` re-schedules a *move* (one or two qubits
+      re-placed) by restoring the last checkpoint before the first affected
+      operation and replaying only the tail — with unaffected operations
+      reusing their recorded base durations.
+
+    Because the replay performs bit-for-bit the same float operations as a
+    full evaluation, results are exactly — not approximately — equal to
+    :func:`circuit_runtime`; ``full_recompute=True`` turns on a debug
+    assertion of that parity on every incremental evaluation.
+    """
+
+    def __init__(
+        self,
+        circuit: QuantumCircuit,
+        environment: PhysicalEnvironment,
+        apply_interaction_cap: bool = False,
+        checkpoint_interval: int = 16,
+        full_recompute: bool = False,
+    ) -> None:
+        if checkpoint_interval < 1:
+            raise ValueError("checkpoint_interval must be at least 1")
+        gates: Sequence[Gate] = circuit.gates
+        if apply_interaction_cap:
+            gates = cap_interaction_runs(gates, MAX_INTERACTION_USES)
+        self.full_recompute = full_recompute
+        self._checkpoint_interval = checkpoint_interval
+        self._environment = environment
+        self._env_version = getattr(environment, "cache_version", 0)
+        self._qubits: List[Qubit] = list(circuit.qubits)
+        self._qubit_index: Dict[Qubit, int] = {
+            qubit: index for index, qubit in enumerate(self._qubits)
+        }
+        self._node_index: Dict[Node, int] = {
+            node: index for index, node in enumerate(environment.nodes)
+        }
+        self._nodes = environment.nodes
+        self._single_delay: List[float] = [
+            environment.single_qubit_delay(node) for node in environment.nodes
+        ]
+        self._pair_cache: Dict[int, float] = {}
+        self._num_env_nodes = len(self._nodes)
+
+        ops: List[Tuple[int, int, float]] = []
+        touched: List[List[int]] = [[] for _ in self._qubits]
+        for gate in gates:
+            if gate.is_two_qubit:
+                a = self._qubit_index[gate.qubits[0]]
+                b = self._qubit_index[gate.qubits[1]]
+                touched[a].append(len(ops))
+                touched[b].append(len(ops))
+                ops.append((a, b, gate.duration))
+            else:
+                if gate.duration == 0.0:
+                    continue  # adds exactly 0.0 to one busy time
+                a = self._qubit_index[gate.qubits[0]]
+                touched[a].append(len(ops))
+                ops.append((a, -1, gate.duration))
+        self._ops = ops
+        self._first_touch: List[int] = [
+            indices[0] if indices else len(ops) for indices in touched
+        ]
+
+        # Base-placement state (populated by set_base).
+        self._base_nodes: Optional[List[int]] = None
+        self._base_durations: List[float] = []
+        self._checkpoints: List[List[float]] = []
+        self.base_runtime: float = 0.0
+        # Locally accumulated counters, flushed to STATS in batches so the
+        # per-evaluation instrumentation cost stays negligible.
+        self._pending_incremental = 0
+        self._pending_skipped = 0
+        self._pending_replayed = 0
+
+    def flush_stats(self) -> None:
+        """Flush locally accumulated counters to :data:`~repro.core.stats.STATS`."""
+        if self._pending_incremental:
+            STATS.increment("scheduler.incremental_evals", self._pending_incremental)
+            STATS.increment("scheduler.ops_skipped", self._pending_skipped)
+            STATS.increment("scheduler.ops_replayed", self._pending_replayed)
+            self._pending_incremental = 0
+            self._pending_skipped = 0
+            self._pending_replayed = 0
+
+    # -- delay lookups ------------------------------------------------------
+
+    def _pair_weight(self, i: int, j: int) -> float:
+        if i > j:
+            i, j = j, i
+        key = i * self._num_env_nodes + j
+        weight = self._pair_cache.get(key)
+        if weight is None:
+            weight = self._environment.pair_delay(self._nodes[i], self._nodes[j])
+            self._pair_cache[key] = weight
+        return weight
+
+    def _placement_to_indices(self, placement: Placement) -> List[int]:
+        node_index = self._node_index
+        return [node_index[placement[qubit]] for qubit in self._qubits]
+
+    def _check_environment_fresh(self) -> None:
+        """Refuse to produce costs from stale delay snapshots.
+
+        The evaluator captures single-qubit delays eagerly and pair delays
+        lazily; if the environment was recalibrated (``set_pair_delay`` et
+        al.) after construction, those snapshots silently disagree with
+        :func:`circuit_runtime`.  Detect it via the environment's cache
+        version instead.
+        """
+        if getattr(self._environment, "cache_version", 0) != self._env_version:
+            raise RuntimeError(
+                "the environment was recalibrated after this RuntimeEvaluator "
+                "was built; construct a new evaluator for the updated delays"
+            )
+
+    # -- full evaluation ----------------------------------------------------
+
+    def _run_full(
+        self,
+        nodes: List[int],
+        durations_out: Optional[List[float]] = None,
+        checkpoints_out: Optional[List[List[float]]] = None,
+    ) -> float:
+        times = [0.0] * len(self._qubits)
+        interval = self._checkpoint_interval
+        single = self._single_delay
+        pair_weight = self._pair_weight
+        for index, (a, b, relative) in enumerate(self._ops):
+            if checkpoints_out is not None and index % interval == 0:
+                checkpoints_out.append(times[:])
+            if b < 0:
+                duration = single[nodes[a]] * relative
+                times[a] += duration
+            else:
+                duration = pair_weight(nodes[a], nodes[b]) * relative
+                finish = max(times[a], times[b]) + duration
+                times[a] = finish
+                times[b] = finish
+            if durations_out is not None:
+                durations_out.append(duration)
+        return max(times) if times else 0.0
+
+    def runtime(self, placement: Placement) -> float:
+        """Full runtime of ``placement`` (exactly :func:`circuit_runtime`)."""
+        self._check_environment_fresh()
+        STATS.increment("scheduler.full_evals")
+        return self._run_full(self._placement_to_indices(placement))
+
+    # -- incremental evaluation ---------------------------------------------
+
+    def set_base(self, placement: Placement) -> float:
+        """Record ``placement`` as the base of later :meth:`runtime_with` calls."""
+        self._check_environment_fresh()
+        STATS.increment("scheduler.full_evals")
+        self._base_nodes = self._placement_to_indices(placement)
+        self._base_durations = []
+        self._checkpoints = []
+        self.base_runtime = self._run_full(
+            self._base_nodes,
+            durations_out=self._base_durations,
+            checkpoints_out=self._checkpoints,
+        )
+        return self.base_runtime
+
+    def runtime_with(
+        self,
+        overrides: Mapping[Qubit, Node],
+        limit: Optional[float] = None,
+    ) -> float:
+        """Runtime of the base placement with a few qubits re-placed.
+
+        ``overrides`` maps the moved qubits to their new nodes (typically one
+        qubit, or two for a swap).  Requires a prior :meth:`set_base`.
+
+        ``limit`` is a branch-and-bound cutoff: per-qubit busy times only
+        ever grow, so as soon as any busy time reaches ``limit`` the final
+        runtime is guaranteed to be at least ``limit`` and the replay stops,
+        returning ``inf``.  Callers that only compare the result against
+        ``limit`` (the hill climber rejecting non-improving moves) lose no
+        information; callers needing the exact value must leave it unset.
+        """
+        base_nodes = self._base_nodes
+        if base_nodes is None:
+            raise RuntimeError("set_base() must be called before runtime_with()")
+        self._check_environment_fresh()
+        qubit_index = self._qubit_index
+        node_index = self._node_index
+        changed: Dict[int, int] = {}
+        for qubit, node in overrides.items():
+            index = qubit_index[qubit]
+            target = node_index[node]
+            if base_nodes[index] != target:
+                changed[index] = target
+        total_ops = len(self._ops)
+        if not changed:
+            return self.base_runtime
+        first = min(self._first_touch[index] for index in changed)
+        if first >= total_ops:
+            # None of the moved qubits is ever scheduled; nothing changes.
+            return self.base_runtime
+
+        interval = self._checkpoint_interval
+        checkpoint = first // interval
+        start = checkpoint * interval
+        self._pending_incremental += 1
+        self._pending_skipped += start
+        self._pending_replayed += total_ops - start
+
+        times = self._checkpoints[checkpoint][:] if self._checkpoints else []
+        if not times:
+            times = [0.0] * len(self._qubits)
+        single = self._single_delay
+        pair_cache = self._pair_cache
+        env_nodes = self._num_env_nodes
+        base_durations = self._base_durations
+        ops = self._ops
+        changed_get = changed.get
+        cutoff = None if self.full_recompute else limit
+        for index in range(start, total_ops):
+            a, b, relative = ops[index]
+            if b < 0:
+                if a in changed:
+                    finish = times[a] + single[changed[a]] * relative
+                else:
+                    finish = times[a] + base_durations[index]
+                times[a] = finish
+            else:
+                if a in changed or b in changed:
+                    node_a = changed_get(a, base_nodes[a])
+                    node_b = changed_get(b, base_nodes[b])
+                    if node_a > node_b:
+                        node_a, node_b = node_b, node_a
+                    key = node_a * env_nodes + node_b
+                    weight = pair_cache.get(key)
+                    if weight is None:
+                        weight = self._pair_weight(node_a, node_b)
+                    duration = weight * relative
+                else:
+                    duration = base_durations[index]
+                time_a = times[a]
+                time_b = times[b]
+                finish = (time_a if time_a >= time_b else time_b) + duration
+                times[a] = finish
+                times[b] = finish
+            if cutoff is not None and finish >= cutoff:
+                # Busy times are monotone, so the final runtime is >= finish:
+                # this move can never beat the incumbent.
+                self._pending_replayed -= total_ops - 1 - index
+                return float("inf")
+        result = max(times) if times else 0.0
+
+        if self.full_recompute:
+            nodes = base_nodes[:]
+            for index, target in changed.items():
+                nodes[index] = target
+            full = self._run_full(nodes)
+            assert result == full, (
+                f"incremental runtime {result!r} diverged from full "
+                f"recomputation {full!r} for overrides {dict(overrides)!r}"
+            )
+        return result
 
 
 def runtime_lower_bound(

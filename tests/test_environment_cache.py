@@ -1,0 +1,168 @@
+"""Tests for the environment's derived-graph caching and invalidation."""
+
+import networkx as nx
+import pytest
+
+from repro.circuits.library import qft_circuit
+from repro.core.config import PlacementOptions
+from repro.core.placement import place_circuit
+from repro.core.stats import STATS
+from repro.exceptions import ThresholdError
+from repro.hardware.molecules import trans_crotonic_acid
+from repro.hardware.threshold_graph import largest_connected_nodes
+
+
+class TestAdjacencyCache:
+    def test_same_object_reused_across_calls(self, crotonic):
+        first = crotonic.adjacency_graph(100.0)
+        second = crotonic.adjacency_graph(100.0)
+        assert first is second
+
+    def test_equivalent_thresholds_share_one_graph(self, crotonic):
+        # No trans-crotonic delay falls in (100, 500], so thresholds 100,
+        # 200 and 500 admit exactly the same edges — one cached graph.
+        graphs = {id(crotonic.adjacency_graph(t)) for t in (100.0, 200.0, 500.0)}
+        assert len(graphs) == 1
+        # 1000 admits the two-bond couplings (900/960/...): a different graph.
+        assert crotonic.adjacency_graph(1000.0) is not crotonic.adjacency_graph(100.0)
+
+    def test_cache_hit_counters(self, crotonic):
+        before = STATS.snapshot()
+        crotonic.adjacency_graph(100.0)
+        crotonic.adjacency_graph(100.0)
+        crotonic.adjacency_graph(200.0)  # same signature as 100
+        delta = STATS.delta_since(before)
+        assert delta.get("environment.adjacency_cache_misses", 0) == 1
+        assert delta.get("environment.adjacency_cache_hits", 0) == 2
+
+    def test_same_object_reuse_across_sweep_cells(self, crotonic):
+        """A sweep placing at the same threshold twice reuses one graph."""
+        before = STATS.snapshot()
+        for _ in range(3):
+            place_circuit(
+                qft_circuit(5), crotonic, PlacementOptions(threshold=100.0)
+            )
+        delta = STATS.delta_since(before)
+        assert delta.get("environment.adjacency_cache_misses", 0) <= 1
+
+    def test_cached_graph_content_matches_uncached_build(self, crotonic):
+        cached = crotonic.adjacency_graph(100.0)
+        fresh = trans_crotonic_acid().adjacency_graph(100.0)
+        assert nx.utils.graphs_equal(cached, fresh)
+
+
+class TestInvalidation:
+    def test_set_pair_delay_invalidates(self, crotonic):
+        graph = crotonic.adjacency_graph(100.0)
+        assert not graph.has_edge("M", "C2")  # 900 units: too slow for 100
+        crotonic.set_pair_delay("M", "C2", 50.0)
+        updated = crotonic.adjacency_graph(100.0)
+        assert updated is not graph
+        assert updated.has_edge("M", "C2")
+        assert crotonic.pair_delay("M", "C2") == 50.0
+
+    def test_set_single_qubit_delay_invalidates(self, crotonic):
+        graph = crotonic.adjacency_graph(100.0)
+        crotonic.set_single_qubit_delay("M", 3.0)
+        updated = crotonic.adjacency_graph(100.0)
+        assert updated is not graph
+        assert updated.nodes["M"]["delay"] == 3.0
+
+    def test_explicit_invalidate_caches(self, crotonic):
+        graph = crotonic.adjacency_graph(100.0)
+        crotonic.invalidate_caches()
+        assert crotonic.adjacency_graph(100.0) is not graph
+
+    def test_mutation_changes_minimal_connecting_threshold(self, crotonic):
+        original = crotonic.minimal_connecting_threshold()
+        assert original == 60.0  # the C3-C4 bond is the bottleneck
+        crotonic.set_pair_delay("C3", "C4", 25.0)
+        assert crotonic.minimal_connecting_threshold() == 36.0
+
+    def test_set_pair_delay_rejects_unknown_nodes(self, crotonic):
+        from repro.exceptions import EnvironmentError_
+
+        with pytest.raises(EnvironmentError_):
+            crotonic.set_pair_delay("M", "nope", 10.0)
+        with pytest.raises(EnvironmentError_):
+            crotonic.set_pair_delay("M", "M", 10.0)
+
+
+class TestLargestComponentCache:
+    def test_component_graph_cached(self, crotonic):
+        # Threshold 20 keeps only the M-C1 (20) and C3-H2 (15) + C2-H1 (16)
+        # bonds: the graph is disconnected and the largest component is
+        # computed once, then reused.
+        first = crotonic.largest_component_graph(20.0)
+        second = crotonic.largest_component_graph(20.0)
+        assert first is second
+        assert first.number_of_nodes() < crotonic.num_qubits
+
+    def test_connected_threshold_returns_adjacency_object(self, crotonic):
+        threshold = crotonic.minimal_connecting_threshold()
+        assert (
+            crotonic.largest_component_graph(threshold)
+            is crotonic.adjacency_graph(threshold)
+        )
+
+    def test_threshold_error_through_cached_component_branch(self, crotonic):
+        """Placement through the cached largest-component path still N/As."""
+        # Warm the caches for threshold 50 (disconnected on crotonic) ...
+        crotonic.adjacency_graph(50.0)
+        crotonic.largest_component_graph(50.0)
+        # ... then a 7-qubit circuit cannot fit the largest component, and
+        # the error must surface both on cold and warm cache paths.
+        with pytest.raises(ThresholdError):
+            place_circuit(
+                qft_circuit(7), crotonic, PlacementOptions(threshold=50.0)
+            )
+        with pytest.raises(ThresholdError):
+            place_circuit(
+                qft_circuit(7), crotonic, PlacementOptions(threshold=50.0)
+            )
+
+    def test_largest_connected_nodes_uses_cache(self, crotonic):
+        nodes_first = largest_connected_nodes(crotonic, 50.0)
+        nodes_second = largest_connected_nodes(crotonic, 50.0)
+        assert nodes_first == nodes_second
+        assert set(nodes_first) < set(crotonic.nodes)
+
+
+class TestThresholdSignature:
+    def test_signature_buckets_thresholds(self, crotonic):
+        assert (
+            crotonic.threshold_signature(100.0)
+            == crotonic.threshold_signature(200.0)
+            == crotonic.threshold_signature(500.0)
+        )
+        assert crotonic.threshold_signature(100.0) != crotonic.threshold_signature(
+            1000.0
+        )
+
+    def test_signature_below_all_delays(self, crotonic):
+        explicit, default_included = crotonic.threshold_signature(1.0)
+        assert explicit is None
+        assert default_included is False
+
+    def test_signature_tracks_mutation(self, crotonic):
+        before = crotonic.threshold_signature(100.0)
+        crotonic.set_pair_delay("M", "C2", 99.0)
+        assert crotonic.threshold_signature(100.0) != before
+
+    def test_infinite_explicit_delay_does_not_collide(self):
+        import math
+
+        from repro.hardware.environment import PhysicalEnvironment
+
+        env = PhysicalEnvironment(
+            {"a": 1.0, "b": 1.0, "c": 1.0},
+            {("a", "b"): 2.0, ("b", "c"): math.inf},
+            default_pair_delay=5.0,
+        )
+        assert env.threshold_signature(10.0) != env.threshold_signature(math.inf)
+        finite = env.adjacency_graph(10.0)
+        assert not finite.has_edge("b", "c")
+        unbounded = env.adjacency_graph(math.inf)
+        assert unbounded is not finite
+        assert unbounded.has_edge("b", "c")
+        assert unbounded.number_of_edges() == 3

@@ -161,3 +161,46 @@ class TestChainPlacement:
             ),
         )
         assert full.total_runtime <= bare.total_runtime * 1.5
+
+
+class TestMedianEdgeDelay:
+    """Unit tests for the (true) median used by the swap-cost estimate."""
+
+    def _graph(self, delays):
+        import networkx as nx
+
+        graph = nx.Graph()
+        for index, delay in enumerate(delays):
+            graph.add_edge(("n", index), ("m", index), delay=delay)
+        return graph
+
+    def test_odd_length_takes_middle(self):
+        from repro.core.placement import _median_edge_delay
+
+        assert _median_edge_delay(self._graph([30.0, 10.0, 20.0])) == 20.0
+
+    def test_even_length_averages_middle_pair(self):
+        from repro.core.placement import _median_edge_delay
+
+        # The seed implementation returned the upper-middle element (35.0);
+        # the true median of [15, 16, 20, 35, 36, 60] is (20 + 35) / 2.
+        delays = [15.0, 16.0, 20.0, 35.0, 36.0, 60.0]
+        assert _median_edge_delay(self._graph(delays)) == 27.5
+
+    def test_two_edges(self):
+        from repro.core.placement import _median_edge_delay
+
+        assert _median_edge_delay(self._graph([10.0, 30.0])) == 20.0
+
+    def test_no_edges_defaults_to_one(self):
+        import networkx as nx
+        from repro.core.placement import _median_edge_delay
+
+        assert _median_edge_delay(nx.Graph()) == 1.0
+
+    def test_missing_delay_attribute_defaults(self):
+        import networkx as nx
+        from repro.core.placement import _median_edge_delay
+
+        graph = nx.Graph([(0, 1)])
+        assert _median_edge_delay(graph) == 1.0
