@@ -18,6 +18,7 @@ deterministic and are tracked with the same regression tolerance.
 from __future__ import annotations
 
 import time
+from functools import partial
 from typing import Callable, Dict, List, Tuple
 
 import networkx as nx
@@ -119,6 +120,47 @@ def scenario_scalability_chain32() -> Dict:
     }
 
 
+def _parallel_sweep(jobs: int) -> Dict:
+    """The parallel-sweep macro benchmark at a given worker count.
+
+    The QFT-7 sweep over trans-crotonic acid with cell deduplication
+    disabled, so all six thresholds are placed from scratch — six
+    independent cells for the runner to distribute.  The circuit factory is
+    a ``partial`` (not a lambda) so the same scenario body runs serially
+    and across worker processes; the fingerprint must be identical at
+    every ``jobs`` value, which the ``--check`` gate enforces by comparing
+    each scenario against its committed baseline.
+    """
+    row = sweep_circuit(
+        partial(qft_circuit, 7),
+        trans_crotonic_acid(),
+        reuse_equivalent_cells=False,
+        jobs=jobs,
+    )
+    return {**_sweep_fingerprint(row), "jobs": jobs}
+
+
+def scenario_parallel_sweep_jobs1() -> Dict:
+    """Serial reference point of the parallel-sweep macro benchmark."""
+    return _parallel_sweep(1)
+
+
+def scenario_parallel_sweep_jobs2() -> Dict:
+    """Two-worker run of the parallel-sweep macro benchmark."""
+    return _parallel_sweep(2)
+
+
+def scenario_parallel_sweep_jobs4() -> Dict:
+    """Four-worker run of the parallel-sweep macro benchmark.
+
+    Compare ``wall_time_s`` against ``parallel_sweep_jobs1`` for the
+    speedup; on a multi-core host the four-worker run should finish in
+    well under half the serial wall time (on a single-core container it
+    only measures the process-pool overhead).
+    """
+    return _parallel_sweep(4)
+
+
 def scenario_monomorphism_micro() -> Dict:
     """Raw enumerator stress: paths and grids embedded into sparse hosts."""
     host_hex = heavy_hex(3)
@@ -144,6 +186,9 @@ SCENARIOS: Dict[str, Callable[[], Dict]] = {
     "place_qec5_boc": scenario_place_qec5_boc,
     "scalability_chain32": scenario_scalability_chain32,
     "monomorphism_micro": scenario_monomorphism_micro,
+    "parallel_sweep_jobs1": scenario_parallel_sweep_jobs1,
+    "parallel_sweep_jobs2": scenario_parallel_sweep_jobs2,
+    "parallel_sweep_jobs4": scenario_parallel_sweep_jobs4,
 }
 
 
@@ -193,6 +238,32 @@ def run_all(repeats: int = 3) -> Dict[str, Dict]:
     return {name: run_scenario(name, repeats=repeats) for name in SCENARIOS}
 
 
+def parallel_consistency_failures(current: Dict[str, Dict]) -> List[str]:
+    """Cross-scenario gate: every ``parallel_sweep_jobs*`` run must agree.
+
+    The worker count is an execution detail; if the four-worker sweep
+    fingerprint (ignoring the ``jobs`` tag itself) differs from the serial
+    one, parallel execution changed the results — a determinism bug, not a
+    performance regression.
+    """
+    failures: List[str] = []
+    reference_name = "parallel_sweep_jobs1"
+    reference = current.get(reference_name)
+    if reference is None:
+        return failures
+    expected = {k: v for k, v in reference["fingerprint"].items() if k != "jobs"}
+    for name, data in current.items():
+        if not name.startswith("parallel_sweep_jobs") or name == reference_name:
+            continue
+        found = {k: v for k, v in data["fingerprint"].items() if k != "jobs"}
+        if found != expected:
+            failures.append(
+                f"{name}: fingerprint diverged from {reference_name} "
+                f"({found!r} != {expected!r}); parallel execution changed results"
+            )
+    return failures
+
+
 def check_results(
     baseline: Dict[str, Dict],
     current: Dict[str, Dict],
@@ -208,8 +279,25 @@ def check_results(
     fingerprints instead), a scenario whose output fingerprint changed (it
     no longer does the same work), or a scenario that disappeared.  Improvements never fail — refresh the baseline with
     ``run_bench.py --update`` to lock them in.
+
+    Multi-worker scenarios (fingerprint ``jobs > 1``) get two exemptions:
+
+    * the **wall-time gate** — process-pool start-up and scheduling make
+      their wall times contention-sensitive, especially on hosts with
+      fewer cores than workers;
+    * **per-process cache counters** (names containing ``cache`` or
+      ``host_encoding``) — how many encodings/graphs each worker builds
+      depends on which cells the pool hands it, so those totals vary with
+      scheduling even though every cell's *work* is deterministic.
+
+    Work counters (searches, nodes explored, scheduler evaluations) are
+    per-cell deterministic wherever the cell runs, so their sums are still
+    gated exactly; fingerprints and cross-``jobs`` consistency (see
+    :func:`parallel_consistency_failures`) are gated for every scenario,
+    and the serial ``jobs=1`` twin gates the underlying work's wall time
+    and full counter set.
     """
-    failures: List[str] = []
+    failures: List[str] = list(parallel_consistency_failures(current))
     baseline_scenarios = baseline.get("scenarios", baseline)
     for name, base in baseline_scenarios.items():
         now = current.get(name)
@@ -218,7 +306,12 @@ def check_results(
             continue
         base_wall = base.get("wall_time_s", 0.0)
         now_wall = now.get("wall_time_s", 0.0)
-        if base_wall >= min_wall_time_s and now_wall > base_wall * (1 + tolerance):
+        multi_worker = base.get("fingerprint", {}).get("jobs", 1) > 1
+        if (
+            not multi_worker
+            and base_wall >= min_wall_time_s
+            and now_wall > base_wall * (1 + tolerance)
+        ):
             failures.append(
                 f"{name}: wall time regressed {base_wall:.4f}s -> "
                 f"{now_wall:.4f}s (> {tolerance:.0%})"
@@ -227,6 +320,8 @@ def check_results(
         now_metrics = now.get("metrics", {})
         for key, base_value in base_metrics.items():
             if key.endswith("_rate") or not isinstance(base_value, (int, float)):
+                continue
+            if multi_worker and ("cache" in key or "host_encoding" in key):
                 continue
             now_value = now_metrics.get(key, 0)
             if base_value > 0 and now_value > base_value * (1 + tolerance):

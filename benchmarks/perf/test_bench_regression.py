@@ -47,3 +47,15 @@ def test_all_scenarios_produce_metrics():
         assert data["wall_time_s"] > 0, name
         assert data["metrics"], name
         assert data["fingerprint"], name
+
+
+@pytest.mark.bench
+def test_parallel_sweep_fingerprints_agree_across_worker_counts():
+    """jobs=1/2/4 runs of the parallel-sweep macro must produce one output."""
+    results = {
+        name: bench_harness.run_scenario(name, repeats=1)
+        for name in bench_harness.SCENARIOS
+        if name.startswith("parallel_sweep_jobs")
+    }
+    assert len(results) == 3
+    assert not bench_harness.parallel_consistency_failures(results)

@@ -6,30 +6,54 @@ subcircuits; infeasible combinations (adjacency graph empty or too
 disconnected) show up as N/A, exactly like Table 3's pentafluorobutadienyl
 iron rows.
 
-Run with ``python examples/qft_threshold_sweep.py [circuit-name]``.
+Run with ``python examples/qft_threshold_sweep.py [circuit-name] [--jobs N]``.
+``--jobs 4`` fans the sweep cells out over four worker processes through
+:class:`repro.analysis.runner.ExperimentRunner`; the table is identical to
+the serial one.
 """
 
-import sys
+import argparse
 
 from repro.analysis.reporting import format_table
-from repro.analysis.sweep import sweep_circuit
+from repro.analysis.runner import ExperimentRunner, stderr_progress
+from repro.analysis.sweep import sweep_table
 from repro.circuits.library import CIRCUIT_FACTORIES
 from repro.hardware.molecules import all_molecules
 from repro.hardware.threshold_graph import PAPER_THRESHOLDS
 
 
-def main(circuit_name: str = "phaseest") -> None:
+def main(circuit_name: str = "phaseest", jobs: int = 1, progress: bool = False) -> None:
     factory = CIRCUIT_FACTORIES[circuit_name]
+    num_qubits = factory().num_qubits
+    runner = ExperimentRunner(
+        jobs=jobs, progress=stderr_progress("sweep cell") if progress else None
+    )
+    # One flattened grid over every big-enough molecule: a single runner
+    # call, so parallel runs pay pool start-up once, not once per row.
+    molecules = all_molecules()
+    big_enough = [env for env in molecules if env.num_qubits >= num_qubits]
+    sweep_rows = iter(sweep_table(factory, big_enough, PAPER_THRESHOLDS, runner=runner))
     header = ["molecule"] + [f"thr {threshold:g}" for threshold in PAPER_THRESHOLDS]
     rows = []
-    for environment in all_molecules():
-        if environment.num_qubits < factory().num_qubits:
+    for environment in molecules:
+        if environment.num_qubits < num_qubits:
             rows.append([environment.name] + ["too small"] * len(PAPER_THRESHOLDS))
-            continue
-        sweep_row = sweep_circuit(factory, environment, PAPER_THRESHOLDS)
-        rows.append([environment.name] + [cell.formatted() for cell in sweep_row.cells])
+        else:
+            sweep_row = next(sweep_rows)
+            rows.append(
+                [environment.name] + [cell.formatted() for cell in sweep_row.cells]
+            )
     print(format_table(header, rows, title=f"Threshold sweep for {circuit_name!r}"))
 
 
 if __name__ == "__main__":
-    main(sys.argv[1] if len(sys.argv) > 1 else "phaseest")
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("circuit", nargs="?", default="phaseest",
+                        choices=sorted(CIRCUIT_FACTORIES),
+                        help="benchmark circuit name (default: phaseest)")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes per sweep (default: 1, serial)")
+    parser.add_argument("--progress", action="store_true",
+                        help="print per-cell progress to stderr")
+    args = parser.parse_args()
+    main(args.circuit, jobs=args.jobs, progress=args.progress)

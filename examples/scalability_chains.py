@@ -4,18 +4,25 @@ Generates the paper's "hidden stage" workloads for growing qubit counts,
 places them onto 1 kHz chains and prints the same columns as Table 4.  The
 placer should discover exactly one subcircuit per hidden stage.
 
-Run with ``python examples/scalability_chains.py [max_qubits]``.
+Run with ``python examples/scalability_chains.py [max_qubits] [--jobs N]``.
+``--jobs 4`` places the chain instances on four worker processes through
+:class:`repro.analysis.runner.ExperimentRunner`; every column except the
+wall-clock "software runtime" is identical to the serial run.
 """
 
-import sys
+import argparse
 
 from repro.analysis.reporting import format_table
+from repro.analysis.runner import ExperimentRunner, stderr_progress
 from repro.analysis.scalability import run_scalability_sweep
 
 
-def main(max_qubits: int = 32) -> None:
+def main(max_qubits: int = 32, jobs: int = 1, progress: bool = False) -> None:
     sizes = [n for n in (8, 16, 32, 64, 128, 256) if n <= max_qubits]
-    records = run_scalability_sweep(sizes)
+    runner = ExperimentRunner(
+        jobs=jobs, progress=stderr_progress("chain") if progress else None
+    )
+    records = run_scalability_sweep(sizes, runner=runner)
     rows = [
         [
             record.num_qubits,
@@ -38,4 +45,12 @@ def main(max_qubits: int = 32) -> None:
 
 
 if __name__ == "__main__":
-    main(int(sys.argv[1]) if len(sys.argv) > 1 else 32)
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("max_qubits", nargs="?", type=int, default=32,
+                        help="largest chain size to run (default: 32)")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes (default: 1, serial)")
+    parser.add_argument("--progress", action="store_true",
+                        help="print per-instance progress to stderr")
+    args = parser.parse_args()
+    main(args.max_qubits, jobs=args.jobs, progress=args.progress)

@@ -99,6 +99,15 @@ def main(argv=None) -> int:
             f"adj-hit={data['metrics'].get('adjacency_cache_hit_rate', 0.0):.2f}"
         )
 
+    # Worker-count independence is a correctness property, not a timing —
+    # never write (or pass) a baseline in which parallel runs changed output.
+    consistency = bench_harness.parallel_consistency_failures(scenarios)
+    if consistency:
+        print("\nPARALLEL-CONSISTENCY FAILURES:", file=sys.stderr)
+        for failure in consistency:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+
     if args.check:
         if not args.baseline.exists():
             print(f"error: baseline {args.baseline} not found", file=sys.stderr)

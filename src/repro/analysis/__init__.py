@@ -1,6 +1,16 @@
 """Experiment harnesses reproducing the paper's tables."""
 
 from repro.analysis.experiments import TABLE2_ROWS, Table2Result, run_table2
+from repro.analysis.runner import (
+    ExperimentOutcome,
+    ExperimentRunner,
+    ExperimentSpec,
+    benchmark_circuit_factory,
+    constant_environment,
+    molecule_factory,
+    run_experiments,
+    stderr_progress,
+)
 from repro.analysis.reporting import (
     format_runtime_and_stages,
     format_seconds,
@@ -19,15 +29,25 @@ from repro.analysis.sweep import (
     SweepRow,
     sweep_circuit,
     sweep_environment,
+    sweep_table,
     whole_circuit_reference,
 )
 
 __all__ = [
+    "ExperimentSpec",
+    "ExperimentOutcome",
+    "ExperimentRunner",
+    "run_experiments",
+    "benchmark_circuit_factory",
+    "molecule_factory",
+    "constant_environment",
+    "stderr_progress",
     "run_table2",
     "Table2Result",
     "TABLE2_ROWS",
     "sweep_circuit",
     "sweep_environment",
+    "sweep_table",
     "whole_circuit_reference",
     "SweepCell",
     "SweepRow",

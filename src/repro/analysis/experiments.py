@@ -17,12 +17,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Tuple
 
+from repro.analysis.runner import ExperimentRunner, ExperimentSpec
 from repro.circuits.circuit import QuantumCircuit
 from repro.circuits.library import pseudo_cat_state_10q, qec3_encoder, qec5_encoder
 from repro.core.config import PlacementOptions
-from repro.core.placement import place_circuit
 from repro.core.result import PlacementResult
-from repro.hardware.environment import PhysicalEnvironment
+from repro.hardware.environment import PhysicalEnvironment, injective_placements
 from repro.hardware.molecules import acetyl_chloride, histidine, trans_crotonic_acid
 
 
@@ -65,26 +65,45 @@ TABLE2_ROWS: Tuple[Table2Row, ...] = (
 
 def run_table2(
     options: Optional[PlacementOptions] = None,
+    jobs: int = 1,
+    runner: Optional[ExperimentRunner] = None,
 ) -> List[Table2Result]:
-    """Place every Table 2 circuit into its molecule and collect the results."""
-    results: List[Table2Result] = []
-    for row in TABLE2_ROWS:
-        circuit = row.circuit_factory()
-        environment = row.environment_factory()
-        result = place_circuit(circuit, environment, options)
-        results.append(
-            Table2Result(
-                circuit_name=circuit.name,
-                environment_name=environment.name,
-                num_gates=circuit.num_gates,
-                num_qubits=circuit.num_qubits,
-                environment_qubits=environment.num_qubits,
-                measured_runtime_seconds=result.runtime_seconds,
-                num_subcircuits=result.num_subcircuits,
-                search_space=environment.search_space_size(circuit.num_qubits),
-                paper_runtime_seconds=row.paper_runtime_seconds,
-                paper_search_space=row.paper_search_space,
-                result=result,
-            )
+    """Place every Table 2 circuit into its molecule and collect the results.
+
+    The three rows are independent cells; ``jobs > 1`` places them on
+    worker processes (the row factories are module-level functions, so the
+    specs pickle by reference).
+    """
+    specs = [
+        ExperimentSpec(
+            circuit_factory=row.circuit_factory,
+            environment_factory=row.environment_factory,
+            options=options,
+            label=f"table2 row {index}",
+            keep_result=True,
         )
-    return results
+        for index, row in enumerate(TABLE2_ROWS)
+    ]
+    outcomes = (runner or ExperimentRunner(jobs=jobs)).run(specs)
+    return [
+        Table2Result(
+            circuit_name=outcome.circuit_name,
+            environment_name=outcome.environment_name,
+            num_gates=outcome.num_gates,
+            num_qubits=outcome.num_qubits,
+            environment_qubits=outcome.environment_qubits,
+            measured_runtime_seconds=outcome.runtime_seconds,
+            num_subcircuits=outcome.num_subcircuits,
+            search_space=injective_placements(
+                outcome.environment_qubits, outcome.num_qubits
+            ),
+            paper_runtime_seconds=row.paper_runtime_seconds,
+            paper_search_space=row.paper_search_space,
+            result=outcome.result,
+        )
+        # A Table 2 row that fails to place is a configuration error, not
+        # an expected "N/A" — keep the pre-runner throw-on-failure contract.
+        for row, outcome in zip(
+            TABLE2_ROWS, (o.raise_if_infeasible() for o in outcomes)
+        )
+    ]

@@ -1,0 +1,598 @@
+"""Deterministic experiment execution engine (serial or multi-process).
+
+Every experiment grid in this repository — the Table 3 threshold sweeps,
+the Table 2 reconstruction, the Table 4 scalability chains — is an
+embarrassingly parallel list of independent *cells*: place one circuit
+into one environment at one threshold.  This module gives all of them one
+task-graph abstraction instead of three hand-rolled serial loops:
+
+:class:`ExperimentSpec`
+    One picklable cell: a circuit factory, an environment factory, an
+    optional threshold override and :class:`~repro.core.config.PlacementOptions`.
+    Factories must be picklable for multi-process runs — module-level
+    functions, :func:`functools.partial` over module-level functions, or
+    :func:`constant_environment` wrappers all qualify; lambdas do not.
+
+:class:`ExperimentRunner`
+    Executes a cell list either serially (``jobs=1``, in-process, no
+    pickling) or on a ``concurrent.futures.ProcessPoolExecutor``.  The
+    parallel path preserves three invariants the experiment harnesses rely
+    on:
+
+    * **deterministic result ordering** — outcomes are returned in spec
+      order regardless of worker completion order;
+    * **per-worker environment-cache warmup** — each worker instantiates
+      every distinct environment once (keyed by the spec's environment
+      factory) and pre-builds its adjacency graphs at the grid's
+      thresholds, so per-cell work inside a worker hits warm caches just
+      like the serial loop does;
+    * **counter aggregation** — each cell's :data:`repro.core.stats.STATS`
+      delta is measured inside the worker, shipped back with the outcome
+      and merged into the parent registry, so the coordinating process
+      reports the whole run's search/cache counters instead of silently
+      reporting only its own share.
+
+Because the placement pipeline is hash-seed deterministic end to end (see
+``docs/parallelism.md``), a grid executed at ``jobs=4`` produces
+byte-identical deterministic fields to the same grid at ``jobs=1`` — wall
+times (:attr:`ExperimentOutcome.software_runtime_seconds`) are the only
+machine-dependent fields.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+import pickle
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from functools import partial
+from typing import (
+    Callable,
+    Dict,
+    Hashable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.library import benchmark_circuit
+from repro.core.config import PlacementOptions
+from repro.core.placement import place_circuit
+from repro.core.result import PlacementResult
+from repro.core.stats import STATS
+from repro.exceptions import ExperimentError, PlacementError, ThresholdError
+from repro.hardware.environment import PhysicalEnvironment
+from repro.hardware.molecules import molecule
+
+#: Signature of the progress callback: ``(completed, total, outcome)``.
+ProgressCallback = Callable[[int, int, "ExperimentOutcome"], None]
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One cell of an experiment grid.
+
+    Attributes
+    ----------
+    circuit_factory:
+        Zero-argument callable building a fresh :class:`QuantumCircuit`.
+    environment_factory:
+        Zero-argument callable building (or returning) the
+        :class:`PhysicalEnvironment`.  Workers cache the built environment
+        per factory (see :func:`environment_cache_key`), so all cells of a
+        grid sharing one factory share one environment object — and its
+        threshold-graph caches — within each worker process.
+    threshold:
+        Optional threshold override; when set, the cell runs with
+        ``options.replace(threshold=threshold)``.
+    options:
+        Placement options for the cell (defaults to ``PlacementOptions()``).
+    label:
+        Free-form cell label carried through to the outcome (for progress
+        display and reports).
+    keep_result:
+        Ship the full :class:`PlacementResult` back with the outcome.  Off
+        by default: sweeps only need the scalar summary, and pickling whole
+        placement results out of workers is the dominant IPC cost.
+    """
+
+    circuit_factory: Callable[[], QuantumCircuit]
+    environment_factory: Callable[[], PhysicalEnvironment]
+    threshold: Optional[float] = None
+    options: Optional[PlacementOptions] = None
+    label: str = ""
+    keep_result: bool = False
+
+    def resolved_options(self) -> PlacementOptions:
+        """The cell's effective placement options."""
+        options = self.options or PlacementOptions()
+        if self.threshold is not None:
+            options = options.replace(threshold=self.threshold)
+        return options
+
+
+@dataclass
+class ExperimentOutcome:
+    """Result of one executed cell, in the order fields become known.
+
+    ``feasible`` is ``False`` when placement raised a
+    :class:`~repro.exceptions.ThresholdError` or
+    :class:`~repro.exceptions.PlacementError` (the paper's "N/A" cells);
+    ``error`` then carries the message and ``error_type`` the exception
+    class name, so harnesses that treated those exceptions as fatal can
+    re-raise via :meth:`raise_if_infeasible`.  ``software_runtime_seconds``
+    is the cell's wall time (machine-dependent); every other field is
+    deterministic.
+    """
+
+    index: int
+    label: str
+    feasible: bool
+    runtime_seconds: Optional[float]
+    num_subcircuits: Optional[int]
+    circuit_name: str = ""
+    num_gates: int = 0
+    num_qubits: int = 0
+    environment_name: str = ""
+    environment_qubits: int = 0
+    error: Optional[str] = None
+    error_type: Optional[str] = None
+    software_runtime_seconds: float = 0.0
+    counters: Dict[str, int] = field(default_factory=dict)
+    result: Optional[PlacementResult] = None
+
+    def raise_if_infeasible(self) -> "ExperimentOutcome":
+        """Re-raise the cell's placement error (no-op for feasible cells).
+
+        Restores throw-on-failure semantics for harnesses where an
+        infeasible cell is a caller mistake rather than an expected "N/A"
+        (Table 2 and the scalability chains, as opposed to sweeps).
+        """
+        if self.feasible:
+            return self
+        import repro.exceptions as exceptions_module
+
+        exception_class = getattr(
+            exceptions_module, self.error_type or "", PlacementError
+        )
+        raise exception_class(
+            f"experiment cell {self.label or self.index!r} failed: {self.error}"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Picklable factory helpers
+# ---------------------------------------------------------------------------
+
+
+class _EnvironmentRef:
+    """Worker-side stand-in for an environment registered by the initializer.
+
+    Parallel runs ship each distinct constant environment to every worker
+    exactly once (through the pool initializer); the per-cell specs then
+    carry this reference — just a token — instead of re-pickling the whole
+    delay table with every submitted cell.
+    """
+
+    __slots__ = ("key",)
+
+    def __init__(self, key: Hashable) -> None:
+        self.key = key
+
+    def __call__(self) -> PhysicalEnvironment:
+        environment = _ENVIRONMENT_CACHE.get(self.key)
+        if environment is None:  # pragma: no cover - initializer always runs first
+            raise ExperimentError(
+                f"environment reference {self.key!r} is not registered in this "
+                "process; references are only valid inside ExperimentRunner "
+                "worker processes"
+            )
+        return environment
+
+
+class _ConstantEnvironmentFactory:
+    """Wrap an existing environment object as a picklable factory.
+
+    The wrapper remembers a stable ``token`` minted in the parent process,
+    so every pickled copy of the same wrapper compares (and hashes) equal;
+    parallel runs use the token to ship the environment once per worker
+    (see :class:`_EnvironmentRef`) and to share it — caches and all —
+    across every cell of the grid (see :func:`environment_cache_key`).
+    """
+
+    __slots__ = ("environment", "token")
+
+    _tokens = itertools.count()
+
+    def __init__(self, environment: PhysicalEnvironment) -> None:
+        self.environment = environment
+        self.token = (environment.name, next(self._tokens))
+
+    def __call__(self) -> PhysicalEnvironment:
+        return self.environment
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, _ConstantEnvironmentFactory):
+            return NotImplemented
+        return self.token == other.token
+
+    def __hash__(self) -> int:
+        return hash(self.token)
+
+    def __getstate__(self) -> Tuple[PhysicalEnvironment, Tuple]:
+        return (self.environment, self.token)
+
+    def __setstate__(self, state: Tuple[PhysicalEnvironment, Tuple]) -> None:
+        self.environment, self.token = state
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"constant_environment({self.environment!r})"
+
+
+def constant_environment(
+    environment: PhysicalEnvironment,
+) -> Callable[[], PhysicalEnvironment]:
+    """A picklable factory returning an already-built environment.
+
+    Use this to build specs from an environment object you already hold
+    (the back-compat path of :func:`repro.analysis.sweep.sweep_circuit`).
+    The environment itself must be picklable; its derived-graph caches are
+    dropped in transit (see ``PhysicalEnvironment.__getstate__``).
+    """
+    if isinstance(environment, _ConstantEnvironmentFactory):  # pragma: no cover
+        return environment
+    return _ConstantEnvironmentFactory(environment)
+
+
+def benchmark_circuit_factory(name: str) -> Callable[[], QuantumCircuit]:
+    """Picklable factory for a named benchmark circuit."""
+    return partial(benchmark_circuit, name)
+
+
+def molecule_factory(name: str) -> Callable[[], PhysicalEnvironment]:
+    """Picklable factory for a named molecule environment."""
+    return partial(molecule, name)
+
+
+def environment_cache_key(
+    factory: Callable[[], PhysicalEnvironment],
+) -> Optional[Hashable]:
+    """Worker-side cache key for a spec's environment factory.
+
+    Module-level functions hash by identity (stable across pickling, since
+    they are pickled by reference), ``functools.partial`` objects are keyed
+    by their function and arguments, and :func:`constant_environment`
+    wrappers carry an explicit token.  Unhashable factories (or partials
+    over unhashable arguments) return ``None`` — their cells build a fresh
+    environment each time.
+    """
+    if isinstance(factory, _EnvironmentRef):
+        return factory.key
+    if isinstance(factory, _ConstantEnvironmentFactory):
+        # The token, not the wrapper object: _EnvironmentRef cells and the
+        # initializer's registration must resolve to the same cache slot.
+        return factory.token
+    if isinstance(factory, partial):
+        try:
+            key = (
+                factory.func,
+                factory.args,
+                tuple(sorted(factory.keywords.items())),
+            )
+            hash(key)
+            return key
+        except TypeError:
+            return None
+    try:
+        hash(factory)
+    except TypeError:
+        return None
+    return factory
+
+
+# ---------------------------------------------------------------------------
+# Cell execution (runs in workers for parallel grids)
+# ---------------------------------------------------------------------------
+
+#: Per-worker environment instances, keyed by :func:`environment_cache_key`.
+#: Only populated inside pool workers (see ``_in_worker``): there, each
+#: cell's spec arrives as its own unpickled copy, so keying by factory lets
+#: all cells of a grid share one environment — and its warm caches — per
+#: worker.  The parent/serial path calls factories directly instead: its
+#: factories already return the caller's own objects, and caching them here
+#: would grow an unbounded registry across harness calls in long-lived
+#: processes.
+_ENVIRONMENT_CACHE: Dict[Hashable, PhysicalEnvironment] = {}
+
+_in_worker = False
+
+
+def _environment_for(spec: ExperimentSpec) -> PhysicalEnvironment:
+    if not _in_worker:
+        return spec.environment_factory()
+    key = environment_cache_key(spec.environment_factory)
+    if key is None:
+        return spec.environment_factory()
+    environment = _ENVIRONMENT_CACHE.get(key)
+    if environment is None:
+        environment = spec.environment_factory()
+        _ENVIRONMENT_CACHE[key] = environment
+    return environment
+
+
+def _execute_cell(payload: Tuple[int, ExperimentSpec]) -> ExperimentOutcome:
+    """Run one cell and package its outcome (module-level: picklable)."""
+    index, spec = payload
+    circuit = spec.circuit_factory()
+    environment = _environment_for(spec)
+    before = STATS.snapshot()
+    start = time.perf_counter()
+    feasible = True
+    error: Optional[str] = None
+    result: Optional[PlacementResult] = None
+    runtime_seconds: Optional[float] = None
+    num_subcircuits: Optional[int] = None
+    try:
+        result = place_circuit(circuit, environment, spec.resolved_options())
+        runtime_seconds = result.runtime_seconds
+        num_subcircuits = result.num_subcircuits
+    except (ThresholdError, PlacementError) as exc:
+        feasible = False
+        error = str(exc)
+        error_type = type(exc).__name__
+        result = None
+    else:
+        error_type = None
+    elapsed = time.perf_counter() - start
+    return ExperimentOutcome(
+        index=index,
+        label=spec.label,
+        feasible=feasible,
+        runtime_seconds=runtime_seconds,
+        num_subcircuits=num_subcircuits,
+        circuit_name=circuit.name,
+        num_gates=circuit.num_gates,
+        num_qubits=circuit.num_qubits,
+        environment_name=environment.name,
+        environment_qubits=environment.num_qubits,
+        error=error,
+        error_type=error_type,
+        software_runtime_seconds=elapsed,
+        counters=STATS.delta_since(before),
+        result=result if spec.keep_result else None,
+    )
+
+
+def _initialize_worker(
+    entries: Sequence[Tuple[Callable[[], PhysicalEnvironment], Tuple[Optional[float], ...]]],
+    warm_graphs: bool,
+) -> None:
+    """Process-pool initializer: register environments, pre-build hot caches.
+
+    Runs once per worker before any cell.  Registration makes every keyed
+    environment available to cells that carry only an
+    :class:`_EnvironmentRef`; with ``warm_graphs`` the adjacency (and
+    largest-component) graphs are built too, so the first cell a worker
+    receives behaves like a mid-sweep cell in the serial loop — warm
+    caches, same counters-per-cell profile across workers.
+    """
+    global _in_worker
+    _in_worker = True
+    for factory, thresholds in entries:
+        key = environment_cache_key(factory)
+        if key is None:
+            continue
+        environment = _ENVIRONMENT_CACHE.get(key)
+        if environment is None:
+            environment = factory()
+            _ENVIRONMENT_CACHE[key] = environment
+        if not warm_graphs:
+            continue
+        for threshold in thresholds:
+            try:
+                value = (
+                    environment.minimal_connecting_threshold()
+                    if threshold is None
+                    else threshold
+                )
+                environment.adjacency_graph(value)
+                environment.largest_component_graph(value)
+            except Exception:
+                # Warmup is best-effort: an infeasible threshold fails again
+                # (and is reported) when its cell actually runs.
+                continue
+
+
+# ---------------------------------------------------------------------------
+# The runner
+# ---------------------------------------------------------------------------
+
+
+class ExperimentRunner:
+    """Execute a list of :class:`ExperimentSpec` cells, serially or in parallel.
+
+    Parameters
+    ----------
+    jobs:
+        Number of worker processes.  ``1`` (the default) runs in-process
+        with zero pickling — exactly the old serial loops.  Values above 1
+        use a ``ProcessPoolExecutor`` (never more workers than cells).
+    progress:
+        Optional callback invoked after every completed cell with
+        ``(completed_count, total, outcome)``.  In parallel runs it fires
+        in completion order (which is nondeterministic); the *returned*
+        outcome list is always in spec order.
+    warmup:
+        Pre-build per-worker environment caches before the first cell
+        (parallel runs only; the serial path warms caches naturally).
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        progress: Optional[ProgressCallback] = None,
+        warmup: bool = True,
+    ) -> None:
+        if jobs < 1:
+            raise ExperimentError(f"jobs must be at least 1, got {jobs}")
+        self.jobs = int(jobs)
+        self.progress = progress
+        self.warmup = warmup
+
+    def run(self, specs: Sequence[ExperimentSpec]) -> List[ExperimentOutcome]:
+        """Execute every cell and return outcomes in spec order."""
+        specs = list(specs)
+        if not specs:
+            return []
+        if self.jobs == 1 or len(specs) == 1:
+            return self._run_serial(specs)
+        return self._run_parallel(specs)
+
+    # -- serial ---------------------------------------------------------------
+
+    def _run_serial(self, specs: List[ExperimentSpec]) -> List[ExperimentOutcome]:
+        outcomes: List[ExperimentOutcome] = []
+        total = len(specs)
+        for index, spec in enumerate(specs):
+            outcome = _execute_cell((index, spec))
+            outcomes.append(outcome)
+            if self.progress is not None:
+                self.progress(index + 1, total, outcome)
+        return outcomes
+
+    # -- parallel -------------------------------------------------------------
+
+    def _check_picklable(self, specs: List[ExperimentSpec]) -> None:
+        try:
+            pickle.dumps(specs)
+            return
+        except Exception:
+            pass
+        # Re-check cell by cell only to name the culprit in the error.
+        for spec in specs:
+            try:
+                pickle.dumps(spec)
+            except Exception as exc:
+                raise ExperimentError(
+                    f"experiment cell {spec.label or spec!r} cannot be pickled "
+                    f"for multi-process execution ({exc}); use module-level "
+                    "factories, functools.partial, or constant_environment(), "
+                    "or run with jobs=1"
+                ) from exc
+
+    def _warmup_entries(
+        self, specs: List[ExperimentSpec]
+    ) -> List[Tuple[Callable[[], PhysicalEnvironment], Tuple[Optional[float], ...]]]:
+        """Initializer entries: environments worth shipping to every worker.
+
+        Warmup runs in *every* worker, so it only pays off for environments
+        shared by multiple cells; a single-cell environment is built lazily
+        by whichever worker receives its cell.  Constant-environment
+        factories are always included (cells reference them by token, so
+        each worker must register them) but get graph warmup only when
+        shared.
+        """
+        grouped: Dict[Hashable, Tuple[Callable, Dict[Optional[float], None]]] = {}
+        counts: Dict[Hashable, int] = {}
+        for spec in specs:
+            key = environment_cache_key(spec.environment_factory)
+            if key is None:
+                continue
+            factory, thresholds = grouped.setdefault(
+                key, (spec.environment_factory, {})
+            )
+            thresholds.setdefault(spec.resolved_options().threshold)
+            counts[key] = counts.get(key, 0) + 1
+        entries = []
+        for key, (factory, thresholds) in grouped.items():
+            shared = counts[key] > 1
+            if isinstance(factory, _ConstantEnvironmentFactory):
+                entries.append((factory, tuple(thresholds) if shared else ()))
+            elif shared:
+                entries.append((factory, tuple(thresholds)))
+        return entries
+
+    @staticmethod
+    def _lighten(specs: List[ExperimentSpec]) -> List[ExperimentSpec]:
+        """Swap constant-environment factories for per-cell references.
+
+        The environments themselves travel once per worker in the
+        initializer entries; the submitted cells then carry only a token.
+        """
+        light: List[ExperimentSpec] = []
+        for spec in specs:
+            factory = spec.environment_factory
+            if isinstance(factory, _ConstantEnvironmentFactory):
+                spec = dataclasses.replace(
+                    spec, environment_factory=_EnvironmentRef(factory.token)
+                )
+            light.append(spec)
+        return light
+
+    def _run_parallel(self, specs: List[ExperimentSpec]) -> List[ExperimentOutcome]:
+        total = len(specs)
+        workers = min(self.jobs, total)
+        # Entries are always shipped: they register keyed environments in
+        # each worker (required by _EnvironmentRef cells); self.warmup only
+        # controls whether derived graphs are pre-built on top.
+        entries = self._warmup_entries(specs)
+        light_specs = self._lighten(specs)
+        self._check_picklable(light_specs)
+        outcomes: List[Optional[ExperimentOutcome]] = [None] * total
+        with ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_initialize_worker,
+            initargs=(entries, self.warmup),
+        ) as pool:
+            pending = {
+                pool.submit(_execute_cell, (index, spec))
+                for index, spec in enumerate(light_specs)
+            }
+            completed = 0
+            while pending:
+                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    outcome = future.result()
+                    outcomes[outcome.index] = outcome
+                    # Worker counters fold into the parent registry; addition
+                    # commutes, so the aggregate is completion-order free.
+                    STATS.merge(outcome.counters)
+                    completed += 1
+                    if self.progress is not None:
+                        self.progress(completed, total, outcome)
+        missing = [index for index, outcome in enumerate(outcomes) if outcome is None]
+        if missing:  # pragma: no cover - futures either return or raise
+            raise ExperimentError(
+                f"worker pool returned no outcome for cell(s) {missing}; "
+                "refusing to return a misaligned result list"
+            )
+        return outcomes
+
+
+def run_experiments(
+    specs: Sequence[ExperimentSpec],
+    jobs: int = 1,
+    progress: Optional[ProgressCallback] = None,
+) -> List[ExperimentOutcome]:
+    """Convenience wrapper: ``ExperimentRunner(jobs, progress).run(specs)``."""
+    return ExperimentRunner(jobs=jobs, progress=progress).run(specs)
+
+
+def stderr_progress(prefix: str = "cell"):
+    """A simple progress callback printing one line per completed cell."""
+    import sys
+
+    def callback(completed: int, total: int, outcome: ExperimentOutcome) -> None:
+        status = "ok" if outcome.feasible else "N/A"
+        label = outcome.label or outcome.circuit_name
+        print(
+            f"{prefix} {completed}/{total}: {label} [{status}, "
+            f"{outcome.software_runtime_seconds:.2f}s]",
+            file=sys.stderr,
+        )
+
+    return callback

@@ -4,6 +4,11 @@ For a set of circuits, a molecule, and a list of ``Threshold`` values, run
 the placer at each threshold and record the total runtime and the number of
 subcircuits, marking combinations that cannot run (disconnected or empty
 adjacency graph) as ``N/A`` exactly as the paper does.
+
+Cells are executed through :class:`repro.analysis.runner.ExperimentRunner`,
+so a sweep can fan out over worker processes (``jobs=4``) and still return
+byte-identical rows to the serial run — pass picklable circuit factories
+(module-level functions or ``functools.partial``) when using ``jobs > 1``.
 """
 
 from __future__ import annotations
@@ -11,11 +16,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
-from repro.circuits.circuit import QuantumCircuit
+from repro.analysis.runner import (
+    ExperimentRunner,
+    ExperimentSpec,
+    constant_environment,
+)
 from repro.core.config import PlacementOptions
 from repro.core.exhaustive import whole_circuit_runtime
-from repro.core.placement import place_circuit
-from repro.exceptions import PlacementError, ThresholdError
 from repro.hardware.environment import PhysicalEnvironment
 from repro.hardware.threshold_graph import PAPER_THRESHOLDS
 
@@ -68,59 +75,139 @@ class SweepRow:
         return None
 
 
+def _sweep_specs(
+    circuit_factory,
+    circuit_name: str,
+    environment: PhysicalEnvironment,
+    environment_factory,
+    thresholds: Sequence[float],
+    options: PlacementOptions,
+    reuse_equivalent_cells: bool,
+) -> Tuple[List[ExperimentSpec], List[int]]:
+    """Deduplicated cell specs plus, per threshold, its spec index.
+
+    Two thresholds falling between the same consecutive delay values of the
+    environment admit exactly the same fast interactions, so the placer
+    would do byte-identical work for both cells (only the reported
+    threshold differs); with ``reuse_equivalent_cells`` such cells share one
+    spec via the environment's
+    :meth:`~repro.hardware.environment.PhysicalEnvironment.threshold_signature`.
+    """
+    specs: List[ExperimentSpec] = []
+    cell_index: List[int] = []
+    memo: Dict = {}
+    for position, threshold in enumerate(thresholds):
+        signature = (
+            environment.threshold_signature(threshold)
+            if reuse_equivalent_cells
+            else ("cell", position)
+        )
+        index = memo.get(signature)
+        if index is None:
+            index = len(specs)
+            memo[signature] = index
+            specs.append(
+                ExperimentSpec(
+                    circuit_factory=circuit_factory,
+                    environment_factory=environment_factory,
+                    threshold=float(threshold),
+                    options=options,
+                    label=f"{circuit_name}@{environment.name} thr {threshold:g}",
+                )
+            )
+        cell_index.append(index)
+    return specs, cell_index
+
+
+def _cells_from_outcomes(
+    outcomes, cell_index: List[int], thresholds: Sequence[float], circuit_name: str
+) -> List[SweepCell]:
+    return [
+        SweepCell(
+            circuit_name=circuit_name,
+            threshold=float(threshold),
+            runtime_seconds=outcomes[index].runtime_seconds,
+            num_subcircuits=outcomes[index].num_subcircuits,
+        )
+        for threshold, index in zip(thresholds, cell_index)
+    ]
+
+
+def _run_sweep_grid(
+    row_inputs: Sequence[Tuple[str, object, PhysicalEnvironment, object]],
+    thresholds: Sequence[float],
+    options: PlacementOptions,
+    reuse_equivalent_cells: bool,
+    jobs: int,
+    runner: Optional[ExperimentRunner],
+) -> List[SweepRow]:
+    """Execute a multi-row sweep grid as one flattened cell list.
+
+    ``row_inputs`` holds one ``(circuit_name, circuit_factory, environment,
+    environment_factory)`` tuple per output row.  Flattening before
+    execution means a parallel runner interleaves cells of *all* rows on a
+    single worker pool instead of paying pool start-up per row.
+    """
+    all_specs: List[ExperimentSpec] = []
+    row_layouts: List[Tuple[str, str, List[int]]] = []
+    for circuit_name, circuit_factory, environment, environment_factory in row_inputs:
+        specs, cell_index = _sweep_specs(
+            circuit_factory,
+            circuit_name,
+            environment,
+            environment_factory,
+            thresholds,
+            options,
+            reuse_equivalent_cells,
+        )
+        offset = len(all_specs)
+        all_specs.extend(specs)
+        row_layouts.append(
+            (circuit_name, environment.name, [offset + index for index in cell_index])
+        )
+    outcomes = (runner or ExperimentRunner(jobs=jobs)).run(all_specs)
+    return [
+        SweepRow(
+            circuit_name,
+            environment_name,
+            _cells_from_outcomes(outcomes, cell_index, thresholds, circuit_name),
+        )
+        for circuit_name, environment_name, cell_index in row_layouts
+    ]
+
+
 def sweep_circuit(
     circuit_factory,
     environment: PhysicalEnvironment,
     thresholds: Sequence[float] = PAPER_THRESHOLDS,
     options: Optional[PlacementOptions] = None,
     reuse_equivalent_cells: bool = True,
+    jobs: int = 1,
+    runner: Optional[ExperimentRunner] = None,
 ) -> SweepRow:
     """Place one circuit at every threshold (fresh circuit per threshold).
 
-    Two thresholds falling between the same consecutive delay values of the
-    environment admit exactly the same fast interactions, so the placer
-    would do byte-identical work for both cells (only the reported
-    threshold differs).  With ``reuse_equivalent_cells`` (the default) such
-    cells are computed once and shared via the environment's
-    :meth:`~repro.hardware.environment.PhysicalEnvironment.threshold_signature`;
-    disable it to force one full placement run per threshold (e.g. when
-    benchmarking the placer itself).
+    Equivalent thresholds share one placement run by default (see
+    :func:`_sweep_specs`); disable ``reuse_equivalent_cells`` to force one
+    full run per threshold (e.g. when benchmarking the placer itself).
+    With ``jobs > 1`` (or an explicit ``runner``) the deduplicated cells
+    execute on worker processes; the row is identical to the serial one.
     """
-    base_options = options or PlacementOptions()
-    cells: List[SweepCell] = []
-    circuit_name = circuit_factory().name
-    memo: Dict = {}
-    for threshold in thresholds:
-        signature = (
-            environment.threshold_signature(threshold)
-            if reuse_equivalent_cells
-            else None
-        )
-        if signature is not None and signature in memo:
-            runtime_seconds, num_subcircuits = memo[signature]
-        else:
-            try:
-                result = place_circuit(
-                    circuit_factory(),
-                    environment,
-                    base_options.replace(threshold=threshold),
-                )
-                runtime_seconds = result.runtime_seconds
-                num_subcircuits = result.num_subcircuits
-            except (ThresholdError, PlacementError):
-                runtime_seconds = None
-                num_subcircuits = None
-            if signature is not None:
-                memo[signature] = (runtime_seconds, num_subcircuits)
-        cells.append(
-            SweepCell(
-                circuit_name=circuit_name,
-                threshold=float(threshold),
-                runtime_seconds=runtime_seconds,
-                num_subcircuits=num_subcircuits,
+    return _run_sweep_grid(
+        [
+            (
+                circuit_factory().name,
+                circuit_factory,
+                environment,
+                constant_environment(environment),
             )
-        )
-    return SweepRow(circuit_name, environment.name, cells)
+        ],
+        thresholds,
+        options or PlacementOptions(),
+        reuse_equivalent_cells,
+        jobs,
+        runner,
+    )[0]
 
 
 def sweep_environment(
@@ -128,12 +215,58 @@ def sweep_environment(
     environment: PhysicalEnvironment,
     thresholds: Sequence[float] = PAPER_THRESHOLDS,
     options: Optional[PlacementOptions] = None,
+    reuse_equivalent_cells: bool = True,
+    jobs: int = 1,
+    runner: Optional[ExperimentRunner] = None,
 ) -> List[SweepRow]:
-    """Sweep several circuits over one environment (one Table 3 block)."""
-    return [
-        sweep_circuit(factory, environment, thresholds, options)
-        for factory in circuit_factories
-    ]
+    """Sweep several circuits over one environment (one Table 3 block).
+
+    The whole (circuit x threshold) grid is flattened into one cell list
+    before execution, so a parallel runner interleaves cells of *all* rows
+    instead of running one serial row at a time.
+    """
+    environment_factory = constant_environment(environment)
+    return _run_sweep_grid(
+        [
+            (circuit_factory().name, circuit_factory, environment, environment_factory)
+            for circuit_factory in circuit_factories
+        ],
+        thresholds,
+        options or PlacementOptions(),
+        reuse_equivalent_cells,
+        jobs,
+        runner,
+    )
+
+
+def sweep_table(
+    circuit_factory,
+    environments: Iterable[PhysicalEnvironment],
+    thresholds: Sequence[float] = PAPER_THRESHOLDS,
+    options: Optional[PlacementOptions] = None,
+    reuse_equivalent_cells: bool = True,
+    jobs: int = 1,
+    runner: Optional[ExperimentRunner] = None,
+) -> List[SweepRow]:
+    """Sweep one circuit over several environments (a full Table 3).
+
+    Like :func:`sweep_environment` but varying the environment instead of
+    the circuit, and likewise flattened into a single cell list — one
+    parallel run (one worker pool) covers every molecule's row instead of
+    paying pool start-up per environment.
+    """
+    circuit_name = circuit_factory().name
+    return _run_sweep_grid(
+        [
+            (circuit_name, circuit_factory, environment, constant_environment(environment))
+            for environment in environments
+        ],
+        thresholds,
+        options or PlacementOptions(),
+        reuse_equivalent_cells,
+        jobs,
+        runner,
+    )
 
 
 def whole_circuit_reference(

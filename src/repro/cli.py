@@ -19,9 +19,11 @@ from __future__ import annotations
 
 import argparse
 import sys
+from functools import partial
 from typing import List, Optional
 
 from repro.analysis.reporting import format_table
+from repro.analysis.runner import ExperimentRunner, stderr_progress
 from repro.analysis.sweep import sweep_circuit
 from repro.circuits import qasm
 from repro.circuits.circuit import QuantumCircuit
@@ -107,10 +109,16 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     environment = _load_environment(args.environment)
     thresholds = args.thresholds or list(PAPER_THRESHOLDS)
 
-    def factory() -> QuantumCircuit:
-        return _load_circuit(args.circuit)
-
-    row = sweep_circuit(factory, environment, thresholds, _options_from_args(args))
+    # A partial over the module-level loader (not a closure) so the specs
+    # stay picklable when the sweep fans out over worker processes.
+    factory = partial(_load_circuit, args.circuit)
+    runner = ExperimentRunner(
+        jobs=args.jobs,
+        progress=stderr_progress("sweep cell") if args.progress else None,
+    )
+    row = sweep_circuit(
+        factory, environment, thresholds, _options_from_args(args), runner=runner
+    )
     table_rows = [
         [f"threshold {cell.threshold:g}", cell.formatted()] for cell in row.cells
     ]
@@ -150,6 +158,11 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_parser.add_argument("environment", help="molecule name or environment .json file")
     sweep_parser.add_argument("--thresholds", type=float, nargs="+", default=None,
                               help="threshold values (default: the paper's list)")
+    sweep_parser.add_argument("--jobs", type=int, default=1,
+                              help="worker processes for the sweep grid "
+                                   "(1 = serial; results are identical either way)")
+    sweep_parser.add_argument("--progress", action="store_true",
+                              help="print one line per completed sweep cell to stderr")
     _add_common_options(sweep_parser)
     sweep_parser.set_defaults(func=_cmd_sweep)
 

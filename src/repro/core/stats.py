@@ -12,6 +12,13 @@ attribute-free function calls, with hot loops expected to accumulate locally
 and flush once (see :mod:`repro.core.monomorphism`), so the instrumentation
 itself stays off the profile.
 
+Counters are process-local.  Multi-process experiment runs (see
+:mod:`repro.analysis.runner`) take a :meth:`Counters.snapshot` around each
+cell inside the worker, ship the plain-dict delta back with the result, and
+:meth:`Counters.merge` it into the parent registry — so ``STATS`` in the
+coordinating process reports the aggregate work of the whole run, not just
+the parent's share.
+
 Counter names used by the engine
 --------------------------------
 
@@ -76,6 +83,17 @@ class Counters:
         if total == 0:
             return None
         return h / total
+
+    def merge(self, counts: Mapping[str, int]) -> None:
+        """Add a counter snapshot (e.g. a worker's delta) into this registry.
+
+        Merging is plain per-name addition, so folding worker deltas in any
+        completion order yields the same totals — the property the parallel
+        experiment runner relies on for deterministic aggregate counters.
+        """
+        for name, value in counts.items():
+            if value:
+                self._counts[name] = self._counts.get(name, 0) + value
 
     def delta_since(self, baseline: Mapping[str, int]) -> Dict[str, int]:
         """Per-counter difference against an earlier :meth:`snapshot`."""

@@ -50,6 +50,14 @@ class RoutingError(ReproError):
     """Raised when a permutation cannot be realised over an adjacency graph."""
 
 
+class ExperimentError(ReproError):
+    """Raised by the experiment runner for misconfigured cell grids.
+
+    Typical cause: asking for multi-process execution with specs that
+    cannot be pickled (lambda factories, closures over local state).
+    """
+
+
 class SimulationError(ReproError):
     """Raised by the statevector simulator (e.g. too many qubits)."""
 

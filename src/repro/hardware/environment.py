@@ -34,6 +34,18 @@ def _canonical_pair(a: Node, b: Node) -> Pair:
     return (a, b) if repr(a) <= repr(b) else (b, a)
 
 
+def injective_placements(environment_qubits: int, circuit_qubits: int) -> int:
+    """Number of injective placements ``m! / (m - n)!`` (0 when ``n > m``).
+
+    The search-space size of Table 2's last column, shared by
+    :meth:`PhysicalEnvironment.search_space_size` and the experiment
+    harnesses (which carry the two qubit counts without an environment).
+    """
+    if circuit_qubits > environment_qubits:
+        return 0
+    return math.perm(environment_qubits, circuit_qubits)
+
+
 class PhysicalEnvironment:
     """A complete weighted graph of physical qubits (nuclei).
 
@@ -109,6 +121,22 @@ class PhysicalEnvironment:
         self._minimal_threshold: Optional[float] = None
         self._delay_values: Optional[List[float]] = None
         self._cache_version = 0
+
+    def __getstate__(self) -> Dict[str, object]:
+        """Pickle without the derived-graph caches.
+
+        The caches are exact and rebuilt on demand, so dropping them keeps
+        worker-bound pickles small (an experiment spec ships the delay
+        tables, not hundreds of cached ``nx.Graph`` objects) and guarantees
+        a freshly unpickled environment re-derives its graphs locally.
+        """
+        state = self.__dict__.copy()
+        state["_adjacency_cache"] = {}
+        state["_component_cache"] = {}
+        state["_connectivity_cache"] = {}
+        state["_minimal_threshold"] = None
+        state["_delay_values"] = None
+        return state
 
     @staticmethod
     def _check_delay(delay: float, what: str) -> float:
@@ -254,9 +282,12 @@ class PhysicalEnvironment:
 
         Cached per threshold like :meth:`adjacency_graph` (same read-only
         contract).  When the graph is connected this *is* the cached
-        adjacency graph; otherwise it is a one-time subgraph copy over the
-        largest component (ties broken by discovery order, matching
-        ``nx.connected_components``).
+        adjacency graph; otherwise it is a one-time copy over the largest
+        component (ties broken by discovery order, matching
+        ``nx.connected_components``), rebuilt with nodes and edges in the
+        environment's declaration order — a ``graph.subgraph(set).copy()``
+        would freeze the *set*'s hash order into the copy and leak
+        ``PYTHONHASHSEED`` into every downstream traversal.
         """
         key = self.threshold_signature(threshold)
         cached = self._component_cache.get(key)
@@ -271,7 +302,16 @@ class PhysicalEnvironment:
             components = sorted(
                 nx.connected_components(graph), key=len, reverse=True
             )
-            component = graph.subgraph(components[0]).copy()
+            members = set(components[0])
+            component = nx.Graph(**graph.graph)
+            component.add_nodes_from(
+                (node, graph.nodes[node]) for node in graph.nodes() if node in members
+            )
+            component.add_edges_from(
+                (a, b, data)
+                for a, b, data in graph.edges(data=True)
+                if a in members and b in members
+            )
         self._component_cache[key] = component
         return component
 
@@ -399,11 +439,4 @@ class PhysicalEnvironment:
 
     def search_space_size(self, circuit_qubits: int) -> int:
         """Number of injective placements ``m! / (m - n)!`` (Table 2's last column)."""
-        m = self.num_qubits
-        n = circuit_qubits
-        if n > m:
-            return 0
-        size = 1
-        for value in range(m - n + 1, m + 1):
-            size *= value
-        return size
+        return injective_placements(self.num_qubits, circuit_qubits)

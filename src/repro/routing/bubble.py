@@ -28,6 +28,17 @@ The routine is fully deterministic and always terminates: every emitted swap
 strictly decreases the potential "sum over wrong-side tokens of (tree depth
 + 1)", and the recursion only receives instances whose tokens already live
 on the correct side.
+
+Determinism contract
+--------------------
+
+Every choice the router makes — spanning-tree traversal order, channel-edge
+selection, leaf processing order, subgraph construction — is resolved
+through one :func:`repro.core._bitset.node_index_table` built at entry, so
+the emitted layers are byte-identical across interpreter processes and
+``PYTHONHASHSEED`` values.  In particular the router never iterates a plain
+``set`` (or a networkx subgraph *view* over one, whose iteration order
+follows the set's hash order) where the order can reach the output.
 """
 
 from __future__ import annotations
@@ -37,13 +48,14 @@ from typing import Dict, Hashable, List, Mapping, Optional, Sequence, Set, Tuple
 
 import networkx as nx
 
+from repro.core._bitset import node_index_table
 from repro.exceptions import RoutingError
 from repro.routing.permutation import (
     Permutation,
     complete_partial_permutation,
     required_permutation,
 )
-from repro.routing.separators import balanced_connected_bisection
+from repro.routing.separators import balanced_connected_bisection, bfs_tree_parents
 
 Node = Hashable
 Swap = Tuple[Node, Node]
@@ -140,6 +152,7 @@ def route_permutation(
     if graph.number_of_nodes() == 0:
         return RoutingResult([], Permutation({}))
 
+    order = node_index_table(graph.nodes())
     full = _as_full_permutation(graph, permutation)
     token_target: Dict[Node, Node] = full.as_dict()
 
@@ -155,13 +168,19 @@ def route_permutation(
     layers: List[Layer] = []
     frozen: Set[Node] = set()
     if leaf_override:
-        layers.extend(_leaf_override_pass(graph, token_target, frozen))
+        layers.extend(_leaf_override_pass(graph, token_target, frozen, order))
 
     active_nodes = set(graph.nodes()) - frozen
-    active = graph.subgraph(active_nodes)
+    active = _canonical_subgraph(graph, active_nodes, order)
     component_layers: List[Layer] = []
-    for component in nx.connected_components(active):
-        routed = _route_component(active.subgraph(component).copy(), token_target)
+    components = sorted(
+        nx.connected_components(active),
+        key=lambda component: min(order[node] for node in component),
+    )
+    for component in components:
+        routed = _route_component(
+            _canonical_subgraph(active, component, order), token_target, order
+        )
         # Distinct components act on disjoint nodes, so their layer
         # sequences can run in parallel.
         component_layers = _merge_layer_sequences(component_layers, routed)
@@ -175,6 +194,28 @@ def route_permutation(
                 f"routing failed to deliver tokens on nodes {sorted(map(repr, remaining))}"
             )
     return RoutingResult(layers, full)
+
+
+def _canonical_subgraph(
+    graph: nx.Graph, nodes: Set[Node], order: Dict[Node, int]
+) -> nx.Graph:
+    """A deterministic induced-subgraph copy.
+
+    ``graph.subgraph(node_set)`` yields a view whose iteration order can
+    follow the *set*'s hash order, and ``.copy()`` freezes that order into
+    the new graph's adjacency — making every later traversal depend on
+    ``PYTHONHASHSEED``.  Rebuilding with nodes and edges inserted in
+    node-index order makes the copy's iteration order canonical.
+    """
+    members = sorted(nodes, key=order.__getitem__)
+    member_set = set(members)
+    sub = nx.Graph()
+    sub.add_nodes_from(members)
+    for a in members:
+        for b in sorted(graph.adj[a], key=order.__getitem__):
+            if b in member_set and order[a] < order[b]:
+                sub.add_edge(a, b)
+    return sub
 
 
 def _merge_layer_sequences(first: List[Layer], second: List[Layer]) -> List[Layer]:
@@ -194,6 +235,7 @@ def _leaf_override_pass(
     graph: nx.Graph,
     token_target: Dict[Node, Node],
     frozen: Set[Node],
+    order: Dict[Node, int],
 ) -> List[Layer]:
     """The leaf–target value override heuristic.
 
@@ -219,7 +261,8 @@ def _leaf_override_pass(
         layer: Layer = []
         used: Set[Node] = set()
         for leaf in sorted(
-            (n for n in active.nodes() if active.degree(n) == 1), key=repr
+            (n for n in active.nodes() if active.degree(n) == 1),
+            key=order.__getitem__,
         ):
             if leaf in used:
                 continue
@@ -241,7 +284,9 @@ def _leaf_override_pass(
     return layers
 
 
-def _route_component(graph: nx.Graph, token_target: Dict[Node, Node]) -> List[Layer]:
+def _route_component(
+    graph: nx.Graph, token_target: Dict[Node, Node], order: Dict[Node, int]
+) -> List[Layer]:
     """Recursive routing of a connected component (tokens stay inside it)."""
     n = graph.number_of_nodes()
     if n <= 1:
@@ -249,35 +294,39 @@ def _route_component(graph: nx.Graph, token_target: Dict[Node, Node]) -> List[La
     if all(token_target[node] == node for node in graph.nodes()):
         return []
     if n == 2:
-        a, b = list(graph.nodes())
+        a, b = sorted(graph.nodes(), key=order.__getitem__)
         if token_target[a] == b:
             layer = [(a, b)]
             _apply_layer(token_target, layer)
             return [layer]
         return []
 
-    bisection = balanced_connected_bisection(graph)
+    bisection = balanced_connected_bisection(graph, order)
     side_one: Set[Node] = set(bisection.part_one)
     side_two: Set[Node] = set(bisection.part_two)
 
     separation_layers = _separate_sides(
-        graph, side_one, side_two, bisection.channel_edges, token_target
+        graph, side_one, side_two, bisection.channel_edges, token_target, order
     )
 
-    sub_one = graph.subgraph(side_one).copy()
-    sub_two = graph.subgraph(side_two).copy()
-    layers_one = _route_component(sub_one, token_target)
-    layers_two = _route_component(sub_two, token_target)
+    sub_one = _canonical_subgraph(graph, side_one, order)
+    sub_two = _canonical_subgraph(graph, side_two, order)
+    layers_one = _route_component(sub_one, token_target, order)
+    layers_two = _route_component(sub_two, token_target, order)
     return separation_layers + _merge_layer_sequences(layers_one, layers_two)
 
 
-def _spanning_tree_parents(graph: nx.Graph, nodes: Set[Node], root: Node) -> Dict[Node, Node]:
-    """Parent pointers of a BFS spanning tree of ``nodes`` rooted at ``root``."""
-    sub = graph.subgraph(nodes)
-    parents: Dict[Node, Node] = {}
-    for parent, child in nx.bfs_edges(sub, root):
-        parents[child] = parent
-    return parents
+def _spanning_tree_parents(
+    graph: nx.Graph, nodes: Set[Node], root: Node, order: Dict[Node, int]
+) -> Dict[Node, Node]:
+    """Parent pointers of a BFS spanning tree of ``nodes`` rooted at ``root``.
+
+    The BFS visits each node's neighbours in node-index order (shared
+    traversal: :func:`repro.routing.separators.bfs_tree_parents`), so the
+    tree — and hence every bubble trajectory — is independent of the
+    adjacency dict's insertion order.
+    """
+    return bfs_tree_parents(graph, root, order, nodes=nodes)
 
 
 def _depths_from_parents(parents: Dict[Node, Node], root: Node, nodes: Set[Node]) -> Dict[Node, int]:
@@ -302,6 +351,7 @@ def _separate_sides(
     side_two: Set[Node],
     channel_edges: Sequence[Swap],
     token_target: Dict[Node, Node],
+    order: Dict[Node, int],
 ) -> List[Layer]:
     """Move every token to the side that contains its destination.
 
@@ -312,12 +362,16 @@ def _separate_sides(
     if not channel_edges:
         raise RoutingError("bisection produced no communication channel")
     # A single channel edge, as in the paper's analysis.
-    channel = sorted(channel_edges, key=repr)[0]
+    # ``Bisection.channel_edges`` arrives canonically oriented
+    # (lower-index endpoint first) and sorted by node index — see
+    # ``repro.routing.separators._channel_edges`` — so the first edge is
+    # the canonical minimum.
+    channel = channel_edges[0]
     root_one = channel[0] if channel[0] in side_one else channel[1]
     root_two = channel[1] if channel[0] in side_one else channel[0]
 
-    parents_one = _spanning_tree_parents(graph, side_one, root_one)
-    parents_two = _spanning_tree_parents(graph, side_two, root_two)
+    parents_one = _spanning_tree_parents(graph, side_one, root_one, order)
+    parents_two = _spanning_tree_parents(graph, side_two, root_two, order)
     depths_one = _depths_from_parents(parents_one, root_one, side_one)
     depths_two = _depths_from_parents(parents_two, root_two, side_two)
 
@@ -351,7 +405,7 @@ def _separate_sides(
         ):
             candidates = sorted(
                 (node for node in side_nodes if node in parents),
-                key=lambda node: (-depths[node], repr(node)),
+                key=lambda node: (-depths[node], order[node]),
             )
             for child in candidates:
                 parent = parents[child]

@@ -7,15 +7,23 @@ n/2 as possible").  The quality of the cut is captured by the separability
 parameter ``s``: the ratio of the smaller part to the larger part, taken over
 the whole recursion.  The appendix of the paper shows every graph of maximal
 degree ``k`` admits ``s >= 1/k``; chains and 2D lattices achieve ``s >= 1/2``.
+
+Every tie-break in this module — spanning-tree traversal order, channel-edge
+orientation, boundary-refinement order — is resolved through one
+:func:`repro.core._bitset.node_index_table` per call, so the bisection found
+for a given node/edge set is independent of the input graph's internal
+iteration order (and hence of ``PYTHONHASHSEED``).
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
-from typing import FrozenSet, Hashable, Iterable, List, Optional, Set, Tuple
+from typing import Dict, FrozenSet, Hashable, Iterable, List, Optional, Set, Tuple
 
 import networkx as nx
 
+from repro.core._bitset import node_index_table
 from repro.exceptions import RoutingError
 
 Node = Hashable
@@ -31,7 +39,8 @@ class Bisection:
         The node sets; ``part_one`` is never smaller than ``part_two``.
     channel_edges:
         The graph edges with one endpoint in each part (the "communication
-        channels" of the paper).
+        channels" of the paper), each oriented lower-index endpoint first
+        and listed in node-index order.
     """
 
     part_one: FrozenSet[Node]
@@ -49,25 +58,105 @@ class Bisection:
         return len(self.part_one) - len(self.part_two)
 
 
-def _channel_edges(graph: nx.Graph, part_one: Set[Node], part_two: Set[Node]) -> Tuple:
+def _channel_edges(
+    graph: nx.Graph,
+    part_one: Set[Node],
+    part_two: Set[Node],
+    order: Dict[Node, int],
+) -> Tuple:
+    """Cut edges, canonically oriented and sorted by node index."""
     edges = []
     for a, b in graph.edges():
         if (a in part_one and b in part_two) or (a in part_two and b in part_one):
+            if order[b] < order[a]:
+                a, b = b, a
             edges.append((a, b))
+    edges.sort(key=lambda edge: (order[edge[0]], order[edge[1]]))
     return tuple(edges)
 
 
-def _bisection_from_parts(graph: nx.Graph, part_a: Set[Node], part_b: Set[Node]) -> Bisection:
+def _bisection_from_parts(
+    graph: nx.Graph,
+    part_a: Set[Node],
+    part_b: Set[Node],
+    order: Dict[Node, int],
+) -> Bisection:
     if len(part_a) < len(part_b):
         part_a, part_b = part_b, part_a
     return Bisection(
         frozenset(part_a),
         frozenset(part_b),
-        _channel_edges(graph, set(part_a), set(part_b)),
+        _channel_edges(graph, set(part_a), set(part_b), order),
     )
 
 
-def _tree_edge_split(graph: nx.Graph, tree: nx.Graph) -> Optional[Bisection]:
+def bfs_tree_parents(
+    graph: nx.Graph,
+    root: Node,
+    order: Dict[Node, int],
+    nodes: Optional[Set[Node]] = None,
+) -> Dict[Node, Node]:
+    """Index-ordered BFS spanning-tree parent pointers (discovery order).
+
+    Each node's neighbours are visited in node-index order, so the tree is
+    independent of the graph's adjacency insertion order.  ``nodes``
+    optionally restricts the traversal to an induced subset.  The dict's
+    insertion order is BFS discovery order — the determinism-critical
+    traversal shared by this module's spanning-tree cuts and the bubble
+    router's per-side trees (:mod:`repro.routing.bubble`).
+    """
+    parents: Dict[Node, Node] = {}
+    visited: Set[Node] = {root}
+    queue: deque = deque([root])
+    while queue:
+        parent = queue.popleft()
+        for child in sorted(graph.adj[parent], key=order.__getitem__):
+            if (nodes is None or child in nodes) and child not in visited:
+                visited.add(child)
+                parents[child] = parent
+                queue.append(child)
+    return parents
+
+
+def _bfs_tree_edges(
+    graph: nx.Graph, root: Node, order: Dict[Node, int]
+) -> List[Tuple[Node, Node]]:
+    """BFS spanning-tree edges with neighbours visited in node-index order."""
+    return [
+        (parent, child)
+        for child, parent in bfs_tree_parents(graph, root, order).items()
+    ]
+
+
+def _dfs_tree_edges(
+    graph: nx.Graph, root: Node, order: Dict[Node, int]
+) -> List[Tuple[Node, Node]]:
+    """DFS spanning-tree edges with neighbours visited in node-index order."""
+    edges: List[Tuple[Node, Node]] = []
+    visited: Set[Node] = {root}
+    stack: List[Tuple[Node, Iterable[Node]]] = [
+        (root, iter(sorted(graph.adj[root], key=order.__getitem__)))
+    ]
+    while stack:
+        parent, children = stack[-1]
+        advanced = False
+        for child in children:
+            if child not in visited:
+                visited.add(child)
+                edges.append((parent, child))
+                stack.append(
+                    (child, iter(sorted(graph.adj[child], key=order.__getitem__)))
+                )
+                advanced = True
+                break
+        if not advanced:
+            stack.pop()
+    return edges
+
+
+def _tree_edge_split(
+    graph: nx.Graph, tree: nx.Graph, order: Dict[Node, int]
+) -> Optional[Bisection]:
     """Best bisection obtained by deleting a single spanning-tree edge."""
     total = graph.number_of_nodes()
     best: Optional[Bisection] = None
@@ -78,7 +167,7 @@ def _tree_edge_split(graph: nx.Graph, tree: nx.Graph) -> Optional[Bisection]:
         if len(components) != 2:
             continue
         part_a, part_b = components
-        candidate = _bisection_from_parts(graph, set(part_a), set(part_b))
+        candidate = _bisection_from_parts(graph, set(part_a), set(part_b), order)
         if best is None or abs(candidate.balance) < abs(best.balance):
             best = candidate
         if best.balance <= total % 2:
@@ -86,7 +175,9 @@ def _tree_edge_split(graph: nx.Graph, tree: nx.Graph) -> Optional[Bisection]:
     return best
 
 
-def _refine_by_moving_boundary(graph: nx.Graph, bisection: Bisection) -> Bisection:
+def _refine_by_moving_boundary(
+    graph: nx.Graph, bisection: Bisection, order: Dict[Node, int]
+) -> Bisection:
     """Greedy local improvement: move boundary nodes from the big part to the small one.
 
     A node is moved only when both induced subgraphs stay connected, so the
@@ -98,7 +189,7 @@ def _refine_by_moving_boundary(graph: nx.Graph, bisection: Bisection) -> Bisecti
     improved = True
     while improved and len(part_one) - len(part_two) >= 2:
         improved = False
-        for a, b in _channel_edges(graph, part_one, part_two):
+        for a, b in _channel_edges(graph, part_one, part_two, order):
             candidate = a if a in part_one else b
             new_one = part_one - {candidate}
             new_two = part_two | {candidate}
@@ -110,10 +201,12 @@ def _refine_by_moving_boundary(graph: nx.Graph, bisection: Bisection) -> Bisecti
                 part_one, part_two = new_one, new_two
                 improved = True
                 break
-    return _bisection_from_parts(graph, part_one, part_two)
+    return _bisection_from_parts(graph, part_one, part_two, order)
 
 
-def balanced_connected_bisection(graph: nx.Graph) -> Bisection:
+def balanced_connected_bisection(
+    graph: nx.Graph, order: Optional[Dict[Node, int]] = None
+) -> Bisection:
     """Cut a connected graph into two connected parts of near-equal size.
 
     The cut is found by deleting single edges of several spanning trees (BFS
@@ -122,13 +215,21 @@ def balanced_connected_bisection(graph: nx.Graph) -> Bisection:
     improvement.  For trees this is exactly the optimal single-edge cut; for
     general bounded-degree graphs it comfortably achieves the ``s >= 1/k``
     guarantee of the appendix on all the architectures used in this project.
+
+    ``order`` may supply an existing node-index table covering (a superset
+    of) the graph's nodes — the bubble router passes its whole-graph table
+    so the recursion does not re-``repr``-sort every subgraph.  Only the
+    relative order of the graph's own nodes is used, so any consistent
+    table yields the same cut as the freshly built default.
     """
     if graph.number_of_nodes() < 2:
         raise RoutingError("cannot bisect a graph with fewer than two nodes")
     if not nx.is_connected(graph):
         raise RoutingError("cannot bisect a disconnected graph")
 
-    nodes = sorted(graph.nodes(), key=repr)
+    if order is None:
+        order = node_index_table(graph.nodes())
+    nodes = sorted(graph.nodes(), key=order.__getitem__)
     roots = [nodes[0], nodes[len(nodes) // 2], nodes[-1]]
     best: Optional[Bisection] = None
     seen_roots = set()
@@ -136,17 +237,17 @@ def balanced_connected_bisection(graph: nx.Graph) -> Bisection:
         if root in seen_roots:
             continue
         seen_roots.add(root)
-        for tree_builder in (nx.bfs_tree, nx.dfs_tree):
-            tree = nx.Graph(tree_builder(graph, root).edges())
-            tree.add_nodes_from(graph.nodes())
-            candidate = _tree_edge_split(graph, tree)
+        for tree_builder in (_bfs_tree_edges, _dfs_tree_edges):
+            tree = nx.Graph(tree_builder(graph, root, order))
+            tree.add_nodes_from(nodes)
+            candidate = _tree_edge_split(graph, tree, order)
             if candidate is None:
                 continue
             if best is None or abs(candidate.balance) < abs(best.balance):
                 best = candidate
     if best is None:  # pragma: no cover - a connected graph always has a spanning tree
         raise RoutingError("failed to bisect the graph")
-    return _refine_by_moving_boundary(graph, best)
+    return _refine_by_moving_boundary(graph, best, order)
 
 
 def recursive_bisections(graph: nx.Graph) -> List[Bisection]:

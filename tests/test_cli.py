@@ -61,6 +61,24 @@ class TestCommands:
         assert "threshold 50" in output
         assert "threshold 100" in output
 
+    def test_sweep_jobs_flag_matches_serial_output(self, capsys):
+        args = ["sweep", "error-correction-encoding", "acetyl-chloride",
+                "--thresholds", "50", "100", "200"]
+        assert main(args) == 0
+        serial = capsys.readouterr().out
+        assert main(args + ["--jobs", "2"]) == 0
+        parallel = capsys.readouterr().out
+        assert parallel == serial
+
+    def test_sweep_progress_flag_reports_cells(self, capsys):
+        code = main(
+            ["sweep", "error-correction-encoding", "acetyl-chloride",
+             "--thresholds", "100", "--progress"]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "sweep cell 1/1" in captured.err
+
     def test_unknown_circuit_is_a_clean_error(self, capsys):
         code = main(["place", "not-a-circuit", "acetyl-chloride"])
         assert code == 1
