@@ -17,6 +17,7 @@ deterministic and are tracked with the same regression tolerance.
 
 from __future__ import annotations
 
+import random
 import time
 from functools import partial
 from typing import Callable, Dict, List, Tuple
@@ -25,6 +26,8 @@ import networkx as nx
 
 from repro.analysis.scalability import run_scalability_point
 from repro.analysis.sweep import SweepRow, sweep_circuit
+from repro.circuits import gates as g
+from repro.circuits.circuit import QuantumCircuit
 from repro.circuits.library import aqft9, phaseest, qec5_encoder, qft_circuit
 from repro.core.config import PlacementOptions
 from repro.core.monomorphism import find_monomorphisms
@@ -36,6 +39,7 @@ from repro.hardware.molecules import (
     histidine,
     trans_crotonic_acid,
 )
+from repro.timing.scheduler import RuntimeEvaluator
 
 #: Counter names whose per-scenario deltas are recorded and regression-checked.
 TRACKED_COUNTERS = (
@@ -161,6 +165,106 @@ def scenario_parallel_sweep_jobs4() -> Dict:
     return _parallel_sweep(4)
 
 
+def _replay_workload_circuit() -> QuantumCircuit:
+    """A deterministic 12-qubit, ~1500-op circuit for the replay scenarios.
+
+    Sized well above the evaluator's ``auto`` profitability threshold so
+    the two explicit-backend scenarios measure the regime the numpy kernel
+    is built for (long compiled op lists, thousands of replays).
+    """
+    rng = random.Random(20260729)
+    qubits = list(range(12))
+    gate_list = []
+    for _ in range(1500):
+        kind = rng.random()
+        if kind < 0.55:
+            a, b = rng.sample(qubits, 2)
+            gate_list.append(g.zz(a, b, rng.choice([45.0, 90.0, 180.0])))
+        elif kind < 0.9:
+            gate_list.append(g.rx(rng.choice(qubits), rng.choice([90.0, 180.0])))
+        else:
+            gate_list.append(g.rz(rng.choice(qubits), 90.0))  # free gate
+    return QuantumCircuit(qubits, gate_list, name="replay-stress")
+
+
+def _replay_stress(backend: str) -> Dict:
+    """The scheduler-replay macro benchmark at an explicit backend.
+
+    Mimics a hill-climbing fine-tuning campaign on one large placed
+    circuit: a full ``set_base`` evaluation, sweeps of single-qubit moves
+    and occupant swaps through ``runtime_with`` (exact and with the
+    branch-and-bound ``limit`` cutoff), and periodic re-basing.  The
+    fingerprint digests every computed runtime, so
+    :func:`replay_consistency_failures` can verify bit-identical outputs
+    across the two backend scenarios.
+    """
+    from repro.timing._replay import NUMPY_AVAILABLE
+
+    if backend == "numpy" and not NUMPY_AVAILABLE:
+        return {"backend": backend, "skipped": "numpy not importable"}
+    environment = histidine()
+    circuit = _replay_workload_circuit()
+    evaluator = RuntimeEvaluator(
+        circuit, environment, apply_interaction_cap=True, backend=backend
+    )
+    nodes = list(environment.nodes)
+    placement = dict(zip(circuit.qubits, nodes))
+    base = evaluator.set_base(placement)
+    rng = random.Random(7)
+    checksum = 0.0
+    cutoffs = 0
+    moves = 0
+    for round_index in range(6):
+        for qubit in circuit.qubits:
+            current = placement[qubit]
+            node_to_qubit = {node: q for q, node in placement.items()}
+            for node in nodes:
+                if node == current:
+                    continue
+                occupant = node_to_qubit.get(node)
+                if occupant is None:
+                    overrides = {qubit: node}
+                else:
+                    overrides = {qubit: node, occupant: current}
+                if rng.random() < 0.5:
+                    value = evaluator.runtime_with(overrides, limit=base)
+                    if value == float("inf"):
+                        cutoffs += 1
+                        moves += 1
+                        continue
+                else:
+                    value = evaluator.runtime_with(overrides)
+                checksum += value
+                moves += 1
+        # Re-base on a rotated placement: the accepted-move/full-run path.
+        rotated = nodes[round_index + 1:] + nodes[:round_index + 1]
+        placement = dict(zip(circuit.qubits, rotated))
+        base = evaluator.set_base(placement)
+        checksum += base
+    evaluator.flush_stats()
+    return {
+        "backend": backend,
+        "moves": moves,
+        "cutoffs": cutoffs,
+        "checksum": round(checksum, 6),
+    }
+
+
+def scenario_replay_python() -> Dict:
+    """Replay-engine stress on the pure Python reference backend."""
+    return _replay_stress("python")
+
+
+def scenario_replay_numpy() -> Dict:
+    """Replay-engine stress on the vectorised numpy backend.
+
+    Compare ``wall_time_s`` against ``replay_python`` for the backend
+    speedup; the fingerprints (minus the ``backend`` tag) must be equal —
+    the backends are bit-identical by contract.
+    """
+    return _replay_stress("numpy")
+
+
 def scenario_monomorphism_micro() -> Dict:
     """Raw enumerator stress: paths and grids embedded into sparse hosts."""
     host_hex = heavy_hex(3)
@@ -189,6 +293,8 @@ SCENARIOS: Dict[str, Callable[[], Dict]] = {
     "parallel_sweep_jobs1": scenario_parallel_sweep_jobs1,
     "parallel_sweep_jobs2": scenario_parallel_sweep_jobs2,
     "parallel_sweep_jobs4": scenario_parallel_sweep_jobs4,
+    "replay_python": scenario_replay_python,
+    "replay_numpy": scenario_replay_numpy,
 }
 
 
@@ -264,6 +370,34 @@ def parallel_consistency_failures(current: Dict[str, Dict]) -> List[str]:
     return failures
 
 
+def replay_consistency_failures(current: Dict[str, Dict]) -> List[str]:
+    """Cross-backend gate: the ``replay_*`` scenarios must agree exactly.
+
+    The evaluation backend is an execution detail with a bit-identical
+    contract; if the numpy replay fingerprint (ignoring the ``backend``
+    tag) differs from the python one, the backends computed different
+    runtimes — a correctness bug, not a performance regression.
+    """
+    failures: List[str] = []
+    reference = current.get("replay_python")
+    other = current.get("replay_numpy")
+    if reference is None or other is None:
+        return failures
+    expected = {
+        k: v for k, v in reference["fingerprint"].items() if k != "backend"
+    }
+    found = {k: v for k, v in other["fingerprint"].items() if k != "backend"}
+    if "skipped" in found:
+        return failures
+    if found != expected:
+        failures.append(
+            f"replay_numpy: fingerprint diverged from replay_python "
+            f"({found!r} != {expected!r}); the backends are no longer "
+            "bit-identical"
+        )
+    return failures
+
+
 def check_results(
     baseline: Dict[str, Dict],
     current: Dict[str, Dict],
@@ -292,17 +426,26 @@ def check_results(
 
     Work counters (searches, nodes explored, scheduler evaluations) are
     per-cell deterministic wherever the cell runs, so their sums are still
-    gated exactly; fingerprints and cross-``jobs`` consistency (see
-    :func:`parallel_consistency_failures`) are gated for every scenario,
+    gated exactly; fingerprints and cross-``jobs`` / cross-backend
+    consistency (see :func:`parallel_consistency_failures` and
+    :func:`replay_consistency_failures`) are gated for every scenario,
     and the serial ``jobs=1`` twin gates the underlying work's wall time
     and full counter set.
     """
     failures: List[str] = list(parallel_consistency_failures(current))
+    failures.extend(replay_consistency_failures(current))
     baseline_scenarios = baseline.get("scenarios", baseline)
     for name, base in baseline_scenarios.items():
         now = current.get(name)
         if now is None:
             failures.append(f"{name}: scenario missing from current run")
+            continue
+        if "skipped" in now.get("fingerprint", {}) or "skipped" in base.get(
+            "fingerprint", {}
+        ):
+            # A scenario may be skipped where a prerequisite is missing
+            # (e.g. replay_numpy without numpy); without the work there is
+            # nothing meaningful to gate against the baseline.
             continue
         base_wall = base.get("wall_time_s", 0.0)
         now_wall = now.get("wall_time_s", 0.0)

@@ -14,6 +14,8 @@ Usage::
                                                 # baseline; exit 1 on >20% regression
     python scripts/run_bench.py --check --update  # check, then refresh the baseline
     python scripts/run_bench.py --repeats 5 --output /tmp/bench.json
+    python scripts/run_bench.py --backend python  # force a scheduler backend for
+                                                  # every 'auto' evaluator
 
 The regression gate compares wall times (ignoring scenarios whose baseline
 is under 150 ms — too noisy) and the deterministic counter metrics, both
@@ -36,6 +38,8 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 sys.path.insert(0, str(REPO_ROOT / "benchmarks" / "perf"))
 
 import bench_harness  # noqa: E402  (path set up above)
+
+from repro.timing._replay import BACKEND_CHOICES, BACKEND_ENV_VAR  # noqa: E402
 
 DEFAULT_BASELINE = REPO_ROOT / "BENCH_placement.json"
 
@@ -76,6 +80,14 @@ def main(argv=None) -> int:
         help="allowed relative regression before --check fails (default 0.20)",
     )
     parser.add_argument(
+        "--backend",
+        choices=list(BACKEND_CHOICES),
+        default=None,
+        help="force the scheduler evaluation backend for the whole run by "
+        "setting REPRO_SCHEDULER_BACKEND (the explicit-backend replay_* "
+        "scenarios are unaffected); outputs are bit-identical either way",
+    )
+    parser.add_argument(
         "--check",
         action="store_true",
         help="compare against the baseline instead of overwriting it; "
@@ -88,6 +100,9 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
 
+    if args.backend is not None:
+        os.environ[BACKEND_ENV_VAR] = args.backend
+
     report = build_report(args.repeats)
     scenarios = report["scenarios"]
     width = max(len(name) for name in scenarios)
@@ -99,11 +114,13 @@ def main(argv=None) -> int:
             f"adj-hit={data['metrics'].get('adjacency_cache_hit_rate', 0.0):.2f}"
         )
 
-    # Worker-count independence is a correctness property, not a timing —
-    # never write (or pass) a baseline in which parallel runs changed output.
+    # Worker-count and backend independence are correctness properties, not
+    # timings — never write (or pass) a baseline in which parallel runs or
+    # the numpy backend changed output.
     consistency = bench_harness.parallel_consistency_failures(scenarios)
+    consistency += bench_harness.replay_consistency_failures(scenarios)
     if consistency:
-        print("\nPARALLEL-CONSISTENCY FAILURES:", file=sys.stderr)
+        print("\nCONSISTENCY FAILURES:", file=sys.stderr)
         for failure in consistency:
             print(f"  {failure}", file=sys.stderr)
         return 1

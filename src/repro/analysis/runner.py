@@ -37,6 +37,14 @@ Because the placement pipeline is hash-seed deterministic end to end (see
 byte-identical deterministic fields to the same grid at ``jobs=1`` — wall
 times (:attr:`ExperimentOutcome.software_runtime_seconds`) are the only
 machine-dependent fields.
+
+The scheduler's evaluation backend is likewise an execution detail: cells
+carry it in their :class:`~repro.core.config.PlacementOptions`
+(``scheduler_backend``), worker processes inherit the
+``REPRO_SCHEDULER_BACKEND`` environment variable for cells left on
+``"auto"``, and :class:`ExperimentRunner` can force one backend for a whole
+grid (``scheduler_backend=...``).  Backends are bit-identical (see
+``docs/performance.md``), so none of these choices changes any outcome.
 """
 
 from __future__ import annotations
@@ -67,6 +75,7 @@ from repro.core.stats import STATS
 from repro.exceptions import ExperimentError, PlacementError, ThresholdError
 from repro.hardware.environment import PhysicalEnvironment
 from repro.hardware.molecules import molecule
+from repro.timing._replay import BACKEND_CHOICES
 
 #: Signature of the progress callback: ``(completed, total, outcome)``.
 ProgressCallback = Callable[[int, int, "ExperimentOutcome"], None]
@@ -429,6 +438,12 @@ class ExperimentRunner:
     warmup:
         Pre-build per-worker environment caches before the first cell
         (parallel runs only; the serial path warms caches naturally).
+    scheduler_backend:
+        When set (``"auto"``/``"python"``/``"numpy"``), override every
+        cell's ``options.scheduler_backend`` for this run — the
+        whole-grid equivalent of the CLI's ``--scheduler-backend``.
+        Outcomes are bit-identical across backends, so this only affects
+        wall time.
     """
 
     def __init__(
@@ -436,16 +451,33 @@ class ExperimentRunner:
         jobs: int = 1,
         progress: Optional[ProgressCallback] = None,
         warmup: bool = True,
+        scheduler_backend: Optional[str] = None,
     ) -> None:
         if jobs < 1:
             raise ExperimentError(f"jobs must be at least 1, got {jobs}")
+        if scheduler_backend is not None and scheduler_backend not in BACKEND_CHOICES:
+            raise ExperimentError(
+                f"scheduler_backend must be one of {BACKEND_CHOICES}, "
+                f"got {scheduler_backend!r}"
+            )
         self.jobs = int(jobs)
         self.progress = progress
         self.warmup = warmup
+        self.scheduler_backend = scheduler_backend
 
     def run(self, specs: Sequence[ExperimentSpec]) -> List[ExperimentOutcome]:
         """Execute every cell and return outcomes in spec order."""
         specs = list(specs)
+        if self.scheduler_backend is not None:
+            specs = [
+                dataclasses.replace(
+                    spec,
+                    options=(spec.options or PlacementOptions()).replace(
+                        scheduler_backend=self.scheduler_backend
+                    ),
+                )
+                for spec in specs
+            ]
         if not specs:
             return []
         if self.jobs == 1 or len(specs) == 1:

@@ -35,6 +35,7 @@ from repro.hardware import io as hardware_io
 from repro.hardware.environment import PhysicalEnvironment
 from repro.hardware.molecules import MOLECULE_FACTORIES, molecule
 from repro.hardware.threshold_graph import PAPER_THRESHOLDS
+from repro.timing._replay import BACKEND_CHOICES
 
 
 def _load_circuit(spec: str) -> QuantumCircuit:
@@ -68,6 +69,7 @@ def _options_from_args(args: argparse.Namespace) -> PlacementOptions:
         fine_tuning=not args.no_fine_tuning,
         lookahead=not args.no_lookahead,
         leaf_override=not args.no_leaf_override,
+        scheduler_backend=args.scheduler_backend,
     )
 
 
@@ -82,6 +84,11 @@ def _add_common_options(parser: argparse.ArgumentParser) -> None:
                         help="disable the depth-2 lookahead")
     parser.add_argument("--no-leaf-override", action="store_true",
                         help="disable the leaf-target override routing heuristic")
+    parser.add_argument("--scheduler-backend", choices=list(BACKEND_CHOICES),
+                        default="auto",
+                        help="runtime-evaluator backend (bit-identical outputs; "
+                             "'auto' defers to REPRO_SCHEDULER_BACKEND, then "
+                             "picks numpy when available and profitable)")
 
 
 def _cmd_place(args: argparse.Namespace) -> int:

@@ -6,6 +6,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.exceptions import PlacementError
+from repro.timing._replay import BACKEND_CHOICES
 
 
 @dataclass
@@ -57,8 +58,18 @@ class PlacementOptions:
     debug_full_recompute:
         Debug-only: make the incremental cost evaluator verify every
         delta-cost evaluation against a from-scratch scheduling run and
-        assert exact equality.  Slows fine tuning down to (worse than) the
+        assert exact equality (on the numpy backend this additionally
+        cross-checks every full evaluation against the pure Python
+        reference).  Slows fine tuning down to (worse than) the
         non-incremental speed; useful when auditing scheduler changes.
+    scheduler_backend:
+        Evaluation backend of the scheduler's
+        :class:`~repro.timing.scheduler.RuntimeEvaluator`: ``"python"``
+        (the reference loop), ``"numpy"`` (vectorised duration tables;
+        requires numpy) or ``"auto"`` (the default — defer to the
+        ``REPRO_SCHEDULER_BACKEND`` environment variable, then pick numpy
+        when available and profitable).  Backends are bit-identical, so
+        this knob never changes any placement output.
     """
 
     threshold: Optional[float] = None
@@ -74,8 +85,14 @@ class PlacementOptions:
     reorder_commuting_gates: bool = False
     max_workspace_two_qubit_gates: Optional[int] = None
     debug_full_recompute: bool = False
+    scheduler_backend: str = "auto"
 
     def __post_init__(self) -> None:
+        if self.scheduler_backend not in BACKEND_CHOICES:
+            raise PlacementError(
+                f"scheduler_backend must be one of {BACKEND_CHOICES}, "
+                f"got {self.scheduler_backend!r}"
+            )
         if self.max_monomorphisms < 1:
             raise PlacementError("max_monomorphisms must be at least 1")
         if self.lookahead_width < 1:

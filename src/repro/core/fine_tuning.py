@@ -176,6 +176,7 @@ def fine_tune_workspace_placement(
     extra_cost: Optional[CostFunction] = None,
     evaluator: Optional[RuntimeEvaluator] = None,
     full_recompute: bool = False,
+    backend: str = "auto",
 ) -> Tuple[Placement, float]:
     """Fine tune a workspace placement with the default runtime cost.
 
@@ -183,9 +184,11 @@ def fine_tune_workspace_placement(
     runtime so that fine tuning does not wander away from cheap-to-reach
     placements.  ``evaluator`` lets the placer share one compiled
     :class:`~repro.timing.scheduler.RuntimeEvaluator` across the many
-    candidate monomorphisms of a workspace; ``full_recompute`` turns on the
-    evaluator's parity assertion (every incremental cost is checked against
-    a from-scratch evaluation — a debugging aid, not a production mode).
+    candidate monomorphisms of a workspace (its backend wins over the
+    ``backend`` argument, which only configures a locally built evaluator);
+    ``full_recompute`` turns on the evaluator's parity assertion (every
+    incremental cost is checked against a from-scratch evaluation — a
+    debugging aid, not a production mode).
     """
     movable: List[Qubit] = sorted(
         {q for gate in subcircuit if gate.is_two_qubit for q in gate.qubits},
@@ -199,6 +202,7 @@ def fine_tune_workspace_placement(
             environment,
             apply_interaction_cap=apply_interaction_cap,
             full_recompute=full_recompute,
+            backend=backend,
         )
     elif full_recompute:
         evaluator.full_recompute = True

@@ -296,6 +296,7 @@ def _candidate_placements(
                 max_rounds=options.fine_tuning_max_rounds,
                 evaluator=evaluator,
                 full_recompute=options.debug_full_recompute,
+                backend=options.scheduler_backend,
             )
         else:
             runtime = _stage_runtime(subcircuit, placement, environment, options, evaluator)
@@ -375,6 +376,7 @@ def place_circuit(
                 environment,
                 apply_interaction_cap=options.apply_interaction_cap,
                 full_recompute=options.debug_full_recompute,
+                backend=options.scheduler_backend,
             )
         return evaluators[index]
 

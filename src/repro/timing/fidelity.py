@@ -27,7 +27,11 @@ from repro.circuits.circuit import QuantumCircuit
 from repro.circuits.gates import Qubit
 from repro.exceptions import ReproError
 from repro.hardware.environment import Node, PhysicalEnvironment
-from repro.timing.gate_times import gate_operating_time
+from repro.timing.gate_times import (
+    MAX_INTERACTION_USES,
+    cap_interaction_runs,
+    gate_operating_time,
+)
 from repro.timing.scheduler import circuit_runtime
 
 
@@ -74,6 +78,12 @@ def estimate_fidelity(
     decoherence survival over the scheduled circuit runtime.  Always in
     ``(0, 1]`` and monotonically decreasing in the runtime, so the placement
     minimising the runtime maximises this estimate for fixed gate content.
+
+    With ``apply_interaction_cap`` both terms are computed from the *same*
+    capped gate sequence that the runtime model executes: a capped run
+    really applies at most :data:`~repro.timing.gate_times.MAX_INTERACTION_USES`
+    units of interaction, so charging the per-gate control error for the
+    uncapped durations would penalise pulses that are never played.
     """
     runtime = circuit_runtime(
         circuit,
@@ -82,8 +92,11 @@ def estimate_fidelity(
         apply_interaction_cap=apply_interaction_cap,
         validate=True,
     )
+    gates = circuit.gates
+    if apply_interaction_cap:
+        gates = cap_interaction_runs(gates, MAX_INTERACTION_USES)
     gate_error_exponent = 0.0
-    for gate in circuit:
+    for gate in gates:
         gate_error_exponent += gate_operating_time(gate, placement, environment)
     gate_term = math.exp(-gate_error_exponent / model.gate_quality_time)
     decoherence_term = math.exp(

@@ -17,7 +17,7 @@ pair never needs to cost more than ``3 * W`` of interaction time.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping
+from typing import Dict, Iterable, List, Mapping, Optional
 
 from repro.circuits.circuit import QuantumCircuit
 from repro.circuits.gates import Gate, Qubit
@@ -75,14 +75,22 @@ def cap_interaction_runs(
     """Cap runs of consecutive two-qubit gates on the same pair at ``max_uses``.
 
     A *run* is a maximal sequence of two-qubit gates on one unordered qubit
-    pair that is not interrupted by any other gate touching either qubit
-    (free single-qubit gates on those qubits do not interrupt a run, since
-    they can be absorbed into the two-qubit unitary).  The total relative
-    duration of a run is clamped to ``max_uses``; the clamp is applied by
-    rescaling the run's last gate.
+    pair that is not interrupted by any other gate at all — the break rule
+    is deliberately conservative: any gate that is not a two-qubit gate on
+    the run's pair ends the run, except for *free* single-qubit gates on
+    one of the pair's qubits, which can be absorbed into the two-qubit
+    unitary and therefore do not interrupt.  (A gate on two unrelated
+    qubits also ends the run even though it commutes past it; merging
+    across such gates would be sound but is left to the commutation-aware
+    reordering pass, keeping this transformation purely local.)  The total
+    relative duration of a run is clamped to ``max_uses``; the clamp trims
+    durations from the end of the run.
 
-    The returned list preserves gate order and everything that the placement
-    problem depends on (qubit pairs, order, total durations up to the cap).
+    The returned list preserves the original gate order exactly — free
+    single-qubit gates interleaved in a run stay in their positions, with
+    only fully-trimmed two-qubit gates dropped — along with everything else
+    the placement problem depends on (qubit pairs, total durations up to
+    the cap).
     """
     gate_list = list(gates)
     result: List[Gate] = []
@@ -95,12 +103,13 @@ def cap_interaction_runs(
             continue
 
         pair = gate.interaction()
-        run_gates: List[Gate] = []  # two-qubit gates of the run, in order
-        interleaved: List[Gate] = []  # free 1-qubit gates found inside the run
+        window: List[Gate] = []  # every gate of the run, in original order
+        run_gates: List[Gate] = []  # just the two-qubit gates, in order
         scan = index
         while scan < len(gate_list):
             candidate = gate_list[scan]
             if candidate.is_two_qubit and candidate.interaction() == pair:
+                window.append(candidate)
                 run_gates.append(candidate)
                 scan += 1
                 continue
@@ -109,7 +118,7 @@ def cap_interaction_runs(
                 and candidate.is_free
                 and candidate.qubits[0] in pair
             ):
-                interleaved.append(candidate)
+                window.append(candidate)
                 scan += 1
                 continue
             break
@@ -117,20 +126,33 @@ def cap_interaction_runs(
         total = sum(g.duration for g in run_gates)
         if total > max_uses:
             # Trim durations from the end of the run until only ``max_uses``
-            # units of interaction time remain.
+            # units of interaction time remain, then re-emit the whole
+            # window in its original order with the trimmed replacements
+            # (dropping two-qubit gates trimmed to nothing).
             excess = total - max_uses
+            capped: List[Optional[Gate]] = list(run_gates)
             for position in range(len(run_gates) - 1, -1, -1):
                 if excess <= 0:
                     break
                 gate_duration = run_gates[position].duration
                 reduction = min(gate_duration, excess)
-                run_gates[position] = run_gates[position].with_duration(
-                    gate_duration - reduction
+                remaining = gate_duration - reduction
+                capped[position] = (
+                    run_gates[position].with_duration(remaining)
+                    if remaining > 0
+                    else None
                 )
                 excess -= reduction
-            run_gates = [gate for gate in run_gates if gate.duration > 0]
-        result.extend(run_gates)
-        result.extend(interleaved)
+            replacements = iter(capped)
+            for member in window:
+                if member.is_two_qubit:
+                    replacement = next(replacements)
+                    if replacement is not None:
+                        result.append(replacement)
+                else:
+                    result.append(member)
+        else:
+            result.extend(window)
         index = scan
     return result
 

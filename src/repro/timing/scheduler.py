@@ -25,6 +25,7 @@ from repro.circuits.gates import Gate, Qubit
 from repro.circuits.levelize import levelize
 from repro.core.stats import STATS
 from repro.hardware.environment import Node, PhysicalEnvironment
+from repro.timing import _replay
 from repro.timing.gate_times import (
     MAX_INTERACTION_USES,
     Placement,
@@ -53,16 +54,26 @@ class Schedule:
 
     @property
     def busiest_qubit(self) -> Optional[Qubit]:
-        """The qubit that finishes last (``None`` for an empty circuit)."""
-        if not self.steps:
+        """The qubit that finishes last (``None`` only when there are no qubits).
+
+        A circuit whose gates are all free records no steps, but its qubits
+        still exist (with zero busy time); ties — including the all-zero
+        case — resolve to the first qubit in placement order.
+        """
+        final = self.final_qubit_times()
+        if not final:
             return None
-        final = self.steps[-1].qubit_times
         return max(final, key=final.get)
 
     def final_qubit_times(self) -> Dict[Qubit, float]:
-        """Per-qubit busy time at the end of the circuit."""
+        """Per-qubit busy time at the end of the circuit.
+
+        When no step was recorded (every gate free, or no gates at all) the
+        placement's qubits are reported with zero busy time rather than
+        being silently dropped.
+        """
         if not self.steps:
-            return {}
+            return {qubit: 0.0 for qubit in self.placement}
         return dict(self.steps[-1].qubit_times)
 
 
@@ -200,6 +211,30 @@ class RuntimeEvaluator:
     full evaluation, results are exactly — not approximately — equal to
     :func:`circuit_runtime`; ``full_recompute=True`` turns on a debug
     assertion of that parity on every incremental evaluation.
+
+    Two execution backends implement the same evaluation (see
+    :mod:`repro.timing._replay`):
+
+    ``"python"``
+        The always-available reference: one loop over the op triples with
+        lazily memoised delay lookups.
+    ``"numpy"``
+        The op list is compiled to flat parallel arrays and every duration
+        table (full run, or the affected slice of an incremental replay) is
+        computed vectorised; the sequential busy-time recurrence runs as a
+        tight loop over the precomputed durations.  Results are
+        float-for-float identical to the python backend — the same IEEE-754
+        operations on the same operands in the same order — so backend
+        choice never changes any output.
+    ``"auto"`` (default)
+        Defers to the ``REPRO_SCHEDULER_BACKEND`` environment variable,
+        then picks numpy when it is importable and the compiled op list is
+        long enough to amortise the fixed array overhead.
+
+    In ``full_recompute`` mode the numpy backend additionally cross-checks
+    every full evaluation against the pure Python loop, so the parity
+    contract is enforced between backends as well as between incremental
+    and full evaluation.
     """
 
     def __init__(
@@ -209,6 +244,7 @@ class RuntimeEvaluator:
         apply_interaction_cap: bool = False,
         checkpoint_interval: int = 16,
         full_recompute: bool = False,
+        backend: str = "auto",
     ) -> None:
         if checkpoint_interval < 1:
             raise ValueError("checkpoint_interval must be at least 1")
@@ -253,10 +289,23 @@ class RuntimeEvaluator:
             indices[0] if indices else len(ops) for indices in touched
         ]
 
+        #: Resolved evaluation backend: ``"python"`` or ``"numpy"``.
+        self.backend: str = _replay.resolve_backend(backend, num_ops=len(ops))
+        self._table: Optional[_replay.ReplayTable] = None
+        if self.backend == "numpy":
+            self._table = _replay.ReplayTable(
+                ops,
+                len(self._qubits),
+                self._single_delay,
+                _replay.pair_delay_matrix(environment, self._nodes),
+            )
+
         # Base-placement state (populated by set_base).
         self._base_nodes: Optional[List[int]] = None
         self._base_durations: List[float] = []
         self._checkpoints: List[List[float]] = []
+        self._base_nodes_array = None  # numpy mirrors, populated with set_base
+        self._checkpoint_matrix = None
         self.base_runtime: float = 0.0
         # Locally accumulated counters, flushed to STATS in batches so the
         # per-evaluation instrumentation cost stays negligible.
@@ -313,6 +362,23 @@ class RuntimeEvaluator:
         durations_out: Optional[List[float]] = None,
         checkpoints_out: Optional[List[List[float]]] = None,
     ) -> float:
+        if self._table is not None:
+            result = self._run_full_numpy(nodes, durations_out, checkpoints_out)
+            if self.full_recompute:
+                reference = self._run_full_python(nodes)
+                assert result == reference, (
+                    f"numpy backend runtime {result!r} diverged from the "
+                    f"pure Python reference {reference!r}"
+                )
+            return result
+        return self._run_full_python(nodes, durations_out, checkpoints_out)
+
+    def _run_full_python(
+        self,
+        nodes: List[int],
+        durations_out: Optional[List[float]] = None,
+        checkpoints_out: Optional[List[List[float]]] = None,
+    ) -> float:
         times = [0.0] * len(self._qubits)
         interval = self._checkpoint_interval
         single = self._single_delay
@@ -330,6 +396,32 @@ class RuntimeEvaluator:
                 times[b] = finish
             if durations_out is not None:
                 durations_out.append(duration)
+        return max(times) if times else 0.0
+
+    def _run_full_numpy(
+        self,
+        nodes: List[int],
+        durations_out: Optional[List[float]] = None,
+        checkpoints_out: Optional[List[List[float]]] = None,
+    ) -> float:
+        table = self._table
+        durations = table.durations(table.nodes_array(nodes)).tolist()
+        times = [0.0] * len(self._qubits)
+        interval = self._checkpoint_interval
+        for index, (a, b, _relative) in enumerate(self._ops):
+            if checkpoints_out is not None and index % interval == 0:
+                checkpoints_out.append(times[:])
+            duration = durations[index]
+            if b < 0:
+                times[a] += duration
+            else:
+                time_a = times[a]
+                time_b = times[b]
+                finish = (time_a if time_a >= time_b else time_b) + duration
+                times[a] = finish
+                times[b] = finish
+        if durations_out is not None:
+            durations_out.extend(durations)
         return max(times) if times else 0.0
 
     def runtime(self, placement: Placement) -> float:
@@ -352,6 +444,11 @@ class RuntimeEvaluator:
             durations_out=self._base_durations,
             checkpoints_out=self._checkpoints,
         )
+        if self._table is not None:
+            self._base_nodes_array = self._table.nodes_array(self._base_nodes)
+            self._checkpoint_matrix = self._table.checkpoint_matrix(
+                self._checkpoints, len(self._qubits)
+            )
         return self.base_runtime
 
     def runtime_with(
@@ -398,6 +495,11 @@ class RuntimeEvaluator:
         self._pending_skipped += start
         self._pending_replayed += total_ops - start
 
+        if self._table is not None:
+            return self._replay_tail_numpy(
+                changed, start, total_ops, overrides, limit
+            )
+
         times = self._checkpoints[checkpoint][:] if self._checkpoints else []
         if not times:
             times = [0.0] * len(self._qubits)
@@ -442,15 +544,87 @@ class RuntimeEvaluator:
         result = max(times) if times else 0.0
 
         if self.full_recompute:
-            nodes = base_nodes[:]
-            for index, target in changed.items():
-                nodes[index] = target
-            full = self._run_full(nodes)
-            assert result == full, (
-                f"incremental runtime {result!r} diverged from full "
-                f"recomputation {full!r} for overrides {dict(overrides)!r}"
-            )
+            self._assert_full_recompute_parity(result, changed, overrides)
         return result
+
+    def _replay_tail_numpy(
+        self,
+        changed: Dict[int, int],
+        start: int,
+        total_ops: int,
+        overrides: Mapping[Qubit, Node],
+        limit: Optional[float],
+    ) -> float:
+        """The incremental tail replay over a vectorised duration table.
+
+        Durations for every affected operation are recomputed in one array
+        pass (unaffected operations reuse their recorded base values); the
+        busy-time recurrence, the checkpoint restore and the cutoff rule
+        are operation-for-operation those of the pure Python path.
+        """
+        checkpoint = start // self._checkpoint_interval
+        matrix = self._checkpoint_matrix
+        if matrix is not None and matrix.shape[0] > checkpoint:
+            times = matrix[checkpoint].tolist()
+        else:
+            times = [0.0] * len(self._qubits)
+        affected, values = self._table.changed_durations(
+            self._base_nodes_array, changed
+        )
+        # Scatter the recomputed durations into the recorded base table in
+        # place (and restore afterwards) instead of copying the whole table
+        # per candidate move.
+        durations = self._base_durations
+        saved = [durations[position] for position in affected]
+        for position, value in zip(affected, values):
+            durations[position] = value
+        ops = self._ops
+        cutoff = None if self.full_recompute else limit
+        result = float("inf")
+        try:
+            for index in range(start, total_ops):
+                a, b, _relative = ops[index]
+                duration = durations[index]
+                if b < 0:
+                    finish = times[a] + duration
+                    times[a] = finish
+                else:
+                    time_a = times[a]
+                    time_b = times[b]
+                    finish = (time_a if time_a >= time_b else time_b) + duration
+                    times[a] = finish
+                    times[b] = finish
+                if cutoff is not None and finish >= cutoff:
+                    # Busy times are monotone, so the final runtime is >=
+                    # finish: this move can never beat the incumbent.
+                    self._pending_replayed -= total_ops - 1 - index
+                    return float("inf")
+            result = max(times) if times else 0.0
+        finally:
+            for position, value in zip(affected, saved):
+                durations[position] = value
+
+        if self.full_recompute:
+            self._assert_full_recompute_parity(result, changed, overrides)
+        return result
+
+    def _assert_full_recompute_parity(
+        self,
+        result: float,
+        changed: Dict[int, int],
+        overrides: Mapping[Qubit, Node],
+    ) -> None:
+        """Debug gate: incremental == full, and (on numpy) numpy == python."""
+        nodes = list(self._base_nodes)
+        for index, target in changed.items():
+            nodes[index] = target
+        # _run_full itself cross-checks numpy against the python reference
+        # in full_recompute mode, so one call gates both parity contracts.
+        full = self._run_full(nodes)
+        assert result == full, (
+            f"incremental runtime {result!r} diverged from full "
+            f"recomputation {full!r} for overrides {dict(overrides)!r}"
+        )
 
 
 def runtime_lower_bound(

@@ -85,9 +85,12 @@ json.dump(fingerprint, sys.stdout, sort_keys=True)
 """
 
 
-def _fingerprint(hash_seed: str, jobs: int) -> str:
+def _fingerprint(hash_seed: str, jobs: int, backend: str = None) -> str:
     env = dict(os.environ)
     env["PYTHONHASHSEED"] = hash_seed
+    env.pop("REPRO_SCHEDULER_BACKEND", None)
+    if backend is not None:
+        env["REPRO_SCHEDULER_BACKEND"] = backend
     env["PYTHONPATH"] = str(REPO_SRC) + (
         os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
     )
@@ -119,6 +122,21 @@ class TestHashSeedDeterminism:
         )
         assert _fingerprint("98765", jobs=4) == reference, (
             "jobs=4 outputs diverged under a different hash seed"
+        )
+
+    def test_outputs_identical_across_scheduler_backends(self):
+        """The evaluation backend is an execution detail: forcing python or
+        numpy (each under its own hash seed, and once through the parallel
+        grid) must reproduce the same bytes — the scheduler backends are
+        bit-identical by contract."""
+        pytest.importorskip("numpy")
+        reference = _fingerprint("0", jobs=1, backend="python")
+        assert _fingerprint("31337", jobs=1, backend="numpy") == reference, (
+            "numpy-backend outputs diverged from the python backend"
+        )
+        assert _fingerprint("424242", jobs=2, backend="numpy") == reference, (
+            "parallel numpy-backend outputs diverged from the serial "
+            "python backend"
         )
 
 

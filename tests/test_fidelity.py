@@ -66,6 +66,51 @@ class TestEstimateFidelity:
             small, placement, acetyl
         )
 
+    def test_gate_error_uses_capped_gates(self, acetyl):
+        """Regression: the gate-error exponent summed over the *uncapped*
+        circuit while the runtime term used the capped one."""
+        import math
+
+        from repro.timing.fidelity import FidelityModel
+        from repro.timing.gate_times import capped_circuit, gate_operating_time
+        from repro.timing.scheduler import circuit_runtime
+
+        placement = {"a": "M", "b": "C1"}
+        # 8 x 90-degree ZZ pulses: 8 relative-duration units, capped at 3.
+        circuit = QuantumCircuit(["a", "b"], [g.zz("a", "b", 90.0)] * 8)
+        model = FidelityModel()
+        value = estimate_fidelity(
+            circuit, placement, acetyl, model, apply_interaction_cap=True
+        )
+        capped = capped_circuit(circuit)
+        runtime = circuit_runtime(capped, placement, acetyl)
+        exponent = sum(
+            gate_operating_time(gate, placement, acetyl) for gate in capped
+        )
+        expected = math.exp(-exponent / model.gate_quality_time) * math.exp(
+            -circuit.num_qubits * runtime / model.coherence_time
+        )
+        assert value == pytest.approx(expected, rel=1e-12)
+
+    def test_capping_consistent_between_terms(self, acetyl):
+        """Capped estimation equals estimating the pre-capped circuit."""
+        placement = {"a": "M", "b": "C1"}
+        circuit = QuantumCircuit(
+            ["a", "b"],
+            [g.zz("a", "b", 180.0)] * 3 + [g.ry("a", 90.0), g.zz("a", "b", 90.0)],
+        )
+        from repro.timing.gate_times import capped_circuit
+
+        assert estimate_fidelity(
+            circuit, placement, acetyl, apply_interaction_cap=True
+        ) == pytest.approx(
+            estimate_fidelity(
+                capped_circuit(circuit), placement, acetyl,
+                apply_interaction_cap=True,
+            ),
+            rel=1e-12,
+        )
+
 
 class TestPlacementResultFidelity:
     def test_fidelity_of_placement_result(self, acetyl):

@@ -108,6 +108,49 @@ class TestInteractionCap:
         two_qubit_total = sum(gate.duration for gate in capped if gate.is_two_qubit)
         assert two_qubit_total == pytest.approx(4.0)
 
+    def test_interleaved_free_gates_keep_their_positions(self):
+        """Regression: interleaved free gates used to be emitted after the run."""
+        gates = [
+            g.zz("a", "b", 90.0),
+            g.rz("a", 90.0),
+            g.zz("a", "b", 90.0),
+            g.rz("b", 90.0),
+            g.zz("a", "b", 90.0),
+        ]
+        capped = cap_interaction_runs(gates)
+        assert capped == gates  # under the cap: byte-for-byte unchanged
+
+    def test_order_preserved_when_run_is_trimmed(self):
+        gates = [
+            g.zz("a", "b", 180.0),
+            g.rz("a", 90.0),
+            g.zz("a", "b", 180.0),
+            g.rz("b", 90.0),
+            g.zz("a", "b", 180.0),
+        ]
+        capped = cap_interaction_runs(gates)
+        # 6 units trimmed to 3: the last two-qubit gate disappears, the
+        # second is halved, and each free gate stays right where it was.
+        assert [gate.name for gate in capped] == ["ZZ", "Rz", "ZZ", "Rz"]
+        assert capped[0].qubits == ("a", "b")
+        assert capped[1].qubits == ("a",)
+        assert capped[3].qubits == ("b",)
+        durations = [gate.duration for gate in capped if gate.is_two_qubit]
+        assert durations == pytest.approx([2.0, 1.0])
+
+    def test_unrelated_gate_breaks_a_run(self):
+        """The conservative break rule: any other gate ends the run, even on
+        qubits disjoint from the pair (merging across it is left to the
+        commutation-aware reordering pass)."""
+        gates = [
+            g.zz("a", "b", 180.0),
+            g.zz("c", "d", 90.0),
+            g.zz("a", "b", 180.0),
+        ]
+        capped = cap_interaction_runs(gates)
+        assert capped == gates
+        assert sum(gate.duration for gate in capped) == pytest.approx(5.0)
+
     def test_cap_never_increases_total_duration(self):
         gates = [g.zz("a", "b", 45.0) for _ in range(10)] + [g.ry("a", 90.0)]
         original = sum(gate.duration for gate in gates)

@@ -1,0 +1,278 @@
+"""Backend parity for the scheduler replay engine.
+
+The ``RuntimeEvaluator``'s numpy backend must be *bit-identical* to the
+pure Python reference on every code path — full evaluation, incremental
+tail replay, the branch-and-bound cutoff, and the ``full_recompute`` debug
+mode — for randomized circuits, placements and moves.  These tests are the
+in-process half of that contract; ``tests/test_determinism.py`` covers the
+cross-process (``PYTHONHASHSEED`` x backend) half and the benchmark
+harness gates the same property on the ``replay_*`` macro scenarios.
+"""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import gates as g
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.library import qft_circuit
+from repro.core.config import PlacementOptions
+from repro.core.placement import place_circuit
+from repro.core.stats import STATS
+from repro.exceptions import ExperimentError, PlacementError, ReproError
+from repro.hardware.molecules import histidine, trans_crotonic_acid
+from repro.timing import _replay
+from repro.timing.scheduler import RuntimeEvaluator, circuit_runtime
+
+needs_numpy = pytest.mark.skipif(
+    not _replay.NUMPY_AVAILABLE, reason="numpy is not importable"
+)
+
+RELAXED = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def _random_circuit(num_qubits, num_gates, seed):
+    rng = random.Random(seed)
+    qubits = list(range(num_qubits))
+    gate_list = []
+    for _ in range(num_gates):
+        kind = rng.random()
+        if kind < 0.45:
+            a, b = rng.sample(qubits, 2)
+            gate_list.append(g.zz(a, b, rng.choice([45.0, 90.0, 180.0])))
+        elif kind < 0.8:
+            gate_list.append(g.rx(rng.choice(qubits), rng.choice([90.0, 180.0])))
+        else:
+            gate_list.append(g.rz(rng.choice(qubits), 90.0))  # free gate
+    return QuantumCircuit(qubits, gate_list, name=f"rand{seed}")
+
+
+def _random_placement(circuit, environment, seed):
+    rng = random.Random(seed)
+    nodes = rng.sample(list(environment.nodes), circuit.num_qubits)
+    return dict(zip(circuit.qubits, nodes))
+
+
+def _evaluator_pair(circuit, environment, cap, **kwargs):
+    python = RuntimeEvaluator(
+        circuit, environment, apply_interaction_cap=cap,
+        backend="python", **kwargs,
+    )
+    numpy = RuntimeEvaluator(
+        circuit, environment, apply_interaction_cap=cap,
+        backend="numpy", **kwargs,
+    )
+    assert python.backend == "python"
+    assert numpy.backend == "numpy"
+    return python, numpy
+
+
+class TestResolveBackend:
+    def test_explicit_choices_resolve_to_themselves(self):
+        assert _replay.resolve_backend("python") == "python"
+        if _replay.NUMPY_AVAILABLE:
+            assert _replay.resolve_backend("numpy") == "numpy"
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ReproError, match="unknown scheduler backend"):
+            _replay.resolve_backend("fortran")
+
+    @needs_numpy
+    def test_auto_uses_profitability_threshold(self, monkeypatch):
+        monkeypatch.delenv(_replay.BACKEND_ENV_VAR, raising=False)
+        small = _replay.AUTO_NUMPY_MIN_OPS - 1
+        assert _replay.resolve_backend("auto", num_ops=small) == "python"
+        assert (
+            _replay.resolve_backend("auto", num_ops=_replay.AUTO_NUMPY_MIN_OPS)
+            == "numpy"
+        )
+        assert _replay.resolve_backend("auto", num_ops=None) == "numpy"
+
+    @needs_numpy
+    def test_env_var_overrides_auto(self, monkeypatch):
+        monkeypatch.setenv(_replay.BACKEND_ENV_VAR, "numpy")
+        assert _replay.resolve_backend("auto", num_ops=1) == "numpy"
+        monkeypatch.setenv(_replay.BACKEND_ENV_VAR, "python")
+        assert _replay.resolve_backend("auto", num_ops=10**6) == "python"
+
+    def test_env_var_does_not_override_explicit_request(self, monkeypatch):
+        monkeypatch.setenv(_replay.BACKEND_ENV_VAR, "numpy")
+        assert _replay.resolve_backend("python") == "python"
+
+    def test_invalid_env_var_rejected(self, monkeypatch):
+        monkeypatch.setenv(_replay.BACKEND_ENV_VAR, "cuda")
+        with pytest.raises(ReproError, match="REPRO_SCHEDULER_BACKEND"):
+            _replay.resolve_backend("auto")
+
+    def test_numpy_request_without_numpy_rejected(self, monkeypatch):
+        monkeypatch.setattr(_replay, "NUMPY_AVAILABLE", False)
+        with pytest.raises(ReproError, match="not importable"):
+            _replay.resolve_backend("numpy")
+
+    def test_auto_without_numpy_falls_back(self, monkeypatch):
+        monkeypatch.delenv(_replay.BACKEND_ENV_VAR, raising=False)
+        monkeypatch.setattr(_replay, "NUMPY_AVAILABLE", False)
+        assert _replay.resolve_backend("auto", num_ops=10**6) == "python"
+
+
+@needs_numpy
+class TestBackendParity:
+    @RELAXED
+    @given(st.integers(0, 500), st.booleans())
+    def test_full_evaluation_parity(self, seed, cap):
+        environment = trans_crotonic_acid()
+        circuit = _random_circuit(5, 28, seed)
+        placement = _random_placement(circuit, environment, seed + 1)
+        python, numpy = _evaluator_pair(circuit, environment, cap)
+        expected = circuit_runtime(
+            circuit, placement, environment,
+            apply_interaction_cap=cap, validate=False,
+        )
+        assert python.runtime(placement) == expected
+        assert numpy.runtime(placement) == expected
+        assert python.set_base(placement) == numpy.set_base(placement) == expected
+
+    @RELAXED
+    @given(st.integers(0, 500))
+    def test_incremental_and_cutoff_parity(self, seed):
+        environment = trans_crotonic_acid()
+        circuit = _random_circuit(5, 30, seed)
+        placement = _random_placement(circuit, environment, seed + 1)
+        python, numpy = _evaluator_pair(circuit, environment, True)
+        base = python.set_base(placement)
+        assert numpy.set_base(placement) == base
+        used = set(placement.values())
+        free = [n for n in environment.nodes if n not in used]
+        for qubit in circuit.qubits:
+            for node in free:
+                overrides = {qubit: node}
+                assert python.runtime_with(overrides) == numpy.runtime_with(
+                    overrides
+                )
+                # The cutoff path must agree too (both inf or both exact).
+                assert python.runtime_with(
+                    overrides, limit=base
+                ) == numpy.runtime_with(overrides, limit=base)
+            for other in circuit.qubits:
+                if other == qubit:
+                    continue
+                swap = {qubit: placement[other], other: placement[qubit]}
+                assert python.runtime_with(swap) == numpy.runtime_with(swap)
+        # The in-place duration scatter must leave the base state intact.
+        first = circuit.qubits[0]
+        assert numpy.runtime_with({first: placement[first]}) == base
+
+    def test_replay_counters_identical(self):
+        environment = trans_crotonic_acid()
+        circuit = _random_circuit(5, 40, 11)
+        placement = _random_placement(circuit, environment, 12)
+        python, numpy = _evaluator_pair(circuit, environment, True)
+        free = [n for n in environment.nodes if n not in set(placement.values())]
+        deltas = []
+        for evaluator in (python, numpy):
+            before = STATS.snapshot()
+            evaluator.set_base(placement)
+            for qubit in circuit.qubits:
+                for node in free:
+                    evaluator.runtime_with({qubit: node})
+                    evaluator.runtime_with(
+                        {qubit: node}, limit=evaluator.base_runtime
+                    )
+            evaluator.flush_stats()
+            deltas.append(STATS.delta_since(before))
+        assert deltas[0] == deltas[1]
+
+    def test_full_recompute_cross_checks_backends(self):
+        environment = histidine()
+        circuit = _random_circuit(6, 40, 3)
+        placement = _random_placement(circuit, environment, 4)
+        evaluator = RuntimeEvaluator(
+            circuit, environment, apply_interaction_cap=True,
+            backend="numpy", full_recompute=True,
+        )
+        evaluator.set_base(placement)
+        free = [n for n in environment.nodes if n not in set(placement.values())]
+        for qubit in circuit.qubits:
+            for node in free:
+                evaluator.runtime_with({qubit: node})
+
+    def test_full_recompute_detects_divergence(self):
+        environment = trans_crotonic_acid()
+        circuit = _random_circuit(4, 20, 9)
+        placement = _random_placement(circuit, environment, 10)
+        evaluator = RuntimeEvaluator(
+            circuit, environment, backend="numpy", full_recompute=True
+        )
+        evaluator.set_base(placement)
+        # Corrupt one compiled pair delay in the numpy table only: the
+        # cross-backend assertion must catch the (synthetic) divergence.
+        evaluator._table.pair[:] = evaluator._table.pair * 2.0
+        free = [n for n in environment.nodes if n not in set(placement.values())]
+        moved = {q for gate in circuit if gate.is_two_qubit for q in gate.qubits}
+        with pytest.raises(AssertionError):
+            for qubit in sorted(moved, key=repr):
+                for node in free:
+                    evaluator.runtime_with({qubit: node})
+        # Full evaluations are cross-checked too, not just incremental ones.
+        with pytest.raises(AssertionError, match="diverged"):
+            evaluator.set_base(placement)
+
+    def test_empty_circuit(self, crotonic):
+        circuit = QuantumCircuit(["a", "b"], [], name="empty")
+        python, numpy = _evaluator_pair(circuit, crotonic, False)
+        placement = {"a": "M", "b": "C1"}
+        assert python.runtime(placement) == numpy.runtime(placement) == 0.0
+        assert python.set_base(placement) == numpy.set_base(placement) == 0.0
+        assert numpy.runtime_with({"a": "C4"}) == 0.0
+
+
+@needs_numpy
+class TestPlacerLevelBackendParity:
+    @pytest.mark.parametrize("threshold", [100.0, 200.0])
+    def test_place_circuit_identical_across_backends(self, crotonic, threshold):
+        results = {}
+        for backend in ("python", "numpy"):
+            result = place_circuit(
+                qft_circuit(6),
+                crotonic,
+                PlacementOptions(threshold=threshold, scheduler_backend=backend),
+            )
+            results[backend] = (
+                result.total_runtime,
+                [sorted(stage.placement.items(), key=lambda kv: repr(kv[0]))
+                 for stage in result.stages],
+                [swap.runtime for swap in result.swap_stages],
+            )
+        assert results["python"] == results["numpy"]
+
+    def test_invalid_backend_option_rejected(self):
+        with pytest.raises(PlacementError, match="scheduler_backend"):
+            PlacementOptions(scheduler_backend="gpu")
+
+    def test_runner_backend_override(self):
+        from repro.analysis.runner import (
+            ExperimentRunner,
+            ExperimentSpec,
+            benchmark_circuit_factory,
+            molecule_factory,
+        )
+
+        spec = ExperimentSpec(
+            circuit_factory=benchmark_circuit_factory("qft6"),
+            environment_factory=molecule_factory("trans-crotonic-acid"),
+            threshold=200.0,
+        )
+        outcomes = {}
+        for backend in ("python", "numpy"):
+            runner = ExperimentRunner(scheduler_backend=backend)
+            outcome = runner.run([spec])[0].raise_if_infeasible()
+            outcomes[backend] = (outcome.runtime_seconds, outcome.num_subcircuits)
+        assert outcomes["python"] == outcomes["numpy"]
+        with pytest.raises(ExperimentError, match="scheduler_backend"):
+            ExperimentRunner(scheduler_backend="gpu")

@@ -102,6 +102,25 @@ class TestSchedule:
         final = schedule(encoder_circuit, placement, acetyl).final_qubit_times()
         assert final == {"a": 680, "b": 770, "c": 769}
 
+    def test_all_free_circuit_reports_zero_busy_times(self, acetyl):
+        """Regression: circuits of only free gates record no steps, but
+        their qubits must still appear (with zero busy time)."""
+        circuit = QuantumCircuit(
+            ["a", "b"], [g.rz("a", 90.0), g.rz("b", 90.0), g.rz("a", 180.0)]
+        )
+        placement = {"a": "M", "b": "C1"}
+        result = schedule(circuit, placement, acetyl)
+        assert result.steps == ()
+        assert result.final_qubit_times() == {"a": 0.0, "b": 0.0}
+        assert result.busiest_qubit == "a"  # first in placement order on a tie
+        assert result.runtime == 0.0
+
+    def test_gateless_circuit_reports_zero_busy_times(self, acetyl):
+        circuit = QuantumCircuit(["a", "b"])
+        result = schedule(circuit, {"a": "M", "b": "C2"}, acetyl)
+        assert result.final_qubit_times() == {"a": 0.0, "b": 0.0}
+        assert result.busiest_qubit == "a"
+
 
 class TestSequentialLevels:
     def test_sequential_at_least_asynchronous(self, acetyl, encoder_circuit):
