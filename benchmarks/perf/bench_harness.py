@@ -17,15 +17,24 @@ deterministic and are tracked with the same regression tolerance.
 
 from __future__ import annotations
 
+import os
 import random
+import tempfile
 import time
 from functools import partial
 from typing import Callable, Dict, List, Tuple
 
 import networkx as nx
 
+from repro.analysis import sharding
+from repro.analysis.runner import ExperimentRunner, molecule_factory
 from repro.analysis.scalability import run_scalability_point
-from repro.analysis.sweep import SweepRow, sweep_circuit
+from repro.analysis.serialization import (
+    deterministic_rows,
+    dump_json,
+    work_counters,
+)
+from repro.analysis.sweep import SweepRow, build_sweep_specs, sweep_circuit
 from repro.circuits import gates as g
 from repro.circuits.circuit import QuantumCircuit
 from repro.circuits.library import aqft9, phaseest, qec5_encoder, qft_circuit
@@ -39,7 +48,18 @@ from repro.hardware.molecules import (
     histidine,
     trans_crotonic_acid,
 )
+from repro.hardware.threshold_graph import PAPER_THRESHOLDS
 from repro.timing.scheduler import RuntimeEvaluator
+
+#: Scenarios whose wall time is recorded but not regression-gated.  The
+#: sharded round-trip macro executes the same grid three times (serial,
+#: 2-shard, 4-shard) with shard-file I/O through temp directories in
+#: between, so its wall time is dominated by scheduling and disk noise —
+#: like the multi-worker scenarios (gated via their ``jobs`` fingerprint
+#: tag), its correctness is enforced by fingerprints and the
+#: :func:`sharded_consistency_failures` gate instead, and its work
+#: counters are still gated exactly.
+WALL_GATE_EXEMPT = ("sharded_sweep",)
 
 #: Counter names whose per-scenario deltas are recorded and regression-checked.
 TRACKED_COUNTERS = (
@@ -265,6 +285,59 @@ def scenario_replay_numpy() -> Dict:
     return _replay_stress("numpy")
 
 
+def scenario_sharded_sweep() -> Dict:
+    """The sharded-grid macro benchmark: serial vs plan → run → merge.
+
+    Runs the QFT-7 / trans-crotonic-acid sweep grid once serially, then
+    round-trips the same grid through the full sharded pipeline at 2 and
+    4 shards — shard inputs written to and read back from disk, each
+    shard executed independently, JSON outcome shards written, re-read
+    and merged.  The fingerprint records whether the merged grid's
+    deterministic rows and work counters are byte-identical to the
+    serial run; :func:`sharded_consistency_failures` gates on it — a
+    ``False`` means the shard pipeline changed results, a correctness
+    bug regardless of timings.  Wall time is recorded but exempt from
+    the regression gate (see :data:`WALL_GATE_EXEMPT`); work counters
+    are gated as usual.
+    """
+    specs, _ = build_sweep_specs(
+        partial(qft_circuit, 7),
+        trans_crotonic_acid(),
+        molecule_factory("trans-crotonic-acid"),
+        PAPER_THRESHOLDS,
+    )
+    before = STATS.snapshot()
+    serial = ExperimentRunner().run(specs)
+    serial_counters = STATS.delta_since(before)
+    serial_rows = dump_json(deterministic_rows(serial))
+    fingerprint: Dict = {
+        "num_cells": len(specs),
+        "num_subcircuits": [outcome.num_subcircuits for outcome in serial],
+        "feasible": [outcome.feasible for outcome in serial],
+    }
+    for num_shards in (2, 4):
+        plan = sharding.ShardPlan.build(specs, num_shards, "cost-balanced")
+        shards = []
+        with tempfile.TemporaryDirectory() as tmp:
+            for index in range(plan.num_shards):
+                shard_path = os.path.join(tmp, f"shard-{index}.pkl")
+                sharding.write_shard(plan.shard_input(index), shard_path)
+                outcome_shard = sharding.execute_shard(
+                    sharding.read_shard(shard_path)
+                )
+                out_path = os.path.join(tmp, f"outcomes-{index}.json")
+                sharding.write_outcome_shard(outcome_shard, out_path)
+                shards.append(sharding.read_outcome_shard(out_path))
+        merged = sharding.merge_shards(shards, plan=plan)
+        fingerprint[f"rows_identical_{num_shards}"] = (
+            dump_json(deterministic_rows(merged.outcomes)) == serial_rows
+        )
+        fingerprint[f"counters_identical_{num_shards}"] = work_counters(
+            merged.counters
+        ) == work_counters(serial_counters)
+    return fingerprint
+
+
 def scenario_monomorphism_micro() -> Dict:
     """Raw enumerator stress: paths and grids embedded into sparse hosts."""
     host_hex = heavy_hex(3)
@@ -295,6 +368,7 @@ SCENARIOS: Dict[str, Callable[[], Dict]] = {
     "parallel_sweep_jobs4": scenario_parallel_sweep_jobs4,
     "replay_python": scenario_replay_python,
     "replay_numpy": scenario_replay_numpy,
+    "sharded_sweep": scenario_sharded_sweep,
 }
 
 
@@ -339,9 +413,22 @@ def run_scenario(name: str, repeats: int = 3) -> Dict:
     }
 
 
-def run_all(repeats: int = 3) -> Dict[str, Dict]:
-    """Run every registered scenario and return the results by name."""
-    return {name: run_scenario(name, repeats=repeats) for name in SCENARIOS}
+def run_all(repeats: int = 3, names=None) -> Dict[str, Dict]:
+    """Run registered scenarios (all, or a ``names`` subset) by name.
+
+    Unknown names raise ``KeyError`` up front rather than silently
+    shrinking the run; the subset keeps registry order.
+    """
+    if names is None:
+        selected = list(SCENARIOS)
+    else:
+        unknown = [name for name in names if name not in SCENARIOS]
+        if unknown:
+            raise KeyError(
+                f"unknown scenario(s) {unknown}; known: {list(SCENARIOS)}"
+            )
+        selected = [name for name in SCENARIOS if name in set(names)]
+    return {name: run_scenario(name, repeats=repeats) for name in selected}
 
 
 def parallel_consistency_failures(current: Dict[str, Dict]) -> List[str]:
@@ -398,6 +485,30 @@ def replay_consistency_failures(current: Dict[str, Dict]) -> List[str]:
     return failures
 
 
+def sharded_consistency_failures(current: Dict[str, Dict]) -> List[str]:
+    """Round-trip gate: the sharded pipeline must reproduce the serial grid.
+
+    The ``sharded_sweep`` scenario records, in its fingerprint, whether
+    the 2- and 4-shard plan → run → merge round trips produced
+    byte-identical deterministic rows and identical merged work counters
+    compared to the serial run of the same grid.  Any ``False`` is a
+    correctness bug in the sharding layer — gate immediately, like the
+    worker-count and backend consistency gates.
+    """
+    failures: List[str] = []
+    data = current.get("sharded_sweep")
+    if data is None:
+        return failures
+    for key, value in sorted(data.get("fingerprint", {}).items()):
+        if key.startswith(("rows_identical", "counters_identical")) and value is not True:
+            failures.append(
+                f"sharded_sweep: {key} is {value!r}; the sharded "
+                "plan->run->merge round trip no longer reproduces the "
+                "serial grid"
+            )
+    return failures
+
+
 def check_results(
     baseline: Dict[str, Dict],
     current: Dict[str, Dict],
@@ -434,6 +545,7 @@ def check_results(
     """
     failures: List[str] = list(parallel_consistency_failures(current))
     failures.extend(replay_consistency_failures(current))
+    failures.extend(sharded_consistency_failures(current))
     baseline_scenarios = baseline.get("scenarios", baseline)
     for name, base in baseline_scenarios.items():
         now = current.get(name)
@@ -452,6 +564,7 @@ def check_results(
         multi_worker = base.get("fingerprint", {}).get("jobs", 1) > 1
         if (
             not multi_worker
+            and name not in WALL_GATE_EXEMPT
             and base_wall >= min_wall_time_s
             and now_wall > base_wall * (1 + tolerance)
         ):

@@ -101,3 +101,31 @@ def test_replay_gate_detects_divergence_and_tolerates_skips():
     }
     failures = bench_harness.check_results(baseline, skipped)
     assert not [f for f in failures if "replay_numpy" in f]
+
+
+@pytest.mark.bench
+def test_sharded_gate_detects_divergence():
+    """Gate logic on synthetic reports: any non-True identity flag fails."""
+    healthy = {
+        "sharded_sweep": {
+            "fingerprint": {
+                "rows_identical_2": True,
+                "counters_identical_2": True,
+                "rows_identical_4": True,
+                "counters_identical_4": True,
+            }
+        }
+    }
+    assert not bench_harness.sharded_consistency_failures(healthy)
+    diverged = {
+        "sharded_sweep": {
+            "fingerprint": {"rows_identical_2": False, "counters_identical_2": True}
+        }
+    }
+    failures = bench_harness.sharded_consistency_failures(diverged)
+    assert failures and "rows_identical_2" in failures[0]
+    # Subset runs without the scenario have nothing to gate.
+    assert not bench_harness.sharded_consistency_failures({})
+    # ... and the failure propagates through check_results.
+    assert any("rows_identical_2" in f for f in
+               bench_harness.check_results({}, diverged))

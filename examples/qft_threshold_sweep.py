@@ -9,7 +9,10 @@ iron rows.
 Run with ``python examples/qft_threshold_sweep.py [circuit-name] [--jobs N]``.
 ``--jobs 4`` fans the sweep cells out over four worker processes through
 :class:`repro.analysis.runner.ExperimentRunner`; the table is identical to
-the serial one.
+the serial one.  ``--stream`` renders each molecule's row the moment its
+last cell completes (row completion order) instead of waiting for the whole
+grid — with ``--jobs`` the quick molecules appear while the slow ones are
+still placing.
 """
 
 import argparse
@@ -22,18 +25,37 @@ from repro.hardware.molecules import all_molecules
 from repro.hardware.threshold_graph import PAPER_THRESHOLDS
 
 
-def main(circuit_name: str = "phaseest", jobs: int = 1, progress: bool = False) -> None:
+def main(
+    circuit_name: str = "phaseest",
+    jobs: int = 1,
+    progress: bool = False,
+    stream: bool = False,
+) -> None:
     factory = CIRCUIT_FACTORIES[circuit_name]
     num_qubits = factory().num_qubits
     runner = ExperimentRunner(
         jobs=jobs, progress=stderr_progress("sweep cell") if progress else None
     )
+    header = ["molecule"] + [f"thr {threshold:g}" for threshold in PAPER_THRESHOLDS]
+
+    def streamed_row(sweep_row):
+        print(f"[done] {sweep_row.environment_name}: "
+              + "  ".join(cell.formatted() for cell in sweep_row.cells),
+              flush=True)
+
     # One flattened grid over every big-enough molecule: a single runner
     # call, so parallel runs pay pool start-up once, not once per row.
     molecules = all_molecules()
     big_enough = [env for env in molecules if env.num_qubits >= num_qubits]
-    sweep_rows = iter(sweep_table(factory, big_enough, PAPER_THRESHOLDS, runner=runner))
-    header = ["molecule"] + [f"thr {threshold:g}" for threshold in PAPER_THRESHOLDS]
+    sweep_rows = iter(
+        sweep_table(
+            factory,
+            big_enough,
+            PAPER_THRESHOLDS,
+            runner=runner,
+            on_row=streamed_row if stream else None,
+        )
+    )
     rows = []
     for environment in molecules:
         if environment.num_qubits < num_qubits:
@@ -55,5 +77,7 @@ if __name__ == "__main__":
                         help="worker processes per sweep (default: 1, serial)")
     parser.add_argument("--progress", action="store_true",
                         help="print per-cell progress to stderr")
+    parser.add_argument("--stream", action="store_true",
+                        help="print each molecule's row as soon as it completes")
     args = parser.parse_args()
-    main(args.circuit, jobs=args.jobs, progress=args.progress)
+    main(args.circuit, jobs=args.jobs, progress=args.progress, stream=args.stream)

@@ -17,12 +17,24 @@ from repro.analysis.runner import ExperimentRunner, stderr_progress
 from repro.analysis.scalability import run_scalability_sweep
 
 
-def main(max_qubits: int = 32, jobs: int = 1, progress: bool = False) -> None:
+def main(
+    max_qubits: int = 32, jobs: int = 1, progress: bool = False,
+    stream: bool = False,
+) -> None:
     sizes = [n for n in (8, 16, 32, 64, 128, 256) if n <= max_qubits]
     runner = ExperimentRunner(
         jobs=jobs, progress=stderr_progress("chain") if progress else None
     )
-    records = run_scalability_sweep(sizes, runner=runner)
+
+    def streamed_record(record):
+        print(f"[done] {record.num_qubits}-qubit chain: "
+              f"{record.num_subcircuits} subcircuits, "
+              f"{record.circuit_runtime_seconds:.3f} sec circuit runtime",
+              flush=True)
+
+    records = run_scalability_sweep(
+        sizes, runner=runner, on_record=streamed_record if stream else None
+    )
     rows = [
         [
             record.num_qubits,
@@ -52,5 +64,8 @@ if __name__ == "__main__":
                         help="worker processes (default: 1, serial)")
     parser.add_argument("--progress", action="store_true",
                         help="print per-instance progress to stderr")
+    parser.add_argument("--stream", action="store_true",
+                        help="print each chain's record as soon as it completes")
     args = parser.parse_args()
-    main(args.max_qubits, jobs=args.jobs, progress=args.progress)
+    main(args.max_qubits, jobs=args.jobs, progress=args.progress,
+         stream=args.stream)

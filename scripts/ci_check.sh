@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Tier-1-equivalent smoke gate, suitable for a CI job.
+#
+# Runs, in order:
+#   1. the tier-1 test suite (`pytest -x -q`; bench-marked tests excluded
+#      via pytest.ini);
+#   2. a 2-shard plan -> run -> merge round trip through the CLI, asserting
+#      the merged sweep table is byte-identical to the serial `sweep`
+#      output — the sharded pipeline's end-to-end contract;
+#   3. the benchmark regression gate on the fast micro scenarios
+#      (`run_bench.py --check --scenarios ...`), which also re-checks the
+#      deterministic counters and output fingerprints against the
+#      committed BENCH_placement.json.
+#
+# Usage: scripts/ci_check.sh
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+cd "$REPO_ROOT"
+export PYTHONPATH="$REPO_ROOT/src${PYTHONPATH:+:$PYTHONPATH}"
+PYTHON="${PYTHON:-python}"
+
+echo "== 1/3 tier-1 test suite =="
+"$PYTHON" -m pytest -x -q
+
+echo "== 2/3 sharded plan -> run -> merge round trip =="
+WORK_DIR="$(mktemp -d)"
+trap 'rm -rf "$WORK_DIR"' EXIT
+
+SWEEP_ARGS=(error-correction-encoding acetyl-chloride --thresholds 50 100 200 1000)
+"$PYTHON" -m repro.cli sweep "${SWEEP_ARGS[@]}" > "$WORK_DIR/serial.txt"
+"$PYTHON" -m repro.cli shard plan "${SWEEP_ARGS[@]}" \
+    --shards 2 --out-dir "$WORK_DIR/shards"
+"$PYTHON" -m repro.cli shard run --shard-file "$WORK_DIR/shards/shard-0.pkl" \
+    --out "$WORK_DIR/outcomes-0.json"
+"$PYTHON" -m repro.cli shard run --shard-file "$WORK_DIR/shards/shard-1.pkl" \
+    --out "$WORK_DIR/outcomes-1.json"
+"$PYTHON" -m repro.cli shard merge --plan "$WORK_DIR/shards/plan.json" \
+    "$WORK_DIR/outcomes-0.json" "$WORK_DIR/outcomes-1.json" > "$WORK_DIR/merged.txt"
+if ! diff "$WORK_DIR/serial.txt" "$WORK_DIR/merged.txt"; then
+    echo "FAIL: merged shard output differs from the serial sweep" >&2
+    exit 1
+fi
+echo "merged output byte-identical to serial sweep"
+
+echo "== 3/3 micro benchmark regression gate =="
+"$PYTHON" scripts/run_bench.py --check --repeats 1 \
+    --scenarios monomorphism_micro place_qec5_boc place_phaseest_crotonic
+
+echo "ci_check: all gates passed"

@@ -16,6 +16,8 @@ Usage::
     python scripts/run_bench.py --repeats 5 --output /tmp/bench.json
     python scripts/run_bench.py --backend python  # force a scheduler backend for
                                                   # every 'auto' evaluator
+    python scripts/run_bench.py --check --scenarios monomorphism_micro \
+        place_qec5_boc                            # gate a fast subset (CI)
 
 The regression gate compares wall times (ignoring scenarios whose baseline
 is under 150 ms — too noisy) and the deterministic counter metrics, both
@@ -44,8 +46,8 @@ from repro.timing._replay import BACKEND_CHOICES, BACKEND_ENV_VAR  # noqa: E402
 DEFAULT_BASELINE = REPO_ROOT / "BENCH_placement.json"
 
 
-def build_report(repeats: int) -> dict:
-    results = bench_harness.run_all(repeats=repeats)
+def build_report(repeats: int, names=None) -> dict:
+    results = bench_harness.run_all(repeats=repeats, names=names)
     return {
         "schema_version": 1,
         "description": "Placement-engine performance benchmarks "
@@ -88,6 +90,16 @@ def main(argv=None) -> int:
         "scenarios are unaffected); outputs are bit-identical either way",
     )
     parser.add_argument(
+        "--scenarios",
+        nargs="+",
+        default=None,
+        metavar="NAME",
+        choices=list(bench_harness.SCENARIOS),
+        help="run only these scenarios (default: all); with --check the "
+        "baseline comparison is restricted to the same subset — used by "
+        "scripts/ci_check.sh to gate the fast micro scenarios in CI",
+    )
+    parser.add_argument(
         "--check",
         action="store_true",
         help="compare against the baseline instead of overwriting it; "
@@ -100,10 +112,29 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
 
+    if args.update and args.scenarios is not None:
+        print(
+            "error: --update with --scenarios would write a partial "
+            "baseline; run the full suite to refresh it",
+            file=sys.stderr,
+        )
+        return 2
+    if (
+        args.scenarios is not None
+        and not args.check
+        and args.output.resolve() == DEFAULT_BASELINE.resolve()
+    ):
+        print(
+            "error: --scenarios without --check would overwrite the full "
+            "baseline with a partial report; pass --output or --check",
+            file=sys.stderr,
+        )
+        return 2
+
     if args.backend is not None:
         os.environ[BACKEND_ENV_VAR] = args.backend
 
-    report = build_report(args.repeats)
+    report = build_report(args.repeats, names=args.scenarios)
     scenarios = report["scenarios"]
     width = max(len(name) for name in scenarios)
     for name, data in scenarios.items():
@@ -114,11 +145,13 @@ def main(argv=None) -> int:
             f"adj-hit={data['metrics'].get('adjacency_cache_hit_rate', 0.0):.2f}"
         )
 
-    # Worker-count and backend independence are correctness properties, not
-    # timings — never write (or pass) a baseline in which parallel runs or
-    # the numpy backend changed output.
+    # Worker-count, backend and shard independence are correctness
+    # properties, not timings — never write (or pass) a baseline in which
+    # parallel runs, the numpy backend or the sharded round trip changed
+    # output.
     consistency = bench_harness.parallel_consistency_failures(scenarios)
     consistency += bench_harness.replay_consistency_failures(scenarios)
+    consistency += bench_harness.sharded_consistency_failures(scenarios)
     if consistency:
         print("\nCONSISTENCY FAILURES:", file=sys.stderr)
         for failure in consistency:
@@ -130,6 +163,30 @@ def main(argv=None) -> int:
             print(f"error: baseline {args.baseline} not found", file=sys.stderr)
             return 2
         baseline = json.loads(args.baseline.read_text())
+        if args.scenarios is not None:
+            # A subset run can only be compared against the matching
+            # subset of the baseline; the scenarios that were not run are
+            # not "missing", they were not requested.  But a *requested*
+            # scenario absent from the baseline would silently gate
+            # nothing — that is an error, not a pass.
+            selected = set(args.scenarios)
+            baseline_scenarios = baseline.get("scenarios", baseline)
+            unbaselined = sorted(selected - set(baseline_scenarios))
+            if unbaselined:
+                print(
+                    f"error: scenario(s) {unbaselined} not in the baseline "
+                    f"{args.baseline}; re-record it with the full suite "
+                    "before gating on them",
+                    file=sys.stderr,
+                )
+                return 2
+            baseline = {
+                "scenarios": {
+                    name: data
+                    for name, data in baseline_scenarios.items()
+                    if name in selected
+                }
+            }
         failures = bench_harness.check_results(
             baseline, scenarios, tolerance=args.tolerance
         )

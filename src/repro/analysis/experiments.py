@@ -22,6 +22,7 @@ from repro.circuits.circuit import QuantumCircuit
 from repro.circuits.library import pseudo_cat_state_10q, qec3_encoder, qec5_encoder
 from repro.core.config import PlacementOptions
 from repro.core.result import PlacementResult
+from repro.exceptions import ExperimentError
 from repro.hardware.environment import PhysicalEnvironment, injective_placements
 from repro.hardware.molecules import acetyl_chloride, histidine, trans_crotonic_acid
 
@@ -63,16 +64,44 @@ TABLE2_ROWS: Tuple[Table2Row, ...] = (
 )
 
 
+def _result_from_outcome(row: Table2Row, outcome) -> Table2Result:
+    """Build one :class:`Table2Result` from its executed cell.
+
+    A Table 2 row that fails to place is a configuration error, not an
+    expected "N/A" — ``raise_if_infeasible`` keeps the pre-runner
+    throw-on-failure contract.
+    """
+    outcome.raise_if_infeasible()
+    return Table2Result(
+        circuit_name=outcome.circuit_name,
+        environment_name=outcome.environment_name,
+        num_gates=outcome.num_gates,
+        num_qubits=outcome.num_qubits,
+        environment_qubits=outcome.environment_qubits,
+        measured_runtime_seconds=outcome.runtime_seconds,
+        num_subcircuits=outcome.num_subcircuits,
+        search_space=injective_placements(
+            outcome.environment_qubits, outcome.num_qubits
+        ),
+        paper_runtime_seconds=row.paper_runtime_seconds,
+        paper_search_space=row.paper_search_space,
+        result=outcome.result,
+    )
+
+
 def run_table2(
     options: Optional[PlacementOptions] = None,
     jobs: int = 1,
     runner: Optional[ExperimentRunner] = None,
+    on_result: Optional[Callable[[Table2Result], None]] = None,
 ) -> List[Table2Result]:
     """Place every Table 2 circuit into its molecule and collect the results.
 
     The three rows are independent cells; ``jobs > 1`` places them on
     worker processes (the row factories are module-level functions, so the
-    specs pickle by reference).
+    specs pickle by reference).  ``on_result`` streams each row's result
+    as soon as its cell completes (completion order for parallel runs);
+    the returned list is always in table order.
     """
     specs = [
         ExperimentSpec(
@@ -84,26 +113,22 @@ def run_table2(
         )
         for index, row in enumerate(TABLE2_ROWS)
     ]
-    outcomes = (runner or ExperimentRunner(jobs=jobs)).run(specs)
-    return [
-        Table2Result(
-            circuit_name=outcome.circuit_name,
-            environment_name=outcome.environment_name,
-            num_gates=outcome.num_gates,
-            num_qubits=outcome.num_qubits,
-            environment_qubits=outcome.environment_qubits,
-            measured_runtime_seconds=outcome.runtime_seconds,
-            num_subcircuits=outcome.num_subcircuits,
-            search_space=injective_placements(
-                outcome.environment_qubits, outcome.num_qubits
-            ),
-            paper_runtime_seconds=row.paper_runtime_seconds,
-            paper_search_space=row.paper_search_space,
-            result=outcome.result,
+    runner = runner or ExperimentRunner(jobs=jobs)
+    if on_result is None:
+        outcomes = runner.run(specs)
+        return [
+            _result_from_outcome(row, outcome)
+            for row, outcome in zip(TABLE2_ROWS, outcomes)
+        ]
+    results: List[Optional[Table2Result]] = [None] * len(specs)
+    for outcome in runner.iter_outcomes(specs):
+        result = _result_from_outcome(TABLE2_ROWS[outcome.index], outcome)
+        results[outcome.index] = result
+        on_result(result)
+    missing = [index for index, result in enumerate(results) if result is None]
+    if missing:  # pragma: no cover - cells either return or raise
+        raise ExperimentError(
+            f"table 2 run returned no outcome for row(s) {missing}; "
+            "refusing to return a misaligned result list"
         )
-        # A Table 2 row that fails to place is a configuration error, not
-        # an expected "N/A" — keep the pre-runner throw-on-failure contract.
-        for row, outcome in zip(
-            TABLE2_ROWS, (o.raise_if_infeasible() for o in outcomes)
-        )
-    ]
+    return results

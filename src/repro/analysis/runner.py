@@ -38,6 +38,15 @@ byte-identical deterministic fields to the same grid at ``jobs=1`` — wall
 times (:attr:`ExperimentOutcome.software_runtime_seconds`) are the only
 machine-dependent fields.
 
+Two fronts extend the runner beyond one blocking local call:
+
+* **streaming** — :meth:`ExperimentRunner.iter_outcomes` yields outcomes
+  as cells complete, so harnesses can render rows incrementally;
+* **sharding** — :meth:`ExperimentRunner.run` itself is the degenerate
+  one-shard case of the plan → execute → merge pipeline in
+  :mod:`repro.analysis.sharding`, which splits a grid into shards that
+  execute on any host and merge back bit-identically.
+
 The scheduler's evaluation backend is likewise an execution detail: cells
 carry it in their :class:`~repro.core.config.PlacementOptions`
 (``scheduler_backend``), worker processes inherit the
@@ -60,6 +69,7 @@ from typing import (
     Callable,
     Dict,
     Hashable,
+    Iterator,
     List,
     Optional,
     Sequence,
@@ -466,7 +476,32 @@ class ExperimentRunner:
         self.scheduler_backend = scheduler_backend
 
     def run(self, specs: Sequence[ExperimentSpec]) -> List[ExperimentOutcome]:
-        """Execute every cell and return outcomes in spec order."""
+        """Execute every cell and return outcomes in spec order.
+
+        Local execution is the degenerate one-shard case of the sharded
+        plan → execute → merge pipeline (:mod:`repro.analysis.sharding`):
+        the grid becomes a one-shard plan, the shard executes in-process
+        (serially or over local workers, per ``jobs``), and the merge
+        step's verification — every cell accounted for exactly once —
+        replaces the old ad-hoc missing-outcome check.  A grid split
+        into real shards and merged back goes through exactly this path,
+        which is why the two are byte-identical.
+        """
+        from repro.analysis import sharding
+
+        specs = list(specs)
+        if not specs:
+            return []
+        plan = sharding.ShardPlan.build(
+            specs, num_shards=1, compute_fingerprint=False
+        )
+        shard = sharding.execute_shard(plan.shard_input(0), runner=self)
+        return sharding.merge_shards([shard], plan=plan).outcomes
+
+    def prepared_specs(
+        self, specs: Sequence[ExperimentSpec]
+    ) -> List[ExperimentSpec]:
+        """The spec list with this runner's whole-grid overrides applied."""
         specs = list(specs)
         if self.scheduler_backend is not None:
             specs = [
@@ -478,23 +513,67 @@ class ExperimentRunner:
                 )
                 for spec in specs
             ]
+        return specs
+
+    def iter_outcomes(
+        self, specs: Sequence[ExperimentSpec]
+    ) -> Iterator[ExperimentOutcome]:
+        """Stream outcomes as cells complete (the ``as_completed`` front end).
+
+        Yields every cell's outcome as soon as it is available — in spec
+        order for serial runs, in completion order for parallel runs
+        (``outcome.index`` identifies the cell either way).  The
+        ``progress`` callback, if any, still fires once per yielded
+        outcome.  Harnesses use this to render rows incrementally instead
+        of blocking on the full grid; collecting and sorting the iterator
+        is exactly :meth:`run` minus the merge-step verification.
+        """
+        specs = self.prepared_specs(specs)
+        if not specs:
+            return
+        if self.jobs == 1 or len(specs) == 1:
+            yield from self._iter_serial(specs)
+        else:
+            yield from self._iter_parallel(specs)
+
+    def execute_prepared(
+        self, specs: Sequence[ExperimentSpec]
+    ) -> List[ExperimentOutcome]:
+        """Execute already-prepared specs and order outcomes by cell index.
+
+        The execution core shared by :func:`repro.analysis.sharding.execute_shard`
+        and (through it) :meth:`run`; callers outside the sharding
+        pipeline should use :meth:`run` or :meth:`iter_outcomes`.
+        """
+        specs = list(specs)
+        outcomes: List[Optional[ExperimentOutcome]] = [None] * len(specs)
         if not specs:
             return []
         if self.jobs == 1 or len(specs) == 1:
-            return self._run_serial(specs)
-        return self._run_parallel(specs)
+            iterator = self._iter_serial(specs)
+        else:
+            iterator = self._iter_parallel(specs)
+        for outcome in iterator:
+            outcomes[outcome.index] = outcome
+        missing = [index for index, outcome in enumerate(outcomes) if outcome is None]
+        if missing:  # pragma: no cover - cells either return or raise
+            raise ExperimentError(
+                f"execution returned no outcome for cell(s) {missing}; "
+                "refusing to return a misaligned result list"
+            )
+        return outcomes
 
     # -- serial ---------------------------------------------------------------
 
-    def _run_serial(self, specs: List[ExperimentSpec]) -> List[ExperimentOutcome]:
-        outcomes: List[ExperimentOutcome] = []
+    def _iter_serial(
+        self, specs: List[ExperimentSpec]
+    ) -> Iterator[ExperimentOutcome]:
         total = len(specs)
         for index, spec in enumerate(specs):
             outcome = _execute_cell((index, spec))
-            outcomes.append(outcome)
             if self.progress is not None:
                 self.progress(index + 1, total, outcome)
-        return outcomes
+            yield outcome
 
     # -- parallel -------------------------------------------------------------
 
@@ -565,7 +644,9 @@ class ExperimentRunner:
             light.append(spec)
         return light
 
-    def _run_parallel(self, specs: List[ExperimentSpec]) -> List[ExperimentOutcome]:
+    def _iter_parallel(
+        self, specs: List[ExperimentSpec]
+    ) -> Iterator[ExperimentOutcome]:
         total = len(specs)
         workers = min(self.jobs, total)
         # Entries are always shipped: they register keyed environments in
@@ -574,7 +655,6 @@ class ExperimentRunner:
         entries = self._warmup_entries(specs)
         light_specs = self._lighten(specs)
         self._check_picklable(light_specs)
-        outcomes: List[Optional[ExperimentOutcome]] = [None] * total
         with ProcessPoolExecutor(
             max_workers=workers,
             initializer=_initialize_worker,
@@ -585,24 +665,37 @@ class ExperimentRunner:
                 for index, spec in enumerate(light_specs)
             }
             completed = 0
-            while pending:
-                done, pending = wait(pending, return_when=FIRST_COMPLETED)
-                for future in done:
-                    outcome = future.result()
-                    outcomes[outcome.index] = outcome
-                    # Worker counters fold into the parent registry; addition
-                    # commutes, so the aggregate is completion-order free.
-                    STATS.merge(outcome.counters)
-                    completed += 1
-                    if self.progress is not None:
-                        self.progress(completed, total, outcome)
-        missing = [index for index, outcome in enumerate(outcomes) if outcome is None]
-        if missing:  # pragma: no cover - futures either return or raise
-            raise ExperimentError(
-                f"worker pool returned no outcome for cell(s) {missing}; "
-                "refusing to return a misaligned result list"
-            )
-        return outcomes
+            try:
+                while pending:
+                    done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                    for future in done:
+                        outcome = future.result()
+                        # Worker counters fold into the parent registry;
+                        # addition commutes, so the aggregate is
+                        # completion-order free.
+                        STATS.merge(outcome.counters)
+                        completed += 1
+                        if self.progress is not None:
+                            self.progress(completed, total, outcome)
+                        yield outcome
+            finally:
+                # Abandoned mid-grid (consumer break, or an exception in a
+                # streaming callback): cancel the cells that have not
+                # started so pool shutdown waits only for in-flight ones,
+                # and fold in the counters of cells that did run anyway —
+                # work performed must never vanish from the registry.
+                if pending:
+                    for future in pending:
+                        future.cancel()
+                    done, _ = wait(pending)
+                    for future in done:
+                        if future.cancelled():
+                            continue
+                        try:
+                            outcome = future.result()
+                        except Exception:  # pragma: no cover - worker crash
+                            continue
+                        STATS.merge(outcome.counters)
 
 
 def run_experiments(
@@ -614,17 +707,33 @@ def run_experiments(
     return ExperimentRunner(jobs=jobs, progress=progress).run(specs)
 
 
-def stderr_progress(prefix: str = "cell"):
-    """A simple progress callback printing one line per completed cell."""
+def stderr_progress(prefix: str = "cell", stream=None):
+    """A progress callback printing one line per completed cell.
+
+    Reports ``completed/total`` plus the run's aggregate throughput in
+    cells per second (measured from the callback's creation, so create it
+    immediately before the run).  Lines are flushed explicitly: under a
+    ``ProcessPoolExecutor`` the parent process can sit in ``wait()`` for
+    long stretches, and unflushed progress would otherwise appear in
+    bursts (or not at all when stderr is a pipe) — streaming mode is only
+    observable if every completed cell is visible immediately.
+    """
     import sys
+    import time
+
+    start = time.perf_counter()
 
     def callback(completed: int, total: int, outcome: ExperimentOutcome) -> None:
+        out = stream if stream is not None else sys.stderr
+        elapsed = max(time.perf_counter() - start, 1e-9)
         status = "ok" if outcome.feasible else "N/A"
         label = outcome.label or outcome.circuit_name
         print(
             f"{prefix} {completed}/{total}: {label} [{status}, "
-            f"{outcome.software_runtime_seconds:.2f}s]",
-            file=sys.stderr,
+            f"{outcome.software_runtime_seconds:.2f}s] "
+            f"({completed / elapsed:.2f} cells/s)",
+            file=out,
+            flush=True,
         )
 
     return callback

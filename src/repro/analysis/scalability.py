@@ -17,12 +17,13 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 from functools import partial
-from typing import List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence
 
 from repro.analysis.runner import ExperimentRunner, ExperimentSpec
 from repro.circuits.circuit import QuantumCircuit
 from repro.circuits.random_circuits import hidden_stage_circuit
 from repro.core.config import PlacementOptions
+from repro.exceptions import ExperimentError
 from repro.hardware.architectures import linear_chain
 
 
@@ -64,12 +65,30 @@ def run_scalability_point(
     return run_scalability_sweep((num_qubits,), seed=seed, options=options)[0]
 
 
+def _record_from_outcome(num_qubits: int, outcome) -> ScalabilityRecord:
+    """Build one Table 4 record from its executed cell.
+
+    Chain instances are feasible by construction; a failure means the
+    caller passed broken options — raise, as the pre-runner code did.
+    """
+    outcome.raise_if_infeasible()
+    return ScalabilityRecord(
+        num_qubits=num_qubits,
+        num_gates=outcome.num_gates,
+        hidden_stages=expected_hidden_stages(num_qubits),
+        num_subcircuits=outcome.num_subcircuits,
+        circuit_runtime_seconds=outcome.runtime_seconds,
+        software_runtime_seconds=outcome.software_runtime_seconds,
+    )
+
+
 def run_scalability_sweep(
     qubit_counts: Sequence[int] = (8, 16, 32, 64),
     seed: int = 0,
     options: Optional[PlacementOptions] = None,
     jobs: int = 1,
     runner: Optional[ExperimentRunner] = None,
+    on_record: Optional[Callable[[ScalabilityRecord], None]] = None,
 ) -> List[ScalabilityRecord]:
     """Run the Table 4 sweep over a list of qubit counts.
 
@@ -78,9 +97,12 @@ def run_scalability_sweep(
     requested explicitly.  ``jobs > 1`` distributes the points over worker
     processes; each worker regenerates its instance from ``(num_qubits,
     seed)``, so records match the serial run field for field (wall times
-    aside).
+    aside).  ``on_record`` streams each point's record as its cell
+    completes — with parallel jobs the small chains usually finish (and
+    render) long before the largest one does.
     """
     opts = options or SCALABILITY_OPTIONS
+    qubit_counts = list(qubit_counts)
     specs = [
         ExperimentSpec(
             circuit_factory=partial(_chain_instance_circuit, num_qubits, seed),
@@ -90,22 +112,25 @@ def run_scalability_sweep(
         )
         for num_qubits in qubit_counts
     ]
-    outcomes = (runner or ExperimentRunner(jobs=jobs)).run(specs)
-    return [
-        ScalabilityRecord(
-            num_qubits=num_qubits,
-            num_gates=outcome.num_gates,
-            hidden_stages=expected_hidden_stages(num_qubits),
-            num_subcircuits=outcome.num_subcircuits,
-            circuit_runtime_seconds=outcome.runtime_seconds,
-            software_runtime_seconds=outcome.software_runtime_seconds,
+    runner = runner or ExperimentRunner(jobs=jobs)
+    if on_record is None:
+        outcomes = runner.run(specs)
+        return [
+            _record_from_outcome(num_qubits, outcome)
+            for num_qubits, outcome in zip(qubit_counts, outcomes)
+        ]
+    records: List[Optional[ScalabilityRecord]] = [None] * len(specs)
+    for outcome in runner.iter_outcomes(specs):
+        record = _record_from_outcome(qubit_counts[outcome.index], outcome)
+        records[outcome.index] = record
+        on_record(record)
+    missing = [index for index, record in enumerate(records) if record is None]
+    if missing:  # pragma: no cover - cells either return or raise
+        raise ExperimentError(
+            f"scalability sweep returned no outcome for point(s) {missing}; "
+            "refusing to return a misaligned record list"
         )
-        # Chain instances are feasible by construction; a failure means the
-        # caller passed broken options — raise, as the pre-runner code did.
-        for num_qubits, outcome in zip(
-            qubit_counts, (o.raise_if_infeasible() for o in outcomes)
-        )
-    ]
+    return records
 
 
 def expected_hidden_stages(num_qubits: int) -> int:

@@ -1,0 +1,135 @@
+"""Machine-readable serialisation of experiment outcomes.
+
+One helper module shared by every surface that emits outcome rows —
+``repro-place place/sweep --output json``, the shard-worker CLI
+(``repro-place shard run``), :mod:`repro.analysis.sharding` outcome-shard
+files and the sharded benchmark gate — so a row written anywhere can be
+read (and compared byte for byte) everywhere.
+
+Two views of an :class:`~repro.analysis.runner.ExperimentOutcome` exist:
+
+* :func:`outcome_to_dict` — the full row, including the machine-dependent
+  ``software_runtime_seconds`` wall time and the per-cell ``counters``
+  delta.  This is what shard files and ``--output json`` carry.
+* :func:`deterministic_row` — the row restricted to the fields the
+  determinism contract covers (wall time and counters stripped).  Two
+  executions of the same grid — serial vs sharded, ``jobs=1`` vs
+  ``jobs=4`` — must produce byte-identical deterministic rows; this is
+  the comparison the sharded bench gate and tests perform.
+
+The full :class:`~repro.core.result.PlacementResult` (``outcome.result``,
+present only for ``keep_result=True`` cells) is intentionally *not*
+serialised: it is a deep object graph with no JSON form, and every grid
+harness consumes only the scalar summary.  In-memory merges keep it;
+file round-trips drop it.
+
+:func:`dump_json` is the canonical encoder (sorted keys, fixed
+separators, trailing newline): byte-identical inputs produce
+byte-identical files, which is what "merged output equals serial output"
+means at the file level.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.analysis.runner import ExperimentOutcome
+
+#: Schema tag written into every JSON payload produced by this module.
+SCHEMA_VERSION = 1
+
+#: Outcome fields that are machine-dependent and therefore excluded from
+#: :func:`deterministic_row`.  ``software_runtime_seconds`` is wall time;
+#: ``counters`` include per-process cache counters whose values depend on
+#: how the grid was split over processes (see ``docs/parallelism.md``).
+NONDETERMINISTIC_FIELDS = ("software_runtime_seconds", "counters")
+
+#: Counter names whose totals are per-cell deterministic wherever the cell
+#: runs, so their *sums* over a grid are identical for any execution shape
+#: (serial, multi-worker, sharded).  Cache counters are excluded: how many
+#: adjacency graphs or host encodings each process builds depends on which
+#: cells it received.
+WORK_COUNTERS = (
+    "monomorphism.searches",
+    "monomorphism.nodes_explored",
+    "monomorphism.mappings_yielded",
+    "scheduler.full_evals",
+    "scheduler.incremental_evals",
+    "scheduler.ops_replayed",
+    "scheduler.ops_skipped",
+)
+
+
+def outcome_to_dict(outcome: ExperimentOutcome) -> Dict:
+    """The outcome as a plain JSON-safe dict (``result`` dropped).
+
+    Built field by field rather than via ``dataclasses.asdict``, which
+    would deep-convert an attached ``PlacementResult`` graph only for it
+    to be discarded.
+    """
+    row = {
+        field.name: getattr(outcome, field.name)
+        for field in dataclasses.fields(outcome)
+        if field.name != "result"
+    }
+    row["counters"] = {
+        name: int(value) for name, value in sorted(row["counters"].items())
+    }
+    return row
+
+
+def outcome_from_dict(row: Mapping) -> ExperimentOutcome:
+    """Rebuild an :class:`ExperimentOutcome` from :func:`outcome_to_dict`."""
+    known = {
+        field.name for field in dataclasses.fields(ExperimentOutcome)
+    } - {"result"}
+    data = {key: value for key, value in row.items() if key in known}
+    data["counters"] = dict(data.get("counters") or {})
+    return ExperimentOutcome(**data)
+
+
+def deterministic_row(outcome: ExperimentOutcome) -> Dict:
+    """The outcome restricted to its deterministic fields.
+
+    Byte-identical across execution shapes (serial, parallel, sharded)
+    for the same grid — the unit of comparison of the determinism gates.
+    """
+    row = outcome_to_dict(outcome)
+    for name in NONDETERMINISTIC_FIELDS:
+        row.pop(name, None)
+    return row
+
+
+def deterministic_rows(outcomes: Sequence[ExperimentOutcome]) -> List[Dict]:
+    """:func:`deterministic_row` over a whole outcome list."""
+    return [deterministic_row(outcome) for outcome in outcomes]
+
+
+def work_counters(counters: Mapping[str, int]) -> Dict[str, int]:
+    """Restrict a counter mapping to the execution-shape-free counters."""
+    return {
+        name: int(counters[name]) for name in WORK_COUNTERS if counters.get(name)
+    }
+
+
+def outcomes_payload(
+    outcomes: Sequence[ExperimentOutcome],
+    counters: Optional[Mapping[str, int]] = None,
+) -> Dict:
+    """The shared ``--output json`` payload: outcome rows plus counters."""
+    payload: Dict = {
+        "schema_version": SCHEMA_VERSION,
+        "rows": [outcome_to_dict(outcome) for outcome in outcomes],
+    }
+    if counters is not None:
+        payload["counters"] = {
+            name: int(value) for name, value in sorted(counters.items())
+        }
+    return payload
+
+
+def dump_json(payload: object) -> str:
+    """Canonical JSON encoding: sorted keys, fixed separators, newline."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ": "), indent=1) + "\n"

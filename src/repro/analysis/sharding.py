@@ -1,0 +1,547 @@
+"""Sharded experiment grids: plan → execute → merge.
+
+The :class:`~repro.analysis.runner.ExperimentRunner` fans a grid's cells
+over local worker processes; this module is the next scaling layer up —
+splitting one flattened grid into *shards* that can be executed anywhere
+(other hosts, other containers, a batch queue) and merged back into the
+exact result the serial runner would have produced.
+
+The pipeline has three stages, each with a file format so the stages can
+run in different processes on different machines:
+
+**plan**
+    :meth:`ShardPlan.build` deterministically partitions a flattened,
+    deduplicated spec list into ``N`` shards — round-robin, or
+    cost-balanced by circuit size (greedy longest-processing-time with
+    index tie-breaks, so the same grid always yields the same plan).  The
+    plan carries a ``fingerprint`` of the grid; every derived artifact
+    echoes it, which is how the merge step refuses to combine shards of
+    different grids.  :func:`write_shard` serialises each shard's input
+    (:class:`ShardInput`: the specs plus their *global* grid indices) to a
+    pickle file a shard worker can execute without any other context.
+
+**execute**
+    :func:`execute_shard` runs one shard's cells through an ordinary
+    :class:`ExperimentRunner` (so a shard worker can itself use ``jobs>1``
+    process parallelism) and packages an :class:`OutcomeShard`: the
+    outcomes re-labelled with their global grid indices, the shard's
+    :data:`~repro.core.stats.STATS` counter delta, and the plan
+    fingerprint.  :func:`write_outcome_shard` serialises it to JSON (via
+    :mod:`repro.analysis.serialization`, the same row format as
+    ``--output json``).
+
+**merge**
+    :func:`merge_shards` verifies the shards' fingerprints and index sets
+    against each other (and against the plan, when given), restores grid
+    order, and merges the counter deltas with
+    :meth:`~repro.core.stats.Counters.merge`.  The merged outcome list is
+    exactly what ``ExperimentRunner.run`` on the whole grid returns —
+    deterministic fields byte-identical, wall times shard-local.
+
+Local execution is the degenerate case of the same path:
+``ExperimentRunner.run`` builds a one-shard plan, executes it in place
+and merges it, so there is a single execution pipeline whether a grid
+runs in-process, over local workers, or across hosts.
+
+Determinism contract: because the placement pipeline is hash-seed
+deterministic end to end (``docs/parallelism.md``), the merged grid's
+deterministic fields (everything except ``software_runtime_seconds`` and
+the per-process cache counters; see
+:data:`repro.analysis.serialization.WORK_COUNTERS`) are byte-identical to
+the serial run for *any* shard count and either strategy.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import heapq
+import json
+import pickle
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.analysis.runner import (
+    ExperimentOutcome,
+    ExperimentRunner,
+    ExperimentSpec,
+)
+from repro.analysis.serialization import (
+    SCHEMA_VERSION,
+    dump_json,
+    outcome_from_dict,
+    outcome_to_dict,
+)
+from repro.core.stats import STATS, Counters
+from repro.exceptions import ExperimentError
+
+#: Supported partitioning strategies (hyphenated canonical names;
+#: underscores are accepted and normalised).
+STRATEGIES = ("round-robin", "cost-balanced")
+
+#: Format tags written into (and checked in) the shard file headers.
+SHARD_INPUT_FORMAT = "repro-shard-input"
+OUTCOME_SHARD_FORMAT = "repro-outcome-shard"
+
+#: Pickle protocol for shard-input files: fixed, so the same plan always
+#: produces the same bytes regardless of the writing interpreter's default.
+_PICKLE_PROTOCOL = 4
+
+
+def _normalise_strategy(strategy: str) -> str:
+    canonical = strategy.replace("_", "-").lower()
+    if canonical not in STRATEGIES:
+        raise ExperimentError(
+            f"unknown shard strategy {strategy!r}; use one of {STRATEGIES}"
+        )
+    return canonical
+
+
+def grid_fingerprint(specs: Sequence[ExperimentSpec]) -> str:
+    """A stable identity for a flattened spec grid.
+
+    Hashes each spec's pickle bytes (factories pickle by reference, so the
+    same module-level factories, thresholds and options give the same
+    digest in any process); specs that cannot be pickled fall back to a
+    repr of their fields *including both factories* — object reprs make
+    that stable (and grid-distinguishing) only within one process, which
+    is all an unpicklable grid supports anyway: it cannot be written to a
+    shard file in the first place.
+    """
+    hasher = hashlib.sha256()
+    hasher.update(f"grid:{len(specs)}".encode())
+    for index, spec in enumerate(specs):
+        try:
+            blob = pickle.dumps(spec, protocol=_PICKLE_PROTOCOL)
+        except Exception:
+            blob = b"unpicklable:" + repr(
+                (
+                    spec.label,
+                    spec.threshold,
+                    spec.options,
+                    spec.circuit_factory,
+                    spec.environment_factory,
+                    spec.keep_result,
+                )
+            ).encode()
+        hasher.update(f"\x00{index}\x00".encode())
+        hasher.update(hashlib.sha256(blob).digest())
+    return hasher.hexdigest()
+
+
+@dataclass(frozen=True)
+class ShardInput:
+    """Everything a shard worker needs to execute its cells.
+
+    ``indices`` are the cells' positions in the *full* grid; the worker
+    executes ``specs`` in order and reports each outcome under its global
+    index, so the merge step can restore grid order without the plan.
+    """
+
+    plan_fingerprint: str
+    shard_index: int
+    num_shards: int
+    indices: Tuple[int, ...]
+    specs: Tuple[ExperimentSpec, ...]
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """A deterministic partition of a spec grid into shards."""
+
+    specs: Tuple[ExperimentSpec, ...]
+    assignments: Tuple[Tuple[int, ...], ...]
+    strategy: str
+    fingerprint: str
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.assignments)
+
+    @property
+    def total_cells(self) -> int:
+        return len(self.specs)
+
+    @classmethod
+    def build(
+        cls,
+        specs: Sequence[ExperimentSpec],
+        num_shards: int,
+        strategy: str = "round-robin",
+        compute_fingerprint: bool = True,
+    ) -> "ShardPlan":
+        """Partition ``specs`` into ``num_shards`` deterministic shards.
+
+        ``round-robin`` deals cells out by index; ``cost-balanced``
+        assigns the most expensive cells first (cost estimated from the
+        built circuit's gate and qubit counts) to the least-loaded shard,
+        with index and shard-number tie-breaks so the result is a pure
+        function of the grid.  ``compute_fingerprint=False`` skips the
+        grid hash — used by the local degenerate one-shard path, where
+        the plan never leaves the process.
+        """
+        specs = tuple(specs)
+        if num_shards < 1:
+            raise ExperimentError(
+                f"num_shards must be at least 1, got {num_shards}"
+            )
+        strategy = _normalise_strategy(strategy)
+        buckets: List[List[int]] = [[] for _ in range(num_shards)]
+        if strategy == "round-robin":
+            for index in range(len(specs)):
+                buckets[index % num_shards].append(index)
+        else:
+            costs = _cell_costs(specs)
+            heap = [(0, shard) for shard in range(num_shards)]
+            heapq.heapify(heap)
+            for index in sorted(range(len(specs)), key=lambda i: (-costs[i], i)):
+                load, shard = heapq.heappop(heap)
+                buckets[shard].append(index)
+                heapq.heappush(heap, (load + costs[index], shard))
+        fingerprint = (
+            grid_fingerprint(specs)
+            if compute_fingerprint
+            else f"local:{len(specs)}"
+        )
+        return cls(
+            specs=specs,
+            assignments=tuple(tuple(sorted(bucket)) for bucket in buckets),
+            strategy=strategy,
+            fingerprint=fingerprint,
+        )
+
+    def shard_input(self, shard_index: int) -> ShardInput:
+        """The self-contained input of one shard."""
+        if not 0 <= shard_index < self.num_shards:
+            raise ExperimentError(
+                f"shard index {shard_index} out of range for a "
+                f"{self.num_shards}-shard plan"
+            )
+        indices = self.assignments[shard_index]
+        return ShardInput(
+            plan_fingerprint=self.fingerprint,
+            shard_index=shard_index,
+            num_shards=self.num_shards,
+            indices=indices,
+            specs=tuple(self.specs[index] for index in indices),
+        )
+
+    def shard_inputs(self) -> List[ShardInput]:
+        """All shard inputs, in shard order."""
+        return [self.shard_input(index) for index in range(self.num_shards)]
+
+    def metadata(self) -> Dict:
+        """JSON-safe plan description (everything but the specs)."""
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "fingerprint": self.fingerprint,
+            "strategy": self.strategy,
+            "num_shards": self.num_shards,
+            "total_cells": self.total_cells,
+            "assignments": [list(indices) for indices in self.assignments],
+            "labels": [spec.label for spec in self.specs],
+        }
+
+
+def _cell_costs(specs: Sequence[ExperimentSpec]) -> List[int]:
+    """Per-cell cost estimates for the cost-balanced strategy.
+
+    Proportional to ``num_gates * num_qubits`` of the cell's circuit —
+    a crude but monotone proxy for placement work.  Circuits are built
+    once per distinct factory object (sweep grids share factories across
+    thresholds); a factory that fails at plan time costs 1 and fails
+    properly when its cell runs.
+    """
+    memo: Dict[int, int] = {}
+    costs: List[int] = []
+    for spec in specs:
+        key = id(spec.circuit_factory)
+        if key not in memo:
+            try:
+                circuit = spec.circuit_factory()
+                memo[key] = max(1, circuit.num_gates) * max(1, circuit.num_qubits)
+            except Exception:
+                memo[key] = 1
+        costs.append(memo[key])
+    return costs
+
+
+# ---------------------------------------------------------------------------
+# Shard-input files (pickle: specs carry callables)
+# ---------------------------------------------------------------------------
+
+
+def write_shard(shard: ShardInput, path: str) -> None:
+    """Serialise a shard input to ``path`` (pickle with a format header)."""
+    if shard.plan_fingerprint.startswith("local:"):
+        raise ExperimentError(
+            "refusing to write a shard of a plan built with "
+            "compute_fingerprint=False: its 'local:<N>' fingerprint is not "
+            "grid-specific, so merge_shards could silently combine shards "
+            "of different grids; build the plan with its real fingerprint"
+        )
+    payload = {
+        "format": SHARD_INPUT_FORMAT,
+        "schema_version": SCHEMA_VERSION,
+        "shard": shard,
+    }
+    try:
+        blob = pickle.dumps(payload, protocol=_PICKLE_PROTOCOL)
+    except Exception as exc:
+        raise ExperimentError(
+            f"shard {shard.shard_index} cannot be serialised ({exc}); shard "
+            "specs need picklable factories — module-level functions, "
+            "functools.partial, or constant_environment()"
+        ) from exc
+    with open(path, "wb") as handle:
+        handle.write(blob)
+
+
+def read_shard(path: str) -> ShardInput:
+    """Read a shard input written by :func:`write_shard`."""
+    try:
+        with open(path, "rb") as handle:
+            payload = pickle.load(handle)
+    except Exception as exc:
+        raise ExperimentError(f"cannot read shard file {path!r}: {exc}") from exc
+    if (
+        not isinstance(payload, dict)
+        or payload.get("format") != SHARD_INPUT_FORMAT
+        or not isinstance(payload.get("shard"), ShardInput)
+    ):
+        raise ExperimentError(
+            f"{path!r} is not a shard-input file (expected format "
+            f"{SHARD_INPUT_FORMAT!r})"
+        )
+    return payload["shard"]
+
+
+# ---------------------------------------------------------------------------
+# Execution
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class OutcomeShard:
+    """One executed shard: outcomes, counter delta, plan fingerprint.
+
+    ``outcomes`` are in shard-local spec order with each outcome's
+    ``index`` set to its *global* grid position; ``counters`` is the
+    shard's aggregate :data:`~repro.core.stats.STATS` delta (worker
+    deltas already folded in when the shard itself ran with ``jobs>1``).
+    """
+
+    plan_fingerprint: str
+    shard_index: int
+    num_shards: int
+    indices: Tuple[int, ...]
+    outcomes: List[ExperimentOutcome]
+    counters: Dict[str, int] = field(default_factory=dict)
+
+
+def execute_shard(
+    shard: ShardInput,
+    runner: Optional[ExperimentRunner] = None,
+) -> OutcomeShard:
+    """Run one shard's cells and package the outcome shard.
+
+    ``runner`` controls *how* the shard's own cells execute (serially or
+    over local worker processes, progress callbacks, backend override);
+    defaults to a serial runner.  The shard's cells run exactly as they
+    would inside a whole-grid run — same per-cell work, same counters.
+    """
+    runner = runner or ExperimentRunner()
+    specs = runner.prepared_specs(shard.specs)
+    before = STATS.snapshot()
+    outcomes = runner.execute_prepared(specs)
+    counters = STATS.delta_since(before)
+    for outcome, global_index in zip(outcomes, shard.indices):
+        outcome.index = global_index
+    return OutcomeShard(
+        plan_fingerprint=shard.plan_fingerprint,
+        shard_index=shard.shard_index,
+        num_shards=shard.num_shards,
+        indices=tuple(shard.indices),
+        outcomes=outcomes,
+        counters=counters,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Outcome-shard files (JSON: outcomes are plain data)
+# ---------------------------------------------------------------------------
+
+
+def outcome_shard_to_payload(shard: OutcomeShard) -> Dict:
+    """The JSON-safe form of an outcome shard (``--output json`` rows)."""
+    return {
+        "format": OUTCOME_SHARD_FORMAT,
+        "schema_version": SCHEMA_VERSION,
+        "plan_fingerprint": shard.plan_fingerprint,
+        "shard_index": shard.shard_index,
+        "num_shards": shard.num_shards,
+        "indices": list(shard.indices),
+        "rows": [outcome_to_dict(outcome) for outcome in shard.outcomes],
+        "counters": {
+            name: int(value) for name, value in sorted(shard.counters.items())
+        },
+    }
+
+
+def outcome_shard_from_payload(payload: Mapping) -> OutcomeShard:
+    """Rebuild an :class:`OutcomeShard` from its JSON payload."""
+    if payload.get("format") != OUTCOME_SHARD_FORMAT:
+        raise ExperimentError(
+            f"not an outcome-shard payload (expected format "
+            f"{OUTCOME_SHARD_FORMAT!r}, got {payload.get('format')!r})"
+        )
+    try:
+        return OutcomeShard(
+            plan_fingerprint=payload["plan_fingerprint"],
+            shard_index=int(payload["shard_index"]),
+            num_shards=int(payload["num_shards"]),
+            indices=tuple(int(index) for index in payload["indices"]),
+            outcomes=[outcome_from_dict(row) for row in payload["rows"]],
+            counters={str(k): int(v) for k, v in payload.get("counters", {}).items()},
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ExperimentError(
+            f"malformed outcome-shard payload ({exc!r}); the file is "
+            "truncated or was not written by write_outcome_shard"
+        ) from exc
+
+
+def write_outcome_shard(shard: OutcomeShard, path: str) -> None:
+    """Serialise an outcome shard to canonical JSON at ``path``.
+
+    Note that file round-trips drop any attached
+    :class:`~repro.core.result.PlacementResult` objects (see
+    :mod:`repro.analysis.serialization`); shard grids ship scalar rows.
+    """
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(dump_json(outcome_shard_to_payload(shard)))
+
+
+def read_outcome_shard(path: str) -> OutcomeShard:
+    """Read an outcome shard written by :func:`write_outcome_shard`."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except Exception as exc:
+        raise ExperimentError(
+            f"cannot read outcome-shard file {path!r}: {exc}"
+        ) from exc
+    if not isinstance(payload, dict):
+        raise ExperimentError(f"{path!r} is not an outcome-shard file")
+    return outcome_shard_from_payload(payload)
+
+
+# ---------------------------------------------------------------------------
+# Merge
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class MergedGrid:
+    """The reassembled grid: outcomes in grid order plus merged counters."""
+
+    outcomes: List[ExperimentOutcome]
+    counters: Dict[str, int]
+    plan_fingerprint: str
+    num_shards: int
+
+
+def merge_shards(
+    shards: Sequence[OutcomeShard],
+    plan: Optional[ShardPlan] = None,
+) -> MergedGrid:
+    """Verify and merge outcome shards back into one grid.
+
+    Checks, before touching any data: every shard echoes the same plan
+    fingerprint (and the given ``plan``'s, when provided), shard indices
+    are unique and in range, each shard's outcome list matches its index
+    list, and the union of indices covers the grid exactly once.  Counter
+    deltas are folded with :meth:`Counters.merge` in shard order — merge
+    order cannot matter, since merging is per-name addition.
+    """
+    shards = sorted(shards, key=lambda shard: shard.shard_index)
+    if not shards:
+        raise ExperimentError("cannot merge an empty list of outcome shards")
+
+    fingerprints = {shard.plan_fingerprint for shard in shards}
+    if len(fingerprints) > 1:
+        raise ExperimentError(
+            "outcome shards come from different plans (fingerprints "
+            f"{sorted(fingerprints)}); refusing to merge"
+        )
+    fingerprint = shards[0].plan_fingerprint
+    if plan is not None and plan.fingerprint != fingerprint:
+        raise ExperimentError(
+            f"outcome shards carry fingerprint {fingerprint!r} but the plan "
+            f"is {plan.fingerprint!r}; these shards belong to a different grid"
+        )
+
+    declared = {shard.num_shards for shard in shards}
+    if len(declared) > 1:
+        raise ExperimentError(
+            f"outcome shards disagree on the shard count ({sorted(declared)})"
+        )
+    num_shards = shards[0].num_shards
+    if plan is not None and plan.num_shards != num_shards:
+        raise ExperimentError(
+            f"shards declare {num_shards} shard(s) but the plan has "
+            f"{plan.num_shards}"
+        )
+
+    seen_shards = [shard.shard_index for shard in shards]
+    if sorted(seen_shards) != list(range(num_shards)):
+        missing = sorted(set(range(num_shards)) - set(seen_shards))
+        raise ExperimentError(
+            f"merging a {num_shards}-shard plan needs every shard exactly "
+            f"once, got shard indices {sorted(seen_shards)} "
+            f"(missing {missing})"
+        )
+
+    for shard in shards:
+        if len(shard.outcomes) != len(shard.indices):
+            raise ExperimentError(
+                f"shard {shard.shard_index} has {len(shard.outcomes)} "
+                f"outcome(s) for {len(shard.indices)} cell(s)"
+            )
+        for outcome, expected in zip(shard.outcomes, shard.indices):
+            if outcome.index != expected:
+                raise ExperimentError(
+                    f"shard {shard.shard_index} outcome index "
+                    f"{outcome.index} does not match its assigned cell "
+                    f"{expected}"
+                )
+        if plan is not None and shard.indices != plan.assignments[shard.shard_index]:
+            raise ExperimentError(
+                f"shard {shard.shard_index} cell assignment "
+                f"{list(shard.indices)} does not match the plan's "
+                f"{list(plan.assignments[shard.shard_index])}"
+            )
+
+    all_indices = [index for shard in shards for index in shard.indices]
+    total = plan.total_cells if plan is not None else len(all_indices)
+    if sorted(all_indices) != list(range(total)):
+        missing = sorted(set(range(total)) - set(all_indices))
+        duplicates = sorted(
+            {index for index in all_indices if all_indices.count(index) > 1}
+        )
+        raise ExperimentError(
+            "outcome shards do not cover the grid exactly once "
+            f"(missing cells {missing}, duplicated cells {duplicates})"
+        )
+
+    outcomes: List[Optional[ExperimentOutcome]] = [None] * total
+    merged = Counters()
+    for shard in shards:
+        merged.merge(shard.counters)
+        for outcome in shard.outcomes:
+            outcomes[outcome.index] = outcome
+    return MergedGrid(
+        outcomes=outcomes,
+        counters=merged.snapshot(),
+        plan_fingerprint=fingerprint,
+        num_shards=num_shards,
+    )

@@ -14,7 +14,7 @@ byte-identical rows to the serial run — pass picklable circuit factories
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.analysis.runner import (
     ExperimentRunner,
@@ -23,6 +23,7 @@ from repro.analysis.runner import (
 )
 from repro.core.config import PlacementOptions
 from repro.core.exhaustive import whole_circuit_runtime
+from repro.exceptions import ExperimentError
 from repro.hardware.environment import PhysicalEnvironment
 from repro.hardware.threshold_graph import PAPER_THRESHOLDS
 
@@ -119,6 +120,58 @@ def _sweep_specs(
     return specs, cell_index
 
 
+def build_sweep_specs(
+    circuit_factory,
+    environment: PhysicalEnvironment,
+    environment_factory,
+    thresholds: Sequence[float],
+    options: Optional[PlacementOptions] = None,
+    reuse_equivalent_cells: bool = True,
+    circuit_name: Optional[str] = None,
+) -> Tuple[List[ExperimentSpec], List[int]]:
+    """The flattened, deduplicated cell list of one sweep row.
+
+    Public entry point for callers that need the raw grid rather than
+    executed rows — the sharding pipeline plans over exactly this list
+    (``repro-place shard plan`` / ``sweep --shards``).  Returns the specs
+    plus, for each threshold position, the index of the spec that serves
+    it (equivalent thresholds share a spec; see :func:`_sweep_specs`).
+    ``environment_factory`` is the picklable factory shipped to workers
+    and into shard files; pass one that serialises deterministically
+    (e.g. a ``partial`` over a module-level loader) when plans must be
+    reproducible across processes.
+    """
+    return _sweep_specs(
+        circuit_factory,
+        circuit_name or circuit_factory().name,
+        environment,
+        environment_factory,
+        thresholds,
+        options or PlacementOptions(),
+        reuse_equivalent_cells,
+    )
+
+
+def row_from_outcomes(
+    outcomes,
+    cell_index: List[int],
+    thresholds: Sequence[float],
+    circuit_name: str,
+    environment_name: str,
+) -> SweepRow:
+    """Reassemble a :class:`SweepRow` from executed sweep-grid outcomes.
+
+    The inverse of :func:`build_sweep_specs`: ``outcomes`` holds one
+    outcome per spec (grid order — e.g. a merged shard grid) and
+    ``cell_index`` fans them back out to the threshold positions.
+    """
+    return SweepRow(
+        circuit_name,
+        environment_name,
+        _cells_from_outcomes(outcomes, cell_index, thresholds, circuit_name),
+    )
+
+
 def _cells_from_outcomes(
     outcomes, cell_index: List[int], thresholds: Sequence[float], circuit_name: str
 ) -> List[SweepCell]:
@@ -140,6 +193,7 @@ def _run_sweep_grid(
     reuse_equivalent_cells: bool,
     jobs: int,
     runner: Optional[ExperimentRunner],
+    on_row: Optional[Callable[[SweepRow], None]] = None,
 ) -> List[SweepRow]:
     """Execute a multi-row sweep grid as one flattened cell list.
 
@@ -147,6 +201,12 @@ def _run_sweep_grid(
     environment_factory)`` tuple per output row.  Flattening before
     execution means a parallel runner interleaves cells of *all* rows on a
     single worker pool instead of paying pool start-up per row.
+
+    With ``on_row``, cells stream through
+    :meth:`ExperimentRunner.iter_outcomes` and the callback fires with
+    each :class:`SweepRow` the moment its last cell completes — in row
+    *completion* order, which for parallel runs need not be input order.
+    The returned list is in input order either way.
     """
     all_specs: List[ExperimentSpec] = []
     row_layouts: List[Tuple[str, str, List[int]]] = []
@@ -165,12 +225,40 @@ def _run_sweep_grid(
         row_layouts.append(
             (circuit_name, environment.name, [offset + index for index in cell_index])
         )
-    outcomes = (runner or ExperimentRunner(jobs=jobs)).run(all_specs)
+    runner = runner or ExperimentRunner(jobs=jobs)
+    if on_row is None:
+        outcomes = runner.run(all_specs)
+    else:
+        outcomes = [None] * len(all_specs)
+        # Per-row countdown of distinct pending cells: O(1) bookkeeping
+        # per completed outcome (each spec belongs to exactly one row).
+        remaining: List[int] = []
+        row_of_spec: Dict[int, int] = {}
+        for position, (_, _, cell_index) in enumerate(row_layouts):
+            distinct = set(cell_index)
+            remaining.append(len(distinct))
+            for index in distinct:
+                row_of_spec[index] = position
+        for outcome in runner.iter_outcomes(all_specs):
+            outcomes[outcome.index] = outcome
+            position = row_of_spec[outcome.index]
+            remaining[position] -= 1
+            if remaining[position] == 0:
+                circuit_name, environment_name, cell_index = row_layouts[position]
+                on_row(
+                    row_from_outcomes(
+                        outcomes, cell_index, thresholds, circuit_name,
+                        environment_name,
+                    )
+                )
+        missing = [i for i, outcome in enumerate(outcomes) if outcome is None]
+        if missing:  # pragma: no cover - cells either return or raise
+            raise ExperimentError(
+                f"sweep grid returned no outcome for cell(s) {missing}"
+            )
     return [
-        SweepRow(
-            circuit_name,
-            environment_name,
-            _cells_from_outcomes(outcomes, cell_index, thresholds, circuit_name),
+        row_from_outcomes(
+            outcomes, cell_index, thresholds, circuit_name, environment_name
         )
         for circuit_name, environment_name, cell_index in row_layouts
     ]
@@ -184,6 +272,7 @@ def sweep_circuit(
     reuse_equivalent_cells: bool = True,
     jobs: int = 1,
     runner: Optional[ExperimentRunner] = None,
+    on_row: Optional[Callable[[SweepRow], None]] = None,
 ) -> SweepRow:
     """Place one circuit at every threshold (fresh circuit per threshold).
 
@@ -207,6 +296,7 @@ def sweep_circuit(
         reuse_equivalent_cells,
         jobs,
         runner,
+        on_row,
     )[0]
 
 
@@ -218,12 +308,14 @@ def sweep_environment(
     reuse_equivalent_cells: bool = True,
     jobs: int = 1,
     runner: Optional[ExperimentRunner] = None,
+    on_row: Optional[Callable[[SweepRow], None]] = None,
 ) -> List[SweepRow]:
     """Sweep several circuits over one environment (one Table 3 block).
 
     The whole (circuit x threshold) grid is flattened into one cell list
     before execution, so a parallel runner interleaves cells of *all* rows
-    instead of running one serial row at a time.
+    instead of running one serial row at a time.  ``on_row`` streams each
+    circuit's row as soon as its last cell completes (completion order).
     """
     environment_factory = constant_environment(environment)
     return _run_sweep_grid(
@@ -236,6 +328,7 @@ def sweep_environment(
         reuse_equivalent_cells,
         jobs,
         runner,
+        on_row,
     )
 
 
@@ -247,13 +340,15 @@ def sweep_table(
     reuse_equivalent_cells: bool = True,
     jobs: int = 1,
     runner: Optional[ExperimentRunner] = None,
+    on_row: Optional[Callable[[SweepRow], None]] = None,
 ) -> List[SweepRow]:
     """Sweep one circuit over several environments (a full Table 3).
 
     Like :func:`sweep_environment` but varying the environment instead of
     the circuit, and likewise flattened into a single cell list — one
     parallel run (one worker pool) covers every molecule's row instead of
-    paying pool start-up per environment.
+    paying pool start-up per environment.  ``on_row`` streams each
+    environment's row as soon as its last cell completes.
     """
     circuit_name = circuit_factory().name
     return _run_sweep_grid(
@@ -266,6 +361,7 @@ def sweep_table(
         reuse_equivalent_cells,
         jobs,
         runner,
+        on_row,
     )
 
 

@@ -1,7 +1,7 @@
 """Command-line interface.
 
 Installed as ``repro-place`` (see ``pyproject.toml``) and usable as
-``python -m repro.cli``.  Three subcommands:
+``python -m repro.cli``.  Subcommands:
 
 ``place``
     Place a benchmark circuit (or a circuit file in the text format of
@@ -10,27 +10,53 @@ Installed as ``repro-place`` (see ``pyproject.toml``) and usable as
 
 ``sweep``
     Run a Table-3 style threshold sweep of one circuit over one molecule.
+    ``--shards N --shard-index K`` executes only shard ``K`` of the
+    deterministic ``N``-shard partition of the sweep grid — the
+    single-invocation shard worker (its ``--output json`` payload is a
+    mergeable outcome shard).
+
+``shard``
+    The sharded-grid pipeline: ``shard plan`` partitions a sweep grid
+    into shard input files plus a ``plan.json``, ``shard run`` executes
+    one shard file anywhere (any host with this package), and ``shard
+    merge`` verifies and merges the outcome shards back into exactly the
+    table a serial ``sweep`` would have printed.  See
+    ``docs/parallelism.md`` ("Sharding across hosts").
 
 ``list``
     List the available benchmark circuits and molecules.
+
+``place`` and ``sweep`` accept ``--output json`` for machine-readable
+rows + counters; all JSON surfaces share one serialisation helper
+(:mod:`repro.analysis.serialization`), so rows written by any of them can
+be compared byte for byte.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
 from functools import partial
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
+from repro.analysis import sharding
 from repro.analysis.reporting import format_table
-from repro.analysis.runner import ExperimentRunner, stderr_progress
-from repro.analysis.sweep import sweep_circuit
+from repro.analysis.runner import (
+    ExperimentRunner,
+    ExperimentSpec,
+    stderr_progress,
+)
+from repro.analysis.serialization import dump_json, outcomes_payload
+from repro.analysis.sweep import SweepRow, build_sweep_specs, row_from_outcomes
 from repro.circuits import qasm
 from repro.circuits.circuit import QuantumCircuit
 from repro.circuits.library import CIRCUIT_FACTORIES, benchmark_circuit
 from repro.core.config import PlacementOptions
 from repro.core.placement import place_circuit
-from repro.exceptions import ReproError
+from repro.core.stats import STATS
+from repro.exceptions import ExperimentError, ReproError
 from repro.hardware import io as hardware_io
 from repro.hardware.environment import PhysicalEnvironment
 from repro.hardware.molecules import MOLECULE_FACTORIES, molecule
@@ -91,7 +117,36 @@ def _add_common_options(parser: argparse.ArgumentParser) -> None:
                              "picks numpy when available and profitable)")
 
 
+def _add_output_option(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--output", choices=("text", "json"), default="text",
+                        help="output format: human-readable table, or "
+                             "machine-readable JSON rows + counters "
+                             "(one shared row format across place, sweep "
+                             "and the shard pipeline)")
+
+
+# ---------------------------------------------------------------------------
+# place
+# ---------------------------------------------------------------------------
+
+
 def _cmd_place(args: argparse.Namespace) -> int:
+    if args.output == "json":
+        # Run through the experiment engine so the JSON row is the same
+        # shape (and serialisation) as sweep cells and shard outputs.
+        spec = ExperimentSpec(
+            circuit_factory=partial(_load_circuit, args.circuit),
+            environment_factory=partial(_load_environment, args.environment),
+            options=_options_from_args(args),
+            label=f"{args.circuit}@{args.environment}",
+        )
+        before = STATS.snapshot()
+        outcome = ExperimentRunner().run([spec])[0]
+        payload = outcomes_payload([outcome], counters=STATS.delta_since(before))
+        payload["circuit"] = args.circuit
+        payload["environment"] = args.environment
+        print(dump_json(payload), end="")
+        return 0 if outcome.feasible else 1
     circuit = _load_circuit(args.circuit)
     environment = _load_environment(args.environment)
     result = place_circuit(circuit, environment, _options_from_args(args))
@@ -112,26 +167,296 @@ def _cmd_place(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_sweep(args: argparse.Namespace) -> int:
-    environment = _load_environment(args.environment)
-    thresholds = args.thresholds or list(PAPER_THRESHOLDS)
+# ---------------------------------------------------------------------------
+# sweep (including the single-invocation shard worker)
+# ---------------------------------------------------------------------------
 
-    # A partial over the module-level loader (not a closure) so the specs
-    # stay picklable when the sweep fans out over worker processes.
-    factory = partial(_load_circuit, args.circuit)
-    runner = ExperimentRunner(
-        jobs=args.jobs,
-        progress=stderr_progress("sweep cell") if args.progress else None,
+
+def _sweep_grid_from_args(
+    args: argparse.Namespace,
+) -> Tuple[PhysicalEnvironment, List[float], str, List[ExperimentSpec], List[int], Optional[str]]:
+    """Build the sweep grid the way every sharding surface must: with
+    module-level loader partials as factories, so specs — and therefore the
+    plan fingerprint — serialise identically in any process.
+
+    The scheduler backend is kept *out* of the specs (they stay on
+    ``"auto"``) and returned separately as a runner override: backends are
+    bit-identical by contract, so two shard invocations differing only in
+    ``--scheduler-backend`` must produce mergeable shards with the same
+    plan fingerprint."""
+    environment = _load_environment(args.environment)
+    thresholds = [float(t) for t in (args.thresholds or list(PAPER_THRESHOLDS))]
+    options = _options_from_args(args)
+    backend = (
+        None if options.scheduler_backend == "auto" else options.scheduler_backend
     )
-    row = sweep_circuit(
-        factory, environment, thresholds, _options_from_args(args), runner=runner
+    options = options.replace(scheduler_backend="auto")
+    circuit_factory = partial(_load_circuit, args.circuit)
+    circuit_name = circuit_factory().name
+    specs, cell_index = build_sweep_specs(
+        circuit_factory,
+        environment,
+        partial(_load_environment, args.environment),
+        thresholds,
+        options,
+        circuit_name=circuit_name,
     )
+    return environment, thresholds, circuit_name, specs, cell_index, backend
+
+
+def _sweep_row_table(row: SweepRow) -> str:
     table_rows = [
         [f"threshold {cell.threshold:g}", cell.formatted()] for cell in row.cells
     ]
-    print(format_table(["threshold", "runtime (subcircuits)"], table_rows,
-                       title=f"{row.circuit_name} on {row.environment_name}"))
+    return format_table(["threshold", "runtime (subcircuits)"], table_rows,
+                        title=f"{row.circuit_name} on {row.environment_name}")
+
+
+def _sweep_json_payload(
+    row: SweepRow, outcomes, counters, fingerprint: Optional[str] = None
+) -> dict:
+    payload = outcomes_payload(outcomes, counters=counters)
+    payload["circuit"] = row.circuit_name
+    payload["environment"] = row.environment_name
+    payload["cells"] = [
+        {
+            "threshold": cell.threshold,
+            "feasible": cell.feasible,
+            "runtime_seconds": cell.runtime_seconds,
+            "num_subcircuits": cell.num_subcircuits,
+        }
+        for cell in row.cells
+    ]
+    if fingerprint is not None:
+        payload["plan_fingerprint"] = fingerprint
+    return payload
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    if args.shards < 1:
+        raise ExperimentError(f"--shards must be at least 1, got {args.shards}")
+    environment, thresholds, circuit_name, specs, cell_index, backend = (
+        _sweep_grid_from_args(args)
+    )
+    runner = ExperimentRunner(
+        jobs=args.jobs,
+        progress=stderr_progress("sweep cell") if args.progress else None,
+        scheduler_backend=backend,
+    )
+
+    if args.shard_index is not None:
+        # Shard-worker mode: execute only this invocation's slice of the
+        # deterministic N-shard partition.  The JSON payload is a full
+        # outcome shard, so N such invocations merge back into the exact
+        # serial sweep (repro-place shard merge).
+        plan = sharding.ShardPlan.build(
+            specs, num_shards=args.shards, strategy=args.strategy
+        )
+        shard = sharding.execute_shard(plan.shard_input(args.shard_index), runner)
+        if args.output == "json":
+            print(dump_json(sharding.outcome_shard_to_payload(shard)), end="")
+            return 0
+        table_rows = [
+            [outcome.label, "ok" if outcome.feasible else "N/A"]
+            for outcome in shard.outcomes
+        ]
+        print(format_table(
+            ["cell", "status"], table_rows,
+            title=f"shard {shard.shard_index}/{shard.num_shards} "
+                  f"({len(shard.outcomes)} of {plan.total_cells} cells, "
+                  f"fingerprint {shard.plan_fingerprint[:12]})",
+        ))
+        return 0
+    if args.shards > 1:
+        raise ExperimentError(
+            "--shards without --shard-index selects nothing to run; pass "
+            "--shard-index K to execute one shard, or use "
+            "'repro-place shard plan' to write shard files for all of them"
+        )
+
+    before = STATS.snapshot()
+    outcomes = runner.run(specs)
+    row = row_from_outcomes(
+        outcomes, cell_index, thresholds, circuit_name, environment.name
+    )
+    if args.output == "json":
+        payload = _sweep_json_payload(row, outcomes, STATS.delta_since(before))
+        print(dump_json(payload), end="")
+        return 0
+    print(_sweep_row_table(row))
     return 0
+
+
+# ---------------------------------------------------------------------------
+# shard plan / run / merge
+# ---------------------------------------------------------------------------
+
+PLAN_FILE = "plan.json"
+PLAN_FORMAT = "repro-shard-plan"
+
+
+def _cmd_shard_plan(args: argparse.Namespace) -> int:
+    if args.shards < 1:
+        raise ExperimentError(f"--shards must be at least 1, got {args.shards}")
+    # The backend override is dropped on purpose: it is a per-worker
+    # execution detail ('shard run --scheduler-backend'), never part of
+    # the planned grid's identity.
+    environment, thresholds, circuit_name, specs, cell_index, _backend = (
+        _sweep_grid_from_args(args)
+    )
+    plan = sharding.ShardPlan.build(
+        specs, num_shards=args.shards, strategy=args.strategy
+    )
+    os.makedirs(args.out_dir, exist_ok=True)
+    shard_files = []
+    for index in range(plan.num_shards):
+        shard_file = f"shard-{index}.pkl"
+        sharding.write_shard(
+            plan.shard_input(index), os.path.join(args.out_dir, shard_file)
+        )
+        shard_files.append(shard_file)
+    metadata = plan.metadata()
+    metadata.update({
+        "format": PLAN_FORMAT,
+        "circuit": args.circuit,
+        "circuit_name": circuit_name,
+        "environment": args.environment,
+        "environment_name": environment.name,
+        "thresholds": thresholds,
+        "cell_index": cell_index,
+        "shard_files": shard_files,
+    })
+    plan_path = os.path.join(args.out_dir, PLAN_FILE)
+    with open(plan_path, "w", encoding="utf-8") as handle:
+        handle.write(dump_json(metadata))
+    print(f"planned {plan.total_cells} cell(s) into {plan.num_shards} shard(s) "
+          f"({plan.strategy}, fingerprint {plan.fingerprint[:12]})")
+    for index, indices in enumerate(plan.assignments):
+        print(f"  shard {index}: {len(indices)} cell(s) -> "
+              f"{os.path.join(args.out_dir, shard_files[index])}")
+    print(f"plan metadata: {plan_path}")
+    return 0
+
+
+def _cmd_shard_run(args: argparse.Namespace) -> int:
+    shard = sharding.read_shard(args.shard_file)
+    runner = ExperimentRunner(
+        jobs=args.jobs,
+        progress=(
+            stderr_progress(f"shard {shard.shard_index} cell")
+            if args.progress else None
+        ),
+        scheduler_backend=args.scheduler_backend,
+    )
+    outcome_shard = sharding.execute_shard(shard, runner)
+    sharding.write_outcome_shard(outcome_shard, args.out)
+    infeasible = sum(1 for o in outcome_shard.outcomes if not o.feasible)
+    print(f"shard {shard.shard_index}/{shard.num_shards}: "
+          f"{len(outcome_shard.outcomes)} cell(s) "
+          f"({infeasible} infeasible) -> {args.out}")
+    return 0
+
+
+_PLAN_REQUIRED_KEYS = (
+    "fingerprint", "num_shards", "total_cells", "cell_index", "thresholds",
+    "circuit_name", "environment_name",
+)
+
+
+def _read_plan_metadata(path: str) -> dict:
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            metadata = json.load(handle)
+    except Exception as exc:
+        raise ExperimentError(f"cannot read plan file {path!r}: {exc}") from exc
+    if not isinstance(metadata, dict) or metadata.get("format") != PLAN_FORMAT:
+        raise ExperimentError(
+            f"{path!r} is not a shard-plan file (expected format "
+            f"{PLAN_FORMAT!r}); pass the plan.json written by "
+            "'repro-place shard plan'"
+        )
+    missing = [key for key in _PLAN_REQUIRED_KEYS if key not in metadata]
+    if missing:
+        raise ExperimentError(
+            f"plan file {path!r} is missing {missing}; the file is "
+            "truncated or was not written by 'repro-place shard plan'"
+        )
+    return metadata
+
+
+def _cmd_shard_merge(args: argparse.Namespace) -> int:
+    shards = [sharding.read_outcome_shard(path) for path in args.shard_outputs]
+    merged = sharding.merge_shards(shards)
+    metadata = None
+    if args.plan is not None:
+        metadata = _read_plan_metadata(args.plan)
+        if merged.plan_fingerprint != metadata["fingerprint"]:
+            raise ExperimentError(
+                f"outcome shards carry fingerprint "
+                f"{merged.plan_fingerprint!r} but the plan is "
+                f"{metadata['fingerprint']!r}; these shards belong to a "
+                "different grid"
+            )
+        if merged.num_shards != metadata["num_shards"]:
+            raise ExperimentError(
+                f"outcome shards declare {merged.num_shards} shard(s) but "
+                f"the plan has {metadata['num_shards']}"
+            )
+        if len(merged.outcomes) != metadata["total_cells"]:
+            raise ExperimentError(
+                f"merged grid has {len(merged.outcomes)} cell(s) but the "
+                f"plan describes {metadata['total_cells']}"
+            )
+    if metadata is not None:
+        try:
+            row = row_from_outcomes(
+                merged.outcomes,
+                metadata["cell_index"],
+                metadata["thresholds"],
+                metadata["circuit_name"],
+                metadata["environment_name"],
+            )
+        except (IndexError, TypeError, ValueError) as exc:
+            raise ExperimentError(
+                f"plan file {args.plan!r} does not describe the merged grid "
+                f"({exc!r}); the plan is corrupt or belongs to another run"
+            ) from exc
+        if args.output == "json":
+            payload = _sweep_json_payload(
+                row, merged.outcomes, merged.counters, merged.plan_fingerprint
+            )
+            print(dump_json(payload), end="")
+            return 0
+        print(_sweep_row_table(row))
+        return 0
+    # Plan-less merge: no threshold layout to rebuild a sweep table from,
+    # so emit the generic merged payload (rows in grid order + counters).
+    if args.output == "json":
+        payload = outcomes_payload(merged.outcomes, counters=merged.counters)
+        payload["plan_fingerprint"] = merged.plan_fingerprint
+        payload["num_shards"] = merged.num_shards
+        print(dump_json(payload), end="")
+        return 0
+    table_rows = [
+        [outcome.label or outcome.circuit_name,
+         "ok" if outcome.feasible else "N/A"]
+        for outcome in merged.outcomes
+    ]
+    print(format_table(
+        ["cell", "status"], table_rows,
+        title=f"merged grid ({merged.num_shards} shard(s), "
+              f"fingerprint {merged.plan_fingerprint[:12]})",
+    ))
+    return 0
+
+
+def _cmd_shard(args: argparse.Namespace) -> int:
+    return args.shard_func(args)
+
+
+# ---------------------------------------------------------------------------
+# list
+# ---------------------------------------------------------------------------
 
 
 def _cmd_list(_: argparse.Namespace) -> int:
@@ -158,6 +483,7 @@ def build_parser() -> argparse.ArgumentParser:
     place_parser.add_argument("circuit", help="benchmark circuit name or .qc file")
     place_parser.add_argument("environment", help="molecule name or environment .json file")
     _add_common_options(place_parser)
+    _add_output_option(place_parser)
     place_parser.set_defaults(func=_cmd_place)
 
     sweep_parser = subparsers.add_parser("sweep", help="threshold sweep (Table 3 style)")
@@ -170,8 +496,69 @@ def build_parser() -> argparse.ArgumentParser:
                                    "(1 = serial; results are identical either way)")
     sweep_parser.add_argument("--progress", action="store_true",
                               help="print one line per completed sweep cell to stderr")
+    sweep_parser.add_argument("--shards", type=int, default=1,
+                              help="partition the sweep grid into this many "
+                                   "deterministic shards (use with --shard-index)")
+    sweep_parser.add_argument("--shard-index", type=int, default=None,
+                              help="execute only this shard of the --shards "
+                                   "partition; with --output json the payload "
+                                   "is a mergeable outcome shard")
+    sweep_parser.add_argument("--strategy", choices=list(sharding.STRATEGIES),
+                              default="round-robin",
+                              help="shard partitioning strategy (default: round-robin)")
     _add_common_options(sweep_parser)
+    _add_output_option(sweep_parser)
     sweep_parser.set_defaults(func=_cmd_sweep)
+
+    shard_parser = subparsers.add_parser(
+        "shard", help="sharded sweep grids: plan, run one shard, merge outputs"
+    )
+    shard_subparsers = shard_parser.add_subparsers(dest="shard_command", required=True)
+
+    plan_parser = shard_subparsers.add_parser(
+        "plan", help="partition a sweep grid into shard input files + plan.json"
+    )
+    plan_parser.add_argument("circuit", help="benchmark circuit name or .qc file")
+    plan_parser.add_argument("environment", help="molecule name or environment .json file")
+    plan_parser.add_argument("--thresholds", type=float, nargs="+", default=None,
+                             help="threshold values (default: the paper's list)")
+    plan_parser.add_argument("--shards", type=int, required=True,
+                             help="number of shards to partition the grid into")
+    plan_parser.add_argument("--strategy", choices=list(sharding.STRATEGIES),
+                             default="round-robin",
+                             help="partitioning strategy (default: round-robin)")
+    plan_parser.add_argument("--out-dir", required=True,
+                             help="directory for plan.json and shard-<i>.pkl files")
+    _add_common_options(plan_parser)
+    plan_parser.set_defaults(func=_cmd_shard, shard_func=_cmd_shard_plan)
+
+    run_parser = shard_subparsers.add_parser(
+        "run", help="execute one shard input file and write its outcome shard"
+    )
+    run_parser.add_argument("--shard-file", required=True,
+                            help="shard input written by 'shard plan'")
+    run_parser.add_argument("--out", required=True,
+                            help="where to write the JSON outcome shard")
+    run_parser.add_argument("--jobs", type=int, default=1,
+                            help="local worker processes for this shard's cells")
+    run_parser.add_argument("--progress", action="store_true",
+                            help="print one line per completed cell to stderr")
+    run_parser.add_argument("--scheduler-backend", choices=list(BACKEND_CHOICES),
+                            default=None,
+                            help="override the runtime-evaluator backend for "
+                                 "this shard (outputs are bit-identical)")
+    run_parser.set_defaults(func=_cmd_shard, shard_func=_cmd_shard_run)
+
+    merge_parser = shard_subparsers.add_parser(
+        "merge", help="verify and merge outcome shards back into one grid"
+    )
+    merge_parser.add_argument("shard_outputs", nargs="+",
+                              help="outcome-shard JSON files (one per shard)")
+    merge_parser.add_argument("--plan", default=None,
+                              help="plan.json from 'shard plan'; enables the "
+                                   "sweep-table rendering and extra verification")
+    _add_output_option(merge_parser)
+    merge_parser.set_defaults(func=_cmd_shard, shard_func=_cmd_shard_merge)
 
     list_parser = subparsers.add_parser("list", help="list circuits and molecules")
     list_parser.set_defaults(func=_cmd_list)

@@ -1,5 +1,7 @@
 """Tests of the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -10,11 +12,11 @@ from repro.hardware.molecules import acetyl_chloride
 
 
 class TestParser:
-    def test_parser_has_three_subcommands(self):
+    def test_parser_subcommands(self):
         parser = build_parser()
         actions = [a for a in parser._actions if hasattr(a, "choices") and a.choices]
         subcommands = set(actions[0].choices)
-        assert subcommands == {"place", "sweep", "list"}
+        assert subcommands == {"place", "sweep", "shard", "list"}
 
     def test_missing_subcommand_errors(self):
         with pytest.raises(SystemExit):
@@ -88,3 +90,141 @@ class TestCommands:
         code = main(["place", "qft6", "not-a-molecule"])
         assert code == 1
         assert "error:" in capsys.readouterr().err
+
+
+SWEEP_ARGS = ["error-correction-encoding", "acetyl-chloride",
+              "--thresholds", "50", "100", "200"]
+
+
+class TestJsonOutput:
+    def test_place_json_row_and_counters(self, capsys):
+        code = main(["place", "error-correction-encoding", "acetyl-chloride",
+                     "--output", "json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        (row,) = payload["rows"]
+        assert row["feasible"] is True
+        assert row["runtime_seconds"] == pytest.approx(0.0136)
+        assert payload["counters"]["monomorphism.searches"] > 0
+
+    def test_place_json_infeasible_exits_nonzero(self, capsys):
+        code = main(["place", "phaseest", "acetyl-chloride", "--output", "json"])
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["rows"][0]["feasible"] is False
+        assert payload["rows"][0]["error_type"]
+
+    def test_sweep_json_cells_match_text_table(self, capsys):
+        assert main(["sweep"] + SWEEP_ARGS + ["--output", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert [cell["threshold"] for cell in payload["cells"]] == [50.0, 100.0, 200.0]
+        assert payload["cells"][0]["feasible"] is False
+        assert payload["cells"][1]["num_subcircuits"] == 1
+        assert payload["counters"]
+        # Deduplicated grid: 3 thresholds, but 100/200 share one cell.
+        assert len(payload["rows"]) == 2
+
+
+class TestShardPipeline:
+    def test_plan_run_merge_matches_serial_sweep(self, tmp_path, capsys):
+        assert main(["sweep"] + SWEEP_ARGS) == 0
+        serial_table = capsys.readouterr().out
+
+        out_dir = str(tmp_path / "shards")
+        assert main(["shard", "plan"] + SWEEP_ARGS
+                    + ["--shards", "2", "--out-dir", out_dir]) == 0
+        assert "2 shard(s)" in capsys.readouterr().out
+        outputs = []
+        for index in range(2):
+            out_file = str(tmp_path / f"out-{index}.json")
+            assert main(["shard", "run",
+                         "--shard-file", f"{out_dir}/shard-{index}.pkl",
+                         "--out", out_file]) == 0
+            capsys.readouterr()
+            outputs.append(out_file)
+        assert main(["shard", "merge", "--plan", f"{out_dir}/plan.json"]
+                    + outputs) == 0
+        assert capsys.readouterr().out == serial_table
+
+    def test_sweep_shard_index_outputs_mergeable_shards(self, tmp_path, capsys):
+        assert main(["sweep"] + SWEEP_ARGS) == 0
+        serial_table = capsys.readouterr().out
+        outputs = []
+        for index in range(2):
+            assert main(["sweep"] + SWEEP_ARGS
+                        + ["--shards", "2", "--shard-index", str(index),
+                           "--output", "json"]) == 0
+            path = tmp_path / f"shard-{index}.json"
+            path.write_text(capsys.readouterr().out)
+            outputs.append(str(path))
+        # Plan-less merge: generic payload, rows in grid order.
+        assert main(["shard", "merge", "--output", "json"] + outputs) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert [row["index"] for row in payload["rows"]] == [0, 1]
+        assert payload["num_shards"] == 2
+        # The shard invocations recompute the same plan fingerprint, so a
+        # plan file from a separate invocation also verifies and renders
+        # the serial sweep table.
+        out_dir = str(tmp_path / "plandir")
+        assert main(["shard", "plan"] + SWEEP_ARGS
+                    + ["--shards", "2", "--out-dir", out_dir]) == 0
+        capsys.readouterr()
+        assert main(["shard", "merge", "--plan", f"{out_dir}/plan.json"]
+                    + outputs) == 0
+        assert capsys.readouterr().out == serial_table
+
+    def test_merge_refuses_wrong_plan(self, tmp_path, capsys):
+        out_dir = str(tmp_path / "shards")
+        assert main(["shard", "plan"] + SWEEP_ARGS
+                    + ["--shards", "1", "--out-dir", out_dir]) == 0
+        out_file = str(tmp_path / "out-0.json")
+        assert main(["shard", "run", "--shard-file", f"{out_dir}/shard-0.pkl",
+                     "--out", out_file]) == 0
+        other_dir = str(tmp_path / "other")
+        assert main(["shard", "plan", "qft6", "trans-crotonic-acid",
+                     "--thresholds", "100", "--shards", "1",
+                     "--out-dir", other_dir]) == 0
+        capsys.readouterr()
+        code = main(["shard", "merge", "--plan", f"{other_dir}/plan.json",
+                     out_file])
+        assert code == 1
+        assert "different grid" in capsys.readouterr().err
+
+    def test_shard_invocations_merge_across_scheduler_backends(
+        self, tmp_path, capsys
+    ):
+        # Backends are bit-identical, so shards run with different
+        # --scheduler-backend flags must share a plan fingerprint and merge.
+        outputs = []
+        for index, backend in enumerate(["python", "auto"]):
+            assert main(["sweep"] + SWEEP_ARGS
+                        + ["--shards", "2", "--shard-index", str(index),
+                           "--scheduler-backend", backend,
+                           "--output", "json"]) == 0
+            path = tmp_path / f"shard-{index}.json"
+            path.write_text(capsys.readouterr().out)
+            outputs.append(str(path))
+        assert main(["shard", "merge", "--output", "json"] + outputs) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert [row["index"] for row in payload["rows"]] == [0, 1]
+
+    def test_merge_rejects_malformed_outcome_shard(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"format": "repro-outcome-shard",
+                                    "shard_index": 0}))
+        code = main(["shard", "merge", str(path)])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_sweep_shards_without_index_is_an_error(self, capsys):
+        code = main(["sweep"] + SWEEP_ARGS + ["--shards", "2"])
+        assert code == 1
+        assert "--shard-index" in capsys.readouterr().err
+
+    def test_progress_reports_throughput(self, capsys):
+        code = main(["sweep", "error-correction-encoding", "acetyl-chloride",
+                     "--thresholds", "100", "--progress"])
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "sweep cell 1/1" in err
+        assert "cells/s" in err
