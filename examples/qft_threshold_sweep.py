@@ -6,13 +6,15 @@ subcircuits; infeasible combinations (adjacency graph empty or too
 disconnected) show up as N/A, exactly like Table 3's pentafluorobutadienyl
 iron rows.
 
-Run with ``python examples/qft_threshold_sweep.py [circuit-name] [--jobs N]``.
-``--jobs 4`` fans the sweep cells out over four worker processes through
-:class:`repro.analysis.runner.ExperimentRunner`; the table is identical to
-the serial one.  ``--stream`` renders each molecule's row the moment its
-last cell completes (row completion order) instead of waiting for the whole
-grid — with ``--jobs`` the quick molecules appear while the slow ones are
-still placing.
+Run with ``python examples/qft_threshold_sweep.py [circuit-spec] [--jobs N]``.
+The circuit is any :mod:`repro.registry` spec — a named benchmark
+(``phaseest``, ``qft6``) or a parameterised family (``qft:7``,
+``hidden-stage:16``).  Molecules are likewise addressed by their registry
+names, so the whole grid is described by strings, exactly like a
+``RunConfig``.  ``--jobs 4`` fans the sweep cells out over four worker
+processes; the table is identical to the serial one.  ``--stream``
+renders each molecule's row the moment its last cell completes (row
+completion order) instead of waiting for the whole grid.
 """
 
 import argparse
@@ -20,19 +22,17 @@ import argparse
 from repro.analysis.reporting import format_table
 from repro.analysis.runner import ExperimentRunner, stderr_progress
 from repro.analysis.sweep import sweep_table
-from repro.circuits.library import CIRCUIT_FACTORIES
-from repro.hardware.molecules import all_molecules
 from repro.hardware.threshold_graph import PAPER_THRESHOLDS
+from repro.registry import ENVIRONMENTS, load_circuit, load_environment
 
 
 def main(
-    circuit_name: str = "phaseest",
+    circuit_spec: str = "phaseest",
     jobs: int = 1,
     progress: bool = False,
     stream: bool = False,
 ) -> None:
-    factory = CIRCUIT_FACTORIES[circuit_name]
-    num_qubits = factory().num_qubits
+    num_qubits = load_circuit(circuit_spec).num_qubits
     runner = ExperimentRunner(
         jobs=jobs, progress=stderr_progress("sweep cell") if progress else None
     )
@@ -45,11 +45,16 @@ def main(
 
     # One flattened grid over every big-enough molecule: a single runner
     # call, so parallel runs pay pool start-up once, not once per row.
-    molecules = all_molecules()
-    big_enough = [env for env in molecules if env.num_qubits >= num_qubits]
+    # Molecules are passed as registry spec strings — sweep_table resolves
+    # them through the same loaders as the CLI and shard plans.
+    molecule_names = [
+        entry.name for entry in ENVIRONMENTS.entries() if not entry.parameterised
+    ]
+    molecules = [(name, load_environment(name)) for name in molecule_names]
+    big_enough = [name for name, env in molecules if env.num_qubits >= num_qubits]
     sweep_rows = iter(
         sweep_table(
-            factory,
+            circuit_spec,
             big_enough,
             PAPER_THRESHOLDS,
             runner=runner,
@@ -57,7 +62,7 @@ def main(
         )
     )
     rows = []
-    for environment in molecules:
+    for name, environment in molecules:
         if environment.num_qubits < num_qubits:
             rows.append([environment.name] + ["too small"] * len(PAPER_THRESHOLDS))
         else:
@@ -65,14 +70,14 @@ def main(
             rows.append(
                 [environment.name] + [cell.formatted() for cell in sweep_row.cells]
             )
-    print(format_table(header, rows, title=f"Threshold sweep for {circuit_name!r}"))
+    print(format_table(header, rows, title=f"Threshold sweep for {circuit_spec!r}"))
 
 
 if __name__ == "__main__":
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("circuit", nargs="?", default="phaseest",
-                        choices=sorted(CIRCUIT_FACTORIES),
-                        help="benchmark circuit name (default: phaseest)")
+                        help="circuit registry spec (default: phaseest; "
+                             "e.g. qft6, qft:7, hidden-stage:16)")
     parser.add_argument("--jobs", type=int, default=1,
                         help="worker processes per sweep (default: 1, serial)")
     parser.add_argument("--progress", action="store_true",

@@ -5,16 +5,19 @@ places them onto 1 kHz chains and prints the same columns as Table 4.  The
 placer should discover exactly one subcircuit per hidden stage.
 
 Run with ``python examples/scalability_chains.py [max_qubits] [--jobs N]``.
-``--jobs 4`` places the chain instances on four worker processes through
-:class:`repro.analysis.runner.ExperimentRunner`; every column except the
-wall-clock "software runtime" is identical to the serial run.
+The run is described by a :class:`repro.RunConfig` (the workload family
+``hidden-stage:N`` on ``chain:N`` architectures) and executed through the
+:class:`repro.Session` façade — the same layer behind the CLI and the
+shard pipeline.  ``--jobs 4`` places the chain instances on four worker
+processes; every column except the wall-clock "software runtime" is
+identical to the serial run.
 """
 
 import argparse
 
+from repro import RunConfig, Session
 from repro.analysis.reporting import format_table
-from repro.analysis.runner import ExperimentRunner, stderr_progress
-from repro.analysis.scalability import run_scalability_sweep
+from repro.analysis.runner import stderr_progress
 
 
 def main(
@@ -22,8 +25,16 @@ def main(
     stream: bool = False,
 ) -> None:
     sizes = [n for n in (8, 16, 32, 64, 128, 256) if n <= max_qubits]
-    runner = ExperimentRunner(
-        jobs=jobs, progress=stderr_progress("chain") if progress else None
+    # The config names the workload family; Session.scalability generates
+    # one hidden-stage instance (and matching chain) per requested size.
+    largest = max(sizes, default=8)
+    config = RunConfig(
+        circuit=f"hidden-stage:{largest}",
+        environment=f"chain:{largest}",
+        jobs=jobs,
+    )
+    session = Session(
+        config, progress=stderr_progress("chain") if progress else None
     )
 
     def streamed_record(record):
@@ -32,8 +43,8 @@ def main(
               f"{record.circuit_runtime_seconds:.3f} sec circuit runtime",
               flush=True)
 
-    records = run_scalability_sweep(
-        sizes, runner=runner, on_record=streamed_record if stream else None
+    records = session.scalability(
+        sizes, on_record=streamed_record if stream else None
     )
     rows = [
         [

@@ -7,7 +7,11 @@
 #   2. a 2-shard plan -> run -> merge round trip through the CLI, asserting
 #      the merged sweep table is byte-identical to the serial `sweep`
 #      output — the sharded pipeline's end-to-end contract;
-#   3. the benchmark regression gate on the fast micro scenarios
+#   3. a RunConfig round-trip smoke: a flag-based `place --output json` run
+#      re-described as a repro.config.RunConfig and re-run via `--config`
+#      must produce identical deterministic fields — the unified workload
+#      API's config contract (docs/api.md);
+#   4. the benchmark regression gate on the fast micro scenarios
 #      (`run_bench.py --check --scenarios ...`), which also re-checks the
 #      deterministic counters and output fingerprints against the
 #      committed BENCH_placement.json.
@@ -20,10 +24,10 @@ cd "$REPO_ROOT"
 export PYTHONPATH="$REPO_ROOT/src${PYTHONPATH:+:$PYTHONPATH}"
 PYTHON="${PYTHON:-python}"
 
-echo "== 1/3 tier-1 test suite =="
+echo "== 1/4 tier-1 test suite =="
 "$PYTHON" -m pytest -x -q
 
-echo "== 2/3 sharded plan -> run -> merge round trip =="
+echo "== 2/4 sharded plan -> run -> merge round trip =="
 WORK_DIR="$(mktemp -d)"
 trap 'rm -rf "$WORK_DIR"' EXIT
 
@@ -43,7 +47,48 @@ if ! diff "$WORK_DIR/serial.txt" "$WORK_DIR/merged.txt"; then
 fi
 echo "merged output byte-identical to serial sweep"
 
-echo "== 3/3 micro benchmark regression gate =="
+echo "== 3/4 run-config round-trip smoke =="
+"$PYTHON" -m repro.cli place error-correction-encoding acetyl-chloride \
+    --output json > "$WORK_DIR/place-flags.json"
+"$PYTHON" - "$WORK_DIR" <<'PYEOF'
+import sys
+from repro.config import RunConfig
+
+work_dir = sys.argv[1]
+RunConfig(
+    circuit="error-correction-encoding",
+    environment="acetyl-chloride",
+    output="json",
+).save(f"{work_dir}/run.json")
+PYEOF
+"$PYTHON" -m repro.cli place --config "$WORK_DIR/run.json" \
+    > "$WORK_DIR/place-config.json"
+"$PYTHON" - "$WORK_DIR" <<'PYEOF'
+import json
+import sys
+
+work_dir = sys.argv[1]
+
+def deterministic(path):
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    payload.pop("counters", None)
+    for row in payload.get("rows", []):
+        row.pop("software_runtime_seconds", None)
+        row.pop("counters", None)
+    return payload
+
+flags = deterministic(f"{work_dir}/place-flags.json")
+config = deterministic(f"{work_dir}/place-config.json")
+if flags != config:
+    raise SystemExit(
+        "FAIL: --config run differs from the flag-based run in "
+        "deterministic fields"
+    )
+print("config round trip: deterministic fields identical")
+PYEOF
+
+echo "== 4/4 micro benchmark regression gate =="
 "$PYTHON" scripts/run_bench.py --check --repeats 1 \
     --scenarios monomorphism_micro place_qec5_boc place_phaseest_crotonic
 

@@ -38,6 +38,7 @@ from repro.circuits.library import qft_circuit  # noqa: E402
 from repro.core.stats import STATS  # noqa: E402
 from repro.hardware.molecules import trans_crotonic_acid  # noqa: E402
 from repro.hardware.threshold_graph import PAPER_THRESHOLDS  # noqa: E402
+from repro.registry import SHARD_STRATEGIES  # noqa: E402
 from functools import partial  # noqa: E402
 
 
@@ -45,7 +46,8 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--shards", type=int, default=2,
                         help="number of shards (default: 2)")
-    parser.add_argument("--strategy", choices=list(sharding.STRATEGIES),
+    parser.add_argument("--strategy",
+                        choices=list(SHARD_STRATEGIES.names()),
                         default="round-robin",
                         help="partitioning strategy (default: round-robin)")
     parser.add_argument("--jobs", type=int, default=1,

@@ -11,7 +11,25 @@ qubits (nuclei) of a physical environment so that the scheduled runtime of
 the circuit is minimised, splitting the circuit into subcircuits placeable
 along the fastest interactions and gluing them with SWAP stages.
 
-Typical use::
+Typical use — the unified workload API (see ``docs/api.md``)::
+
+    from repro import RunConfig, Session
+
+    cfg = RunConfig(circuit="qft:7", environment="trans-crotonic-acid",
+                    thresholds=(50, 100, 200))
+    session = Session(cfg)
+    print(session.place().placement.summary())   # one placement
+    print(session.sweep().table())               # the Table-3 style row
+
+Circuits and environments are addressed by registry spec strings
+(:data:`repro.registry.CIRCUITS` / :data:`repro.registry.ENVIRONMENTS`):
+named entries such as ``qft6`` or ``histidine``, parameterised families
+such as ``qft:7``, ``chain:12`` or ``grid:4x4``, or file paths.  A
+:class:`RunConfig` round-trips through canonical JSON (``--config
+run.json`` on the CLI) and is embedded in shard plans, so the same run
+description works from Python, the command line and a shard payload.
+
+The lower-level building blocks remain available::
 
     from repro import place_circuit, PlacementOptions
     from repro.circuits.library import qft_circuit
@@ -23,7 +41,9 @@ Typical use::
     print(result.summary())
 """
 
+from repro.api import GridResult, PlaceResult, Session, SweepResult
 from repro.circuits import QuantumCircuit
+from repro.config import RunConfig
 from repro.core import (
     PlacementOptions,
     PlacementResult,
@@ -32,14 +52,25 @@ from repro.core import (
 )
 from repro.exceptions import (
     CircuitError,
+    ConfigError,
     PlacementError,
+    RegistryError,
     ReproError,
     RoutingError,
     ThresholdError,
+    UnknownSpecError,
 )
 from repro.hardware import PhysicalEnvironment
+from repro.registry import (
+    CIRCUITS,
+    ENVIRONMENTS,
+    SCHEDULER_BACKENDS,
+    SHARD_STRATEGIES,
+    load_circuit,
+    load_environment,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "QuantumCircuit",
@@ -48,10 +79,24 @@ __all__ = [
     "QuantumCircuitPlacer",
     "PlacementOptions",
     "PlacementResult",
+    "RunConfig",
+    "Session",
+    "PlaceResult",
+    "SweepResult",
+    "GridResult",
+    "CIRCUITS",
+    "ENVIRONMENTS",
+    "SCHEDULER_BACKENDS",
+    "SHARD_STRATEGIES",
+    "load_circuit",
+    "load_environment",
     "ReproError",
     "CircuitError",
     "PlacementError",
     "RoutingError",
     "ThresholdError",
+    "RegistryError",
+    "UnknownSpecError",
+    "ConfigError",
     "__version__",
 ]

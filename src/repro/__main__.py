@@ -1,0 +1,12 @@
+"""``python -m repro`` — the command-line interface.
+
+Delegates to :func:`repro.cli.main`, so ``python -m repro place qft6
+histidine`` behaves exactly like the installed ``repro-place`` script.
+"""
+
+import sys
+
+from repro.cli import main
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

@@ -22,7 +22,6 @@ from repro.circuits.circuit import QuantumCircuit
 from repro.circuits.library import pseudo_cat_state_10q, qec3_encoder, qec5_encoder
 from repro.core.config import PlacementOptions
 from repro.core.result import PlacementResult
-from repro.exceptions import ExperimentError
 from repro.hardware.environment import PhysicalEnvironment, injective_placements
 from repro.hardware.molecules import acetyl_chloride, histidine, trans_crotonic_acid
 
@@ -120,15 +119,11 @@ def run_table2(
             _result_from_outcome(row, outcome)
             for row, outcome in zip(TABLE2_ROWS, outcomes)
         ]
-    results: List[Optional[Table2Result]] = [None] * len(specs)
-    for outcome in runner.iter_outcomes(specs):
-        result = _result_from_outcome(TABLE2_ROWS[outcome.index], outcome)
-        results[outcome.index] = result
-        on_result(result)
-    missing = [index for index, result in enumerate(results) if result is None]
-    if missing:  # pragma: no cover - cells either return or raise
-        raise ExperimentError(
-            f"table 2 run returned no outcome for row(s) {missing}; "
-            "refusing to return a misaligned result list"
-        )
-    return results
+    return runner.run_ordered(
+        specs,
+        build=lambda outcome: _result_from_outcome(
+            TABLE2_ROWS[outcome.index], outcome
+        ),
+        on_item=on_result,
+        what="table 2 run",
+    )

@@ -164,12 +164,16 @@ class ExperimentOutcome:
     counters: Dict[str, int] = field(default_factory=dict)
     result: Optional[PlacementResult] = None
 
-    def raise_if_infeasible(self) -> "ExperimentOutcome":
+    def raise_if_infeasible(self, with_context: bool = True) -> "ExperimentOutcome":
         """Re-raise the cell's placement error (no-op for feasible cells).
 
         Restores throw-on-failure semantics for harnesses where an
         infeasible cell is a caller mistake rather than an expected "N/A"
-        (Table 2 and the scalability chains, as opposed to sweeps).
+        (Table 2 and the scalability chains, as opposed to sweeps).  With
+        ``with_context`` the message names the failed cell; without it the
+        original error message is re-raised verbatim (the CLI's ``place``
+        uses this to keep its stderr identical to a direct
+        :func:`~repro.core.placement.place_circuit` call).
         """
         if self.feasible:
             return self
@@ -178,9 +182,14 @@ class ExperimentOutcome:
         exception_class = getattr(
             exceptions_module, self.error_type or "", PlacementError
         )
-        raise exception_class(
-            f"experiment cell {self.label or self.index!r} failed: {self.error}"
-        )
+        if with_context:
+            message = (
+                f"experiment cell {self.label or self.index!r} failed: "
+                f"{self.error}"
+            )
+        else:
+            message = self.error or "placement infeasible"
+        raise exception_class(message)
 
 
 # ---------------------------------------------------------------------------
@@ -535,6 +544,39 @@ class ExperimentRunner:
             yield from self._iter_serial(specs)
         else:
             yield from self._iter_parallel(specs)
+
+    def run_ordered(
+        self,
+        specs: Sequence[ExperimentSpec],
+        build: Optional[Callable[[ExperimentOutcome], object]] = None,
+        on_item: Optional[Callable[[object], None]] = None,
+        what: str = "experiment grid",
+    ) -> List:
+        """Stream the grid, transform each outcome, return spec-order results.
+
+        The shared collect loop of the streaming harnesses: each outcome
+        is passed through ``build`` (identity when ``None``) as soon as
+        its cell completes — completion order for parallel runs —
+        ``on_item`` fires with the built item, and the returned list is
+        re-assembled in spec order via ``outcome.index``.  A cell that
+        produced no outcome raises :class:`ExperimentError` (``what``
+        names the caller in the message) rather than returning a
+        misaligned list.
+        """
+        specs = list(specs)
+        results: List = [None] * len(specs)
+        for outcome in self.iter_outcomes(specs):
+            item = build(outcome) if build is not None else outcome
+            results[outcome.index] = item
+            if on_item is not None:
+                on_item(item)
+        missing = [index for index, item in enumerate(results) if item is None]
+        if missing:  # pragma: no cover - cells either return or raise
+            raise ExperimentError(
+                f"{what} returned no outcome for cell(s) {missing}; "
+                "refusing to return a misaligned result list"
+            )
+        return results
 
     def execute_prepared(
         self, specs: Sequence[ExperimentSpec]

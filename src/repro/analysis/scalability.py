@@ -23,7 +23,6 @@ from repro.analysis.runner import ExperimentRunner, ExperimentSpec
 from repro.circuits.circuit import QuantumCircuit
 from repro.circuits.random_circuits import hidden_stage_circuit
 from repro.core.config import PlacementOptions
-from repro.exceptions import ExperimentError
 from repro.hardware.architectures import linear_chain
 
 
@@ -119,18 +118,14 @@ def run_scalability_sweep(
             _record_from_outcome(num_qubits, outcome)
             for num_qubits, outcome in zip(qubit_counts, outcomes)
         ]
-    records: List[Optional[ScalabilityRecord]] = [None] * len(specs)
-    for outcome in runner.iter_outcomes(specs):
-        record = _record_from_outcome(qubit_counts[outcome.index], outcome)
-        records[outcome.index] = record
-        on_record(record)
-    missing = [index for index, record in enumerate(records) if record is None]
-    if missing:  # pragma: no cover - cells either return or raise
-        raise ExperimentError(
-            f"scalability sweep returned no outcome for point(s) {missing}; "
-            "refusing to return a misaligned record list"
-        )
-    return records
+    return runner.run_ordered(
+        specs,
+        build=lambda outcome: _record_from_outcome(
+            qubit_counts[outcome.index], outcome
+        ),
+        on_item=on_record,
+        what="scalability sweep",
+    )
 
 
 def expected_hidden_stages(num_qubits: int) -> int:

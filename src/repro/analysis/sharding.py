@@ -58,7 +58,7 @@ import heapq
 import json
 import pickle
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.analysis.runner import (
     ExperimentOutcome,
@@ -73,10 +73,53 @@ from repro.analysis.serialization import (
 )
 from repro.core.stats import STATS, Counters
 from repro.exceptions import ExperimentError
+from repro.registry import SHARD_STRATEGIES
 
-#: Supported partitioning strategies (hyphenated canonical names;
-#: underscores are accepted and normalised).
-STRATEGIES = ("round-robin", "cost-balanced")
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.config import RunConfig
+
+
+def _round_robin_buckets(
+    specs: Sequence[ExperimentSpec], num_shards: int
+) -> List[List[int]]:
+    """Deal cell indices out to shards by position."""
+    buckets: List[List[int]] = [[] for _ in range(num_shards)]
+    for index in range(len(specs)):
+        buckets[index % num_shards].append(index)
+    return buckets
+
+
+def _cost_balanced_buckets(
+    specs: Sequence[ExperimentSpec], num_shards: int
+) -> List[List[int]]:
+    """Greedy longest-processing-time assignment with index tie-breaks."""
+    buckets: List[List[int]] = [[] for _ in range(num_shards)]
+    costs = _cell_costs(specs)
+    heap = [(0, shard) for shard in range(num_shards)]
+    heapq.heapify(heap)
+    for index in sorted(range(len(specs)), key=lambda i: (-costs[i], i)):
+        load, shard = heapq.heappop(heap)
+        buckets[shard].append(index)
+        heapq.heappush(heap, (load + costs[index], shard))
+    return buckets
+
+
+SHARD_STRATEGIES.add(
+    "round-robin", _round_robin_buckets,
+    description="deal cells out to shards by index",
+)
+SHARD_STRATEGIES.add(
+    "cost-balanced", _cost_balanced_buckets,
+    description="greedy LPT by circuit gates x qubits, index tie-breaks",
+)
+
+#: Built-in partitioning strategies (hyphenated canonical names;
+#: underscores are accepted and normalised), derived from the registry at
+#: import time.  Strategies registered into
+#: :data:`repro.registry.SHARD_STRATEGIES` later are also accepted by
+#: :meth:`ShardPlan.build` — consult the registry, not this snapshot, when
+#: plugins matter.
+STRATEGIES = tuple(SHARD_STRATEGIES.names())
 
 #: Format tags written into (and checked in) the shard file headers.
 SHARD_INPUT_FORMAT = "repro-shard-input"
@@ -89,9 +132,10 @@ _PICKLE_PROTOCOL = 4
 
 def _normalise_strategy(strategy: str) -> str:
     canonical = strategy.replace("_", "-").lower()
-    if canonical not in STRATEGIES:
+    if canonical not in SHARD_STRATEGIES:
         raise ExperimentError(
-            f"unknown shard strategy {strategy!r}; use one of {STRATEGIES}"
+            f"unknown shard strategy {strategy!r}; use one of "
+            f"{tuple(SHARD_STRATEGIES.names())}"
         )
     return canonical
 
@@ -135,6 +179,9 @@ class ShardInput:
     ``indices`` are the cells' positions in the *full* grid; the worker
     executes ``specs`` in order and reports each outcome under its global
     index, so the merge step can restore grid order without the plan.
+    ``config`` carries the :class:`repro.config.RunConfig` the grid was
+    built from (when the planner had one), making shard files
+    self-describing.
     """
 
     plan_fingerprint: str
@@ -142,16 +189,24 @@ class ShardInput:
     num_shards: int
     indices: Tuple[int, ...]
     specs: Tuple[ExperimentSpec, ...]
+    config: Optional["RunConfig"] = None
 
 
 @dataclass(frozen=True)
 class ShardPlan:
-    """A deterministic partition of a spec grid into shards."""
+    """A deterministic partition of a spec grid into shards.
+
+    ``config`` optionally embeds the :class:`repro.config.RunConfig` the
+    grid was built from; it rides along into every :class:`ShardInput` and
+    the plan metadata, but is *not* part of the grid fingerprint — the
+    fingerprint identifies the spec grid itself, however it was described.
+    """
 
     specs: Tuple[ExperimentSpec, ...]
     assignments: Tuple[Tuple[int, ...], ...]
     strategy: str
     fingerprint: str
+    config: Optional["RunConfig"] = None
 
     @property
     def num_shards(self) -> int:
@@ -168,16 +223,20 @@ class ShardPlan:
         num_shards: int,
         strategy: str = "round-robin",
         compute_fingerprint: bool = True,
+        config: Optional["RunConfig"] = None,
     ) -> "ShardPlan":
         """Partition ``specs`` into ``num_shards`` deterministic shards.
 
-        ``round-robin`` deals cells out by index; ``cost-balanced``
-        assigns the most expensive cells first (cost estimated from the
-        built circuit's gate and qubit counts) to the least-loaded shard,
-        with index and shard-number tie-breaks so the result is a pure
-        function of the grid.  ``compute_fingerprint=False`` skips the
-        grid hash — used by the local degenerate one-shard path, where
-        the plan never leaves the process.
+        ``strategy`` names an entry of
+        :data:`repro.registry.SHARD_STRATEGIES` — ``round-robin`` deals
+        cells out by index; ``cost-balanced`` assigns the most expensive
+        cells first (cost estimated from the built circuit's gate and
+        qubit counts) to the least-loaded shard, with index and
+        shard-number tie-breaks so the result is a pure function of the
+        grid.  ``compute_fingerprint=False`` skips the grid hash — used
+        by the local degenerate one-shard path, where the plan never
+        leaves the process.  ``config`` embeds the run description in the
+        plan and its shard files.
         """
         specs = tuple(specs)
         if num_shards < 1:
@@ -185,18 +244,12 @@ class ShardPlan:
                 f"num_shards must be at least 1, got {num_shards}"
             )
         strategy = _normalise_strategy(strategy)
-        buckets: List[List[int]] = [[] for _ in range(num_shards)]
-        if strategy == "round-robin":
-            for index in range(len(specs)):
-                buckets[index % num_shards].append(index)
-        else:
-            costs = _cell_costs(specs)
-            heap = [(0, shard) for shard in range(num_shards)]
-            heapq.heapify(heap)
-            for index in sorted(range(len(specs)), key=lambda i: (-costs[i], i)):
-                load, shard = heapq.heappop(heap)
-                buckets[shard].append(index)
-                heapq.heappush(heap, (load + costs[index], shard))
+        buckets = SHARD_STRATEGIES.entry(strategy).factory(specs, num_shards)
+        if len(buckets) != num_shards:  # pragma: no cover - plugin misuse
+            raise ExperimentError(
+                f"shard strategy {strategy!r} produced {len(buckets)} "
+                f"bucket(s) for {num_shards} shard(s)"
+            )
         fingerprint = (
             grid_fingerprint(specs)
             if compute_fingerprint
@@ -207,6 +260,7 @@ class ShardPlan:
             assignments=tuple(tuple(sorted(bucket)) for bucket in buckets),
             strategy=strategy,
             fingerprint=fingerprint,
+            config=config,
         )
 
     def shard_input(self, shard_index: int) -> ShardInput:
@@ -223,6 +277,7 @@ class ShardPlan:
             num_shards=self.num_shards,
             indices=indices,
             specs=tuple(self.specs[index] for index in indices),
+            config=self.config,
         )
 
     def shard_inputs(self) -> List[ShardInput]:
@@ -231,7 +286,7 @@ class ShardPlan:
 
     def metadata(self) -> Dict:
         """JSON-safe plan description (everything but the specs)."""
-        return {
+        metadata = {
             "schema_version": SCHEMA_VERSION,
             "fingerprint": self.fingerprint,
             "strategy": self.strategy,
@@ -240,6 +295,9 @@ class ShardPlan:
             "assignments": [list(indices) for indices in self.assignments],
             "labels": [spec.label for spec in self.specs],
         }
+        if self.config is not None:
+            metadata["config"] = self.config.to_dict()
+        return metadata
 
 
 def _cell_costs(specs: Sequence[ExperimentSpec]) -> List[int]:

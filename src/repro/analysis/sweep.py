@@ -9,12 +9,19 @@ Cells are executed through :class:`repro.analysis.runner.ExperimentRunner`,
 so a sweep can fan out over worker processes (``jobs=4``) and still return
 byte-identical rows to the serial run — pass picklable circuit factories
 (module-level functions or ``functools.partial``) when using ``jobs > 1``.
+
+Circuits and environments may also be given as registry spec strings
+(``"qft:7"``, ``"trans-crotonic-acid"``, ``"grid:4x4"``; see
+:mod:`repro.registry`): string specs resolve through the module-level
+loaders, so the resulting grids serialise — and fingerprint — identically
+in any process, exactly like the CLI's.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from functools import partial
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.analysis.runner import (
     ExperimentRunner,
@@ -26,6 +33,27 @@ from repro.core.exhaustive import whole_circuit_runtime
 from repro.exceptions import ExperimentError
 from repro.hardware.environment import PhysicalEnvironment
 from repro.hardware.threshold_graph import PAPER_THRESHOLDS
+from repro.registry import as_circuit_factory, load_environment
+
+#: A circuit factory, or a registry spec string resolving to one.
+CircuitLike = Union[str, Callable]
+
+#: An environment object, or a registry spec string resolving to one.
+EnvironmentLike = Union[str, PhysicalEnvironment]
+
+
+def _coerce_environment(
+    environment: EnvironmentLike,
+) -> Tuple[PhysicalEnvironment, Callable[[], PhysicalEnvironment]]:
+    """The environment object plus its picklable factory.
+
+    Spec strings become ``partial(load_environment, spec)`` factories
+    (deterministic across processes); environment objects are wrapped
+    with :func:`constant_environment` as before.
+    """
+    if isinstance(environment, str):
+        return load_environment(environment), partial(load_environment, environment)
+    return environment, constant_environment(environment)
 
 
 @dataclass(frozen=True)
@@ -229,9 +257,9 @@ def _run_sweep_grid(
     if on_row is None:
         outcomes = runner.run(all_specs)
     else:
-        outcomes = [None] * len(all_specs)
         # Per-row countdown of distinct pending cells: O(1) bookkeeping
         # per completed outcome (each spec belongs to exactly one row).
+        collected: List[Optional[object]] = [None] * len(all_specs)
         remaining: List[int] = []
         row_of_spec: Dict[int, int] = {}
         for position, (_, _, cell_index) in enumerate(row_layouts):
@@ -239,23 +267,21 @@ def _run_sweep_grid(
             remaining.append(len(distinct))
             for index in distinct:
                 row_of_spec[index] = position
-        for outcome in runner.iter_outcomes(all_specs):
-            outcomes[outcome.index] = outcome
+
+        def handle(outcome):
+            collected[outcome.index] = outcome
             position = row_of_spec[outcome.index]
             remaining[position] -= 1
             if remaining[position] == 0:
                 circuit_name, environment_name, cell_index = row_layouts[position]
                 on_row(
                     row_from_outcomes(
-                        outcomes, cell_index, thresholds, circuit_name,
+                        collected, cell_index, thresholds, circuit_name,
                         environment_name,
                     )
                 )
-        missing = [i for i, outcome in enumerate(outcomes) if outcome is None]
-        if missing:  # pragma: no cover - cells either return or raise
-            raise ExperimentError(
-                f"sweep grid returned no outcome for cell(s) {missing}"
-            )
+
+        outcomes = runner.run_ordered(all_specs, on_item=handle, what="sweep grid")
     return [
         row_from_outcomes(
             outcomes, cell_index, thresholds, circuit_name, environment_name
@@ -265,8 +291,8 @@ def _run_sweep_grid(
 
 
 def sweep_circuit(
-    circuit_factory,
-    environment: PhysicalEnvironment,
+    circuit_factory: CircuitLike,
+    environment: EnvironmentLike,
     thresholds: Sequence[float] = PAPER_THRESHOLDS,
     options: Optional[PlacementOptions] = None,
     reuse_equivalent_cells: bool = True,
@@ -282,13 +308,15 @@ def sweep_circuit(
     With ``jobs > 1`` (or an explicit ``runner``) the deduplicated cells
     execute on worker processes; the row is identical to the serial one.
     """
+    circuit_factory = as_circuit_factory(circuit_factory)
+    environment, environment_factory = _coerce_environment(environment)
     return _run_sweep_grid(
         [
             (
                 circuit_factory().name,
                 circuit_factory,
                 environment,
-                constant_environment(environment),
+                environment_factory,
             )
         ],
         thresholds,
@@ -301,8 +329,8 @@ def sweep_circuit(
 
 
 def sweep_environment(
-    circuit_factories: Iterable,
-    environment: PhysicalEnvironment,
+    circuit_factories: Iterable[CircuitLike],
+    environment: EnvironmentLike,
     thresholds: Sequence[float] = PAPER_THRESHOLDS,
     options: Optional[PlacementOptions] = None,
     reuse_equivalent_cells: bool = True,
@@ -317,11 +345,11 @@ def sweep_environment(
     instead of running one serial row at a time.  ``on_row`` streams each
     circuit's row as soon as its last cell completes (completion order).
     """
-    environment_factory = constant_environment(environment)
+    environment, environment_factory = _coerce_environment(environment)
     return _run_sweep_grid(
         [
             (circuit_factory().name, circuit_factory, environment, environment_factory)
-            for circuit_factory in circuit_factories
+            for circuit_factory in map(as_circuit_factory, circuit_factories)
         ],
         thresholds,
         options or PlacementOptions(),
@@ -333,8 +361,8 @@ def sweep_environment(
 
 
 def sweep_table(
-    circuit_factory,
-    environments: Iterable[PhysicalEnvironment],
+    circuit_factory: CircuitLike,
+    environments: Iterable[EnvironmentLike],
     thresholds: Sequence[float] = PAPER_THRESHOLDS,
     options: Optional[PlacementOptions] = None,
     reuse_equivalent_cells: bool = True,
@@ -350,10 +378,11 @@ def sweep_table(
     paying pool start-up per environment.  ``on_row`` streams each
     environment's row as soon as its last cell completes.
     """
+    circuit_factory = as_circuit_factory(circuit_factory)
     circuit_name = circuit_factory().name
     return _run_sweep_grid(
         [
-            (circuit_name, circuit_factory, environment, constant_environment(environment))
+            (circuit_name, circuit_factory) + _coerce_environment(environment)
             for environment in environments
         ],
         thresholds,
@@ -375,7 +404,9 @@ def whole_circuit_reference(
     This is the last-column reference of Table 3: "circuit runtime with the
     optimal placement when placed without insertion of SWAPs".
     """
-    circuit = circuit_factory()
+    circuit = as_circuit_factory(circuit_factory)()
+    if isinstance(environment, str):
+        environment = load_environment(environment)
     runtime_units = whole_circuit_runtime(
         circuit, environment, apply_interaction_cap=apply_interaction_cap
     )

@@ -3,11 +3,18 @@
 Every circuit of Tables 2 and 3 is available both as a named constructor and
 through the :data:`CIRCUIT_FACTORIES` registry keyed by the paper's circuit
 names, which the sweep harnesses and the CLI use.
+
+All of them — plus the parameterised families ``qft:N``, ``aqft:N``,
+``cat:N`` and ``hidden-stage:NxSEED`` — are also registered in the
+string-addressable :data:`repro.registry.CIRCUITS` registry, the lookup
+behind :func:`repro.registry.load_circuit` and every spec-string surface
+(CLI, :class:`repro.config.RunConfig`, shard payloads).
 """
 
 from typing import Callable, Dict, List
 
 from repro.circuits.circuit import QuantumCircuit
+from repro.registry import CIRCUITS
 from repro.circuits.library.cat_state import cat_state_circuit, pseudo_cat_state_10q
 from repro.circuits.library.phase_estimation import phase_estimation_circuit, phaseest
 from repro.circuits.library.qec3 import qec3_decoder, qec3_encode_decode, qec3_encoder
@@ -37,6 +44,28 @@ CIRCUIT_FACTORIES: Dict[str, Callable[[], QuantumCircuit]] = {
     "steane-x/z1": steane_xz1,
     "steane-x/z2": steane_xz2,
 }
+
+
+def hidden_stage_instance(num_qubits: int, seed: int = 0) -> QuantumCircuit:
+    """The Table-4 "hidden stage" workload as a registry-buildable circuit."""
+    from repro.circuits.random_circuits import hidden_stage_circuit
+
+    return hidden_stage_circuit(num_qubits, seed=seed).circuit
+
+
+for _name, _factory in CIRCUIT_FACTORIES.items():
+    CIRCUITS.add(_name, _factory, description="paper benchmark circuit")
+del _name, _factory
+
+CIRCUITS.add("qft", qft_circuit, min_params=1,
+             description="exact QFT on N qubits")
+CIRCUITS.add("aqft", approximate_qft_circuit, min_params=1,
+             description="approximate QFT on N qubits (default degree)")
+CIRCUITS.add("cat", cat_state_circuit, min_params=1,
+             description="pseudo-cat-state preparation on N qubits")
+CIRCUITS.add("hidden-stage", hidden_stage_instance, min_params=1, max_params=2,
+             description="Table-4 hidden-stage workload on N qubits "
+                         "(optional seed)")
 
 
 def benchmark_circuit(name: str) -> QuantumCircuit:
@@ -75,4 +104,5 @@ __all__ = [
     "CIRCUIT_FACTORIES",
     "benchmark_circuit",
     "benchmark_circuit_names",
+    "hidden_stage_instance",
 ]

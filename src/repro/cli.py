@@ -1,17 +1,19 @@
 """Command-line interface.
 
 Installed as ``repro-place`` (see ``pyproject.toml``) and usable as
-``python -m repro.cli``.  Subcommands:
+``python -m repro`` (or ``python -m repro.cli``).  Subcommands:
 
 ``place``
-    Place a benchmark circuit (or a circuit file in the text format of
-    :mod:`repro.circuits.qasm`) into a molecule (or an environment JSON
-    file) and print the placement summary.
+    Place a circuit (a registry spec such as ``qft6`` or ``qft:7``, or a
+    circuit file in the text format of :mod:`repro.circuits.qasm`) into an
+    environment (a molecule or architecture spec such as
+    ``trans-crotonic-acid`` or ``grid:4x4``, or an environment JSON file)
+    and print the placement summary.
 
 ``sweep``
-    Run a Table-3 style threshold sweep of one circuit over one molecule.
-    ``--shards N --shard-index K`` executes only shard ``K`` of the
-    deterministic ``N``-shard partition of the sweep grid — the
+    Run a Table-3 style threshold sweep of one circuit over one
+    environment.  ``--shards N --shard-index K`` executes only shard ``K``
+    of the deterministic ``N``-shard partition of the sweep grid — the
     single-invocation shard worker (its ``--output json`` payload is a
     mergeable outcome shard).
 
@@ -24,12 +26,22 @@ Installed as ``repro-place`` (see ``pyproject.toml``) and usable as
     ``docs/parallelism.md`` ("Sharding across hosts").
 
 ``list``
-    List the available benchmark circuits and molecules.
+    List the available circuits, molecules and parameterised families.
 
+``place``, ``sweep`` and ``shard plan`` accept ``--config run.json`` — a
+serialised :class:`repro.config.RunConfig` replacing (or defaulted by)
+the positional arguments and flags; explicit flags override the file.
 ``place`` and ``sweep`` accept ``--output json`` for machine-readable
 rows + counters; all JSON surfaces share one serialisation helper
 (:mod:`repro.analysis.serialization`), so rows written by any of them can
 be compared byte for byte.
+
+Every command is a thin delegate of the :class:`repro.api.Session`
+façade, so a run launched here is byte-identical to the same
+:class:`~repro.config.RunConfig` executed from Python.  Usage errors —
+unknown circuit/environment specs, out-of-range ``--shards`` or
+``--shard-index``, malformed config files — exit with code 2 and a
+one-line message; runtime failures exit with code 1.
 """
 
 from __future__ import annotations
@@ -38,72 +50,45 @@ import argparse
 import json
 import os
 import sys
-from functools import partial
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
+from repro import api
 from repro.analysis import sharding
 from repro.analysis.reporting import format_table
-from repro.analysis.runner import (
-    ExperimentRunner,
-    ExperimentSpec,
-    stderr_progress,
-)
+from repro.analysis.runner import stderr_progress
 from repro.analysis.serialization import dump_json, outcomes_payload
-from repro.analysis.sweep import SweepRow, build_sweep_specs, row_from_outcomes
-from repro.circuits import qasm
-from repro.circuits.circuit import QuantumCircuit
-from repro.circuits.library import CIRCUIT_FACTORIES, benchmark_circuit
+from repro.analysis.sweep import row_from_outcomes
+from repro.api import Session
+from repro.config import OUTPUT_FORMATS, RunConfig
 from repro.core.config import PlacementOptions
-from repro.core.placement import place_circuit
-from repro.core.stats import STATS
-from repro.exceptions import ExperimentError, ReproError
-from repro.hardware import io as hardware_io
-from repro.hardware.environment import PhysicalEnvironment
-from repro.hardware.molecules import MOLECULE_FACTORIES, molecule
-from repro.hardware.threshold_graph import PAPER_THRESHOLDS
+from repro.exceptions import (
+    ConfigError,
+    ExperimentError,
+    ReproError,
+    UnknownSpecError,
+)
+from repro.registry import CIRCUITS, ENVIRONMENTS, SHARD_STRATEGIES
 from repro.timing._replay import BACKEND_CHOICES
 
 
-def _load_circuit(spec: str) -> QuantumCircuit:
-    """A circuit by benchmark name, or from a file when the name ends in ``.qc``."""
-    if spec in CIRCUIT_FACTORIES:
-        return benchmark_circuit(spec)
-    if spec.endswith(".qc") or spec.endswith(".txt"):
-        return qasm.load(spec)
-    raise ReproError(
-        f"unknown circuit {spec!r}; use one of {sorted(CIRCUIT_FACTORIES)} "
-        "or a .qc/.txt circuit file"
-    )
+# ---------------------------------------------------------------------------
+# Flag plumbing: RunConfig = config file (optional) + explicit flags
+# ---------------------------------------------------------------------------
 
 
-def _load_environment(spec: str) -> PhysicalEnvironment:
-    """An environment by molecule name, or from a JSON file."""
-    if spec in MOLECULE_FACTORIES:
-        return molecule(spec)
-    if spec.endswith(".json"):
-        return hardware_io.load(spec)
-    raise ReproError(
-        f"unknown environment {spec!r}; use one of {sorted(MOLECULE_FACTORIES)} "
-        "or an environment .json file"
-    )
-
-
-def _options_from_args(args: argparse.Namespace) -> PlacementOptions:
-    return PlacementOptions(
-        threshold=args.threshold,
-        max_monomorphisms=args.max_monomorphisms,
-        fine_tuning=not args.no_fine_tuning,
-        lookahead=not args.no_lookahead,
-        leaf_override=not args.no_leaf_override,
-        scheduler_backend=args.scheduler_backend,
-    )
+def _add_config_option(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--config", default=None, metavar="RUN_JSON",
+                        help="run-config JSON file (repro.config.RunConfig); "
+                             "positional arguments and explicit flags "
+                             "override its fields")
 
 
 def _add_common_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--threshold", type=float, default=None,
                         help="fast-interaction threshold (default: minimal connecting value)")
-    parser.add_argument("--max-monomorphisms", type=int, default=100,
-                        help="candidate monomorphisms per workspace (the paper's k)")
+    parser.add_argument("--max-monomorphisms", type=int, default=None,
+                        help="candidate monomorphisms per workspace "
+                             "(the paper's k; default: 100)")
     parser.add_argument("--no-fine-tuning", action="store_true",
                         help="disable hill-climbing fine tuning")
     parser.add_argument("--no-lookahead", action="store_true",
@@ -111,18 +96,78 @@ def _add_common_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--no-leaf-override", action="store_true",
                         help="disable the leaf-target override routing heuristic")
     parser.add_argument("--scheduler-backend", choices=list(BACKEND_CHOICES),
-                        default="auto",
+                        default=None,
                         help="runtime-evaluator backend (bit-identical outputs; "
-                             "'auto' defers to REPRO_SCHEDULER_BACKEND, then "
-                             "picks numpy when available and profitable)")
+                             "default 'auto' defers to REPRO_SCHEDULER_BACKEND, "
+                             "then picks numpy when available and profitable)")
 
 
 def _add_output_option(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--output", choices=("text", "json"), default="text",
+    parser.add_argument("--output", choices=OUTPUT_FORMATS, default=None,
                         help="output format: human-readable table, or "
                              "machine-readable JSON rows + counters "
                              "(one shared row format across place, sweep "
-                             "and the shard pipeline)")
+                             "and the shard pipeline; default: text)")
+
+
+def _merged_options(base: PlacementOptions, args: argparse.Namespace) -> PlacementOptions:
+    """Placement options = config-file options overridden by explicit flags."""
+    changes = {}
+    if getattr(args, "threshold", None) is not None:
+        changes["threshold"] = args.threshold
+    if getattr(args, "max_monomorphisms", None) is not None:
+        changes["max_monomorphisms"] = args.max_monomorphisms
+    if getattr(args, "no_fine_tuning", False):
+        changes["fine_tuning"] = False
+    if getattr(args, "no_lookahead", False):
+        changes["lookahead"] = False
+    if getattr(args, "no_leaf_override", False):
+        changes["leaf_override"] = False
+    if getattr(args, "scheduler_backend", None) is not None:
+        changes["scheduler_backend"] = args.scheduler_backend
+    return base.replace(**changes) if changes else base
+
+
+def _config_from_args(args: argparse.Namespace) -> RunConfig:
+    """Build the run's :class:`RunConfig` from ``--config`` plus flags.
+
+    The config file (when given) provides the defaults; positional
+    arguments and explicitly passed flags override it field by field.
+    Validation lives in :class:`RunConfig` itself, so a bad combination
+    fails with a one-line :class:`ConfigError` (exit code 2).
+    """
+    base = RunConfig.load(args.config) if getattr(args, "config", None) else None
+
+    def pick(flag, base_value, default):
+        if flag is not None:
+            return flag
+        return base_value if base is not None else default
+
+    circuit = pick(getattr(args, "circuit", None),
+                   base.circuit if base else None, None)
+    environment = pick(getattr(args, "environment", None),
+                       base.environment if base else None, None)
+    if circuit is None or environment is None:
+        raise ConfigError(
+            "a circuit and an environment are required: pass them as "
+            "positional arguments or through --config"
+        )
+    thresholds = getattr(args, "thresholds", None)
+    return RunConfig(
+        circuit=circuit,
+        environment=environment,
+        thresholds=pick(tuple(thresholds) if thresholds else None,
+                        base.thresholds if base else None, None),
+        options=_merged_options(base.options if base else PlacementOptions(), args),
+        jobs=pick(getattr(args, "jobs", None), base.jobs if base else None, 1),
+        shards=pick(getattr(args, "shards", None), base.shards if base else None, 1),
+        shard_index=pick(getattr(args, "shard_index", None),
+                         base.shard_index if base else None, None),
+        strategy=pick(getattr(args, "strategy", None),
+                      base.strategy if base else None, "round-robin"),
+        output=pick(getattr(args, "output", None),
+                    base.output if base else None, "text"),
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -131,35 +176,28 @@ def _add_output_option(parser: argparse.ArgumentParser) -> None:
 
 
 def _cmd_place(args: argparse.Namespace) -> int:
-    if args.output == "json":
-        # Run through the experiment engine so the JSON row is the same
-        # shape (and serialisation) as sweep cells and shard outputs.
-        spec = ExperimentSpec(
-            circuit_factory=partial(_load_circuit, args.circuit),
-            environment_factory=partial(_load_environment, args.environment),
-            options=_options_from_args(args),
-            label=f"{args.circuit}@{args.environment}",
-        )
-        before = STATS.snapshot()
-        outcome = ExperimentRunner().run([spec])[0]
-        payload = outcomes_payload([outcome], counters=STATS.delta_since(before))
-        payload["circuit"] = args.circuit
-        payload["environment"] = args.environment
-        print(dump_json(payload), end="")
-        return 0 if outcome.feasible else 1
-    circuit = _load_circuit(args.circuit)
-    environment = _load_environment(args.environment)
-    result = place_circuit(circuit, environment, _options_from_args(args))
-    print(result.summary())
+    config = _config_from_args(args)
+    session = Session(config)
+    result = session.place()
+    if config.output == "json":
+        # The JSON row has the same shape (and serialisation) as sweep
+        # cells and shard outputs; see repro.api.PlaceResult.payload.
+        print(dump_json(result.payload()), end="")
+        return 0 if result.feasible else 1
+    # Re-raise the captured placement error verbatim, so stderr matches a
+    # direct place_circuit call (exit code 1 via the ReproError handler).
+    result.outcome.raise_if_infeasible(with_context=False)
+    placement = result.placement
+    print(placement.summary())
     print()
     rows = []
-    for stage in result.stages:
+    for stage in placement.stages:
         mapping = ", ".join(
             f"{qubit}->{node}" for qubit, node in sorted(stage.placement.items(), key=lambda kv: repr(kv[0]))
         )
         rows.append([f"stage {stage.index}", f"gates [{stage.start},{stage.stop})",
                      f"{stage.runtime:g} units", mapping])
-    for swap in result.swap_stages:
+    for swap in placement.swap_stages:
         rows.append([f"swap {swap.index}->{swap.index + 1}",
                      f"{swap.num_swaps} SWAPs in {swap.depth} layers",
                      f"{swap.runtime:g} units", ""])
@@ -172,88 +210,27 @@ def _cmd_place(args: argparse.Namespace) -> int:
 # ---------------------------------------------------------------------------
 
 
-def _sweep_grid_from_args(
-    args: argparse.Namespace,
-) -> Tuple[PhysicalEnvironment, List[float], str, List[ExperimentSpec], List[int], Optional[str]]:
-    """Build the sweep grid the way every sharding surface must: with
-    module-level loader partials as factories, so specs — and therefore the
-    plan fingerprint — serialise identically in any process.
-
-    The scheduler backend is kept *out* of the specs (they stay on
-    ``"auto"``) and returned separately as a runner override: backends are
-    bit-identical by contract, so two shard invocations differing only in
-    ``--scheduler-backend`` must produce mergeable shards with the same
-    plan fingerprint."""
-    environment = _load_environment(args.environment)
-    thresholds = [float(t) for t in (args.thresholds or list(PAPER_THRESHOLDS))]
-    options = _options_from_args(args)
-    backend = (
-        None if options.scheduler_backend == "auto" else options.scheduler_backend
-    )
-    options = options.replace(scheduler_backend="auto")
-    circuit_factory = partial(_load_circuit, args.circuit)
-    circuit_name = circuit_factory().name
-    specs, cell_index = build_sweep_specs(
-        circuit_factory,
-        environment,
-        partial(_load_environment, args.environment),
-        thresholds,
-        options,
-        circuit_name=circuit_name,
-    )
-    return environment, thresholds, circuit_name, specs, cell_index, backend
-
-
-def _sweep_row_table(row: SweepRow) -> str:
-    table_rows = [
-        [f"threshold {cell.threshold:g}", cell.formatted()] for cell in row.cells
-    ]
-    return format_table(["threshold", "runtime (subcircuits)"], table_rows,
-                        title=f"{row.circuit_name} on {row.environment_name}")
-
-
-def _sweep_json_payload(
-    row: SweepRow, outcomes, counters, fingerprint: Optional[str] = None
-) -> dict:
-    payload = outcomes_payload(outcomes, counters=counters)
-    payload["circuit"] = row.circuit_name
-    payload["environment"] = row.environment_name
-    payload["cells"] = [
-        {
-            "threshold": cell.threshold,
-            "feasible": cell.feasible,
-            "runtime_seconds": cell.runtime_seconds,
-            "num_subcircuits": cell.num_subcircuits,
-        }
-        for cell in row.cells
-    ]
-    if fingerprint is not None:
-        payload["plan_fingerprint"] = fingerprint
-    return payload
-
-
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    if args.shards < 1:
-        raise ExperimentError(f"--shards must be at least 1, got {args.shards}")
-    environment, thresholds, circuit_name, specs, cell_index, backend = (
-        _sweep_grid_from_args(args)
-    )
-    runner = ExperimentRunner(
-        jobs=args.jobs,
+    config = _config_from_args(args)
+    if config.shards > 1 and config.shard_index is None:
+        raise ConfigError(
+            "--shards without --shard-index selects nothing to run; pass "
+            "--shard-index K to execute one shard, or use "
+            "'repro-place shard plan' to write shard files for all of them"
+        )
+    session = Session(
+        config,
         progress=stderr_progress("sweep cell") if args.progress else None,
-        scheduler_backend=backend,
     )
 
-    if args.shard_index is not None:
+    if config.shard_index is not None:
         # Shard-worker mode: execute only this invocation's slice of the
         # deterministic N-shard partition.  The JSON payload is a full
         # outcome shard, so N such invocations merge back into the exact
         # serial sweep (repro-place shard merge).
-        plan = sharding.ShardPlan.build(
-            specs, num_shards=args.shards, strategy=args.strategy
-        )
-        shard = sharding.execute_shard(plan.shard_input(args.shard_index), runner)
-        if args.output == "json":
+        grid = session.sweep_grid()
+        shard = session.sweep_shard(grid=grid)
+        if config.output == "json":
             print(dump_json(sharding.outcome_shard_to_payload(shard)), end="")
             return 0
         table_rows = [
@@ -263,27 +240,16 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         print(format_table(
             ["cell", "status"], table_rows,
             title=f"shard {shard.shard_index}/{shard.num_shards} "
-                  f"({len(shard.outcomes)} of {plan.total_cells} cells, "
+                  f"({len(shard.outcomes)} of {len(grid.specs)} cells, "
                   f"fingerprint {shard.plan_fingerprint[:12]})",
         ))
         return 0
-    if args.shards > 1:
-        raise ExperimentError(
-            "--shards without --shard-index selects nothing to run; pass "
-            "--shard-index K to execute one shard, or use "
-            "'repro-place shard plan' to write shard files for all of them"
-        )
 
-    before = STATS.snapshot()
-    outcomes = runner.run(specs)
-    row = row_from_outcomes(
-        outcomes, cell_index, thresholds, circuit_name, environment.name
-    )
-    if args.output == "json":
-        payload = _sweep_json_payload(row, outcomes, STATS.delta_since(before))
-        print(dump_json(payload), end="")
+    result = session.sweep()
+    if config.output == "json":
+        print(dump_json(result.payload()), end="")
         return 0
-    print(_sweep_row_table(row))
+    print(result.table())
     return 0
 
 
@@ -296,17 +262,18 @@ PLAN_FORMAT = "repro-shard-plan"
 
 
 def _cmd_shard_plan(args: argparse.Namespace) -> int:
-    if args.shards < 1:
-        raise ExperimentError(f"--shards must be at least 1, got {args.shards}")
-    # The backend override is dropped on purpose: it is a per-worker
-    # execution detail ('shard run --scheduler-backend'), never part of
-    # the planned grid's identity.
-    environment, thresholds, circuit_name, specs, cell_index, _backend = (
-        _sweep_grid_from_args(args)
-    )
-    plan = sharding.ShardPlan.build(
-        specs, num_shards=args.shards, strategy=args.strategy
-    )
+    if args.shards is None and args.config is None:
+        raise ConfigError(
+            "shard plan needs --shards N (or a --config file supplying "
+            "'shards'); a shard count is the point of planning"
+        )
+    # The backend override never becomes part of the planned grid's
+    # identity: it is a per-worker execution detail ('shard run
+    # --scheduler-backend'), and Session.sweep_grid keeps specs on "auto".
+    config = _config_from_args(args)
+    session = Session(config)
+    grid = session.sweep_grid()
+    plan = session.shard_plan(grid=grid)
     os.makedirs(args.out_dir, exist_ok=True)
     shard_files = []
     for index in range(plan.num_shards):
@@ -318,12 +285,12 @@ def _cmd_shard_plan(args: argparse.Namespace) -> int:
     metadata = plan.metadata()
     metadata.update({
         "format": PLAN_FORMAT,
-        "circuit": args.circuit,
-        "circuit_name": circuit_name,
-        "environment": args.environment,
-        "environment_name": environment.name,
-        "thresholds": thresholds,
-        "cell_index": cell_index,
+        "circuit": config.circuit,
+        "circuit_name": grid.circuit_name,
+        "environment": config.environment,
+        "environment_name": grid.environment.name,
+        "thresholds": grid.thresholds,
+        "cell_index": grid.cell_index,
         "shard_files": shard_files,
     })
     plan_path = os.path.join(args.out_dir, PLAN_FILE)
@@ -340,6 +307,8 @@ def _cmd_shard_plan(args: argparse.Namespace) -> int:
 
 def _cmd_shard_run(args: argparse.Namespace) -> int:
     shard = sharding.read_shard(args.shard_file)
+    from repro.analysis.runner import ExperimentRunner
+
     runner = ExperimentRunner(
         jobs=args.jobs,
         progress=(
@@ -387,6 +356,7 @@ def _read_plan_metadata(path: str) -> dict:
 def _cmd_shard_merge(args: argparse.Namespace) -> int:
     shards = [sharding.read_outcome_shard(path) for path in args.shard_outputs]
     merged = sharding.merge_shards(shards)
+    output = args.output or "text"
     metadata = None
     if args.plan is not None:
         metadata = _read_plan_metadata(args.plan)
@@ -421,17 +391,17 @@ def _cmd_shard_merge(args: argparse.Namespace) -> int:
                 f"plan file {args.plan!r} does not describe the merged grid "
                 f"({exc!r}); the plan is corrupt or belongs to another run"
             ) from exc
-        if args.output == "json":
-            payload = _sweep_json_payload(
+        if output == "json":
+            payload = api.sweep_payload(
                 row, merged.outcomes, merged.counters, merged.plan_fingerprint
             )
             print(dump_json(payload), end="")
             return 0
-        print(_sweep_row_table(row))
+        print(api.sweep_table_text(row))
         return 0
     # Plan-less merge: no threshold layout to rebuild a sweep table from,
     # so emit the generic merged payload (rows in grid order + counters).
-    if args.output == "json":
+    if output == "json":
         payload = outcomes_payload(merged.outcomes, counters=merged.counters)
         payload["plan_fingerprint"] = merged.plan_fingerprint
         payload["num_shards"] = merged.num_shards
@@ -460,14 +430,24 @@ def _cmd_shard(args: argparse.Namespace) -> int:
 
 
 def _cmd_list(_: argparse.Namespace) -> int:
+    named_circuits = [e for e in CIRCUITS.entries() if not e.parameterised]
+    circuit_families = [e for e in CIRCUITS.entries() if e.parameterised]
+    molecules = [e for e in ENVIRONMENTS.entries() if not e.parameterised]
+    architectures = [e for e in ENVIRONMENTS.entries() if e.parameterised]
     print("benchmark circuits:")
-    for name in sorted(CIRCUIT_FACTORIES):
-        circuit = benchmark_circuit(name)
-        print(f"  {name:28s} {circuit.num_qubits:3d} qubits  {circuit.num_gates:4d} gates")
+    for entry in named_circuits:
+        circuit = entry.factory()
+        print(f"  {entry.name:28s} {circuit.num_qubits:3d} qubits  {circuit.num_gates:4d} gates")
     print("molecules:")
-    for name in sorted(MOLECULE_FACTORIES):
-        environment = molecule(name)
-        print(f"  {name:28s} {environment.num_qubits:3d} qubits")
+    for entry in molecules:
+        environment = entry.factory()
+        print(f"  {entry.name:28s} {environment.num_qubits:3d} qubits")
+    print("parameterised circuits:")
+    for entry in circuit_families:
+        print(f"  {entry.spec_form():28s} {entry.description}")
+    print("architectures:")
+    for entry in architectures:
+        print(f"  {entry.spec_form():28s} {entry.description}")
     return 0
 
 
@@ -480,32 +460,41 @@ def build_parser() -> argparse.ArgumentParser:
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     place_parser = subparsers.add_parser("place", help="place a circuit into an environment")
-    place_parser.add_argument("circuit", help="benchmark circuit name or .qc file")
-    place_parser.add_argument("environment", help="molecule name or environment .json file")
+    place_parser.add_argument("circuit", nargs="?", default=None,
+                              help="circuit spec (e.g. qft6, qft:7) or .qc file")
+    place_parser.add_argument("environment", nargs="?", default=None,
+                              help="environment spec (e.g. histidine, grid:4x4) "
+                                   "or environment .json file")
+    _add_config_option(place_parser)
     _add_common_options(place_parser)
     _add_output_option(place_parser)
     place_parser.set_defaults(func=_cmd_place)
 
     sweep_parser = subparsers.add_parser("sweep", help="threshold sweep (Table 3 style)")
-    sweep_parser.add_argument("circuit", help="benchmark circuit name or .qc file")
-    sweep_parser.add_argument("environment", help="molecule name or environment .json file")
+    sweep_parser.add_argument("circuit", nargs="?", default=None,
+                              help="circuit spec (e.g. qft6, qft:7) or .qc file")
+    sweep_parser.add_argument("environment", nargs="?", default=None,
+                              help="environment spec (e.g. histidine, chain:12) "
+                                   "or environment .json file")
     sweep_parser.add_argument("--thresholds", type=float, nargs="+", default=None,
                               help="threshold values (default: the paper's list)")
-    sweep_parser.add_argument("--jobs", type=int, default=1,
+    sweep_parser.add_argument("--jobs", type=int, default=None,
                               help="worker processes for the sweep grid "
-                                   "(1 = serial; results are identical either way)")
+                                   "(default 1 = serial; results are identical "
+                                   "either way)")
     sweep_parser.add_argument("--progress", action="store_true",
                               help="print one line per completed sweep cell to stderr")
-    sweep_parser.add_argument("--shards", type=int, default=1,
+    sweep_parser.add_argument("--shards", type=int, default=None,
                               help="partition the sweep grid into this many "
                                    "deterministic shards (use with --shard-index)")
     sweep_parser.add_argument("--shard-index", type=int, default=None,
                               help="execute only this shard of the --shards "
                                    "partition; with --output json the payload "
                                    "is a mergeable outcome shard")
-    sweep_parser.add_argument("--strategy", choices=list(sharding.STRATEGIES),
-                              default="round-robin",
+    sweep_parser.add_argument("--strategy", choices=list(SHARD_STRATEGIES.names()),
+                              default=None,
                               help="shard partitioning strategy (default: round-robin)")
+    _add_config_option(sweep_parser)
     _add_common_options(sweep_parser)
     _add_output_option(sweep_parser)
     sweep_parser.set_defaults(func=_cmd_sweep)
@@ -518,17 +507,20 @@ def build_parser() -> argparse.ArgumentParser:
     plan_parser = shard_subparsers.add_parser(
         "plan", help="partition a sweep grid into shard input files + plan.json"
     )
-    plan_parser.add_argument("circuit", help="benchmark circuit name or .qc file")
-    plan_parser.add_argument("environment", help="molecule name or environment .json file")
+    plan_parser.add_argument("circuit", nargs="?", default=None,
+                             help="circuit spec (e.g. qft6, qft:7) or .qc file")
+    plan_parser.add_argument("environment", nargs="?", default=None,
+                             help="environment spec or environment .json file")
     plan_parser.add_argument("--thresholds", type=float, nargs="+", default=None,
                              help="threshold values (default: the paper's list)")
-    plan_parser.add_argument("--shards", type=int, required=True,
+    plan_parser.add_argument("--shards", type=int, default=None,
                              help="number of shards to partition the grid into")
-    plan_parser.add_argument("--strategy", choices=list(sharding.STRATEGIES),
-                             default="round-robin",
+    plan_parser.add_argument("--strategy", choices=list(SHARD_STRATEGIES.names()),
+                             default=None,
                              help="partitioning strategy (default: round-robin)")
     plan_parser.add_argument("--out-dir", required=True,
                              help="directory for plan.json and shard-<i>.pkl files")
+    _add_config_option(plan_parser)
     _add_common_options(plan_parser)
     plan_parser.set_defaults(func=_cmd_shard, shard_func=_cmd_shard_plan)
 
@@ -560,17 +552,25 @@ def build_parser() -> argparse.ArgumentParser:
     _add_output_option(merge_parser)
     merge_parser.set_defaults(func=_cmd_shard, shard_func=_cmd_shard_merge)
 
-    list_parser = subparsers.add_parser("list", help="list circuits and molecules")
+    list_parser = subparsers.add_parser("list", help="list circuits and environments")
     list_parser.set_defaults(func=_cmd_list)
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    """CLI entry point; returns a process exit code."""
+    """CLI entry point; returns a process exit code.
+
+    Exit codes: 0 success, 1 runtime failure (infeasible placement,
+    corrupt shard files, ...), 2 usage error (unknown specs, invalid
+    config values) — the message lists the valid registry names.
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
         return args.func(args)
+    except (UnknownSpecError, ConfigError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1

@@ -58,6 +58,26 @@ class ExperimentError(ReproError):
     """
 
 
+class RegistryError(ReproError):
+    """Raised for misuse of a named registry (duplicate or invalid names)."""
+
+
+class UnknownSpecError(RegistryError):
+    """Raised when a registry spec string does not resolve to an entry.
+
+    The message is a single line listing the valid registry names, so CLI
+    surfaces can show it verbatim (``repro-place`` exits with code 2).
+    """
+
+
+class ConfigError(ReproError):
+    """Raised for invalid :class:`repro.config.RunConfig` values or files.
+
+    Like :class:`UnknownSpecError`, this marks a caller/usage mistake
+    rather than an internal failure; the CLI exits with code 2.
+    """
+
+
 class SimulationError(ReproError):
     """Raised by the statevector simulator (e.g. too many qubits)."""
 

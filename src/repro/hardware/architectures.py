@@ -18,6 +18,7 @@ from typing import Dict, Tuple
 
 from repro.exceptions import EnvironmentError_
 from repro.hardware.environment import PhysicalEnvironment
+from repro.registry import ENVIRONMENTS
 
 #: Pair delay (in 1e-4 s units) of the paper's "1 kHz" processor: 0.001 s.
 KILOHERTZ_PAIR_DELAY = 10.0
@@ -168,3 +169,17 @@ def heavy_hex(
             if r + 1 < distance:
                 pairs[(node, grid_nodes[r + 1][c])] = pair_delay
     return PhysicalEnvironment(single, pairs, name=f"heavy-hex-{distance}")
+
+
+ENVIRONMENTS.add("chain", linear_chain, min_params=1,
+                 description="linear nearest-neighbour chain of N qubits")
+ENVIRONMENTS.add("ring", ring, min_params=1,
+                 description="cycle architecture of N qubits")
+ENVIRONMENTS.add("grid", grid, min_params=2,
+                 description="NxM 2D lattice")
+ENVIRONMENTS.add("complete", complete, min_params=1,
+                 description="all-to-all architecture of N qubits")
+ENVIRONMENTS.add("star", star, min_params=1,
+                 description="star architecture of N qubits")
+ENVIRONMENTS.add("heavy-hex", heavy_hex, min_params=1,
+                 description="heavy-hexagon-like lattice of distance N")

@@ -49,6 +49,7 @@ from __future__ import annotations
 from typing import Dict, List, Tuple
 
 from repro.hardware.environment import Node, PhysicalEnvironment
+from repro.registry import ENVIRONMENTS
 
 #: Delay assigned to qubit pairs with no usable direct interaction.  Kept
 #: finite (but far above every threshold used in the paper's sweeps) so that
@@ -272,6 +273,10 @@ MOLECULE_FACTORIES = {
     "pentafluorobutadienyl-iron": pentafluorobutadienyl_iron,
     "histidine": histidine,
 }
+
+for _name, _factory in MOLECULE_FACTORIES.items():
+    ENVIRONMENTS.add(_name, _factory, description="NMR molecule")
+del _name, _factory
 
 
 def molecule(name: str) -> PhysicalEnvironment:

@@ -87,6 +87,28 @@ def resolve_backend(requested: str = "auto", num_ops: Optional[int] = None) -> s
     return requested
 
 
+# String-addressable backend registry (see repro.registry): building an
+# entry resolves the request to a concrete backend name, so e.g.
+# SCHEDULER_BACKENDS.build("auto") returns "numpy" or "python".
+from functools import partial as _partial
+
+from repro.registry import SCHEDULER_BACKENDS
+
+SCHEDULER_BACKENDS.add(
+    "auto", resolve_backend,
+    description="defer to REPRO_SCHEDULER_BACKEND, then pick the "
+                "profitable backend",
+)
+SCHEDULER_BACKENDS.add(
+    "python", _partial(resolve_backend, "python"),
+    description="pure-Python reference evaluation loop",
+)
+SCHEDULER_BACKENDS.add(
+    "numpy", _partial(resolve_backend, "numpy"),
+    description="vectorised duration tables (requires numpy)",
+)
+
+
 def pair_delay_matrix(environment, nodes: Sequence) -> "Optional[_np.ndarray]":
     """Dense ``W`` matrix: ``matrix[i, j] = environment.pair_delay(nodes[i], nodes[j])``.
 

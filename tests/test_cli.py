@@ -7,6 +7,8 @@ import pytest
 from repro.cli import build_parser, main
 from repro.circuits import qasm
 from repro.circuits.library import qec3_encoder
+from repro.config import RunConfig
+from repro.core.config import PlacementOptions
 from repro.hardware import io as hio
 from repro.hardware.molecules import acetyl_chloride
 
@@ -81,15 +83,34 @@ class TestCommands:
         captured = capsys.readouterr()
         assert "sweep cell 1/1" in captured.err
 
-    def test_unknown_circuit_is_a_clean_error(self, capsys):
+    def test_unknown_circuit_is_a_usage_error(self, capsys):
         code = main(["place", "not-a-circuit", "acetyl-chloride"])
-        assert code == 1
-        assert "error:" in capsys.readouterr().err
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        # One line, listing the valid registry names.
+        assert err.count("\n") == 1
+        assert "qft6" in err
+        assert "qft:N" in err
 
-    def test_unknown_molecule_is_a_clean_error(self, capsys):
+    def test_unknown_molecule_is_a_usage_error(self, capsys):
         code = main(["place", "qft6", "not-a-molecule"])
-        assert code == 1
-        assert "error:" in capsys.readouterr().err
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert err.count("\n") == 1
+        assert "acetyl-chloride" in err
+        assert "grid:NxM" in err
+
+    def test_parameterised_specs_place(self, capsys):
+        code = main(["place", "qft:4", "complete:6", "--threshold", "100"])
+        assert code == 0
+        assert "subcircuit" in capsys.readouterr().out
+
+    def test_missing_positionals_without_config(self, capsys):
+        code = main(["place"])
+        assert code == 2
+        assert "positional arguments or through --config" in capsys.readouterr().err
 
 
 SWEEP_ARGS = ["error-correction-encoding", "acetyl-chloride",
@@ -216,10 +237,28 @@ class TestShardPipeline:
         assert code == 1
         assert "error:" in capsys.readouterr().err
 
-    def test_sweep_shards_without_index_is_an_error(self, capsys):
+    def test_sweep_shards_without_index_is_a_usage_error(self, capsys):
         code = main(["sweep"] + SWEEP_ARGS + ["--shards", "2"])
-        assert code == 1
+        assert code == 2
         assert "--shard-index" in capsys.readouterr().err
+
+    def test_out_of_range_shard_index_is_a_usage_error(self, capsys):
+        code = main(["sweep"] + SWEEP_ARGS + ["--shards", "2", "--shard-index", "2"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "out of range" in err
+        assert "0..1" in err
+
+    def test_nonpositive_shards_is_a_usage_error(self, capsys):
+        code = main(["sweep"] + SWEEP_ARGS + ["--shards", "0", "--shard-index", "0"])
+        assert code == 2
+        assert "shards must be a positive integer" in capsys.readouterr().err
+
+    def test_shard_plan_without_shards_is_a_usage_error(self, tmp_path, capsys):
+        code = main(["shard", "plan"] + SWEEP_ARGS
+                    + ["--out-dir", str(tmp_path / "shards")])
+        assert code == 2
+        assert "--shards" in capsys.readouterr().err
 
     def test_progress_reports_throughput(self, capsys):
         code = main(["sweep", "error-correction-encoding", "acetyl-chloride",
@@ -228,3 +267,70 @@ class TestShardPipeline:
         err = capsys.readouterr().err
         assert "sweep cell 1/1" in err
         assert "cells/s" in err
+
+
+class TestRunConfigFlag:
+    def test_sweep_config_reproduces_flags_byte_for_byte(self, tmp_path, capsys):
+        # The golden contract: `sweep --config run.json` is byte-identical
+        # to the equivalent flag-based invocation.
+        assert main(["sweep"] + SWEEP_ARGS) == 0
+        from_flags = capsys.readouterr().out
+        config = RunConfig(circuit="error-correction-encoding",
+                           environment="acetyl-chloride",
+                           thresholds=(50, 100, 200))
+        path = tmp_path / "run.json"
+        config.save(str(path))
+        assert main(["sweep", "--config", str(path)]) == 0
+        assert capsys.readouterr().out == from_flags
+
+    def test_place_config_reproduces_flags_byte_for_byte(self, tmp_path, capsys):
+        flags = ["place", "phaseest", "trans-crotonic-acid",
+                 "--threshold", "100", "--no-fine-tuning"]
+        assert main(flags) == 0
+        from_flags = capsys.readouterr().out
+        config = RunConfig(
+            circuit="phaseest", environment="trans-crotonic-acid",
+            options=PlacementOptions(threshold=100, fine_tuning=False),
+        )
+        path = tmp_path / "run.json"
+        path.write_text(config.to_json())
+        assert main(["place", "--config", str(path)]) == 0
+        assert capsys.readouterr().out == from_flags
+
+    def test_flags_override_config(self, tmp_path, capsys):
+        config = RunConfig(circuit="error-correction-encoding",
+                           environment="acetyl-chloride",
+                           thresholds=(50,), output="json")
+        path = tmp_path / "run.json"
+        config.save(str(path))
+        assert main(["sweep", "--config", str(path),
+                     "--thresholds", "100", "--output", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert [cell["threshold"] for cell in payload["cells"]] == [100.0]
+        assert payload["cells"][0]["feasible"] is True
+
+    def test_malformed_config_is_a_usage_error(self, tmp_path, capsys):
+        path = tmp_path / "run.json"
+        path.write_text('{"format": "repro-run-config", "circuit": "qft6", '
+                        '"environment": "histidine", "jbos": 4}')
+        code = main(["sweep", "--config", str(path)])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "jbos" in err
+
+    def test_shard_plan_embeds_config(self, tmp_path, capsys):
+        out_dir = str(tmp_path / "shards")
+        assert main(["shard", "plan"] + SWEEP_ARGS
+                    + ["--shards", "2", "--out-dir", out_dir]) == 0
+        capsys.readouterr()
+        with open(f"{out_dir}/plan.json", "r", encoding="utf-8") as handle:
+            metadata = json.load(handle)
+        embedded = RunConfig.from_dict(metadata["config"])
+        assert embedded.circuit == "error-correction-encoding"
+        assert embedded.environment == "acetyl-chloride"
+        assert embedded.thresholds == (50.0, 100.0, 200.0)
+        assert embedded.shards == 2
+        # The shard input files are self-describing too.
+        from repro.analysis import sharding
+        shard = sharding.read_shard(f"{out_dir}/shard-0.pkl")
+        assert shard.config == embedded

@@ -1,0 +1,186 @@
+"""Tests of the typed run configuration (:mod:`repro.config`)."""
+
+import dataclasses
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import (
+    CONFIG_FORMAT,
+    CONFIG_SCHEMA_VERSION,
+    OUTPUT_FORMATS,
+    RunConfig,
+)
+from repro.core.config import PlacementOptions
+from repro.exceptions import ConfigError, ReproError
+
+
+# ---------------------------------------------------------------------------
+# Hypothesis strategies
+# ---------------------------------------------------------------------------
+
+_options_strategy = st.builds(
+    PlacementOptions,
+    threshold=st.one_of(st.none(), st.floats(min_value=1.0, max_value=1e4)),
+    max_monomorphisms=st.integers(min_value=1, max_value=500),
+    fine_tuning=st.booleans(),
+    fine_tuning_max_rounds=st.integers(min_value=0, max_value=20),
+    lookahead=st.booleans(),
+    lookahead_width=st.integers(min_value=1, max_value=16),
+    leaf_override=st.booleans(),
+    apply_interaction_cap=st.booleans(),
+    sequential_levels=st.booleans(),
+    restrict_to_largest_component=st.booleans(),
+    reorder_commuting_gates=st.booleans(),
+    max_workspace_two_qubit_gates=st.one_of(
+        st.none(), st.integers(min_value=1, max_value=50)
+    ),
+    scheduler_backend=st.sampled_from(["auto", "python", "numpy"]),
+)
+
+
+@st.composite
+def _config_strategy(draw):
+    shards = draw(st.integers(min_value=1, max_value=8))
+    shard_index = draw(
+        st.one_of(st.none(), st.integers(min_value=0, max_value=shards - 1))
+    )
+    return RunConfig(
+        circuit=draw(st.sampled_from(["qft6", "qft:7", "hidden-stage:8x3",
+                                      "phaseest", "circuits/some.qc"])),
+        environment=draw(st.sampled_from(["histidine", "chain:12", "grid:4x4",
+                                          "acetyl-chloride", "env.json"])),
+        thresholds=draw(st.one_of(
+            st.none(),
+            st.lists(st.floats(min_value=0.5, max_value=1e4),
+                     min_size=1, max_size=6).map(tuple),
+        )),
+        options=draw(_options_strategy),
+        jobs=draw(st.integers(min_value=1, max_value=16)),
+        shards=shards,
+        shard_index=shard_index,
+        strategy=draw(st.sampled_from(["round-robin", "cost-balanced",
+                                       "round_robin", "cost_balanced"])),
+        output=draw(st.sampled_from(OUTPUT_FORMATS)),
+    )
+
+
+class TestRoundTrip:
+    @settings(max_examples=60, deadline=None)
+    @given(config=_config_strategy())
+    def test_json_round_trip_is_identity(self, config):
+        clone = RunConfig.from_json(config.to_json())
+        assert clone == config
+
+    @settings(max_examples=30, deadline=None)
+    @given(config=_config_strategy())
+    def test_canonical_json_is_stable(self, config):
+        # Canonical encoding: a round-tripped config re-encodes to the
+        # exact same bytes (the file-level determinism contract).
+        text = config.to_json()
+        assert RunConfig.from_json(text).to_json() == text
+
+    @settings(max_examples=30, deadline=None)
+    @given(config=_config_strategy())
+    def test_dict_round_trip_survives_json_types(self, config):
+        # Through json.loads/dumps, tuples become lists etc.; from_dict
+        # must still rebuild an equal config.
+        data = json.loads(json.dumps(config.to_dict()))
+        assert RunConfig.from_dict(data) == config
+
+    def test_file_round_trip(self, tmp_path):
+        config = RunConfig(circuit="qft:5", environment="chain:5",
+                           thresholds=(10, 20), jobs=2)
+        path = tmp_path / "run.json"
+        config.save(str(path))
+        assert RunConfig.load(str(path)) == config
+
+    def test_to_dict_is_self_describing(self):
+        data = RunConfig(circuit="qft6", environment="histidine").to_dict()
+        assert data["format"] == CONFIG_FORMAT
+        assert data["schema_version"] == CONFIG_SCHEMA_VERSION
+
+
+class TestValidation:
+    def test_strategy_normalised(self):
+        config = RunConfig(circuit="qft6", environment="histidine",
+                           strategy="cost_balanced")
+        assert config.strategy == "cost-balanced"
+
+    def test_thresholds_coerced_to_float_tuple(self):
+        config = RunConfig(circuit="qft6", environment="histidine",
+                           thresholds=[50, 100])
+        assert config.thresholds == (50.0, 100.0)
+
+    @pytest.mark.parametrize("changes,match", [
+        (dict(circuit=""), "circuit"),
+        (dict(environment=""), "environment"),
+        (dict(thresholds=()), "empty"),
+        (dict(thresholds=(0.0,)), "positive"),
+        (dict(thresholds="abc"), "numbers"),
+        (dict(jobs=0), "jobs"),
+        (dict(shards=0), "shards"),
+        (dict(shard_index=-1), "out of range"),
+        (dict(shards=2, shard_index=2), "out of range"),
+        (dict(strategy="zigzag"), "strategy"),
+        (dict(output="yaml"), "output"),
+        (dict(options="nope"), "PlacementOptions"),
+    ])
+    def test_invalid_values_rejected(self, changes, match):
+        base = dict(circuit="qft6", environment="histidine")
+        base.update(changes)
+        with pytest.raises(ConfigError, match=match):
+            RunConfig(**base)
+
+    def test_config_error_is_repro_error(self):
+        assert issubclass(ConfigError, ReproError)
+
+    def test_replace_revalidates(self):
+        config = RunConfig(circuit="qft6", environment="histidine")
+        assert config.replace(jobs=3).jobs == 3
+        with pytest.raises(ConfigError):
+            config.replace(jobs=-1)
+
+
+class TestFromDict:
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ConfigError, match="jbos"):
+            RunConfig.from_dict({"circuit": "qft6", "environment": "histidine",
+                                 "jbos": 4})
+
+    def test_unknown_option_keys_rejected(self):
+        with pytest.raises(ConfigError, match="fine_tunning"):
+            RunConfig.from_dict({
+                "circuit": "qft6", "environment": "histidine",
+                "options": {"fine_tunning": False},
+            })
+
+    def test_wrong_format_tag_rejected(self):
+        with pytest.raises(ConfigError, match="format"):
+            RunConfig.from_dict({"format": "not-a-config",
+                                 "circuit": "qft6",
+                                 "environment": "histidine"})
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(ConfigError, match="JSON"):
+            RunConfig.from_json("{not json")
+
+    def test_missing_file_is_config_error(self, tmp_path):
+        with pytest.raises(ConfigError, match="cannot read"):
+            RunConfig.load(str(tmp_path / "absent.json"))
+
+    def test_minimal_dict_uses_defaults(self):
+        config = RunConfig.from_dict({"circuit": "qft6",
+                                      "environment": "histidine"})
+        assert config.options == PlacementOptions()
+        assert config.jobs == 1
+        assert config.output == "text"
+
+    def test_all_fields_covered_by_to_dict(self):
+        # Guards against adding a RunConfig field and forgetting the
+        # serialisation: every dataclass field must appear in to_dict.
+        data = RunConfig(circuit="qft6", environment="histidine").to_dict()
+        for field in dataclasses.fields(RunConfig):
+            assert field.name in data
