@@ -11,7 +11,12 @@
 #      re-described as a repro.config.RunConfig and re-run via `--config`
 #      must produce identical deterministic fields — the unified workload
 #      API's config contract (docs/api.md);
-#   4. the benchmark regression gate on the fast micro scenarios
+#   4. a fault-injection smoke: the same 2-shard sweep with an injected
+#      worker crash (recovered by --retries) and a corrupted outcome
+#      shard (recovered by `shard replan` + re-run, with `shard run
+#      --resume` exercising the checkpoint journal), asserting the
+#      recovered merge is byte-identical to the serial table;
+#   5. the benchmark regression gate on the fast micro scenarios
 #      (`run_bench.py --check --scenarios ...`), which also re-checks the
 #      deterministic counters and output fingerprints against the
 #      committed BENCH_placement.json.
@@ -24,10 +29,10 @@ cd "$REPO_ROOT"
 export PYTHONPATH="$REPO_ROOT/src${PYTHONPATH:+:$PYTHONPATH}"
 PYTHON="${PYTHON:-python}"
 
-echo "== 1/4 tier-1 test suite =="
+echo "== 1/5 tier-1 test suite =="
 "$PYTHON" -m pytest -x -q
 
-echo "== 2/4 sharded plan -> run -> merge round trip =="
+echo "== 2/5 sharded plan -> run -> merge round trip =="
 WORK_DIR="$(mktemp -d)"
 trap 'rm -rf "$WORK_DIR"' EXIT
 
@@ -47,7 +52,7 @@ if ! diff "$WORK_DIR/serial.txt" "$WORK_DIR/merged.txt"; then
 fi
 echo "merged output byte-identical to serial sweep"
 
-echo "== 3/4 run-config round-trip smoke =="
+echo "== 3/5 run-config round-trip smoke =="
 "$PYTHON" -m repro.cli place error-correction-encoding acetyl-chloride \
     --output json > "$WORK_DIR/place-flags.json"
 "$PYTHON" - "$WORK_DIR" <<'PYEOF'
@@ -88,7 +93,52 @@ if flags != config:
 print("config round trip: deterministic fields identical")
 PYEOF
 
-echo "== 4/4 micro benchmark regression gate =="
+echo "== 4/5 fault-injection smoke =="
+FAULT_DIR="$WORK_DIR/fault"
+mkdir -p "$FAULT_DIR"
+# Worker crash on cell 0's first attempt: --retries must recover to the
+# exact serial table through the resilient (process-per-attempt) path.
+REPRO_FAULT_PLAN="0:kill" "$PYTHON" -m repro.cli sweep "${SWEEP_ARGS[@]}" \
+    --retries 2 > "$FAULT_DIR/faulted-sweep.txt"
+if ! diff "$WORK_DIR/serial.txt" "$FAULT_DIR/faulted-sweep.txt"; then
+    echo "FAIL: sweep with injected crash + retries differs from serial" >&2
+    exit 1
+fi
+# Corrupt shard 1's outcome file as it is written; a strict merge must
+# fail closed on the checksum, then replan + re-run + resume recovers.
+"$PYTHON" -m repro.cli shard run --shard-file "$WORK_DIR/shards/shard-0.pkl" \
+    --out "$FAULT_DIR/outcomes-0.json" --checkpoint "$FAULT_DIR/ckpt-0.jsonl"
+REPRO_FAULT_PLAN="out:1" "$PYTHON" -m repro.cli shard run \
+    --shard-file "$WORK_DIR/shards/shard-1.pkl" \
+    --out "$FAULT_DIR/outcomes-1.json"
+if "$PYTHON" -m repro.cli shard merge --plan "$WORK_DIR/shards/plan.json" \
+    "$FAULT_DIR/outcomes-0.json" "$FAULT_DIR/outcomes-1.json" \
+    > /dev/null 2> "$FAULT_DIR/merge-err.txt"; then
+    echo "FAIL: merge accepted a corrupted outcome shard" >&2
+    exit 1
+fi
+grep -q "outcomes-1.json" "$FAULT_DIR/merge-err.txt"
+"$PYTHON" -m repro.cli shard replan --plan "$WORK_DIR/shards/plan.json" \
+    --out-dir "$FAULT_DIR/recovery" \
+    "$FAULT_DIR/outcomes-0.json" "$FAULT_DIR/outcomes-1.json" > /dev/null
+# Resume shard 0 from its journal (all cells already done -> no re-work)
+# and re-run the replanned shard 1 input.
+"$PYTHON" -m repro.cli shard run --shard-file "$WORK_DIR/shards/shard-0.pkl" \
+    --out "$FAULT_DIR/outcomes-0.json" \
+    --checkpoint "$FAULT_DIR/ckpt-0.jsonl" --resume
+"$PYTHON" -m repro.cli shard run \
+    --shard-file "$FAULT_DIR/recovery/shard-1.pkl" \
+    --out "$FAULT_DIR/recovered-1.json"
+"$PYTHON" -m repro.cli shard merge --plan "$WORK_DIR/shards/plan.json" \
+    "$FAULT_DIR/outcomes-0.json" "$FAULT_DIR/recovered-1.json" \
+    > "$FAULT_DIR/recovered-merge.txt"
+if ! diff "$WORK_DIR/serial.txt" "$FAULT_DIR/recovered-merge.txt"; then
+    echo "FAIL: recovered merge differs from the serial sweep" >&2
+    exit 1
+fi
+echo "fault injection: crash, corruption, replan and resume all recovered"
+
+echo "== 5/5 micro benchmark regression gate =="
 "$PYTHON" scripts/run_bench.py --check --repeats 1 \
     --scenarios monomorphism_micro place_qec5_boc place_phaseest_crotonic
 

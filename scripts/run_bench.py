@@ -41,6 +41,7 @@ sys.path.insert(0, str(REPO_ROOT / "benchmarks" / "perf"))
 
 import bench_harness  # noqa: E402  (path set up above)
 
+from repro.analysis.serialization import atomic_write_text  # noqa: E402
 from repro.timing._replay import BACKEND_CHOICES, BACKEND_ENV_VAR  # noqa: E402
 
 DEFAULT_BASELINE = REPO_ROOT / "BENCH_placement.json"
@@ -197,11 +198,11 @@ def main(argv=None) -> int:
             return 1
         print(f"\nOK: no benchmark regressed more than {args.tolerance:.0%}")
         if args.update:
-            args.output.write_text(json.dumps(report, indent=1, sort_keys=False) + "\n")
+            atomic_write_text(args.output, json.dumps(report, indent=1, sort_keys=False) + "\n")
             print(f"baseline updated: {args.output}")
         return 0
 
-    args.output.write_text(json.dumps(report, indent=1, sort_keys=False) + "\n")
+    atomic_write_text(args.output, json.dumps(report, indent=1, sort_keys=False) + "\n")
     print(f"\nwrote {args.output}")
     return 0
 

@@ -41,6 +41,7 @@ The lower-level building blocks remain available::
     print(result.summary())
 """
 
+from repro.analysis.resilience import FailedOutcome, FaultInjector, RetryPolicy
 from repro.api import GridResult, PlaceResult, Session, SweepResult
 from repro.circuits import QuantumCircuit
 from repro.config import RunConfig
@@ -53,10 +54,12 @@ from repro.core import (
 from repro.exceptions import (
     CircuitError,
     ConfigError,
+    InjectedFaultError,
     PlacementError,
     RegistryError,
     ReproError,
     RoutingError,
+    ShardFormatError,
     ThresholdError,
     UnknownSpecError,
 )
@@ -84,6 +87,9 @@ __all__ = [
     "PlaceResult",
     "SweepResult",
     "GridResult",
+    "RetryPolicy",
+    "FaultInjector",
+    "FailedOutcome",
     "CIRCUITS",
     "ENVIRONMENTS",
     "SCHEDULER_BACKENDS",
@@ -98,5 +104,7 @@ __all__ = [
     "RegistryError",
     "UnknownSpecError",
     "ConfigError",
+    "ShardFormatError",
+    "InjectedFaultError",
     "__version__",
 ]

@@ -54,6 +54,15 @@ carry it in their :class:`~repro.core.config.PlacementOptions`
 ``"auto"``, and :class:`ExperimentRunner` can force one backend for a whole
 grid (``scheduler_backend=...``).  Backends are bit-identical (see
 ``docs/performance.md``), so none of these choices changes any outcome.
+
+Fault tolerance is opt-in: construct the runner with a
+:class:`~repro.analysis.resilience.RetryPolicy` (``retry_policy=...``) —
+or install a test-only fault injector — and execution switches to the
+resilient path in :mod:`repro.analysis.resilience`, which isolates every
+attempt in its own process so failing cells retry, hung cells time out,
+and exhausted cells degrade to structured
+:class:`~repro.analysis.resilience.FailedOutcome` rows.  Without either,
+the serial/pool paths below run exactly as before.
 """
 
 from __future__ import annotations
@@ -463,6 +472,14 @@ class ExperimentRunner:
         whole-grid equivalent of the CLI's ``--scheduler-backend``.
         Outcomes are bit-identical across backends, so this only affects
         wall time.
+    retry_policy:
+        Optional :class:`~repro.analysis.resilience.RetryPolicy`.  When
+        set (and not a no-op), cells execute on the resilient
+        per-attempt-process path: failures retry with deterministic
+        backoff, hung cells are killed at ``cell_timeout``, and exhausted
+        cells yield :class:`~repro.analysis.resilience.FailedOutcome`
+        rows instead of raising.  ``None`` (the default) keeps the plain
+        serial/pool paths byte-for-byte unchanged.
     """
 
     def __init__(
@@ -471,6 +488,7 @@ class ExperimentRunner:
         progress: Optional[ProgressCallback] = None,
         warmup: bool = True,
         scheduler_backend: Optional[str] = None,
+        retry_policy: Optional["object"] = None,
     ) -> None:
         if jobs < 1:
             raise ExperimentError(f"jobs must be at least 1, got {jobs}")
@@ -479,10 +497,19 @@ class ExperimentRunner:
                 f"scheduler_backend must be one of {BACKEND_CHOICES}, "
                 f"got {scheduler_backend!r}"
             )
+        if retry_policy is not None:
+            from repro.analysis.resilience import RetryPolicy
+
+            if not isinstance(retry_policy, RetryPolicy):
+                raise ExperimentError(
+                    f"retry_policy must be a RetryPolicy (or None), got "
+                    f"{type(retry_policy).__name__}"
+                )
         self.jobs = int(jobs)
         self.progress = progress
         self.warmup = warmup
         self.scheduler_backend = scheduler_backend
+        self.retry_policy = retry_policy
 
     def run(self, specs: Sequence[ExperimentSpec]) -> List[ExperimentOutcome]:
         """Execute every cell and return outcomes in spec order.
@@ -540,10 +567,7 @@ class ExperimentRunner:
         specs = self.prepared_specs(specs)
         if not specs:
             return
-        if self.jobs == 1 or len(specs) == 1:
-            yield from self._iter_serial(specs)
-        else:
-            yield from self._iter_parallel(specs)
+        yield from self._iter_prepared(specs)
 
     def run_ordered(
         self,
@@ -579,23 +603,25 @@ class ExperimentRunner:
         return results
 
     def execute_prepared(
-        self, specs: Sequence[ExperimentSpec]
+        self,
+        specs: Sequence[ExperimentSpec],
+        global_indices: Optional[Sequence[int]] = None,
     ) -> List[ExperimentOutcome]:
         """Execute already-prepared specs and order outcomes by cell index.
 
         The execution core shared by :func:`repro.analysis.sharding.execute_shard`
         and (through it) :meth:`run`; callers outside the sharding
         pipeline should use :meth:`run` or :meth:`iter_outcomes`.
+        ``global_indices`` maps each spec position to its grid-global cell
+        index — shard workers pass their slice of the plan so retry
+        backoff and fault injection key on the *global* grid, making the
+        resilient path invariant to how the grid was sharded.
         """
         specs = list(specs)
         outcomes: List[Optional[ExperimentOutcome]] = [None] * len(specs)
         if not specs:
             return []
-        if self.jobs == 1 or len(specs) == 1:
-            iterator = self._iter_serial(specs)
-        else:
-            iterator = self._iter_parallel(specs)
-        for outcome in iterator:
+        for outcome in self._iter_prepared(specs, global_indices=global_indices):
             outcomes[outcome.index] = outcome
         missing = [index for index, outcome in enumerate(outcomes) if outcome is None]
         if missing:  # pragma: no cover - cells either return or raise
@@ -604,6 +630,37 @@ class ExperimentRunner:
                 "refusing to return a misaligned result list"
             )
         return outcomes
+
+    def _iter_prepared(
+        self,
+        specs: List[ExperimentSpec],
+        global_indices: Optional[Sequence[int]] = None,
+    ) -> Iterator[ExperimentOutcome]:
+        """Route prepared specs to the right execution path.
+
+        Resilient execution (per-attempt processes, retries, timeouts)
+        engages only when the runner carries a non-no-op retry policy or
+        a fault injector is active; otherwise the original serial and
+        pool paths run untouched, preserving their performance profile
+        and counter semantics exactly.
+        """
+        from repro.analysis import resilience
+
+        injector = resilience.active_fault_injector()
+        policy = self.retry_policy
+        if (policy is not None and not policy.is_noop) or injector is not None:
+            yield from resilience.execute_cells(
+                specs,
+                policy=policy,
+                injector=injector,
+                jobs=self.jobs,
+                progress=self.progress,
+                global_indices=global_indices,
+            )
+        elif self.jobs == 1 or len(specs) == 1:
+            yield from self._iter_serial(specs)
+        else:
+            yield from self._iter_parallel(specs)
 
     # -- serial ---------------------------------------------------------------
 
@@ -768,7 +825,16 @@ def stderr_progress(prefix: str = "cell", stream=None):
     def callback(completed: int, total: int, outcome: ExperimentOutcome) -> None:
         out = stream if stream is not None else sys.stderr
         elapsed = max(time.perf_counter() - start, 1e-9)
-        status = "ok" if outcome.feasible else "N/A"
+        # FailedOutcome rows (exhausted retries) are distinct from the
+        # paper's structural "N/A" cells: show the failure kind and the
+        # attempts consumed so an operator can tell them apart on sight.
+        failure = getattr(outcome, "failure", None)
+        if outcome.feasible:
+            status = "ok"
+        elif failure:
+            status = f"FAILED:{failure} after {getattr(outcome, 'attempts', 0)} attempt(s)"
+        else:
+            status = "N/A"
         label = outcome.label or outcome.circuit_name
         print(
             f"{prefix} {completed}/{total}: {label} [{status}, "

@@ -27,18 +27,34 @@ file round-trips drop it.
 separators, trailing newline): byte-identical inputs produce
 byte-identical files, which is what "merged output equals serial output"
 means at the file level.
+
+This module is also where every artifact write becomes **crash-safe**:
+:func:`atomic_write_text`/:func:`atomic_write_bytes` write to a temp file
+in the destination directory, fsync, and ``os.replace`` into place, so an
+interrupted writer leaves either the old file or the new one — never a
+torn hybrid.  JSON payloads carry an embedded ``payload_sha256`` checksum
+(:func:`checksummed_payload`, verified by :func:`verify_payload_checksum`)
+so silent corruption that still parses as JSON is detected on read.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 import json
+import os
+import tempfile
 from typing import Dict, List, Mapping, Optional, Sequence
 
 from repro.analysis.runner import ExperimentOutcome
+from repro.exceptions import ShardFormatError
 
 #: Schema tag written into every JSON payload produced by this module.
 SCHEMA_VERSION = 1
+
+#: JSON key under which a payload embeds its own SHA-256 checksum.  The
+#: digest covers the canonical encoding of the payload *without* this key.
+CHECKSUM_KEY = "payload_sha256"
 
 #: Outcome fields that are machine-dependent and therefore excluded from
 #: :func:`deterministic_row`.  ``software_runtime_seconds`` is wall time;
@@ -81,13 +97,20 @@ def outcome_to_dict(outcome: ExperimentOutcome) -> Dict:
 
 
 def outcome_from_dict(row: Mapping) -> ExperimentOutcome:
-    """Rebuild an :class:`ExperimentOutcome` from :func:`outcome_to_dict`."""
-    known = {
-        field.name for field in dataclasses.fields(ExperimentOutcome)
-    } - {"result"}
+    """Rebuild an :class:`ExperimentOutcome` from :func:`outcome_to_dict`.
+
+    Rows carrying a ``failure`` key are rebuilt as
+    :class:`~repro.analysis.resilience.FailedOutcome` — the structured
+    form of a cell whose retries were exhausted — so failure metadata
+    (``attempts``, ``failure``) survives file round trips.
+    """
+    from repro.analysis.resilience import FailedOutcome
+
+    cls = FailedOutcome if "failure" in row else ExperimentOutcome
+    known = {field.name for field in dataclasses.fields(cls)} - {"result"}
     data = {key: value for key, value in row.items() if key in known}
     data["counters"] = dict(data.get("counters") or {})
-    return ExperimentOutcome(**data)
+    return cls(**data)
 
 
 def deterministic_row(outcome: ExperimentOutcome) -> Dict:
@@ -133,3 +156,77 @@ def outcomes_payload(
 def dump_json(payload: object) -> str:
     """Canonical JSON encoding: sorted keys, fixed separators, newline."""
     return json.dumps(payload, sort_keys=True, separators=(",", ": "), indent=1) + "\n"
+
+
+# ---------------------------------------------------------------------------
+# Crash-safe writes and payload checksums
+# ---------------------------------------------------------------------------
+
+
+def atomic_write_bytes(path: str, data: bytes) -> None:
+    """Write ``data`` to ``path`` atomically (temp file + ``os.replace``).
+
+    The temp file lives in the destination directory (``os.replace`` must
+    not cross filesystems) and is fsynced before the rename, so a crash at
+    any point leaves either the previous file or the complete new one.
+    """
+    path = os.fspath(path)
+    directory = os.path.dirname(os.path.abspath(path))
+    fd, tmp_path = tempfile.mkstemp(
+        dir=directory, prefix=os.path.basename(path) + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:  # pragma: no cover - best-effort cleanup
+            pass
+        raise
+
+
+def atomic_write_text(path: str, text: str) -> None:
+    """UTF-8 text form of :func:`atomic_write_bytes`."""
+    atomic_write_bytes(path, text.encode("utf-8"))
+
+
+def payload_checksum(payload: Mapping) -> str:
+    """SHA-256 over the canonical encoding of ``payload`` sans checksum key."""
+    body = {key: value for key, value in payload.items() if key != CHECKSUM_KEY}
+    return hashlib.sha256(dump_json(body).encode("utf-8")).hexdigest()
+
+
+def checksummed_payload(payload: Mapping) -> Dict:
+    """A copy of ``payload`` with its :data:`CHECKSUM_KEY` embedded.
+
+    Checksumming is deterministic (canonical encoding), so byte-identical
+    payloads produce byte-identical checksummed files.
+    """
+    body = dict(payload)
+    body[CHECKSUM_KEY] = payload_checksum(payload)
+    return body
+
+
+def verify_payload_checksum(payload: Mapping, path: str) -> None:
+    """Verify an embedded checksum, raising :class:`ShardFormatError`.
+
+    Payloads without a :data:`CHECKSUM_KEY` pass (hand-written files and
+    payloads captured from ``--output json`` before checksumming existed
+    stay readable); a present-but-wrong checksum means the file was
+    corrupted after writing and is rejected with the path and both
+    digests in the message.
+    """
+    declared = payload.get(CHECKSUM_KEY)
+    if declared is None:
+        return
+    actual = payload_checksum(payload)
+    if actual != declared:
+        raise ShardFormatError(
+            f"{path!r}: payload checksum mismatch (file says {declared[:12]}, "
+            f"content hashes to {actual[:12]}); the file was corrupted after "
+            "it was written"
+        )

@@ -49,6 +49,18 @@ deterministic fields (everything except ``software_runtime_seconds`` and
 the per-process cache counters; see
 :data:`repro.analysis.serialization.WORK_COUNTERS`) are byte-identical to
 the serial run for *any* shard count and either strategy.
+
+Fault tolerance (``docs/parallelism.md`` section 8): every file this
+module writes is crash-safe — atomic temp-file + ``os.replace`` writes
+with an embedded SHA-256 payload checksum verified on read — and every
+unreadable file fails with a one-line
+:class:`~repro.exceptions.ShardFormatError` naming the path and the
+cause.  :func:`execute_shard` can journal completed cells to a
+*checkpoint* file (``checkpoint_path=``), so an interrupted shard resumes
+from its last completed cell instead of starting over; and
+:func:`merge_shards` with ``allow_partial=True`` merges whatever shards
+exist, reporting the missing shards and cells explicitly so a recovery
+plan (CLI ``shard replan``) can cover exactly the gaps.
 """
 
 from __future__ import annotations
@@ -56,9 +68,10 @@ from __future__ import annotations
 import hashlib
 import heapq
 import json
+import os
 import pickle
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Sequence, TextIO, Tuple
 
 from repro.analysis.runner import (
     ExperimentOutcome,
@@ -67,12 +80,16 @@ from repro.analysis.runner import (
 )
 from repro.analysis.serialization import (
     SCHEMA_VERSION,
+    atomic_write_bytes,
+    atomic_write_text,
+    checksummed_payload,
     dump_json,
     outcome_from_dict,
     outcome_to_dict,
+    verify_payload_checksum,
 )
 from repro.core.stats import STATS, Counters
-from repro.exceptions import ExperimentError
+from repro.exceptions import ExperimentError, ShardFormatError
 from repro.registry import SHARD_STRATEGIES
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
@@ -124,6 +141,7 @@ STRATEGIES = tuple(SHARD_STRATEGIES.names())
 #: Format tags written into (and checked in) the shard file headers.
 SHARD_INPUT_FORMAT = "repro-shard-input"
 OUTCOME_SHARD_FORMAT = "repro-outcome-shard"
+CHECKPOINT_FORMAT = "repro-shard-checkpoint"
 
 #: Pickle protocol for shard-input files: fixed, so the same plan always
 #: produces the same bytes regardless of the writing interpreter's default.
@@ -329,7 +347,13 @@ def _cell_costs(specs: Sequence[ExperimentSpec]) -> List[int]:
 
 
 def write_shard(shard: ShardInput, path: str) -> None:
-    """Serialise a shard input to ``path`` (pickle with a format header)."""
+    """Serialise a shard input to ``path`` (pickle with a format header).
+
+    The write is crash-safe (temp file + ``os.replace``) and the shard's
+    pickle bytes are wrapped with their own SHA-256 digest, so
+    :func:`read_shard` detects a file corrupted after writing instead of
+    unpickling garbage.
+    """
     if shard.plan_fingerprint.startswith("local:"):
         raise ExperimentError(
             "refusing to write a shard of a plan built with "
@@ -337,40 +361,64 @@ def write_shard(shard: ShardInput, path: str) -> None:
             "grid-specific, so merge_shards could silently combine shards "
             "of different grids; build the plan with its real fingerprint"
         )
-    payload = {
-        "format": SHARD_INPUT_FORMAT,
-        "schema_version": SCHEMA_VERSION,
-        "shard": shard,
-    }
     try:
-        blob = pickle.dumps(payload, protocol=_PICKLE_PROTOCOL)
+        shard_blob = pickle.dumps(shard, protocol=_PICKLE_PROTOCOL)
     except Exception as exc:
         raise ExperimentError(
             f"shard {shard.shard_index} cannot be serialised ({exc}); shard "
             "specs need picklable factories — module-level functions, "
             "functools.partial, or constant_environment()"
         ) from exc
-    with open(path, "wb") as handle:
-        handle.write(blob)
+    payload = {
+        "format": SHARD_INPUT_FORMAT,
+        "schema_version": SCHEMA_VERSION,
+        "shard_sha256": hashlib.sha256(shard_blob).hexdigest(),
+        "shard": shard_blob,
+    }
+    atomic_write_bytes(path, pickle.dumps(payload, protocol=_PICKLE_PROTOCOL))
 
 
 def read_shard(path: str) -> ShardInput:
-    """Read a shard input written by :func:`write_shard`."""
+    """Read a shard input written by :func:`write_shard`.
+
+    Every low-level failure — missing file, truncated pickle, foreign
+    format, checksum mismatch — raises a one-line
+    :class:`~repro.exceptions.ShardFormatError` naming the path and the
+    cause.  Files from before checksumming existed (the shard object
+    pickled directly under ``"shard"``) remain readable.
+    """
     try:
         with open(path, "rb") as handle:
             payload = pickle.load(handle)
     except Exception as exc:
-        raise ExperimentError(f"cannot read shard file {path!r}: {exc}") from exc
-    if (
-        not isinstance(payload, dict)
-        or payload.get("format") != SHARD_INPUT_FORMAT
-        or not isinstance(payload.get("shard"), ShardInput)
-    ):
-        raise ExperimentError(
+        raise ShardFormatError(f"cannot read shard file {path!r}: {exc}") from exc
+    if not isinstance(payload, dict) or payload.get("format") != SHARD_INPUT_FORMAT:
+        raise ShardFormatError(
             f"{path!r} is not a shard-input file (expected format "
             f"{SHARD_INPUT_FORMAT!r})"
         )
-    return payload["shard"]
+    shard = payload.get("shard")
+    if isinstance(shard, (bytes, bytearray)):
+        declared = payload.get("shard_sha256")
+        actual = hashlib.sha256(shard).hexdigest()
+        if declared is not None and declared != actual:
+            raise ShardFormatError(
+                f"{path!r}: shard payload checksum mismatch (file says "
+                f"{str(declared)[:12]}, content hashes to {actual[:12]}); "
+                "the file was corrupted after it was written"
+            )
+        try:
+            shard = pickle.loads(shard)
+        except Exception as exc:
+            raise ShardFormatError(
+                f"cannot read shard file {path!r}: {exc}"
+            ) from exc
+    if not isinstance(shard, ShardInput):
+        raise ShardFormatError(
+            f"{path!r} is not a shard-input file (expected format "
+            f"{SHARD_INPUT_FORMAT!r})"
+        )
+    return shard
 
 
 # ---------------------------------------------------------------------------
@@ -396,30 +444,178 @@ class OutcomeShard:
     counters: Dict[str, int] = field(default_factory=dict)
 
 
+def load_shard_checkpoint(
+    path: str, shard: ShardInput
+) -> Tuple[Dict[int, ExperimentOutcome], bool]:
+    """Read a checkpoint journal: completed outcomes by global cell index.
+
+    Returns ``(outcomes, header_valid)``.  A missing or empty file (and a
+    file whose only line is a torn header) is simply "no progress yet" —
+    ``({}, False)`` — so resume is idempotent; a header belonging to a
+    different shard or grid, or a malformed interior line, raises
+    :class:`~repro.exceptions.ShardFormatError`.  A torn *final* line
+    (crash mid-append) is dropped: its cell re-runs.
+    """
+    if not os.path.exists(path):
+        return {}, False
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            lines = [line for line in handle.read().splitlines() if line.strip()]
+    except OSError as exc:
+        raise ShardFormatError(
+            f"cannot read checkpoint file {path!r}: {exc}"
+        ) from exc
+    parsed: List[object] = []
+    for position, line in enumerate(lines):
+        try:
+            parsed.append(json.loads(line))
+        except json.JSONDecodeError as exc:
+            if position == len(lines) - 1:
+                break  # torn tail from a crash mid-append; the cell re-runs
+            raise ShardFormatError(
+                f"checkpoint file {path!r}: line {position + 1} is not valid "
+                f"JSON ({exc}); the file is corrupt"
+            ) from exc
+    if not parsed:
+        return {}, False
+    header = parsed[0]
+    if not isinstance(header, dict) or header.get("format") != CHECKPOINT_FORMAT:
+        raise ShardFormatError(
+            f"{path!r} is not a shard-checkpoint file (expected format "
+            f"{CHECKPOINT_FORMAT!r})"
+        )
+    for key, expected in (
+        ("plan_fingerprint", shard.plan_fingerprint),
+        ("shard_index", shard.shard_index),
+        ("num_shards", shard.num_shards),
+    ):
+        if header.get(key) != expected:
+            raise ShardFormatError(
+                f"checkpoint file {path!r} belongs to a different run "
+                f"({key}={header.get(key)!r}, this shard has {expected!r}); "
+                "delete it or point --checkpoint elsewhere"
+            )
+    valid_indices = set(shard.indices)
+    completed: Dict[int, ExperimentOutcome] = {}
+    for position, row in enumerate(parsed[1:], start=2):
+        try:
+            index = int(row["index"])
+            outcome = outcome_from_dict(row["row"])
+        except Exception as exc:
+            raise ShardFormatError(
+                f"checkpoint file {path!r}: row at line {position} is "
+                f"malformed ({exc!r})"
+            ) from exc
+        if index not in valid_indices:
+            raise ShardFormatError(
+                f"checkpoint file {path!r} records cell {index}, which is "
+                f"not assigned to shard {shard.shard_index}"
+            )
+        outcome.index = index
+        completed[index] = outcome
+    return completed, True
+
+
+def _append_checkpoint_line(handle: TextIO, record: Dict) -> None:
+    """Append one durable journal line (flushed and fsynced).
+
+    Durability per line is the point of a checkpoint: a crash right after
+    a cell completes must not lose that cell.  A crash *during* this
+    append leaves a torn final line, which the reader drops.
+    """
+    handle.write(json.dumps(record, sort_keys=True) + "\n")
+    handle.flush()
+    os.fsync(handle.fileno())
+
+
 def execute_shard(
     shard: ShardInput,
     runner: Optional[ExperimentRunner] = None,
+    checkpoint_path: Optional[str] = None,
 ) -> OutcomeShard:
     """Run one shard's cells and package the outcome shard.
 
     ``runner`` controls *how* the shard's own cells execute (serially or
-    over local worker processes, progress callbacks, backend override);
-    defaults to a serial runner.  The shard's cells run exactly as they
-    would inside a whole-grid run — same per-cell work, same counters.
+    over local worker processes, progress callbacks, backend override,
+    retry policy); defaults to a serial runner.  The shard's cells run
+    exactly as they would inside a whole-grid run — same per-cell work,
+    same counters — and cell indices are passed through to the runner as
+    *global* grid indices, so retry backoff and fault injection are
+    invariant to how the grid was sharded.
+
+    With ``checkpoint_path``, each completed cell is appended to a
+    durable JSON-lines journal; re-running with the same path (CLI
+    ``shard run --resume``) skips the journaled cells and executes only
+    the missing ones.  The resumed shard's counters fold the journaled
+    cells' counters together with the live run's, so the merged grid's
+    aggregate counters match an uninterrupted execution.
     """
     runner = runner or ExperimentRunner()
     specs = runner.prepared_specs(shard.specs)
+    resumed: Dict[int, ExperimentOutcome] = {}
+    header_valid = False
+    if checkpoint_path is not None:
+        resumed, header_valid = load_shard_checkpoint(checkpoint_path, shard)
+    pending = [
+        position
+        for position, global_index in enumerate(shard.indices)
+        if global_index not in resumed
+    ]
+    collected: Dict[int, ExperimentOutcome] = dict(resumed)
     before = STATS.snapshot()
-    outcomes = runner.execute_prepared(specs)
+    handle: Optional[TextIO] = None
+    try:
+        if checkpoint_path is not None:
+            handle = open(
+                checkpoint_path, "a" if header_valid else "w", encoding="utf-8"
+            )
+            if not header_valid:
+                _append_checkpoint_line(handle, {
+                    "format": CHECKPOINT_FORMAT,
+                    "schema_version": SCHEMA_VERSION,
+                    "plan_fingerprint": shard.plan_fingerprint,
+                    "shard_index": shard.shard_index,
+                    "num_shards": shard.num_shards,
+                })
+        if pending:
+            run_specs = [specs[position] for position in pending]
+            run_globals = [shard.indices[position] for position in pending]
+            for outcome in runner._iter_prepared(
+                run_specs, global_indices=run_globals
+            ):
+                global_index = run_globals[outcome.index]
+                outcome.index = global_index
+                collected[global_index] = outcome
+                if handle is not None:
+                    _append_checkpoint_line(handle, {
+                        "index": global_index,
+                        "row": outcome_to_dict(outcome),
+                    })
+    finally:
+        if handle is not None:
+            handle.close()
     counters = STATS.delta_since(before)
-    for outcome, global_index in zip(outcomes, shard.indices):
-        outcome.index = global_index
+    if resumed:
+        folded = Counters()
+        folded.merge(counters)
+        for outcome in resumed.values():
+            folded.merge(outcome.counters)
+        counters = folded.snapshot()
+    missing = [
+        global_index for global_index in shard.indices
+        if global_index not in collected
+    ]
+    if missing:  # pragma: no cover - cells either return or raise
+        raise ExperimentError(
+            f"shard {shard.shard_index} execution returned no outcome for "
+            f"cell(s) {missing}"
+        )
     return OutcomeShard(
         plan_fingerprint=shard.plan_fingerprint,
         shard_index=shard.shard_index,
         num_shards=shard.num_shards,
         indices=tuple(shard.indices),
-        outcomes=outcomes,
+        outcomes=[collected[global_index] for global_index in shard.indices],
         counters=counters,
     )
 
@@ -430,8 +626,16 @@ def execute_shard(
 
 
 def outcome_shard_to_payload(shard: OutcomeShard) -> Dict:
-    """The JSON-safe form of an outcome shard (``--output json`` rows)."""
-    return {
+    """The JSON-safe form of an outcome shard (``--output json`` rows).
+
+    The payload embeds its own SHA-256 checksum
+    (:func:`repro.analysis.serialization.checksummed_payload`), so the
+    file :func:`write_outcome_shard` produces — and the identical payload
+    a ``sweep --shard-index --output json`` worker prints — is verifiable
+    on read.  Checksumming is deterministic, so equal shards still
+    serialise to byte-identical payloads.
+    """
+    return checksummed_payload({
         "format": OUTCOME_SHARD_FORMAT,
         "schema_version": SCHEMA_VERSION,
         "plan_fingerprint": shard.plan_fingerprint,
@@ -442,13 +646,18 @@ def outcome_shard_to_payload(shard: OutcomeShard) -> Dict:
         "counters": {
             name: int(value) for name, value in sorted(shard.counters.items())
         },
-    }
+    })
 
 
 def outcome_shard_from_payload(payload: Mapping) -> OutcomeShard:
-    """Rebuild an :class:`OutcomeShard` from its JSON payload."""
+    """Rebuild an :class:`OutcomeShard` from its JSON payload.
+
+    The embedded checksum, if any, is ignored here (file readers verify
+    it against the raw file first; in-memory payloads need no integrity
+    check), so pre-checksum payloads remain loadable.
+    """
     if payload.get("format") != OUTCOME_SHARD_FORMAT:
-        raise ExperimentError(
+        raise ShardFormatError(
             f"not an outcome-shard payload (expected format "
             f"{OUTCOME_SHARD_FORMAT!r}, got {payload.get('format')!r})"
         )
@@ -462,7 +671,7 @@ def outcome_shard_from_payload(payload: Mapping) -> OutcomeShard:
             counters={str(k): int(v) for k, v in payload.get("counters", {}).items()},
         )
     except (KeyError, TypeError, ValueError) as exc:
-        raise ExperimentError(
+        raise ShardFormatError(
             f"malformed outcome-shard payload ({exc!r}); the file is "
             "truncated or was not written by write_outcome_shard"
         ) from exc
@@ -471,25 +680,42 @@ def outcome_shard_from_payload(payload: Mapping) -> OutcomeShard:
 def write_outcome_shard(shard: OutcomeShard, path: str) -> None:
     """Serialise an outcome shard to canonical JSON at ``path``.
 
-    Note that file round-trips drop any attached
-    :class:`~repro.core.result.PlacementResult` objects (see
-    :mod:`repro.analysis.serialization`); shard grids ship scalar rows.
+    The write is atomic (temp file + ``os.replace``) and the payload
+    carries its own checksum, so an interrupted or corrupted write is
+    detected on read instead of merged silently.  Note that file round
+    trips drop any attached :class:`~repro.core.result.PlacementResult`
+    objects (see :mod:`repro.analysis.serialization`); shard grids ship
+    scalar rows.
     """
-    with open(path, "w", encoding="utf-8") as handle:
-        handle.write(dump_json(outcome_shard_to_payload(shard)))
+    atomic_write_text(path, dump_json(outcome_shard_to_payload(shard)))
+    # Test-only hook: a fault plan may corrupt this shard's output file
+    # after the (successful, atomic) write, to exercise the detection and
+    # replan/resume recovery paths end to end.
+    from repro.analysis import resilience
+
+    injector = resilience.active_fault_injector()
+    if injector is not None and injector.corrupts_output(shard.shard_index):
+        resilience.corrupt_file(path)
 
 
 def read_outcome_shard(path: str) -> OutcomeShard:
-    """Read an outcome shard written by :func:`write_outcome_shard`."""
+    """Read an outcome shard written by :func:`write_outcome_shard`.
+
+    Unreadable or corrupt files — missing, truncated, foreign format,
+    payload-checksum mismatch — raise a one-line
+    :class:`~repro.exceptions.ShardFormatError` naming the path and the
+    cause (including the expected digest for checksum mismatches).
+    """
     try:
         with open(path, "r", encoding="utf-8") as handle:
             payload = json.load(handle)
     except Exception as exc:
-        raise ExperimentError(
+        raise ShardFormatError(
             f"cannot read outcome-shard file {path!r}: {exc}"
         ) from exc
     if not isinstance(payload, dict):
-        raise ExperimentError(f"{path!r} is not an outcome-shard file")
+        raise ShardFormatError(f"{path!r} is not an outcome-shard file")
+    verify_payload_checksum(payload, path)
     return outcome_shard_from_payload(payload)
 
 
@@ -500,17 +726,33 @@ def read_outcome_shard(path: str) -> OutcomeShard:
 
 @dataclass
 class MergedGrid:
-    """The reassembled grid: outcomes in grid order plus merged counters."""
+    """The reassembled grid: outcomes in grid order plus merged counters.
 
-    outcomes: List[ExperimentOutcome]
+    A *partial* merge (``merge_shards(..., allow_partial=True)``) leaves
+    ``None`` holes in ``outcomes`` for cells no present shard delivered
+    and reports the gaps explicitly: ``missing_shards`` lists the absent
+    shard indices and ``missing_cells`` the uncovered global cell indices
+    — exactly the manifest a recovery plan (CLI ``shard replan``) needs.
+    Complete merges leave both empty.
+    """
+
+    outcomes: List[Optional[ExperimentOutcome]]
     counters: Dict[str, int]
     plan_fingerprint: str
     num_shards: int
+    missing_shards: Tuple[int, ...] = ()
+    missing_cells: Tuple[int, ...] = ()
+
+    @property
+    def is_complete(self) -> bool:
+        """Whether every cell of the grid is covered."""
+        return not self.missing_shards and not self.missing_cells
 
 
 def merge_shards(
     shards: Sequence[OutcomeShard],
     plan: Optional[ShardPlan] = None,
+    allow_partial: bool = False,
 ) -> MergedGrid:
     """Verify and merge outcome shards back into one grid.
 
@@ -520,6 +762,13 @@ def merge_shards(
     list, and the union of indices covers the grid exactly once.  Counter
     deltas are folded with :meth:`Counters.merge` in shard order — merge
     order cannot matter, since merging is per-name addition.
+
+    ``allow_partial=True`` relaxes only the *coverage* requirement:
+    missing shards and cells become the returned grid's
+    ``missing_shards``/``missing_cells`` manifest (with ``None`` holes in
+    the outcome list) instead of an error.  Duplicated shards or cells,
+    fingerprint mismatches and malformed shards are always errors — a
+    partial merge is still a verified merge.
     """
     shards = sorted(shards, key=lambda shard: shard.shard_index)
     if not shards:
@@ -551,12 +800,20 @@ def merge_shards(
         )
 
     seen_shards = [shard.shard_index for shard in shards]
-    if sorted(seen_shards) != list(range(num_shards)):
-        missing = sorted(set(range(num_shards)) - set(seen_shards))
+    duplicate_shards = sorted(
+        {index for index in seen_shards if seen_shards.count(index) > 1}
+    )
+    out_of_range = [
+        index for index in seen_shards if not 0 <= index < num_shards
+    ]
+    missing_shards = sorted(set(range(num_shards)) - set(seen_shards))
+    if duplicate_shards or out_of_range or (missing_shards and not allow_partial):
         raise ExperimentError(
             f"merging a {num_shards}-shard plan needs every shard exactly "
             f"once, got shard indices {sorted(seen_shards)} "
-            f"(missing {missing})"
+            f"(missing {missing_shards}); re-run the missing shards (or "
+            "rebuild their inputs with 'repro-place shard replan'), or "
+            "merge what exists with allow_partial=True (--allow-partial)"
         )
 
     for shard in shards:
@@ -580,15 +837,23 @@ def merge_shards(
             )
 
     all_indices = [index for shard in shards for index in shard.indices]
-    total = plan.total_cells if plan is not None else len(all_indices)
-    if sorted(all_indices) != list(range(total)):
-        missing = sorted(set(range(total)) - set(all_indices))
-        duplicates = sorted(
-            {index for index in all_indices if all_indices.count(index) > 1}
-        )
+    if plan is not None:
+        total = plan.total_cells
+    elif allow_partial:
+        # Without a plan the grid size is unknowable from a partial shard
+        # set; the tightest lower bound is the highest delivered index.
+        total = max(all_indices) + 1 if all_indices else 0
+    else:
+        total = len(all_indices)
+    duplicates = sorted(
+        {index for index in all_indices if all_indices.count(index) > 1}
+    )
+    missing_cells = sorted(set(range(total)) - set(all_indices))
+    bad_indices = [index for index in all_indices if not 0 <= index < total]
+    if duplicates or bad_indices or (missing_cells and not allow_partial):
         raise ExperimentError(
             "outcome shards do not cover the grid exactly once "
-            f"(missing cells {missing}, duplicated cells {duplicates})"
+            f"(missing cells {missing_cells}, duplicated cells {duplicates})"
         )
 
     outcomes: List[Optional[ExperimentOutcome]] = [None] * total
@@ -602,4 +867,6 @@ def merge_shards(
         counters=merged.snapshot(),
         plan_fingerprint=fingerprint,
         num_shards=num_shards,
+        missing_shards=tuple(missing_shards),
+        missing_cells=tuple(missing_cells),
     )

@@ -253,12 +253,30 @@ class Session:
         backend = self.config.options.scheduler_backend
         return None if backend == "auto" else backend
 
+    def retry_policy(self):
+        """The config's :class:`~repro.analysis.resilience.RetryPolicy`.
+
+        ``None`` when the config asks for no resilience (``retries=0``
+        and no ``cell_timeout``) — runners then keep their plain
+        serial/pool execution paths.  ``retries`` counts *re*-executions,
+        so the policy allows ``retries + 1`` total attempts per cell.
+        """
+        if self.config.retries == 0 and self.config.cell_timeout is None:
+            return None
+        from repro.analysis.resilience import RetryPolicy
+
+        return RetryPolicy(
+            max_attempts=self.config.retries + 1,
+            cell_timeout=self.config.cell_timeout,
+        )
+
     def runner(self) -> ExperimentRunner:
         """An :class:`ExperimentRunner` shaped by this config."""
         return ExperimentRunner(
             jobs=self.config.jobs,
             progress=self.progress,
             scheduler_backend=self.backend_override(),
+            retry_policy=self.retry_policy(),
         )
 
     def run(
@@ -340,6 +358,7 @@ class Session:
             jobs=self.config.jobs,
             progress=self.progress,
             scheduler_backend=grid.backend,
+            retry_policy=self.retry_policy(),
         )
 
     def sweep(self, grid: Optional[SweepGrid] = None) -> SweepResult:

@@ -19,6 +19,8 @@ The JSON schema (see ``docs/api.md``)::
       "thresholds": [50, 100, 200] | null,
       "options": { ... PlacementOptions fields ... },
       "jobs": 1,
+      "retries": 0,
+      "cell_timeout": null,
       "shards": 1,
       "shard_index": null,
       "strategy": "round-robin",
@@ -92,6 +94,15 @@ class RunConfig:
         the single-placement ``threshold`` and ``scheduler_backend``).
     jobs:
         Local worker processes per grid execution.
+    retries:
+        Re-execution attempts per failed cell on top of the first try
+        (``0`` = fail fast, the default).  Together with ``cell_timeout``
+        this maps to a :class:`repro.analysis.resilience.RetryPolicy`
+        with ``max_attempts = retries + 1``.
+    cell_timeout:
+        Per-cell wall-clock budget in seconds (``None`` = unlimited).  A
+        cell exceeding it is killed and retried; retries and timeouts
+        never change feasible results, only whether failures recover.
     shards / shard_index / strategy:
         The deterministic grid partition: total shard count, the one
         shard this invocation executes (``None`` = whole grid), and the
@@ -106,6 +117,8 @@ class RunConfig:
     thresholds: Optional[Tuple[float, ...]] = None
     options: PlacementOptions = field(default_factory=PlacementOptions)
     jobs: int = 1
+    retries: int = 0
+    cell_timeout: Optional[float] = None
     shards: int = 1
     shard_index: Optional[int] = None
     strategy: str = "round-robin"
@@ -143,6 +156,26 @@ class RunConfig:
             )
         if not isinstance(self.jobs, int) or self.jobs < 1:
             raise ConfigError(f"jobs must be a positive integer, got {self.jobs!r}")
+        if not isinstance(self.retries, int) or isinstance(self.retries, bool) \
+                or self.retries < 0:
+            raise ConfigError(
+                f"retries must be a non-negative integer, got {self.retries!r}"
+            )
+        if self.cell_timeout is not None:
+            if isinstance(self.cell_timeout, bool) or not isinstance(
+                self.cell_timeout, (int, float)
+            ):
+                raise ConfigError(
+                    f"cell_timeout must be a positive number of seconds (or "
+                    f"null), got {self.cell_timeout!r}"
+                )
+            value = float(self.cell_timeout)
+            if not value > 0:
+                raise ConfigError(
+                    f"cell_timeout must be a positive number of seconds (or "
+                    f"null), got {self.cell_timeout!r}"
+                )
+            object.__setattr__(self, "cell_timeout", value)
         if not isinstance(self.shards, int) or self.shards < 1:
             raise ConfigError(f"shards must be a positive integer, got {self.shards!r}")
         if self.shard_index is not None:
@@ -186,6 +219,8 @@ class RunConfig:
             ),
             "options": _options_to_dict(self.options),
             "jobs": self.jobs,
+            "retries": self.retries,
+            "cell_timeout": self.cell_timeout,
             "shards": self.shards,
             "shard_index": self.shard_index,
             "strategy": self.strategy,
@@ -246,9 +281,10 @@ class RunConfig:
         return cls.from_dict(data)
 
     def save(self, path: str) -> None:
-        """Write the canonical JSON form to ``path``."""
-        with open(path, "w", encoding="utf-8") as handle:
-            handle.write(self.to_json())
+        """Write the canonical JSON form to ``path`` (atomically)."""
+        from repro.analysis.serialization import atomic_write_text
+
+        atomic_write_text(path, self.to_json())
 
     @classmethod
     def load(cls, path: str) -> "RunConfig":

@@ -334,3 +334,127 @@ class TestRunConfigFlag:
         from repro.analysis import sharding
         shard = sharding.read_shard(f"{out_dir}/shard-0.pkl")
         assert shard.config == embedded
+
+
+class TestFaultTolerantCli:
+    def _serial_table(self, capsys):
+        assert main(["sweep"] + SWEEP_ARGS) == 0
+        return capsys.readouterr().out
+
+    def test_faulted_sweep_with_retries_matches_serial(self, capsys, monkeypatch):
+        serial_table = self._serial_table(capsys)
+        monkeypatch.setenv("REPRO_FAULT_PLAN", "0:raise;1:kill")
+        assert main(["sweep"] + SWEEP_ARGS + ["--retries", "2"]) == 0
+        assert capsys.readouterr().out == serial_table
+
+    def test_resume_without_checkpoint_is_a_usage_error(self, tmp_path, capsys):
+        out_dir = str(tmp_path / "shards")
+        assert main(["shard", "plan"] + SWEEP_ARGS
+                    + ["--shards", "2", "--out-dir", out_dir]) == 0
+        capsys.readouterr()
+        code = main(["shard", "run", "--shard-file", f"{out_dir}/shard-0.pkl",
+                     "--out", str(tmp_path / "out.json"), "--resume"])
+        assert code == 2
+        assert "--checkpoint" in capsys.readouterr().err
+
+    def test_checkpoint_resume_flow(self, tmp_path, capsys):
+        serial_table = self._serial_table(capsys)
+        out_dir = str(tmp_path / "shards")
+        assert main(["shard", "plan"] + SWEEP_ARGS
+                    + ["--shards", "2", "--out-dir", out_dir]) == 0
+        capsys.readouterr()
+        ckpt = tmp_path / "ckpt-0.jsonl"
+        out_0 = str(tmp_path / "out-0.json")
+        assert main(["shard", "run", "--shard-file", f"{out_dir}/shard-0.pkl",
+                     "--out", out_0, "--checkpoint", str(ckpt)]) == 0
+        capsys.readouterr()
+        # Simulate a crash that lost the output but kept a partial journal.
+        lines = ckpt.read_text().splitlines(keepends=True)
+        ckpt.write_text("".join(lines[:2]))
+        assert main(["shard", "run", "--shard-file", f"{out_dir}/shard-0.pkl",
+                     "--out", out_0, "--checkpoint", str(ckpt), "--resume"]) == 0
+        assert "resuming shard 0" in capsys.readouterr().out
+        out_1 = str(tmp_path / "out-1.json")
+        assert main(["shard", "run", "--shard-file", f"{out_dir}/shard-1.pkl",
+                     "--out", out_1]) == 0
+        capsys.readouterr()
+        assert main(["shard", "merge", "--plan", f"{out_dir}/plan.json",
+                     out_0, out_1]) == 0
+        assert capsys.readouterr().out == serial_table
+
+    def _plan_and_run_with_corrupt_shard(self, tmp_path, capsys, monkeypatch):
+        """Plan 2 shards, run both with shard 1's output corrupted on write."""
+        out_dir = str(tmp_path / "shards")
+        assert main(["shard", "plan"] + SWEEP_ARGS
+                    + ["--shards", "2", "--out-dir", out_dir]) == 0
+        capsys.readouterr()
+        monkeypatch.setenv("REPRO_FAULT_PLAN", "out:1")
+        outputs = []
+        for index in range(2):
+            out_file = str(tmp_path / f"out-{index}.json")
+            assert main(["shard", "run",
+                         "--shard-file", f"{out_dir}/shard-{index}.pkl",
+                         "--out", out_file]) == 0
+            capsys.readouterr()
+            outputs.append(out_file)
+        monkeypatch.delenv("REPRO_FAULT_PLAN")
+        return out_dir, outputs
+
+    def test_merge_of_corrupt_shard_fails_closed(self, tmp_path, capsys,
+                                                 monkeypatch):
+        out_dir, outputs = self._plan_and_run_with_corrupt_shard(
+            tmp_path, capsys, monkeypatch
+        )
+        assert main(["shard", "merge", "--plan", f"{out_dir}/plan.json"]
+                    + outputs) == 1
+        assert "out-1.json" in capsys.readouterr().err
+
+    def test_allow_partial_merge_reports_gaps_and_suggests_replan(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        out_dir, outputs = self._plan_and_run_with_corrupt_shard(
+            tmp_path, capsys, monkeypatch
+        )
+        assert main(["shard", "merge", "--plan", f"{out_dir}/plan.json",
+                     "--allow-partial"] + outputs) == 0
+        captured = capsys.readouterr()
+        assert "partial merge" in captured.out
+        assert "missing shard(s): [1]" in captured.out
+        assert "shard replan" in captured.out
+        assert "MISSING" in captured.out
+
+    def test_replan_recovers_to_byte_identical_table(self, tmp_path, capsys,
+                                                     monkeypatch):
+        serial_table = self._serial_table(capsys)
+        out_dir, outputs = self._plan_and_run_with_corrupt_shard(
+            tmp_path, capsys, monkeypatch
+        )
+        recovery_dir = str(tmp_path / "recovery")
+        assert main(["shard", "replan", "--plan", f"{out_dir}/plan.json",
+                     "--out-dir", recovery_dir] + outputs) == 0
+        assert "1 of 2 shard(s)" in capsys.readouterr().out
+        recovered = str(tmp_path / "recovered-1.json")
+        assert main(["shard", "run",
+                     "--shard-file", f"{recovery_dir}/shard-1.pkl",
+                     "--out", recovered]) == 0
+        capsys.readouterr()
+        assert main(["shard", "merge", "--plan", f"{out_dir}/plan.json",
+                     outputs[0], recovered]) == 0
+        assert capsys.readouterr().out == serial_table
+
+    def test_replan_with_nothing_missing_is_a_no_op(self, tmp_path, capsys):
+        out_dir = str(tmp_path / "shards")
+        assert main(["shard", "plan"] + SWEEP_ARGS
+                    + ["--shards", "2", "--out-dir", out_dir]) == 0
+        capsys.readouterr()
+        outputs = []
+        for index in range(2):
+            out_file = str(tmp_path / f"out-{index}.json")
+            assert main(["shard", "run",
+                         "--shard-file", f"{out_dir}/shard-{index}.pkl",
+                         "--out", out_file]) == 0
+            capsys.readouterr()
+            outputs.append(out_file)
+        assert main(["shard", "replan", "--plan", f"{out_dir}/plan.json",
+                     "--out-dir", str(tmp_path / "recovery")] + outputs) == 0
+        assert "nothing to replan" in capsys.readouterr().out

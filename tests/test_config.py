@@ -59,6 +59,10 @@ def _config_strategy(draw):
         )),
         options=draw(_options_strategy),
         jobs=draw(st.integers(min_value=1, max_value=16)),
+        retries=draw(st.integers(min_value=0, max_value=5)),
+        cell_timeout=draw(st.one_of(
+            st.none(), st.floats(min_value=0.5, max_value=3600.0),
+        )),
         shards=shards,
         shard_index=shard_index,
         strategy=draw(st.sampled_from(["round-robin", "cost-balanced",
@@ -114,6 +118,13 @@ class TestValidation:
                            thresholds=[50, 100])
         assert config.thresholds == (50.0, 100.0)
 
+    def test_cell_timeout_coerced_to_float(self):
+        config = RunConfig(circuit="qft6", environment="histidine",
+                           retries=2, cell_timeout=30)
+        assert config.retries == 2
+        assert isinstance(config.cell_timeout, float)
+        assert config.cell_timeout == 30.0
+
     @pytest.mark.parametrize("changes,match", [
         (dict(circuit=""), "circuit"),
         (dict(environment=""), "environment"),
@@ -121,6 +132,12 @@ class TestValidation:
         (dict(thresholds=(0.0,)), "positive"),
         (dict(thresholds="abc"), "numbers"),
         (dict(jobs=0), "jobs"),
+        (dict(retries=-1), "retries"),
+        (dict(retries=1.5), "retries"),
+        (dict(retries=True), "retries"),
+        (dict(cell_timeout=0), "cell_timeout"),
+        (dict(cell_timeout=-3.0), "cell_timeout"),
+        (dict(cell_timeout=True), "cell_timeout"),
         (dict(shards=0), "shards"),
         (dict(shard_index=-1), "out of range"),
         (dict(shards=2, shard_index=2), "out of range"),

@@ -1,0 +1,341 @@
+"""Tests of the fault-tolerance layer (``repro.analysis.resilience``)."""
+
+import json
+import subprocess
+import sys
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import resilience
+from repro.analysis.resilience import (
+    CELLS_FAILED,
+    CELLS_RETRIED,
+    CELLS_TIMED_OUT,
+    FailedOutcome,
+    FaultInjector,
+    RetryPolicy,
+    clear_fault_injector,
+    execute_cells,
+    install_fault_injector,
+)
+from repro.analysis.runner import (
+    ExperimentRunner,
+    ExperimentSpec,
+    molecule_factory,
+)
+from repro.analysis.serialization import (
+    deterministic_rows,
+    outcome_from_dict,
+    outcome_to_dict,
+)
+from repro.circuits.library import phaseest, qec3_encoder
+from repro.core.stats import STATS, Counters
+from repro.exceptions import ExperimentError
+
+
+@pytest.fixture(autouse=True)
+def _no_leftover_injector():
+    yield
+    clear_fault_injector()
+
+
+def _small_grid():
+    """Four cells, the last one infeasible (phaseest needs 6 spins)."""
+    return [
+        ExperimentSpec(
+            circuit_factory=qec3_encoder,
+            environment_factory=molecule_factory("acetyl-chloride"),
+            threshold=threshold,
+            label=f"qec3 thr {threshold:g}",
+        )
+        for threshold in (50.0, 100.0, 200.0)
+    ] + [
+        ExperimentSpec(
+            circuit_factory=phaseest,
+            environment_factory=molecule_factory("acetyl-chloride"),
+            threshold=200.0,
+            label="phaseest",
+        )
+    ]
+
+
+def _serial_rows(specs):
+    outcomes = list(ExperimentRunner(jobs=1).iter_outcomes(specs))
+    return deterministic_rows(sorted(outcomes, key=lambda o: o.index))
+
+
+def _resilient_rows(specs, **kwargs):
+    outcomes = list(execute_cells(specs, **kwargs))
+    return deterministic_rows(sorted(outcomes, key=lambda o: o.index))
+
+
+class TestRetryPolicy:
+    def test_defaults_are_noop(self):
+        assert RetryPolicy().is_noop
+        assert not RetryPolicy(max_attempts=2).is_noop
+        assert not RetryPolicy(cell_timeout=5.0).is_noop
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(max_attempts=0),
+            dict(max_attempts=1.5),
+            dict(backoff=-0.1),
+            dict(backoff_factor=0.5),
+            dict(jitter=-0.1),
+            dict(jitter=1.5),
+            dict(cell_timeout=0.0),
+            dict(cell_timeout=-2.0),
+        ],
+    )
+    def test_invalid_values_rejected(self, kwargs):
+        with pytest.raises(ExperimentError):
+            RetryPolicy(**kwargs)
+
+    def test_delay_rejects_zero_based_attempts(self):
+        with pytest.raises(ExperimentError, match="1-based"):
+            RetryPolicy(max_attempts=3).delay(0, 0)
+
+    def test_schedule_is_deterministic_and_exponential(self):
+        policy = RetryPolicy(max_attempts=4, backoff=0.05, jitter=0.1)
+        schedule = policy.schedule(7)
+        assert schedule == policy.schedule(7)
+        assert len(schedule) == 3
+        # Exponential growth dominates the +-10% jitter band.
+        assert schedule[0] < schedule[1] < schedule[2]
+        for attempt, delay in enumerate(schedule, start=1):
+            base = 0.05 * 2.0 ** (attempt - 1)
+            assert base <= delay <= base * 1.1
+
+    def test_distinct_cells_decorrelate(self):
+        policy = RetryPolicy(max_attempts=2, jitter=1.0)
+        delays = {policy.delay(cell, 1) for cell in range(32)}
+        assert len(delays) == 32
+
+    def test_schedule_is_hashseed_independent(self):
+        """The backoff schedule survives PYTHONHASHSEED changes byte-for-byte."""
+        program = (
+            "from repro.analysis.resilience import RetryPolicy;"
+            "import json;"
+            "p = RetryPolicy(max_attempts=4, backoff=0.05, jitter=0.25);"
+            "print(json.dumps([p.schedule(i) for i in range(6)]))"
+        )
+        outputs = set()
+        for seed in ("0", "1", "12345"):
+            result = subprocess.run(
+                [sys.executable, "-c", program],
+                capture_output=True,
+                text=True,
+                env={"PYTHONHASHSEED": seed, "PYTHONPATH": "src", "PATH": "/usr/bin:/bin"},
+                cwd=None,
+                check=True,
+            )
+            outputs.add(result.stdout)
+        assert len(outputs) == 1
+
+
+class TestFaultInjector:
+    def test_from_spec_round_trip(self):
+        injector = FaultInjector.from_spec("2:kill; 5:raise,raise ;out:1; out:3")
+        assert injector.cell_faults == {2: ("kill",), 5: ("raise", "raise")}
+        assert injector.corrupt_outputs == (1, 3)
+        assert injector.fault_for(5, 1) == "raise"
+        assert injector.fault_for(5, 2) == "raise"
+        assert injector.fault_for(5, 3) is None
+        assert injector.fault_for(0, 1) is None
+        assert injector.corrupts_output(3)
+        assert not injector.corrupts_output(0)
+
+    def test_empty_spec_means_no_faults(self):
+        injector = FaultInjector.from_spec("  ;; ")
+        assert injector.cell_faults == {}
+        assert injector.corrupt_outputs == ()
+
+    @pytest.mark.parametrize("spec", ["2:explode", "x:kill", "out:one", "3:"])
+    def test_malformed_specs_rejected(self, spec):
+        with pytest.raises(ExperimentError):
+            FaultInjector.from_spec(spec)
+
+    def test_env_var_activation(self, monkeypatch):
+        monkeypatch.delenv(resilience.FAULT_PLAN_ENV_VAR, raising=False)
+        assert resilience.active_fault_injector() is None
+        monkeypatch.setenv(resilience.FAULT_PLAN_ENV_VAR, "1:raise")
+        assert resilience.active_fault_injector().fault_for(1, 1) == "raise"
+        installed = FaultInjector(cell_faults={9: ("kill",)})
+        install_fault_injector(installed)
+        assert resilience.active_fault_injector() is installed
+        clear_fault_injector()
+        assert resilience.active_fault_injector().fault_for(1, 1) == "raise"
+
+
+class TestRecovery:
+    def test_fault_free_resilient_run_matches_serial(self):
+        specs = _small_grid()
+        assert _resilient_rows(
+            specs, policy=RetryPolicy(max_attempts=2)
+        ) == _serial_rows(specs)
+
+    @pytest.mark.parametrize("action", ["raise", "kill"])
+    def test_transient_fault_recovers_to_serial_rows(self, action):
+        specs = _small_grid()
+        injector = FaultInjector(cell_faults={1: (action,)})
+        before = STATS.snapshot()
+        rows = _resilient_rows(
+            specs, policy=RetryPolicy(max_attempts=2, backoff=0.0), injector=injector
+        )
+        delta = STATS.delta_since(before)
+        assert rows == _serial_rows(specs)
+        assert delta.get(CELLS_RETRIED) == 1
+        assert CELLS_FAILED not in delta
+
+    def test_hang_is_killed_and_retried(self):
+        specs = _small_grid()[:2]
+        injector = FaultInjector(cell_faults={0: ("hang",)})
+        before = STATS.snapshot()
+        rows = _resilient_rows(
+            specs,
+            policy=RetryPolicy(max_attempts=2, backoff=0.0, cell_timeout=1.0),
+            injector=injector,
+        )
+        delta = STATS.delta_since(before)
+        assert rows == _serial_rows(specs)
+        assert delta.get(CELLS_TIMED_OUT) == 1
+        assert delta.get(CELLS_RETRIED) == 1
+
+    def test_exhausted_retries_become_failed_outcome(self):
+        specs = _small_grid()[:2]
+        injector = FaultInjector(cell_faults={1: ("raise", "raise")})
+        before = STATS.snapshot()
+        outcomes = sorted(
+            execute_cells(
+                specs,
+                policy=RetryPolicy(max_attempts=2, backoff=0.0),
+                injector=injector,
+            ),
+            key=lambda o: o.index,
+        )
+        delta = STATS.delta_since(before)
+        assert delta.get(CELLS_FAILED) == 1
+        failed = outcomes[1]
+        assert isinstance(failed, FailedOutcome)
+        assert not failed.feasible
+        assert failed.attempts == 2
+        assert failed.failure == "error"
+        assert failed.error_type == "InjectedFaultError"
+        assert "injected fault" in failed.error
+        # The healthy cell is untouched by its neighbour's failure.
+        assert deterministic_rows(outcomes[:1]) == _serial_rows(specs[:1])
+
+    def test_crash_without_retries_reports_exit_code(self):
+        specs = _small_grid()[:1]
+        injector = FaultInjector(cell_faults={0: ("kill",)})
+        [outcome] = list(execute_cells(specs, injector=injector))
+        assert isinstance(outcome, FailedOutcome)
+        assert outcome.failure == "crash"
+        assert outcome.error_type == "WorkerCrash"
+        assert "exit code 17" in outcome.error
+
+    def test_infeasible_cell_is_not_a_fault(self):
+        """ThresholdError "N/A" cells pass through without consuming retries."""
+        specs = [_small_grid()[3]]
+        before = STATS.snapshot()
+        [outcome] = list(
+            execute_cells(specs, policy=RetryPolicy(max_attempts=3, backoff=0.0))
+        )
+        delta = STATS.delta_since(before)
+        assert not outcome.feasible
+        assert not isinstance(outcome, FailedOutcome)
+        assert CELLS_RETRIED not in delta
+        assert CELLS_FAILED not in delta
+
+    def test_failed_outcome_round_trips_through_json(self):
+        failed = FailedOutcome(
+            index=3,
+            label="qec3 thr 50",
+            feasible=False,
+            runtime_seconds=None,
+            num_subcircuits=None,
+            error="injected fault (cell 3)",
+            error_type="InjectedFaultError",
+            counters={"monomorphism.searches": 2},
+            attempts=2,
+            failure="error",
+        )
+        data = json.loads(json.dumps(outcome_to_dict(failed)))
+        clone = outcome_from_dict(data)
+        assert isinstance(clone, FailedOutcome)
+        assert clone == failed
+
+    def test_results_independent_of_jobs(self):
+        specs = _small_grid()
+        injector = FaultInjector(cell_faults={0: ("raise",), 2: ("kill",)})
+        policy = RetryPolicy(max_attempts=3, backoff=0.0)
+        rows = {
+            jobs: _resilient_rows(specs, policy=policy, injector=injector, jobs=jobs)
+            for jobs in (1, 2, 4)
+        }
+        assert rows[1] == rows[2] == rows[4] == _serial_rows(specs)
+
+    def test_runner_routes_through_resilient_path(self):
+        specs = _small_grid()[:2]
+        injector = FaultInjector(cell_faults={1: ("raise",)})
+        install_fault_injector(injector)
+        try:
+            runner = ExperimentRunner(
+                jobs=1, retry_policy=RetryPolicy(max_attempts=2, backoff=0.0)
+            )
+            outcomes = sorted(runner.iter_outcomes(specs), key=lambda o: o.index)
+        finally:
+            clear_fault_injector()
+        assert deterministic_rows(outcomes) == _serial_rows(specs)
+
+    def test_runner_rejects_non_policy(self):
+        with pytest.raises(ExperimentError, match="retry_policy"):
+            ExperimentRunner(retry_policy=object())
+
+
+class TestCountersMergePartition:
+    """Counters.merge over any partition of the work equals the serial total."""
+
+    @given(
+        deltas=st.lists(
+            st.dictionaries(
+                st.sampled_from(
+                    ["monomorphism.searches", "scheduler.full_evals", CELLS_RETRIED]
+                ),
+                st.integers(min_value=0, max_value=1_000),
+                max_size=3,
+            ),
+            max_size=8,
+        ),
+        cut_points=st.lists(st.integers(min_value=0, max_value=8), max_size=4),
+    )
+    @settings(max_examples=60, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_any_partition_matches_serial(self, deltas, cut_points):
+        serial = Counters()
+        for delta in deltas:
+            serial.merge(delta)
+
+        bounds = sorted({0, len(deltas), *[min(c, len(deltas)) for c in cut_points]})
+        merged = Counters()
+        for start, stop in zip(bounds, bounds[1:]):
+            shard = Counters()  # empty shards (start == stop) merge as no-ops
+            for delta in deltas[start:stop]:
+                shard.merge(delta)
+            merged.merge(shard.snapshot())
+        assert merged.snapshot() == serial.snapshot()
+
+    def test_failed_outcome_counters_participate_in_merge(self):
+        """Work done by failed attempts is preserved and merged like any cell."""
+        failed = FailedOutcome(
+            index=0, label="x", feasible=False, runtime_seconds=None,
+            num_subcircuits=None, counters={"scheduler.full_evals": 7},
+            attempts=2, failure="error",
+        )
+        total = Counters()
+        total.merge(failed.counters)
+        total.merge({"scheduler.full_evals": 3})
+        assert total.get("scheduler.full_evals") == 10

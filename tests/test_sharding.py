@@ -34,7 +34,7 @@ from repro.analysis.sweep import build_sweep_specs, row_from_outcomes, sweep_cir
 from repro.circuits.library import phaseest, qec3_encoder, qft6
 from repro.core.config import PlacementOptions
 from repro.core.stats import STATS, Counters
-from repro.exceptions import ExperimentError, ThresholdError
+from repro.exceptions import ExperimentError, ShardFormatError, ThresholdError
 from repro.hardware.molecules import molecule, trans_crotonic_acid
 
 
@@ -435,3 +435,177 @@ class TestQftCrotonicAcceptance:
         assert [cell.formatted() for cell in merged_row.cells] == [
             cell.formatted() for cell in serial_row.cells
         ]
+
+
+class TestCrashSafeFiles:
+    """Corruption of any pipeline file is a one-line ShardFormatError."""
+
+    def test_truncated_shard_input_is_a_clean_error(self, tmp_path):
+        plan = sharding.ShardPlan.build(_small_grid(), 2)
+        path = str(tmp_path / "shard-0.pkl")
+        sharding.write_shard(plan.shard_input(0), path)
+        data = open(path, "rb").read()
+        open(path, "wb").write(data[: len(data) // 2])
+        with pytest.raises(ShardFormatError, match="shard-0.pkl"):
+            sharding.read_shard(path)
+
+    def test_bit_flipped_shard_input_fails_the_checksum(self, tmp_path):
+        plan = sharding.ShardPlan.build(_small_grid(), 2)
+        path = str(tmp_path / "shard-0.pkl")
+        sharding.write_shard(plan.shard_input(0), path)
+        data = bytearray(open(path, "rb").read())
+        data[-40] ^= 0xFF  # flip one byte inside the pickled shard blob
+        open(path, "wb").write(bytes(data))
+        with pytest.raises(ShardFormatError):
+            sharding.read_shard(path)
+
+    def test_truncated_outcome_shard_is_a_clean_error(self, tmp_path):
+        plan = sharding.ShardPlan.build(_small_grid(), 2)
+        path = str(tmp_path / "out-1.json")
+        sharding.write_outcome_shard(sharding.execute_shard(plan.shard_input(1)), path)
+        text = open(path, encoding="utf-8").read()
+        open(path, "w", encoding="utf-8").write(text[: len(text) // 2])
+        with pytest.raises(ShardFormatError, match="out-1.json"):
+            sharding.read_outcome_shard(path)
+
+    def test_tampered_outcome_shard_fails_the_checksum(self, tmp_path):
+        plan = sharding.ShardPlan.build(_small_grid(), 2)
+        path = str(tmp_path / "out-1.json")
+        sharding.write_outcome_shard(sharding.execute_shard(plan.shard_input(1)), path)
+        payload = json.loads(open(path, encoding="utf-8").read())
+        payload["rows"][0]["runtime_seconds"] = 1234.5  # edit without re-checksumming
+        open(path, "w", encoding="utf-8").write(json.dumps(payload))
+        with pytest.raises(ShardFormatError, match="checksum mismatch"):
+            sharding.read_outcome_shard(path)
+
+    def test_legacy_payload_without_checksum_still_reads(self, tmp_path):
+        plan = sharding.ShardPlan.build(_small_grid(), 2)
+        shard = sharding.execute_shard(plan.shard_input(1))
+        payload = sharding.outcome_shard_to_payload(shard)
+        payload.pop("payload_sha256")
+        path = str(tmp_path / "out-legacy.json")
+        open(path, "w", encoding="utf-8").write(dump_json(payload))
+        clone = sharding.read_outcome_shard(path)
+        assert deterministic_rows(clone.outcomes) == deterministic_rows(shard.outcomes)
+
+    def test_atomic_write_leaves_no_temp_files(self, tmp_path):
+        plan = sharding.ShardPlan.build(_small_grid(), 2)
+        sharding.write_shard(plan.shard_input(0), str(tmp_path / "shard-0.pkl"))
+        shard = sharding.execute_shard(plan.shard_input(1))
+        sharding.write_outcome_shard(shard, str(tmp_path / "out-1.json"))
+        assert sorted(p.name for p in tmp_path.iterdir()) == [
+            "out-1.json",
+            "shard-0.pkl",
+        ]
+
+
+class TestCheckpointResume:
+    def _plan(self):
+        return sharding.ShardPlan.build(_small_grid(), 2)
+
+    def test_fresh_run_journals_every_cell(self, tmp_path):
+        plan = self._plan()
+        shard_input = plan.shard_input(0)
+        ckpt = str(tmp_path / "ckpt.jsonl")
+        shard = sharding.execute_shard(shard_input, checkpoint_path=ckpt)
+        completed, header_valid = sharding.load_shard_checkpoint(ckpt, shard_input)
+        assert header_valid
+        assert sorted(completed) == list(shard_input.indices)
+        assert deterministic_rows(
+            [completed[g] for g in shard_input.indices]
+        ) == deterministic_rows(shard.outcomes)
+
+    def test_resume_skips_journaled_cells_and_matches_full_run(self, tmp_path):
+        plan = self._plan()
+        shard_input = plan.shard_input(0)
+        full = sharding.execute_shard(shard_input)
+        ckpt = tmp_path / "ckpt.jsonl"
+        sharding.execute_shard(shard_input, checkpoint_path=str(ckpt))
+        # Keep the header and the first journaled cell only (a crash).
+        lines = ckpt.read_text().splitlines(keepends=True)
+        ckpt.write_text("".join(lines[:2]))
+        resumed = sharding.execute_shard(shard_input, checkpoint_path=str(ckpt))
+        assert deterministic_rows(resumed.outcomes) == deterministic_rows(full.outcomes)
+        assert work_counters(resumed.counters) == work_counters(full.counters)
+
+    def test_torn_final_line_is_dropped(self, tmp_path):
+        plan = self._plan()
+        shard_input = plan.shard_input(0)
+        ckpt = tmp_path / "ckpt.jsonl"
+        sharding.execute_shard(shard_input, checkpoint_path=str(ckpt))
+        text = ckpt.read_text()
+        ckpt.write_text(text[: len(text) - 20])  # tear the last record
+        completed, header_valid = sharding.load_shard_checkpoint(
+            str(ckpt), shard_input
+        )
+        assert header_valid
+        assert len(completed) == len(shard_input.indices) - 1
+
+    def test_missing_or_empty_checkpoint_is_a_fresh_start(self, tmp_path):
+        shard_input = self._plan().shard_input(0)
+        missing = str(tmp_path / "nope.jsonl")
+        assert sharding.load_shard_checkpoint(missing, shard_input) == ({}, False)
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        assert sharding.load_shard_checkpoint(str(empty), shard_input) == ({}, False)
+
+    def test_foreign_checkpoint_rejected(self, tmp_path):
+        plan = self._plan()
+        ckpt = tmp_path / "ckpt.jsonl"
+        sharding.execute_shard(plan.shard_input(0), checkpoint_path=str(ckpt))
+        with pytest.raises(ShardFormatError):
+            sharding.load_shard_checkpoint(str(ckpt), plan.shard_input(1))
+
+    def test_interior_garbage_is_a_clean_error(self, tmp_path):
+        plan = self._plan()
+        shard_input = plan.shard_input(0)
+        ckpt = tmp_path / "ckpt.jsonl"
+        sharding.execute_shard(shard_input, checkpoint_path=str(ckpt))
+        lines = ckpt.read_text().splitlines(keepends=True)
+        lines.insert(1, "{not json}\n")
+        ckpt.write_text("".join(lines))
+        with pytest.raises(ShardFormatError, match="ckpt.jsonl"):
+            sharding.load_shard_checkpoint(str(ckpt), shard_input)
+
+
+class TestPartialMerge:
+    def _shards(self):
+        plan = sharding.ShardPlan.build(_small_grid(), 3)
+        return plan, [sharding.execute_shard(plan.shard_input(i)) for i in range(3)]
+
+    def test_missing_shard_without_allow_partial_suggests_recovery(self):
+        plan, shards = self._shards()
+        with pytest.raises(ExperimentError, match="allow_partial"):
+            sharding.merge_shards([shards[0], shards[2]], plan=plan)
+
+    def test_partial_merge_reports_missing_cells(self):
+        plan, shards = self._shards()
+        merged = sharding.merge_shards(
+            [shards[0], shards[2]], plan=plan, allow_partial=True
+        )
+        assert not merged.is_complete
+        assert merged.missing_shards == (1,)
+        assert merged.missing_cells == tuple(plan.shard_input(1).indices)
+        holes = [i for i, o in enumerate(merged.outcomes) if o is None]
+        assert tuple(holes) == merged.missing_cells
+        # Present cells are byte-identical to their full-merge values.
+        full = sharding.merge_shards(shards, plan=plan)
+        for index, outcome in enumerate(merged.outcomes):
+            if outcome is not None:
+                assert deterministic_rows([outcome]) == deterministic_rows(
+                    [full.outcomes[index]]
+                )
+
+    def test_complete_partial_merge_is_complete(self):
+        plan, shards = self._shards()
+        merged = sharding.merge_shards(shards, plan=plan, allow_partial=True)
+        assert merged.is_complete
+        assert merged.missing_shards == ()
+        assert merged.missing_cells == ()
+
+    def test_duplicates_rejected_even_with_allow_partial(self):
+        plan, shards = self._shards()
+        with pytest.raises(ExperimentError, match="exactly once"):
+            sharding.merge_shards(
+                [shards[0], shards[0]], plan=plan, allow_partial=True
+            )
