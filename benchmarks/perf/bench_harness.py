@@ -37,7 +37,14 @@ from repro.analysis.serialization import (
 from repro.analysis.sweep import SweepRow, build_sweep_specs, sweep_circuit
 from repro.circuits import gates as g
 from repro.circuits.circuit import QuantumCircuit
-from repro.circuits.library import aqft9, phaseest, qec5_encoder, qft_circuit
+from repro.circuits.library import (
+    aqft9,
+    phaseest,
+    qec5_encoder,
+    qft_circuit,
+    random_chain_instance,
+    random_circuit_instance,
+)
 from repro.core.config import PlacementOptions
 from repro.core.monomorphism import find_monomorphisms
 from repro.core.placement import place_circuit
@@ -76,6 +83,10 @@ TRACKED_COUNTERS = (
     "scheduler.incremental_evals",
     "scheduler.ops_skipped",
     "scheduler.ops_replayed",
+    "placer.anneal_steps",
+    "placer.moves_accepted",
+    "placer.moves_rejected",
+    "placer.delta_evals",
 )
 
 
@@ -338,6 +349,77 @@ def scenario_sharded_sweep() -> Dict:
     return fingerprint
 
 
+def _placer_run_fingerprint(result) -> Tuple:
+    """An exact fingerprint of one placement run (for determinism gates)."""
+    return (
+        result.total_runtime,
+        result.num_subcircuits,
+        len(result.swap_stages),
+        tuple(
+            tuple(sorted((repr(q), repr(n)) for q, n in stage.placement.items()))
+            for stage in result.stages
+        ),
+    )
+
+
+def scenario_large_host_anneal() -> Dict:
+    """The 1000+-node macro benchmark: annealing where exact search cannot go.
+
+    Places a 24-qubit random nearest-neighbour circuit onto a 1024-node
+    ``grid:32x32`` with ``anneal:11x600``.  The exact engine is hopeless
+    at this host size — enumerating even one workspace's candidate set
+    means fine tuning ~100 monomorphisms over 1024 allowed nodes each
+    (millions of delta evaluations), on top of a worst-case-exponential
+    enumeration; see ``docs/placers.md`` for measured blowup.  The
+    scenario runs the placement twice and fingerprints both: the
+    ``deterministic`` key (gated by
+    :func:`placer_consistency_failures`) asserts the same-seed runs are
+    identical.
+    """
+    environment = grid(32, 32)
+    circuit = random_chain_instance(24, 72, 11)
+    options = PlacementOptions(threshold=10.0, placer="anneal:11x600")
+    first = place_circuit(circuit, environment, options)
+    second = place_circuit(circuit, environment, options)
+    return {
+        "host_nodes": environment.num_qubits,
+        "total_runtime": round(first.total_runtime, 6),
+        "num_subcircuits": first.num_subcircuits,
+        "num_swap_stages": len(first.swap_stages),
+        "deterministic": _placer_run_fingerprint(first)
+        == _placer_run_fingerprint(second),
+    }
+
+
+def scenario_exact_vs_anneal() -> Dict:
+    """Quality/time ablation: exact vs annealed placement on a small grid.
+
+    An 8-qubit arbitrary-pair random circuit on ``grid:4x5`` — small
+    enough for the exact engine, structured enough (multiple workspaces,
+    swap stages) that the annealer has real work to do.  The fingerprint
+    records both engines' total runtimes and their quality ratio; wall
+    times of the two phases can be compared across baselines.  The
+    ``deterministic`` key gates same-seed anneal reproducibility; the
+    quality ratio is *recorded*, not gated against the exact optimum —
+    the annealer's contract is determinism, not optimality.
+    """
+    environment = grid(4, 5)
+    circuit = random_circuit_instance(8, 20, 5)
+    exact = place_circuit(
+        circuit, environment, PlacementOptions(threshold=10.0)
+    )
+    anneal_options = PlacementOptions(threshold=10.0, placer="anneal:5x400")
+    annealed = place_circuit(circuit, environment, anneal_options)
+    repeat = place_circuit(circuit, environment, anneal_options)
+    return {
+        "exact_runtime": round(exact.total_runtime, 6),
+        "anneal_runtime": round(annealed.total_runtime, 6),
+        "quality_ratio": round(annealed.total_runtime / exact.total_runtime, 4),
+        "deterministic": _placer_run_fingerprint(annealed)
+        == _placer_run_fingerprint(repeat),
+    }
+
+
 def scenario_monomorphism_micro() -> Dict:
     """Raw enumerator stress: paths and grids embedded into sparse hosts."""
     host_hex = heavy_hex(3)
@@ -363,6 +445,8 @@ SCENARIOS: Dict[str, Callable[[], Dict]] = {
     "place_qec5_boc": scenario_place_qec5_boc,
     "scalability_chain32": scenario_scalability_chain32,
     "monomorphism_micro": scenario_monomorphism_micro,
+    "large_host_anneal": scenario_large_host_anneal,
+    "exact_vs_anneal": scenario_exact_vs_anneal,
     "parallel_sweep_jobs1": scenario_parallel_sweep_jobs1,
     "parallel_sweep_jobs2": scenario_parallel_sweep_jobs2,
     "parallel_sweep_jobs4": scenario_parallel_sweep_jobs4,
@@ -509,6 +593,32 @@ def sharded_consistency_failures(current: Dict[str, Dict]) -> List[str]:
     return failures
 
 
+def placer_consistency_failures(current: Dict[str, Dict]) -> List[str]:
+    """Determinism gate: same-seed heuristic placements must be identical.
+
+    The heuristic-placer scenarios run each anneal twice in-process and
+    record fingerprint equality under ``deterministic``.  ``PYTHONHASHSEED``
+    and worker-count independence are covered by ``tests/test_placers.py``
+    subprocess tests; this gate catches any in-process nondeterminism (e.g.
+    an engine reading the ``random`` module's global state) on every bench
+    run.  The annealer's contract is same-seed reproducibility, *not*
+    matching the exact optimum, so quality ratios are recorded but never
+    gated here.
+    """
+    failures: List[str] = []
+    for name in ("large_host_anneal", "exact_vs_anneal"):
+        data = current.get(name)
+        if data is None:
+            continue
+        if data.get("fingerprint", {}).get("deterministic") is not True:
+            failures.append(
+                f"{name}: same-seed anneal runs diverged ('deterministic' "
+                "is not True); the heuristic placer broke its determinism "
+                "contract"
+            )
+    return failures
+
+
 def check_results(
     baseline: Dict[str, Dict],
     current: Dict[str, Dict],
@@ -546,6 +656,7 @@ def check_results(
     failures: List[str] = list(parallel_consistency_failures(current))
     failures.extend(replay_consistency_failures(current))
     failures.extend(sharded_consistency_failures(current))
+    failures.extend(placer_consistency_failures(current))
     baseline_scenarios = baseline.get("scenarios", baseline)
     for name, base in baseline_scenarios.items():
         now = current.get(name)

@@ -16,10 +16,14 @@
 #      shard (recovered by `shard replan` + re-run, with `shard run
 #      --resume` exercising the checkpoint journal), asserting the
 #      recovered merge is byte-identical to the serial table;
-#   5. the benchmark regression gate on the fast micro scenarios
+#   5. a heuristic-placer smoke: the same `--placer anneal:SEEDxITERS`
+#      sweep run twice in separate processes must be byte-identical —
+#      the seeded annealer's determinism contract (docs/placers.md);
+#   6. the benchmark regression gate on the fast micro scenarios
 #      (`run_bench.py --check --scenarios ...`), which also re-checks the
 #      deterministic counters and output fingerprints against the
-#      committed BENCH_placement.json.
+#      committed BENCH_placement.json (including the exact-vs-anneal
+#      ablation scenario).
 #
 # Usage: scripts/ci_check.sh
 set -euo pipefail
@@ -29,10 +33,10 @@ cd "$REPO_ROOT"
 export PYTHONPATH="$REPO_ROOT/src${PYTHONPATH:+:$PYTHONPATH}"
 PYTHON="${PYTHON:-python}"
 
-echo "== 1/5 tier-1 test suite =="
+echo "== 1/6 tier-1 test suite =="
 "$PYTHON" -m pytest -x -q
 
-echo "== 2/5 sharded plan -> run -> merge round trip =="
+echo "== 2/6 sharded plan -> run -> merge round trip =="
 WORK_DIR="$(mktemp -d)"
 trap 'rm -rf "$WORK_DIR"' EXIT
 
@@ -52,7 +56,7 @@ if ! diff "$WORK_DIR/serial.txt" "$WORK_DIR/merged.txt"; then
 fi
 echo "merged output byte-identical to serial sweep"
 
-echo "== 3/5 run-config round-trip smoke =="
+echo "== 3/6 run-config round-trip smoke =="
 "$PYTHON" -m repro.cli place error-correction-encoding acetyl-chloride \
     --output json > "$WORK_DIR/place-flags.json"
 "$PYTHON" - "$WORK_DIR" <<'PYEOF'
@@ -93,7 +97,7 @@ if flags != config:
 print("config round trip: deterministic fields identical")
 PYEOF
 
-echo "== 4/5 fault-injection smoke =="
+echo "== 4/6 fault-injection smoke =="
 FAULT_DIR="$WORK_DIR/fault"
 mkdir -p "$FAULT_DIR"
 # Worker crash on cell 0's first attempt: --retries must recover to the
@@ -138,8 +142,20 @@ if ! diff "$WORK_DIR/serial.txt" "$FAULT_DIR/recovered-merge.txt"; then
 fi
 echo "fault injection: crash, corruption, replan and resume all recovered"
 
-echo "== 5/5 micro benchmark regression gate =="
+echo "== 5/6 heuristic-placer determinism smoke =="
+ANNEAL_ARGS=(sweep random:8x20x5 grid:4x4 --thresholds 10 20
+             --placer anneal:7x150)
+"$PYTHON" -m repro.cli "${ANNEAL_ARGS[@]}" > "$WORK_DIR/anneal-a.txt"
+"$PYTHON" -m repro.cli "${ANNEAL_ARGS[@]}" > "$WORK_DIR/anneal-b.txt"
+if ! diff "$WORK_DIR/anneal-a.txt" "$WORK_DIR/anneal-b.txt"; then
+    echo "FAIL: same-seed anneal sweeps differ across processes" >&2
+    exit 1
+fi
+echo "anneal sweep byte-identical across processes"
+
+echo "== 6/6 micro benchmark regression gate =="
 "$PYTHON" scripts/run_bench.py --check --repeats 1 \
-    --scenarios monomorphism_micro place_qec5_boc place_phaseest_crotonic
+    --scenarios monomorphism_micro place_qec5_boc place_phaseest_crotonic \
+    exact_vs_anneal
 
 echo "ci_check: all gates passed"

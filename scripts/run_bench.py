@@ -153,6 +153,7 @@ def main(argv=None) -> int:
     consistency = bench_harness.parallel_consistency_failures(scenarios)
     consistency += bench_harness.replay_consistency_failures(scenarios)
     consistency += bench_harness.sharded_consistency_failures(scenarios)
+    consistency += bench_harness.placer_consistency_failures(scenarios)
     if consistency:
         print("\nCONSISTENCY FAILURES:", file=sys.stderr)
         for failure in consistency:

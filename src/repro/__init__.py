@@ -67,6 +67,7 @@ from repro.hardware import PhysicalEnvironment
 from repro.registry import (
     CIRCUITS,
     ENVIRONMENTS,
+    PLACERS,
     SCHEDULER_BACKENDS,
     SHARD_STRATEGIES,
     load_circuit,
@@ -92,6 +93,7 @@ __all__ = [
     "FailedOutcome",
     "CIRCUITS",
     "ENVIRONMENTS",
+    "PLACERS",
     "SCHEDULER_BACKENDS",
     "SHARD_STRATEGIES",
     "load_circuit",

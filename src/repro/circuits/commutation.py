@@ -63,11 +63,14 @@ def gates_commute(first: Gate, second: Gate) -> bool:
 def commutation_aware_reorder(circuit: QuantumCircuit) -> QuantumCircuit:
     """Group same-pair two-qubit gates by exchanging commuting neighbours.
 
-    The pass repeatedly scans the gate list and swaps adjacent gates when
-
-    * they commute according to :func:`gates_commute`, and
-    * the swap moves a two-qubit gate next to an earlier gate on the same
-      qubit pair (i.e. it strictly improves the grouping).
+    The pass repeatedly scans the gate list and moves a two-qubit gate
+    leftwards when it commutes with *every* gate between it and the nearest
+    earlier gate on the same qubit pair — landing directly behind that gate
+    (i.e. the move strictly improves the grouping).  Moves that cannot
+    complete — a non-commuting blocker sits in between — are not applied at
+    all: a partial move does not improve the grouping, and two blocked
+    gates nudging each other back and forth would otherwise livelock the
+    scan loop.
 
     The result is a circuit with the same qubits and the same unitary whose
     two-qubit gates on one interaction are as contiguous as the commutation
@@ -81,31 +84,33 @@ def commutation_aware_reorder(circuit: QuantumCircuit) -> QuantumCircuit:
             gate = gates[index]
             if not gate.is_two_qubit:
                 continue
-            pair = gate.interaction()
-            position = index
-            # Bubble the gate leftwards while it commutes with the gate in
-            # front of it and doing so brings it closer to a gate on the
-            # same pair.
-            while position > 0:
-                previous = gates[position - 1]
-                if previous.is_two_qubit and previous.interaction() == pair:
-                    break
-                if not gates_commute(previous, gate):
-                    break
-                if not _same_pair_ahead(gates, position - 1, pair):
-                    break
-                gates[position - 1], gates[position] = gate, previous
-                position -= 1
+            target = _bubble_target(gates, index)
+            if target is not None:
+                del gates[index]
+                gates.insert(target, gate)
                 changed = True
     return QuantumCircuit(circuit.qubits, gates, name=circuit.name)
 
 
-def _same_pair_ahead(gates: List[Gate], limit: int, pair) -> bool:
-    """Whether some gate before ``limit`` acts on exactly ``pair``."""
-    for gate in gates[:limit]:
-        if gate.is_two_qubit and gate.interaction() == pair:
-            return True
-    return False
+def _bubble_target(gates: List[Gate], index: int) -> int | None:
+    """Where ``gates[index]`` can land to follow its same-pair predecessor.
+
+    Returns the position directly after the nearest earlier gate on the
+    same qubit pair, provided the gate commutes with everything in between;
+    ``None`` when there is no such gate, a non-commuting blocker intervenes,
+    or the gate is already adjacent to it.
+    """
+    gate = gates[index]
+    pair = gate.interaction()
+    position = index
+    while position > 0:
+        previous = gates[position - 1]
+        if previous.is_two_qubit and previous.interaction() == pair:
+            return position if position != index else None
+        if not gates_commute(previous, gate):
+            return None
+        position -= 1
+    return None
 
 
 def count_interaction_alternations(circuit: QuantumCircuit) -> int:

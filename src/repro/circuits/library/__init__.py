@@ -5,7 +5,8 @@ through the :data:`CIRCUIT_FACTORIES` registry keyed by the paper's circuit
 names, which the sweep harnesses and the CLI use.
 
 All of them — plus the parameterised families ``qft:N``, ``aqft:N``,
-``cat:N`` and ``hidden-stage:NxSEED`` — are also registered in the
+``cat:N``, ``hidden-stage:NxSEED``, ``random:NxGATESxSEED`` and
+``random-chain:NxGATESxSEED`` — are also registered in the
 string-addressable :data:`repro.registry.CIRCUITS` registry, the lookup
 behind :func:`repro.registry.load_circuit` and every spec-string surface
 (CLI, :class:`repro.config.RunConfig`, shard payloads).
@@ -53,6 +54,42 @@ def hidden_stage_instance(num_qubits: int, seed: int = 0) -> QuantumCircuit:
     return hidden_stage_circuit(num_qubits, seed=seed).circuit
 
 
+def random_circuit_instance(
+    num_qubits: int, num_gates: int = 0, seed: int = 0
+) -> QuantumCircuit:
+    """The ``random:NxGATESxSEED`` family (arbitrary-pair two-qubit gates).
+
+    ``GATES`` defaults (also for an explicit 0) to ``3 * N``; the seed
+    is baked into the circuit name so differently seeded instances stay
+    distinguishable in sweep labels and reports.
+    """
+    from repro.circuits.random_circuits import random_two_qubit_circuit
+
+    if num_gates == 0:
+        num_gates = 3 * num_qubits
+    circuit = random_two_qubit_circuit(num_qubits, num_gates, seed=seed)
+    circuit.name = f"random-{num_qubits}q-{num_gates}g-s{seed}"
+    return circuit
+
+
+def random_chain_instance(
+    num_qubits: int, num_gates: int = 0, seed: int = 0
+) -> QuantumCircuit:
+    """The ``random-chain:NxGATESxSEED`` family (nearest-neighbour gates).
+
+    Interactions all lie on the identity chain, so the circuit embeds as
+    a single workspace into any host containing an N-node path — the
+    shape used by the large-host heuristic-placer benchmarks.
+    """
+    from repro.circuits.random_circuits import random_nearest_neighbour_circuit
+
+    if num_gates == 0:
+        num_gates = 3 * num_qubits
+    circuit = random_nearest_neighbour_circuit(num_qubits, num_gates, seed=seed)
+    circuit.name = f"random-chain-{num_qubits}q-{num_gates}g-s{seed}"
+    return circuit
+
+
 for _name, _factory in CIRCUIT_FACTORIES.items():
     CIRCUITS.add(_name, _factory, description="paper benchmark circuit")
 del _name, _factory
@@ -66,6 +103,12 @@ CIRCUITS.add("cat", cat_state_circuit, min_params=1,
 CIRCUITS.add("hidden-stage", hidden_stage_instance, min_params=1, max_params=2,
              description="Table-4 hidden-stage workload on N qubits "
                          "(optional seed)")
+CIRCUITS.add("random", random_circuit_instance, min_params=1, max_params=3,
+             description="random arbitrary-pair circuit on N qubits "
+                         "(optional gate count, default 3N, and seed)")
+CIRCUITS.add("random-chain", random_chain_instance, min_params=1, max_params=3,
+             description="random nearest-neighbour circuit on N qubits "
+                         "(optional gate count, default 3N, and seed)")
 
 
 def benchmark_circuit(name: str) -> QuantumCircuit:
@@ -105,4 +148,6 @@ __all__ = [
     "benchmark_circuit",
     "benchmark_circuit_names",
     "hidden_stage_instance",
+    "random_circuit_instance",
+    "random_chain_instance",
 ]

@@ -86,7 +86,7 @@ from repro.exceptions import (
     ReproError,
     UnknownSpecError,
 )
-from repro.registry import CIRCUITS, ENVIRONMENTS, SHARD_STRATEGIES
+from repro.registry import CIRCUITS, ENVIRONMENTS, PLACERS, SHARD_STRATEGIES
 from repro.timing._replay import BACKEND_CHOICES
 
 
@@ -119,6 +119,12 @@ def _add_common_options(parser: argparse.ArgumentParser) -> None:
                         help="runtime-evaluator backend (bit-identical outputs; "
                              "default 'auto' defers to REPRO_SCHEDULER_BACKEND, "
                              "then picks numpy when available and profitable)")
+    parser.add_argument("--placer", default=None, metavar="SPEC",
+                        help="placement engine spec: exact (default), greedy, "
+                             "or anneal[:SEED[xITERS]] — the deterministic "
+                             "simulated annealer for hosts where exact "
+                             "search is infeasible (see 'repro list' and "
+                             "docs/placers.md)")
 
 
 def _add_resilience_options(parser: argparse.ArgumentParser) -> None:
@@ -155,6 +161,8 @@ def _merged_options(base: PlacementOptions, args: argparse.Namespace) -> Placeme
         changes["leaf_override"] = False
     if getattr(args, "scheduler_backend", None) is not None:
         changes["scheduler_backend"] = args.scheduler_backend
+    if getattr(args, "placer", None) is not None:
+        changes["placer"] = args.placer
     return base.replace(**changes) if changes else base
 
 
@@ -687,6 +695,12 @@ def _cmd_list(_: argparse.Namespace) -> int:
     print("architectures:")
     for entry in architectures:
         print(f"  {entry.spec_form():28s} {entry.description}")
+    print("placers:")
+    for entry in PLACERS.entries():
+        form = entry.spec_form() if entry.parameterised else entry.name
+        if entry.name == "anneal":
+            form = "anneal[:SEED[xITERS]]"
+        print(f"  {form:28s} {entry.description}")
     return 0
 
 

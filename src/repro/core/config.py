@@ -70,6 +70,16 @@ class PlacementOptions:
         ``REPRO_SCHEDULER_BACKEND`` environment variable, then pick numpy
         when available and profitable).  Backends are bit-identical, so
         this knob never changes any placement output.
+    placer:
+        Placement engine, as a :data:`repro.registry.PLACERS` spec:
+        ``"exact"`` (the default — the paper's exhaustive monomorphism
+        search, bit-identical to every release before this knob existed),
+        ``"greedy"`` (one-shot interaction-weight seeding) or
+        ``"anneal"``/``"anneal:SEED"``/``"anneal:SEEDxITERS"`` (the
+        deterministic simulated annealer for hosts where exact search is
+        infeasible; see ``docs/placers.md``).  Unknown specs raise the
+        spec-listing :class:`~repro.exceptions.UnknownSpecError` at
+        construction time.
     """
 
     threshold: Optional[float] = None
@@ -86,8 +96,20 @@ class PlacementOptions:
     max_workspace_two_qubit_gates: Optional[int] = None
     debug_full_recompute: bool = False
     scheduler_backend: str = "auto"
+    placer: str = "exact"
 
     def __post_init__(self) -> None:
+        if not isinstance(self.placer, str) or not self.placer:
+            raise PlacementError(
+                f"placer must be a non-empty spec string, got {self.placer!r}"
+            )
+        if self.placer != "exact":
+            # The default short-circuits the registry lookup: validating it
+            # would import repro.core.placers -> repro.core.placement ->
+            # this module while DEFAULT_OPTIONS below is still being built.
+            from repro.registry import PLACERS
+
+            PLACERS.validate(self.placer)
         if self.scheduler_backend not in BACKEND_CHOICES:
             raise PlacementError(
                 f"scheduler_backend must be one of {BACKEND_CHOICES}, "

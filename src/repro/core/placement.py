@@ -5,15 +5,24 @@
 1. extract the adjacency graph of fast interactions at the chosen threshold;
 2. greedily split the circuit into maximal workspaces embeddable in that
    graph (:mod:`repro.core.workspace`);
-3. for each workspace, enumerate up to ``k`` monomorphisms of its
-   interaction graph into the adjacency graph, complete each to a full
-   placement, fine tune it by hill climbing, and pick the best according to
-   the scheduled runtime plus (estimated) swap cost — optionally with the
-   depth-2 lookahead of Section 5.3;
+3. for each workspace, ask the configured placement engine
+   (``options.placer``, a :data:`repro.registry.PLACERS` spec) for scored
+   candidate placements — the default ``exact`` engine enumerates up to
+   ``k`` monomorphisms of the workspace's interaction graph into the
+   adjacency graph, completes each to a full placement and fine tunes it by
+   hill climbing — and pick the best according to the scheduled runtime
+   plus (estimated) swap cost, optionally with the depth-2 lookahead of
+   Section 5.3;
 4. connect consecutive workspaces with SWAP stages built by the recursive
    bubble router (:mod:`repro.routing.bubble`);
 5. assemble the whole computation ``C1 E12 C2 E23 ... Ct`` over physical
    nodes and report its scheduled runtime.
+
+Steps 1, 2, 4 and 5 are shared by every placement engine —
+:func:`run_pipeline` implements them and delegates step 3 to a
+:class:`repro.core.placers.Placer`, so the heuristic engines
+(:mod:`repro.core.placers.greedy`, :mod:`repro.core.placers.anneal`)
+emit exactly the result types and swap stages the exact engine does.
 """
 
 from __future__ import annotations
@@ -336,8 +345,32 @@ def place_circuit(
     environment: PhysicalEnvironment,
     options: Optional[PlacementOptions] = None,
 ) -> PlacementResult:
-    """Place ``circuit`` into ``environment`` with the paper's heuristic."""
+    """Place ``circuit`` into ``environment`` with the configured engine.
+
+    Dispatches on ``options.placer`` through the
+    :data:`repro.registry.PLACERS` registry; the default ``"exact"`` runs
+    the paper's exhaustive heuristic, bit-identical to before the registry
+    existed.
+    """
     options = options or DEFAULT_OPTIONS
+    from repro.registry import PLACERS
+
+    return PLACERS.build(options.placer).place(circuit, environment, options)
+
+
+def run_pipeline(
+    circuit: QuantumCircuit,
+    environment: PhysicalEnvironment,
+    options: PlacementOptions,
+    placer,
+) -> PlacementResult:
+    """The engine-independent placement pipeline.
+
+    Runs threshold/graph resolution, workspace extraction, candidate
+    selection (delegated to ``placer``, a
+    :class:`repro.core.placers.Placer`), swap-stage routing and final
+    assembly.  :func:`place_circuit` is the spec-string front end.
+    """
     if options.reorder_commuting_gates:
         from repro.circuits.commutation import commutation_aware_reorder
 
@@ -386,7 +419,7 @@ def place_circuit(
 
     for index, workspace in enumerate(workspaces):
         subcircuit = subcircuits[index]
-        candidates = _candidate_placements(
+        candidates = placer.candidates(
             workspace, subcircuit, circuit, context, environment, options,
             previous_placement, evaluator_for(index),
         )
@@ -397,17 +430,24 @@ def place_circuit(
         # "only 2k monomorphism calls" observation), so one shared list is
         # enough for scoring; the accepted next-stage placement is recomputed
         # with the proper previous placement on the next loop iteration.
+        # Single-candidate engines (greedy, anneal) skip the lookahead: with
+        # one candidate per workspace there is nothing to rank, and the
+        # extra engine run would double their cost for an identical choice.
         lookahead_candidates: Optional[List[Tuple[Placement, float]]] = None
-        if options.lookahead and index + 1 < len(workspaces):
-            lookahead_candidates = _candidate_placements(
+        if (
+            options.lookahead
+            and placer.provides_multiple_candidates
+            and index + 1 < len(workspaces)
+        ):
+            lookahead_candidates = placer.candidates(
                 workspaces[index + 1],
                 subcircuits[index + 1],
                 circuit,
                 context,
                 environment,
                 options,
-                previous=None,
-                evaluator=evaluator_for(index + 1),
+                None,
+                evaluator_for(index + 1),
             )
 
         best_placement, best_runtime = _select_candidate(

@@ -1,0 +1,64 @@
+"""Pluggable placement engines (:data:`repro.registry.PLACERS`).
+
+Importing this package registers the engine portfolio:
+
+``exact``
+    The paper's exhaustive monomorphism search + fine tuning — the
+    default, bit-identical to every release before the registry existed.
+``greedy``
+    One-shot interaction-weight greedy seeding: no search tree, the
+    cheap baseline and the annealer's initial mapping.
+``anneal`` / ``anneal:SEED`` / ``anneal:SEEDxITERS``
+    Deterministic greedy-seeded simulated annealing with incremental
+    delta costs — the engine for hosts where exact search is infeasible
+    (1000+-node grids).  ``SEED`` defaults to 0, ``ITERS`` to
+    :data:`repro.core.placers.anneal.DEFAULT_ITERATIONS`.
+
+See ``docs/placers.md`` for when to use which and the determinism
+contract.
+"""
+
+from __future__ import annotations
+
+from repro.core.placers.anneal import DEFAULT_ITERATIONS, AnnealPlacer
+from repro.core.placers.base import Placer, WorkspacePlacer
+from repro.core.placers.exact import ExactPlacer
+from repro.core.placers.greedy import GreedyPlacer
+from repro.registry import PLACERS
+
+
+def anneal_instance(seed: int = 0, iterations: int = DEFAULT_ITERATIONS) -> AnnealPlacer:
+    """The ``anneal[:SEED[xITERS]]`` registry factory."""
+    return AnnealPlacer(seed=seed, iterations=iterations)
+
+
+PLACERS.add(
+    "exact",
+    ExactPlacer,
+    description="exhaustive monomorphism search + fine tuning "
+    "(the paper's engine; default)",
+)
+PLACERS.add(
+    "greedy",
+    GreedyPlacer,
+    description="one-shot interaction-weight greedy seeding (cheap baseline)",
+)
+PLACERS.add(
+    "anneal",
+    anneal_instance,
+    min_params=0,
+    max_params=2,
+    description="greedy-seeded deterministic simulated annealing "
+    f"(optional seed, default 0, and iteration budget, "
+    f"default {DEFAULT_ITERATIONS})",
+)
+
+__all__ = [
+    "Placer",
+    "WorkspacePlacer",
+    "ExactPlacer",
+    "GreedyPlacer",
+    "AnnealPlacer",
+    "DEFAULT_ITERATIONS",
+    "anneal_instance",
+]

@@ -1,0 +1,226 @@
+"""The simulated-annealing placement engine (Enola-style, deterministic).
+
+Refines the greedy seed (:mod:`repro.core.placers.greedy`) with a
+fixed-budget simulated annealer in the style of Enola's
+``SAPlacerPartial`` (SNIPPETS.md Snippet 1):
+
+* **geometric temperature schedule** from ``T0 = 0.25 * seed cost`` down
+  to ``T0 / 1000`` over the iteration budget;
+* **moves**: pick a random interacting qubit, then either a host
+  neighbour of one of its interaction partners' nodes (local move,
+  3/4 of proposals — the only moves that keep interactions adjacent on
+  hosts whose non-adjacent pairs are infinitely slow) or any host node
+  (exploration); occupied targets swap occupants;
+* **incremental delta cost** via the checkpointed
+  :class:`~repro.timing.scheduler.RuntimeEvaluator`: each proposal
+  re-schedules only the operations after the first one that touches a
+  moved qubit, with an early-exit ``limit`` of ``current + 20 * T``
+  (moves that expensive have acceptance probability < 2e-9, so cutting
+  the replay short cannot change any acceptance decision);
+* **uphill acceptance** with probability ``exp(-delta / T)``;
+* **best-ever tracking** seeded with the greedy placement, so the
+  annealer is never worse than its seed by construction.
+
+Determinism: the RNG is a private :class:`random.Random` seeded from
+SHA-256 of ``(spec seed, workspace index)`` — never the ``random``
+module's global state — and every tie-break is value-ordered, so the
+same ``anneal:SEEDxITERS`` spec yields the same placement regardless of
+``PYTHONHASHSEED``, ``--jobs``, scheduler backend or shard layout.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+import random
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.placers.base import Placement, WorkspacePlacer
+from repro.core.placers.greedy import greedy_candidate
+from repro.core.stats import STATS
+from repro.exceptions import PlacementError
+
+#: Default iteration budget per workspace (the ITERS of ``anneal:SEEDxITERS``).
+DEFAULT_ITERATIONS = 2000
+
+#: Fraction of proposals drawn from a partner node's host neighbourhood.
+_LOCAL_MOVE_FRACTION = 0.75
+
+#: Early-exit margin: proposals costing more than ``current + 20 * T`` have
+#: acceptance probability below exp(-20) ~ 2e-9 and are rejected unscored.
+_LIMIT_TEMPERATURES = 20.0
+
+
+def _derive_seed(seed: int, workspace_index: int) -> int:
+    """A process-independent RNG seed for one workspace's anneal."""
+    digest = hashlib.sha256(
+        f"placer.anneal:{seed}:{workspace_index}".encode("ascii")
+    ).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class AnnealPlacer(WorkspacePlacer):
+    """Greedy-seeded simulated annealing over one workspace's placement."""
+
+    name = "anneal"
+    provides_multiple_candidates = False
+
+    def __init__(self, seed: int = 0, iterations: int = DEFAULT_ITERATIONS) -> None:
+        if seed < 0:
+            raise PlacementError(f"anneal seed must be non-negative, got {seed}")
+        if iterations < 0:
+            raise PlacementError(
+                f"anneal iteration budget must be non-negative, got {iterations}"
+            )
+        self.seed = seed
+        self.iterations = iterations
+
+    def workspace_candidates(
+        self,
+        workspace,
+        subcircuit,
+        circuit,
+        context,
+        environment,
+        options,
+        previous: Optional[Placement],
+        evaluator,
+    ) -> List[Tuple[Placement, float]]:
+        seed_placement, seed_runtime = greedy_candidate(
+            workspace, subcircuit, circuit, context, environment, options,
+            previous, evaluator,
+        )
+        movable = sorted(
+            {q for gate in subcircuit if gate.is_two_qubit for q in gate.qubits},
+            key=repr,
+        )
+        if (
+            not movable
+            or self.iterations == 0
+            or not math.isfinite(seed_runtime)
+            or seed_runtime <= 0.0
+        ):
+            return [(seed_placement, seed_runtime)]
+        best, best_cost = self._anneal(
+            workspace, subcircuit, context, environment, options,
+            seed_placement, seed_runtime, movable, evaluator,
+        )
+        return [(best, best_cost)]
+
+    def _anneal(
+        self,
+        workspace,
+        subcircuit,
+        context,
+        environment,
+        options,
+        seed_placement: Placement,
+        seed_runtime: float,
+        movable,
+        evaluator,
+    ) -> Tuple[Placement, float]:
+        from repro.core.placement import _stage_runtime
+
+        rng = random.Random(_derive_seed(self.seed, workspace.index))
+        pattern = workspace.interaction_graph
+        node_order = context.node_order
+        allowed = list(context.graph.nodes())
+        partners = {
+            qubit: sorted(pattern.neighbors(qubit), key=repr)
+            for qubit in movable
+            if qubit in pattern
+        }
+        neighbour_cache: Dict = {}
+
+        def host_neighbours(node):
+            cached = neighbour_cache.get(node)
+            if cached is None:
+                cached = sorted(
+                    context.graph.neighbors(node), key=node_order.__getitem__
+                )
+                neighbour_cache[node] = cached
+            return cached
+
+        current = dict(seed_placement)
+        current_cost = seed_runtime
+        best = dict(seed_placement)
+        best_cost = seed_runtime
+        node_to_qubit = {node: q for q, node in current.items()}
+        if evaluator is not None:
+            evaluator.set_base(current)
+
+        t0 = 0.25 * seed_runtime
+        t_end = t0 * 1e-3
+        alpha = (
+            (t_end / t0) ** (1.0 / (self.iterations - 1))
+            if self.iterations > 1
+            else 1.0
+        )
+        temperature = t0
+        accepted = rejected = delta_evals = 0
+
+        for _ in range(self.iterations):
+            qubit = movable[rng.randrange(len(movable))]
+            current_node = current[qubit]
+            qubit_partners = partners.get(qubit)
+            target = None
+            if qubit_partners and rng.random() < _LOCAL_MOVE_FRACTION:
+                anchor = current[
+                    qubit_partners[rng.randrange(len(qubit_partners))]
+                ]
+                neighbours = host_neighbours(anchor)
+                if neighbours:
+                    target = neighbours[rng.randrange(len(neighbours))]
+            if target is None:
+                target = allowed[rng.randrange(len(allowed))]
+            if target == current_node:
+                rejected += 1
+                temperature *= alpha
+                continue
+            occupant = node_to_qubit.get(target)
+            if occupant is None:
+                overrides = {qubit: target}
+            else:
+                overrides = {qubit: target, occupant: current_node}
+            delta_evals += 1
+            if evaluator is not None:
+                value = evaluator.runtime_with(
+                    overrides,
+                    limit=current_cost + _LIMIT_TEMPERATURES * temperature,
+                )
+            else:
+                candidate = dict(current)
+                candidate.update(overrides)
+                value = _stage_runtime(
+                    subcircuit, candidate, environment, options, None
+                )
+            accept = value <= current_cost
+            if not accept and math.isfinite(value):
+                accept = rng.random() < math.exp(
+                    -(value - current_cost) / temperature
+                )
+            if accept:
+                current.update(overrides)
+                node_to_qubit[target] = qubit
+                if occupant is None:
+                    del node_to_qubit[current_node]
+                else:
+                    node_to_qubit[current_node] = occupant
+                current_cost = value
+                if evaluator is not None:
+                    evaluator.set_base(current)
+                if value < best_cost:
+                    best = dict(current)
+                    best_cost = value
+                accepted += 1
+            else:
+                rejected += 1
+            temperature *= alpha
+
+        if evaluator is not None:
+            evaluator.flush_stats()
+        STATS.increment("placer.anneal_steps", self.iterations)
+        STATS.increment("placer.moves_accepted", accepted)
+        STATS.increment("placer.moves_rejected", rejected)
+        STATS.increment("placer.delta_evals", delta_evals)
+        return best, best_cost

@@ -1,0 +1,41 @@
+"""The exact placement engine (the paper's exhaustive search; default).
+
+Enumerates up to ``options.max_monomorphisms`` monomorphisms of the
+workspace's interaction graph into the adjacency graph with the bitset
+engine (:mod:`repro.core.monomorphism`), completes each to a full
+placement and hill-climb fine tunes it.  This is the code path every
+release before the placer registry ran unconditionally; it is unchanged
+and stays the default, so outputs with ``placer="exact"`` (or no placer
+at all) are bit-identical to before.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.core.placers.base import Placement, WorkspacePlacer
+
+
+class ExactPlacer(WorkspacePlacer):
+    """Exhaustive monomorphism enumeration + fine tuning (Section 5)."""
+
+    name = "exact"
+    provides_multiple_candidates = True
+
+    def workspace_candidates(
+        self,
+        workspace,
+        subcircuit,
+        circuit,
+        context,
+        environment,
+        options,
+        previous: Optional[Placement],
+        evaluator,
+    ) -> List[Tuple[Placement, float]]:
+        from repro.core.placement import _candidate_placements
+
+        return _candidate_placements(
+            workspace, subcircuit, circuit, context, environment, options,
+            previous, evaluator,
+        )

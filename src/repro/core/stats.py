@@ -38,6 +38,15 @@ Counter names used by the engine
     Reuse vs. construction of per-threshold largest-component subgraphs.
 ``scheduler.full_evals`` / ``scheduler.incremental_evals``
     Full-circuit versus delta cost evaluations.
+``placer.anneal_steps``
+    Simulated-annealing iterations run (:mod:`repro.core.placers.anneal`;
+    the configured budget, summed over workspaces).
+``placer.moves_accepted`` / ``placer.moves_rejected``
+    Annealing move proposals accepted (downhill or uphill-by-luck)
+    versus rejected (including no-op proposals).
+``placer.delta_evals``
+    Annealing move proposals actually scored (delta-cost evaluations;
+    no-op proposals are rejected unscored).
 ``scheduler.ops_replayed`` / ``scheduler.ops_skipped``
     Scheduled operations re-executed versus skipped by checkpoint restore.
 ``cells_retried`` / ``cells_timed_out`` / ``cells_failed``

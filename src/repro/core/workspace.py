@@ -71,6 +71,7 @@ def _embeds(
     graph: nx.Graph,
     host: nx.Graph,
     host_encoding: Optional[HostEncoding] = None,
+    host_bipartite: bool = False,
 ) -> bool:
     """Exact embeddability check with the cheap necessary conditions first."""
     if graph.number_of_nodes() == 0:
@@ -78,6 +79,14 @@ def _embeds(
     if graph.number_of_nodes() > host.number_of_nodes():
         return False
     if graph.number_of_edges() > host.number_of_edges():
+        return False
+    if host_bipartite and not nx.is_bipartite(graph):
+        # Subgraphs of a bipartite host are bipartite, so a pattern with an
+        # odd cycle can be refuted in O(V+E).  Proving non-embeddability by
+        # search instead is the worst case of the enumerator — on a
+        # 1024-node grid a refutation can visit an astronomical number of
+        # search nodes, and synthetic hosts (grid/chain/ring with even
+        # length) are all bipartite.
         return False
     return has_monomorphism(graph, host, host_encoding=host_encoding)
 
@@ -117,6 +126,9 @@ def extract_workspaces(
         encode_host(adjacency_graph)
         if adjacency_graph.number_of_nodes() > 0
         else None
+    )
+    host_bipartite = (
+        adjacency_graph.number_of_edges() > 0 and nx.is_bipartite(adjacency_graph)
     )
 
     workspaces: List[Workspace] = []
@@ -158,7 +170,7 @@ def extract_workspaces(
             continue
         candidate = current_graph.copy()
         candidate.add_edge(a, b)
-        if _embeds(candidate, adjacency_graph, host_encoding):
+        if _embeds(candidate, adjacency_graph, host_encoding, host_bipartite):
             current_graph = candidate
             current_two_qubit_count += 1
             continue
@@ -166,7 +178,9 @@ def extract_workspaces(
         close(position)
         current_graph.add_edge(a, b)
         current_two_qubit_count = 1
-        if not _embeds(current_graph, adjacency_graph, host_encoding):
+        if not _embeds(
+            current_graph, adjacency_graph, host_encoding, host_bipartite
+        ):
             raise PlacementError(
                 f"two-qubit gate {gate!r} cannot be aligned with any fast "
                 "interaction of the environment"

@@ -37,6 +37,12 @@ Registries
 :data:`SHARD_STRATEGIES`
     Shard partition strategies (:mod:`repro.analysis.sharding`); entries
     are the bucket-assignment functions used by ``ShardPlan.build``.
+:data:`PLACERS`
+    Placement engines (:mod:`repro.core.placers`): the exact exhaustive
+    search (``exact``, the default), the greedy seeding pass (``greedy``)
+    and the simulated annealer (``anneal``, ``anneal:SEED``,
+    ``anneal:SEEDxITERS``); entries build
+    :class:`repro.core.placers.Placer` instances.
 
 Each registry lazily imports its providing modules on first use, so
 ``repro.registry`` itself stays import-light and free of cycles.
@@ -262,11 +268,12 @@ class Registry:
             + ", ".join(self.spec_forms())
         )
 
-    def build(self, spec: str):
-        """Resolve a spec string and invoke its factory.
+    def validate(self, spec: str) -> RegistryEntry:
+        """Check that a spec parses and resolves, without calling its factory.
 
-        ``name`` entries are called with no arguments; parameterised
-        entries receive the parsed integer parameters positionally.
+        Used where a spec is stored for later (``PlacementOptions.placer``,
+        config files) so that typos fail at construction time with the
+        spec-listing :class:`UnknownSpecError` rather than mid-run.
         """
         name, params = parse_spec(spec)
         self._ensure_populated()
@@ -284,6 +291,16 @@ class Registry:
                 f"and {entry.max_params} parameter(s), as in "
                 f"{entry.spec_form()!r}"
             )
+        return entry
+
+    def build(self, spec: str):
+        """Resolve a spec string and invoke its factory.
+
+        ``name`` entries are called with no arguments; parameterised
+        entries receive the parsed integer parameters positionally.
+        """
+        entry = self.validate(spec)
+        _, params = parse_spec(spec)
         return entry.factory(*params)
 
 
@@ -305,6 +322,9 @@ SCHEDULER_BACKENDS = Registry(
 SHARD_STRATEGIES = Registry(
     "shard strategy", providers=("repro.analysis.sharding",)
 )
+
+#: Placement engines; building an entry returns a ``Placer`` instance.
+PLACERS = Registry("placer", providers=("repro.core.placers",))
 
 
 # ---------------------------------------------------------------------------

@@ -93,6 +93,35 @@ class TestReordering:
         reordered = commutation_aware_reorder(circuit)
         assert reordered.gates == circuit.gates
 
+    def test_blocked_gates_do_not_livelock(self):
+        # Regression: the trailing (a,b) and (c,d) gates both have an
+        # earlier same-pair gate that the non-commuting (a,c) blocker keeps
+        # out of reach.  Partial bubbling used to make them nudge each
+        # other back and forth forever; blocked moves must not be applied.
+        circuit = QuantumCircuit(
+            ["a", "b", "c", "d"],
+            [
+                g.cnot("c", "d"),
+                g.cnot("a", "b"),
+                g.cnot("a", "c"),
+                g.cnot("c", "d"),
+                g.cnot("a", "b"),
+            ],
+        )
+        reordered = commutation_aware_reorder(circuit)
+        assert reordered.gates == circuit.gates
+
+    def test_random_circuit_reorder_terminates(self):
+        # Regression: livelocked forever on this circuit before the
+        # all-or-nothing bubbling rule.
+        from repro.registry import load_circuit
+
+        circuit = load_circuit("random:24x72x11")
+        reordered = commutation_aware_reorder(circuit)
+        assert sorted(map(repr, reordered.gates)) == sorted(
+            map(repr, circuit.gates)
+        )
+
 
 class TestAlternationMetric:
     def test_counts_pair_switches(self):

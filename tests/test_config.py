@@ -38,6 +38,9 @@ _options_strategy = st.builds(
         st.none(), st.integers(min_value=1, max_value=50)
     ),
     scheduler_backend=st.sampled_from(["auto", "python", "numpy"]),
+    placer=st.sampled_from(
+        ["exact", "greedy", "anneal", "anneal:7", "anneal:3x500"]
+    ),
 )
 
 

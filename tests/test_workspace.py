@@ -74,6 +74,31 @@ class TestExtraction:
         workspaces = extract_workspaces(qft_circuit(6), host)
         assert len(workspaces) > 1
 
+    def test_odd_cycle_pattern_refuted_on_bipartite_host(self):
+        # A triangle cannot embed in a bipartite host (any subgraph of a
+        # bipartite graph is bipartite), so the candidate must close the
+        # workspace — via the O(V+E) parity shortcut, not a search.
+        host = nx.grid_2d_graph(6, 6)
+        circuit = QuantumCircuit(
+            ["a", "b", "c"],
+            [g.zz("a", "b"), g.zz("b", "c"), g.zz("a", "c")],
+        )
+        workspaces = extract_workspaces(circuit, host)
+        assert len(workspaces) == 2
+        assert workspaces[0].stop == 2
+
+    def test_random_pattern_extraction_terminates_on_large_grid(self):
+        # Regression: refuting an odd-cycle candidate pattern by search on
+        # a 1024-node grid effectively never terminated; the bipartite
+        # parity shortcut refutes it instantly.
+        from repro.registry import load_circuit, load_environment
+
+        circuit = load_circuit("random:24x72x11")
+        host = load_environment("grid:32x32").adjacency_graph(10.0)
+        workspaces = extract_workspaces(circuit, host)
+        assert workspaces[0].start == 0
+        assert workspaces[-1].stop == circuit.num_gates
+
     def test_repeated_interactions_do_not_grow_the_pattern(self, chain_host):
         circuit = QuantumCircuit(
             ["a", "b"], [g.zz("a", "b") for _ in range(10)]
