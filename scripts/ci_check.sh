@@ -2,6 +2,9 @@
 # Tier-1-equivalent smoke gate, suitable for a CI job.
 #
 # Runs, in order:
+#   0. the static-analysis gate (`python -m repro.lint --check`, and the
+#      mypy typing tiers of mypy.ini when mypy is installed) — fail-fast,
+#      before any test process is spawned (docs/static-analysis.md);
 #   1. the tier-1 test suite (`pytest -x -q`; bench-marked tests excluded
 #      via pytest.ini);
 #   2. a 2-shard plan -> run -> merge round trip through the CLI, asserting
@@ -32,6 +35,14 @@ REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 cd "$REPO_ROOT"
 export PYTHONPATH="$REPO_ROOT/src${PYTHONPATH:+:$PYTHONPATH}"
 PYTHON="${PYTHON:-python}"
+
+echo "== 0/6 static-analysis gate =="
+"$PYTHON" -m repro.lint --check
+if "$PYTHON" -c "import mypy" > /dev/null 2>&1; then
+    "$PYTHON" -m mypy --config-file mypy.ini
+else
+    echo "mypy not installed; skipping the typing tier (lint gate still ran)"
+fi
 
 echo "== 1/6 tier-1 test suite =="
 "$PYTHON" -m pytest -x -q

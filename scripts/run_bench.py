@@ -47,6 +47,29 @@ from repro.timing._replay import BACKEND_CHOICES, BACKEND_ENV_VAR  # noqa: E402
 DEFAULT_BASELINE = REPO_ROOT / "BENCH_placement.json"
 
 
+def _lint_dirty_reason():
+    """Why the tree fails the static-analysis gate, or ``None`` when clean.
+
+    Re-baselining performance numbers while the lint gate is red would let
+    the two ratchets drift apart — a perf baseline recorded on top of known
+    determinism violations is not a baseline worth committing.
+    """
+    from repro.lint import (
+        BASELINE_FILENAME,
+        compare_to_baseline,
+        lint_tree,
+        load_baseline,
+    )
+
+    baseline = load_baseline(str(REPO_ROOT / BASELINE_FILENAME))
+    fresh, stale = compare_to_baseline(lint_tree(str(REPO_ROOT)), baseline)
+    if fresh:
+        return f"{len(fresh)} new lint finding(s), e.g. {fresh[0].format()}"
+    if stale:
+        return f"stale lint baseline entries: {', '.join(stale)}"
+    return None
+
+
 def build_report(repeats: int, names=None) -> dict:
     results = bench_harness.run_all(repeats=repeats, names=names)
     return {
@@ -131,6 +154,20 @@ def main(argv=None) -> int:
             file=sys.stderr,
         )
         return 2
+
+    writes_baseline = args.update or (
+        not args.check and args.output.resolve() == DEFAULT_BASELINE.resolve()
+    )
+    if writes_baseline:
+        reason = _lint_dirty_reason()
+        if reason is not None:
+            print(
+                f"error: refusing to re-baseline while the static-analysis "
+                f"gate fails ({reason}); run `python -m repro.lint --check` "
+                "and fix the findings first",
+                file=sys.stderr,
+            )
+            return 2
 
     if args.backend is not None:
         os.environ[BACKEND_ENV_VAR] = args.backend

@@ -44,7 +44,7 @@ import hashlib
 import json
 import os
 import tempfile
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import Any, Dict, List, Mapping, Optional, Sequence
 
 from repro.analysis.runner import ExperimentOutcome
 from repro.exceptions import ShardFormatError
@@ -78,7 +78,7 @@ WORK_COUNTERS = (
 )
 
 
-def outcome_to_dict(outcome: ExperimentOutcome) -> Dict:
+def outcome_to_dict(outcome: ExperimentOutcome) -> Dict[str, Any]:
     """The outcome as a plain JSON-safe dict (``result`` dropped).
 
     Built field by field rather than via ``dataclasses.asdict``, which
@@ -96,7 +96,7 @@ def outcome_to_dict(outcome: ExperimentOutcome) -> Dict:
     return row
 
 
-def outcome_from_dict(row: Mapping) -> ExperimentOutcome:
+def outcome_from_dict(row: Mapping[str, Any]) -> ExperimentOutcome:
     """Rebuild an :class:`ExperimentOutcome` from :func:`outcome_to_dict`.
 
     Rows carrying a ``failure`` key are rebuilt as
@@ -113,7 +113,7 @@ def outcome_from_dict(row: Mapping) -> ExperimentOutcome:
     return cls(**data)
 
 
-def deterministic_row(outcome: ExperimentOutcome) -> Dict:
+def deterministic_row(outcome: ExperimentOutcome) -> Dict[str, Any]:
     """The outcome restricted to its deterministic fields.
 
     Byte-identical across execution shapes (serial, parallel, sharded)
@@ -125,7 +125,7 @@ def deterministic_row(outcome: ExperimentOutcome) -> Dict:
     return row
 
 
-def deterministic_rows(outcomes: Sequence[ExperimentOutcome]) -> List[Dict]:
+def deterministic_rows(outcomes: Sequence[ExperimentOutcome]) -> List[Dict[str, Any]]:
     """:func:`deterministic_row` over a whole outcome list."""
     return [deterministic_row(outcome) for outcome in outcomes]
 
@@ -140,9 +140,9 @@ def work_counters(counters: Mapping[str, int]) -> Dict[str, int]:
 def outcomes_payload(
     outcomes: Sequence[ExperimentOutcome],
     counters: Optional[Mapping[str, int]] = None,
-) -> Dict:
+) -> Dict[str, Any]:
     """The shared ``--output json`` payload: outcome rows plus counters."""
-    payload: Dict = {
+    payload: Dict[str, Any] = {
         "schema_version": SCHEMA_VERSION,
         "rows": [outcome_to_dict(outcome) for outcome in outcomes],
     }
@@ -194,13 +194,13 @@ def atomic_write_text(path: str, text: str) -> None:
     atomic_write_bytes(path, text.encode("utf-8"))
 
 
-def payload_checksum(payload: Mapping) -> str:
+def payload_checksum(payload: Mapping[str, Any]) -> str:
     """SHA-256 over the canonical encoding of ``payload`` sans checksum key."""
     body = {key: value for key, value in payload.items() if key != CHECKSUM_KEY}
     return hashlib.sha256(dump_json(body).encode("utf-8")).hexdigest()
 
 
-def checksummed_payload(payload: Mapping) -> Dict:
+def checksummed_payload(payload: Mapping[str, Any]) -> Dict[str, Any]:
     """A copy of ``payload`` with its :data:`CHECKSUM_KEY` embedded.
 
     Checksumming is deterministic (canonical encoding), so byte-identical
@@ -211,7 +211,7 @@ def checksummed_payload(payload: Mapping) -> Dict:
     return body
 
 
-def verify_payload_checksum(payload: Mapping, path: str) -> None:
+def verify_payload_checksum(payload: Mapping[str, Any], path: str) -> None:
     """Verify an embedded checksum, raising :class:`ShardFormatError`.
 
     Payloads without a :data:`CHECKSUM_KEY` pass (hand-written files and

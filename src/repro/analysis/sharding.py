@@ -71,7 +71,17 @@ import json
 import os
 import pickle
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Sequence, TextIO, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    TextIO,
+    Tuple,
+)
 
 from repro.analysis.runner import (
     ExperimentOutcome,
@@ -174,7 +184,7 @@ def grid_fingerprint(specs: Sequence[ExperimentSpec]) -> str:
     for index, spec in enumerate(specs):
         try:
             blob = pickle.dumps(spec, protocol=_PICKLE_PROTOCOL)
-        except Exception:
+        except Exception:  # repro: allow[ROB002]
             blob = b"unpicklable:" + repr(
                 (
                     spec.label,
@@ -302,7 +312,7 @@ class ShardPlan:
         """All shard inputs, in shard order."""
         return [self.shard_input(index) for index in range(self.num_shards)]
 
-    def metadata(self) -> Dict:
+    def metadata(self) -> Dict[str, Any]:
         """JSON-safe plan description (everything but the specs)."""
         metadata = {
             "schema_version": SCHEMA_VERSION,
@@ -335,7 +345,9 @@ def _cell_costs(specs: Sequence[ExperimentSpec]) -> List[int]:
             try:
                 circuit = spec.circuit_factory()
                 memo[key] = max(1, circuit.num_gates) * max(1, circuit.num_qubits)
-            except Exception:
+            except Exception:  # repro: allow[ROB002]
+                # Cost estimation is advisory; a failing factory falls back to
+                # unit cost and fails loudly when the cell itself runs.
                 memo[key] = 1
         costs.append(memo[key])
     return costs
@@ -516,7 +528,7 @@ def load_shard_checkpoint(
     return completed, True
 
 
-def _append_checkpoint_line(handle: TextIO, record: Dict) -> None:
+def _append_checkpoint_line(handle: TextIO, record: Dict[str, Any]) -> None:
     """Append one durable journal line (flushed and fsynced).
 
     Durability per line is the point of a checkpoint: a crash right after
@@ -566,7 +578,9 @@ def execute_shard(
     handle: Optional[TextIO] = None
     try:
         if checkpoint_path is not None:
-            handle = open(
+            # The checkpoint is an append-only journal with a per-line fsync;
+            # atomic whole-file replacement would defeat its purpose.
+            handle = open(  # repro: allow[ROB001]
                 checkpoint_path, "a" if header_valid else "w", encoding="utf-8"
             )
             if not header_valid:
@@ -625,7 +639,7 @@ def execute_shard(
 # ---------------------------------------------------------------------------
 
 
-def outcome_shard_to_payload(shard: OutcomeShard) -> Dict:
+def outcome_shard_to_payload(shard: OutcomeShard) -> Dict[str, Any]:
     """The JSON-safe form of an outcome shard (``--output json`` rows).
 
     The payload embeds its own SHA-256 checksum
@@ -649,7 +663,7 @@ def outcome_shard_to_payload(shard: OutcomeShard) -> Dict:
     })
 
 
-def outcome_shard_from_payload(payload: Mapping) -> OutcomeShard:
+def outcome_shard_from_payload(payload: Mapping[str, Any]) -> OutcomeShard:
     """Rebuild an :class:`OutcomeShard` from its JSON payload.
 
     The embedded checksum, if any, is ignored here (file readers verify

@@ -28,7 +28,18 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from functools import partial
-from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.analysis import sharding
 from repro.analysis.reporting import format_table
@@ -48,6 +59,13 @@ from repro.hardware.environment import PhysicalEnvironment
 from repro.hardware.threshold_graph import PAPER_THRESHOLDS
 from repro.registry import load_circuit, load_environment
 
+if TYPE_CHECKING:  # pragma: no cover - typing-only imports
+    from repro.analysis.experiments import Table2Result
+    from repro.analysis.resilience import RetryPolicy
+    from repro.analysis.scalability import ScalabilityRecord
+    from repro.analysis.sweep import SweepCell
+    from repro.core.config import PlacementOptions
+
 
 # ---------------------------------------------------------------------------
 # Shared renderers (used by result objects and the CLI merge path)
@@ -59,7 +77,7 @@ def sweep_payload(
     outcomes: Sequence[ExperimentOutcome],
     counters: Mapping[str, int],
     fingerprint: Optional[str] = None,
-) -> Dict:
+) -> Dict[str, Any]:
     """The canonical ``sweep --output json`` payload for one sweep row."""
     payload = outcomes_payload(outcomes, counters=counters)
     payload["circuit"] = row.circuit_name
@@ -108,11 +126,11 @@ class GridResult:
     fingerprint: Optional[str] = None
 
     @property
-    def rows(self) -> List[Dict]:
+    def rows(self) -> List[Dict[str, Any]]:
         """The outcomes as JSON-safe row dicts (shared row format)."""
         return [outcome_to_dict(outcome) for outcome in self.outcomes]
 
-    def payload(self) -> Dict:
+    def payload(self) -> Dict[str, Any]:
         """The canonical JSON payload (rows + counters [+ fingerprint])."""
         payload = outcomes_payload(self.outcomes, counters=self.counters)
         if self.fingerprint is not None:
@@ -137,7 +155,7 @@ class PlaceResult:
         """The full :class:`PlacementResult` (``None`` for infeasible runs)."""
         return self.outcome.result
 
-    def payload(self) -> Dict:
+    def payload(self) -> Dict[str, Any]:
         """The canonical ``place --output json`` payload."""
         payload = outcomes_payload([self.outcome], counters=self.counters)
         payload["circuit"] = self.config.circuit
@@ -157,10 +175,10 @@ class SweepResult:
     fingerprint: Optional[str] = None
 
     @property
-    def cells(self):
+    def cells(self) -> "List[SweepCell]":
         return self.row.cells
 
-    def payload(self) -> Dict:
+    def payload(self) -> Dict[str, Any]:
         """The canonical ``sweep --output json`` payload."""
         return sweep_payload(
             self.row, self.outcomes, self.counters, self.fingerprint
@@ -240,11 +258,11 @@ class Session:
 
     # -- building blocks -----------------------------------------------------
 
-    def circuit_factory(self) -> Callable:
+    def circuit_factory(self) -> Callable[[], Any]:
         """The picklable circuit factory of this run's circuit spec."""
         return partial(load_circuit, self.config.circuit)
 
-    def environment_factory(self) -> Callable:
+    def environment_factory(self) -> Callable[[], Any]:
         """The picklable environment factory of this run's environment spec."""
         return partial(load_environment, self.config.environment)
 
@@ -253,7 +271,7 @@ class Session:
         backend = self.config.options.scheduler_backend
         return None if backend == "auto" else backend
 
-    def retry_policy(self):
+    def retry_policy(self) -> "Optional[RetryPolicy]":
         """The config's :class:`~repro.analysis.resilience.RetryPolicy`.
 
         ``None`` when the config asks for no resilience (``retries=0``
@@ -426,7 +444,9 @@ class Session:
 
     # -- table harnesses -----------------------------------------------------
 
-    def table2(self, on_result=None):
+    def table2(
+        self, on_result: "Optional[Callable[[Table2Result], None]]" = None
+    ) -> "List[Table2Result]":
         """The paper's Table 2 under this config's options and runner."""
         from repro.analysis.experiments import run_table2
 
@@ -440,9 +460,9 @@ class Session:
         self,
         qubit_counts: Sequence[int] = (8, 16, 32, 64),
         seed: int = 0,
-        options=None,
-        on_record=None,
-    ):
+        options: "Optional[PlacementOptions]" = None,
+        on_record: "Optional[Callable[[ScalabilityRecord], None]]" = None,
+    ) -> "List[ScalabilityRecord]":
         """The paper's Table 4 chains under this config's runner.
 
         ``options`` defaults to the harness's tuned

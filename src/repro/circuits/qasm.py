@@ -163,6 +163,8 @@ def load(path: str) -> QuantumCircuit:
 
 
 def dump(circuit: QuantumCircuit, path: str) -> None:
-    """Write a circuit to a file path."""
-    with open(path, "w", encoding="utf-8") as handle:
-        handle.write(dumps(circuit))
+    """Write a circuit to a file path (crash-safe: temp file + rename)."""
+    # Imported here: analysis.serialization transitively imports repro.circuits.
+    from repro.analysis.serialization import atomic_write_text
+
+    atomic_write_text(path, dumps(circuit))

@@ -79,6 +79,7 @@ from repro.analysis.serialization import (
 from repro.analysis.sweep import row_from_outcomes
 from repro.api import Session
 from repro.config import OUTPUT_FORMATS, RunConfig
+from repro.core._bitset import node_index_table
 from repro.core.config import PlacementOptions
 from repro.exceptions import (
     ConfigError,
@@ -234,8 +235,12 @@ def _cmd_place(args: argparse.Namespace) -> int:
     print()
     rows = []
     for stage in placement.stages:
+        qubit_order = node_index_table(stage.placement.keys())
         mapping = ", ".join(
-            f"{qubit}->{node}" for qubit, node in sorted(stage.placement.items(), key=lambda kv: repr(kv[0]))
+            f"{qubit}->{node}"
+            for qubit, node in sorted(
+                stage.placement.items(), key=lambda kv: qubit_order[kv[0]]
+            )
         )
         rows.append([f"stage {stage.index}", f"gates [{stage.start},{stage.stop})",
                      f"{stage.runtime:g} units", mapping])

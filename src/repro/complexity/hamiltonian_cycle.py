@@ -26,6 +26,7 @@ import networkx as nx
 from repro.circuits import gates as g
 from repro.circuits.circuit import QuantumCircuit
 from repro.circuits.gates import Qubit
+from repro.core._bitset import canonical_order
 from repro.exceptions import ReproError
 from repro.hardware.environment import Node, PhysicalEnvironment
 from repro.timing.scheduler import circuit_runtime
@@ -36,7 +37,7 @@ def reduction_environment(graph: nx.Graph) -> PhysicalEnvironment:
 
     Edges of ``H`` have weight 0 (free interactions); non-edges have weight 1.
     """
-    nodes = sorted(graph.nodes(), key=repr)
+    nodes = canonical_order(graph.nodes())
     if len(nodes) < 3:
         raise ReproError("the Hamiltonian-cycle reduction needs at least 3 vertices")
     single = {node: 0.0 for node in nodes}
@@ -85,7 +86,7 @@ def find_zero_cost_placement(graph: nx.Graph) -> Optional[List[Node]]:
     ``None`` when no zero-cost placement exists.  Exponential — small graphs
     only.
     """
-    nodes = sorted(graph.nodes(), key=repr)
+    nodes = canonical_order(graph.nodes())
     if len(nodes) < 3:
         return None
     first = nodes[0]

@@ -38,7 +38,7 @@ from __future__ import annotations
 import dataclasses
 import json
 from dataclasses import dataclass, field
-from typing import Dict, Mapping, Optional, Tuple
+from typing import Any, Dict, Mapping, Optional, Tuple
 
 from repro.core.config import PlacementOptions
 from repro.exceptions import ConfigError, ReproError
@@ -54,11 +54,11 @@ CONFIG_SCHEMA_VERSION = 1
 OUTPUT_FORMATS = ("text", "json")
 
 
-def _options_to_dict(options: PlacementOptions) -> Dict:
+def _options_to_dict(options: PlacementOptions) -> Dict[str, Any]:
     return dataclasses.asdict(options)
 
 
-def _options_from_dict(data: Mapping) -> PlacementOptions:
+def _options_from_dict(data: Mapping[str, Any]) -> PlacementOptions:
     known = {f.name for f in dataclasses.fields(PlacementOptions)}
     unknown = sorted(set(data) - known)
     if unknown:
@@ -207,7 +207,7 @@ class RunConfig:
 
     # -- serialisation -------------------------------------------------------
 
-    def to_dict(self) -> Dict:
+    def to_dict(self) -> Dict[str, Any]:
         """The JSON-safe canonical form (self-describing)."""
         return {
             "format": CONFIG_FORMAT,
@@ -228,7 +228,7 @@ class RunConfig:
         }
 
     @classmethod
-    def from_dict(cls, data: Mapping) -> "RunConfig":
+    def from_dict(cls, data: Mapping[str, Any]) -> "RunConfig":
         """Rebuild a config from :meth:`to_dict` (unknown keys rejected)."""
         if not isinstance(data, Mapping):
             raise ConfigError(f"run config must be a JSON object, got {type(data).__name__}")

@@ -42,8 +42,31 @@ def node_index_table(nodes) -> Dict[Node, int]:
     of each node is computed exactly once here, and every later comparison
     is an integer comparison.  Works for mixed node types (integers, strings,
     tuples, ...) because only the ``repr`` strings are ever compared.
+
+    This module is the *only* sanctioned home of a ``key=repr`` sort
+    (lint rule DET002, ``docs/static-analysis.md``): every other module
+    obtains the canonical order through this table or the helpers below,
+    so there is exactly one definition of node order to audit.
     """
     return {node: index for index, node in enumerate(sorted(nodes, key=repr))}
+
+
+def canonical_order(nodes) -> List[Node]:
+    """The nodes in canonical order (the order of :func:`node_index_table`).
+
+    Exploits dict insertion order: the table is built by enumerating the
+    canonically sorted nodes, so listing its keys *is* the sorted scan —
+    no second sort, no per-comparison ``repr``.
+    """
+    return list(node_index_table(nodes))
+
+
+def canonical_min(nodes) -> Node:
+    """The canonically first node (deterministic ``min`` for mixed types)."""
+    order = canonical_order(nodes)
+    if not order:
+        raise ValueError("canonical_min() of an empty node collection")
+    return order[0]
 
 
 class HostEncoding:
@@ -60,7 +83,7 @@ class HostEncoding:
     )
 
     def __init__(self, host: nx.Graph) -> None:
-        self.nodes: List[Node] = sorted(host.nodes(), key=repr)
+        self.nodes: List[Node] = canonical_order(host.nodes())
         self.index: Dict[Node, int] = {
             node: position for position, node in enumerate(self.nodes)
         }

@@ -31,6 +31,7 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.circuits.circuit import QuantumCircuit
 from repro.circuits.gates import Qubit
+from repro.core._bitset import canonical_order
 from repro.hardware.environment import Node, PhysicalEnvironment
 from repro.timing.scheduler import RuntimeEvaluator, circuit_runtime
 
@@ -190,9 +191,8 @@ def fine_tune_workspace_placement(
     incremental cost is checked against a from-scratch evaluation — a
     debugging aid, not a production mode).
     """
-    movable: List[Qubit] = sorted(
-        {q for gate in subcircuit if gate.is_two_qubit for q in gate.qubits},
-        key=repr,
+    movable: List[Qubit] = canonical_order(
+        {q for gate in subcircuit if gate.is_two_qubit for q in gate.qubits}
     )
     if not movable:
         movable = list(subcircuit.used_qubits())

@@ -34,7 +34,7 @@ from typing import Dict, Hashable, Iterator, List, Optional
 
 import networkx as nx
 
-from repro.core._bitset import HostEncoding, encode_host, iter_bits
+from repro.core._bitset import HostEncoding, encode_host, iter_bits, node_index_table
 from repro.core.stats import STATS
 from repro.exceptions import MonomorphismError
 
@@ -47,9 +47,10 @@ def _pattern_order(pattern: nx.Graph) -> List[Node]:
     if pattern.number_of_nodes() == 0:
         return []
     remaining = set(pattern.nodes())
+    node_order = node_index_table(remaining)
     order: List[Node] = []
     # Start from the highest-degree node (ties broken deterministically).
-    start = max(remaining, key=lambda n: (pattern.degree(n), repr(n)))
+    start = max(remaining, key=lambda n: (pattern.degree(n), node_order[n]))
     order.append(start)
     remaining.remove(start)
     while remaining:
@@ -64,7 +65,7 @@ def _pattern_order(pattern: nx.Graph) -> List[Node]:
             key=lambda n: (
                 sum(1 for nb in pattern.neighbors(n) if nb in order),
                 pattern.degree(n),
-                repr(n),
+                node_order[n],
             ),
         )
         order.append(nxt)

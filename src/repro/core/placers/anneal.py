@@ -35,6 +35,7 @@ import math
 import random
 from typing import Dict, List, Optional, Tuple
 
+from repro.core._bitset import canonical_order
 from repro.core.placers.base import Placement, WorkspacePlacer
 from repro.core.placers.greedy import greedy_candidate
 from repro.core.stats import STATS
@@ -90,9 +91,8 @@ class AnnealPlacer(WorkspacePlacer):
             workspace, subcircuit, circuit, context, environment, options,
             previous, evaluator,
         )
-        movable = sorted(
-            {q for gate in subcircuit if gate.is_two_qubit for q in gate.qubits},
-            key=repr,
+        movable = canonical_order(
+            {q for gate in subcircuit if gate.is_two_qubit for q in gate.qubits}
         )
         if (
             not movable
@@ -126,7 +126,7 @@ class AnnealPlacer(WorkspacePlacer):
         node_order = context.node_order
         allowed = list(context.graph.nodes())
         partners = {
-            qubit: sorted(pattern.neighbors(qubit), key=repr)
+            qubit: canonical_order(pattern.neighbors(qubit))
             for qubit in movable
             if qubit in pattern
         }

@@ -20,7 +20,7 @@ import networkx as nx
 
 from repro.circuits.circuit import QuantumCircuit
 from repro.circuits.gates import Gate, Qubit
-from repro.core._bitset import HostEncoding, encode_host
+from repro.core._bitset import HostEncoding, canonical_order, encode_host
 from repro.core.monomorphism import has_monomorphism
 from repro.exceptions import PlacementError
 
@@ -60,7 +60,7 @@ class Workspace:
     @property
     def active_qubits(self) -> Tuple[Qubit, ...]:
         """Qubits participating in at least one two-qubit gate of the slice."""
-        return tuple(sorted(self.interaction_graph.nodes(), key=repr))
+        return tuple(canonical_order(self.interaction_graph.nodes()))
 
     def subcircuit(self, circuit: QuantumCircuit) -> QuantumCircuit:
         """The workspace as a standalone circuit over the parent's qubits."""

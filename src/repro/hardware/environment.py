@@ -394,7 +394,8 @@ class PhysicalEnvironment:
 
     def restricted_to(self, nodes: Iterable[Node], name: Optional[str] = None) -> "PhysicalEnvironment":
         """Return the induced sub-environment over ``nodes``."""
-        keep = [n for n in self._nodes if n in set(nodes)]
+        wanted = frozenset(nodes)
+        keep = [n for n in self._nodes if n in wanted]
         if not keep:
             raise EnvironmentError_("restriction would produce an empty environment")
         keep_set = set(keep)

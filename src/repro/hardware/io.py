@@ -20,6 +20,7 @@ import json
 import math
 from typing import Any, Dict, Union
 
+from repro.core._bitset import node_index_table
 from repro.exceptions import SerializationError
 from repro.hardware.environment import Node, PhysicalEnvironment
 
@@ -45,6 +46,8 @@ def _label_from_json(value: Any) -> Node:
 def to_dict(environment: PhysicalEnvironment) -> Dict[str, Any]:
     """Convert an environment to a JSON-serialisable dictionary."""
     default = environment.default_pair_delay
+    pairs = environment.explicit_pairs()
+    pair_order = node_index_table(pairs)
     return {
         "name": environment.name,
         "time_unit_seconds": environment.time_unit_seconds,
@@ -56,7 +59,7 @@ def to_dict(environment: PhysicalEnvironment) -> Dict[str, Any]:
         "pairs": [
             [_label_to_json(a), _label_to_json(b), delay]
             for (a, b), delay in sorted(
-                environment.explicit_pairs().items(), key=lambda item: repr(item[0])
+                pairs.items(), key=lambda item: pair_order[item[0]]
             )
         ],
     }
@@ -118,9 +121,11 @@ def loads(text: str) -> PhysicalEnvironment:
 
 
 def save(environment: PhysicalEnvironment, path: str) -> None:
-    """Write an environment to a JSON file."""
-    with open(path, "w", encoding="utf-8") as handle:
-        handle.write(dumps(environment))
+    """Write an environment to a JSON file (crash-safe: temp file + rename)."""
+    # Imported here: analysis.serialization transitively imports repro.hardware.
+    from repro.analysis.serialization import atomic_write_text
+
+    atomic_write_text(path, dumps(environment))
 
 
 def load(path: str) -> PhysicalEnvironment:

@@ -18,6 +18,7 @@ from typing import List, Sequence, Tuple
 
 import networkx as nx
 
+from repro.core._bitset import canonical_order
 from repro.exceptions import ThresholdError
 from repro.hardware.environment import PhysicalEnvironment
 
@@ -82,7 +83,7 @@ def largest_connected_nodes(
             f"threshold {threshold:g} disallows every interaction of "
             f"{environment.name!r}"
         )
-    return sorted(environment.largest_component_graph(threshold), key=repr)
+    return canonical_order(environment.largest_component_graph(threshold))
 
 
 def sweep_summaries(

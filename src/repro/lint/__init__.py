@@ -1,0 +1,71 @@
+"""``repro.lint`` — the determinism & robustness static-analysis suite.
+
+The package's differentiating guarantee — byte-identical placements and
+sweep tables across ``PYTHONHASHSEED``, worker counts, shards, scheduler
+backends and placer engines — is enforced dynamically by the fingerprint
+tests and bench gates.  This package enforces it *statically*, at review
+time: a small AST-based rule engine (stdlib :mod:`ast`, no runtime
+dependencies) that recognises the exact hazard patterns earlier PRs spent
+whole changes eradicating, before they re-enter the tree.
+
+Rule families (see ``docs/static-analysis.md`` for the full catalog):
+
+* **DET** — determinism hazards: hash-order-dependent iteration
+  (DET001), ``repr``/``str``/``id`` sort keys that bypass the canonical
+  :func:`repro.core._bitset.node_index_table` order (DET002), ``hash()``
+  on the fingerprint path (DET003), global-state or unseeded
+  :mod:`random` use (DET004), wall-clock and UUID values feeding
+  serialised payloads (DET005).
+* **ROB** — robustness hazards: non-atomic artifact writes (ROB001),
+  broad exception handlers that swallow silently (ROB002), and
+  ``pickle.load`` outside the checksum-verified shard readers (ROB003).
+
+Diagnostics carry file, line, column and rule code; a deliberate
+violation is acknowledged inline with ``# repro: allow[CODE]`` on the
+offending line, and legacy debt is frozen in ``lint_baseline.json`` — a
+ratchet: ``--check`` fails on any finding *above* the baseline and on any
+stale baseline entry, so the count only moves down.
+
+Entry points: ``python -m repro.lint [--check] [--baseline]
+[--format json|text]`` (:mod:`repro.lint.cli`) and the programmatic
+:func:`lint_tree` / :func:`lint_source` used by the test gate
+(``pytest -m lint``).
+"""
+
+from repro.lint.baseline import (
+    BASELINE_FILENAME,
+    baseline_key,
+    compare_to_baseline,
+    load_baseline,
+    render_baseline,
+    write_baseline,
+)
+from repro.lint.engine import (
+    Diagnostic,
+    lint_file,
+    lint_paths,
+    lint_source,
+    lint_tree,
+    module_name_for,
+    suppressed_lines,
+)
+from repro.lint.rules import RULES, Rule, rules_by_code
+
+__all__ = [
+    "BASELINE_FILENAME",
+    "Diagnostic",
+    "RULES",
+    "Rule",
+    "baseline_key",
+    "compare_to_baseline",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "lint_tree",
+    "load_baseline",
+    "module_name_for",
+    "render_baseline",
+    "rules_by_code",
+    "suppressed_lines",
+    "write_baseline",
+]

@@ -1,0 +1,8 @@
+"""``python -m repro.lint`` — delegates to :func:`repro.lint.cli.main`."""
+
+import sys
+
+from repro.lint.cli import main
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

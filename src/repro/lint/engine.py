@@ -1,0 +1,207 @@
+"""The rule engine: parse, match, suppress, and report.
+
+One file is linted by parsing it once with :mod:`ast`, running every
+rule whose scope covers the file's dotted module name, and dropping
+findings acknowledged by an inline suppression::
+
+    root = min(component, key=repr)  # repro: allow[DET002]
+
+A suppression names the rule code(s) it acknowledges
+(``allow[DET001,ROB002]`` for several) and applies to its own line only,
+so it sits next to the pattern it excuses and disappears with it.
+
+Everything here is deterministic by construction — files are walked in
+sorted order and diagnostics sorted by (path, line, column, code) — so
+the linter's own output passes the determinism contract it enforces.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import re
+from dataclasses import dataclass
+from typing import Any, Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+from repro.lint.rules import RULES, Rule
+
+#: Inline suppression syntax: ``# repro: allow[CODE]`` or
+#: ``# repro: allow[CODE1,CODE2]`` anywhere in a line's trailing comment.
+_SUPPRESSION_RE = re.compile(
+    r"#\s*repro:\s*allow\[([A-Za-z0-9_,\s]+)\]"
+)
+
+
+@dataclass(frozen=True, order=True)
+class Diagnostic:
+    """One finding: where, which rule, and what to do instead."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def format(self) -> str:
+        """The one-line human-readable form (``path:line:col: CODE msg``)."""
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The JSON-safe form (canonically serialisable)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "code": self.code,
+            "message": self.message,
+        }
+
+
+def module_name_for(path: str, root: Optional[str] = None) -> str:
+    """The dotted module name a file path lints as.
+
+    Strips ``root`` (when given) and any leading ``src/`` segment, drops
+    the ``.py`` suffix, and joins the rest with dots —
+    ``src/repro/timing/trace.py`` becomes ``repro.timing.trace``;
+    ``__init__.py`` files name their package.  Files outside any package
+    (scripts) lint under their bare stem.
+    """
+    relative = os.path.normpath(path)
+    if root is not None:
+        root_norm = os.path.normpath(root)
+        if relative.startswith(root_norm + os.sep):
+            relative = relative[len(root_norm) + 1:]
+    parts = relative.replace("\\", "/").split("/")
+    if "src" in parts:
+        parts = parts[parts.index("src") + 1:]
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][:-3]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(part for part in parts if part not in ("", ".", ".."))
+
+
+def suppressed_lines(source: str) -> Dict[int, FrozenSet[str]]:
+    """Per-line inline suppressions: line number -> allowed rule codes."""
+    suppressions: Dict[int, FrozenSet[str]] = {}
+    for number, text in enumerate(source.splitlines(), start=1):
+        match = _SUPPRESSION_RE.search(text)
+        if match is not None:
+            codes = frozenset(
+                token.strip().upper()
+                for token in match.group(1).split(",")
+                if token.strip()
+            )
+            if codes:
+                suppressions[number] = codes
+    return suppressions
+
+
+def lint_source(
+    source: str,
+    module: str,
+    path: str = "<string>",
+    rules: Sequence[Rule] = RULES,
+) -> List[Diagnostic]:
+    """Lint one source string as dotted module ``module``.
+
+    Returns the diagnostics sorted by (line, column, code), inline
+    suppressions already applied.  A file that does not parse yields a
+    single ``PARSE`` diagnostic rather than crashing the run — a syntax
+    error is caught by the test suite anyway; the linter must still
+    report the rest of the tree.
+    """
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        return [
+            Diagnostic(
+                path=path,
+                line=exc.lineno or 1,
+                col=exc.offset or 0,
+                code="PARSE",
+                message=f"file does not parse: {exc.msg}",
+            )
+        ]
+    suppressions = suppressed_lines(source)
+    diagnostics: List[Diagnostic] = []
+    for rule in rules:
+        if not rule.applies_to(module):
+            continue
+        for line, col, message in rule.check(tree, module):
+            allowed = suppressions.get(line, frozenset())
+            if rule.code in allowed:
+                continue
+            diagnostics.append(
+                Diagnostic(
+                    path=path, line=line, col=col, code=rule.code,
+                    message=message,
+                )
+            )
+    return sorted(diagnostics)
+
+
+def lint_file(
+    path: str,
+    root: Optional[str] = None,
+    rules: Sequence[Rule] = RULES,
+) -> List[Diagnostic]:
+    """Lint one file; diagnostics carry ``path`` relative to ``root``."""
+    with open(path, "r", encoding="utf-8") as handle:
+        source = handle.read()
+    display = os.path.relpath(path, root) if root is not None else path
+    display = display.replace(os.sep, "/")
+    return lint_source(
+        source, module_name_for(path, root=root), path=display, rules=rules
+    )
+
+
+def _python_files(target: str) -> List[str]:
+    """Every ``.py`` file under ``target`` (or ``target`` itself), sorted."""
+    if os.path.isfile(target):
+        return [target]
+    collected: List[str] = []
+    for directory, subdirectories, files in os.walk(target):
+        subdirectories[:] = sorted(
+            name for name in subdirectories if name != "__pycache__"
+        )
+        for name in sorted(files):
+            if name.endswith(".py"):
+                collected.append(os.path.join(directory, name))
+    return collected
+
+
+def lint_paths(
+    targets: Iterable[str],
+    root: Optional[str] = None,
+    rules: Sequence[Rule] = RULES,
+) -> List[Diagnostic]:
+    """Lint files and directory trees; one sorted diagnostic list."""
+    files: List[str] = []
+    for target in targets:
+        files.extend(_python_files(target))
+    diagnostics: List[Diagnostic] = []
+    for path in sorted(dict.fromkeys(files)):
+        diagnostics.extend(lint_file(path, root=root, rules=rules))
+    return sorted(diagnostics)
+
+
+def lint_tree(
+    root: str, rules: Sequence[Rule] = RULES
+) -> List[Diagnostic]:
+    """Lint the default tree of a repository root: ``<root>/src/repro``."""
+    return lint_paths(
+        [os.path.join(root, "src", "repro")], root=root, rules=rules
+    )
+
+
+def count_by_key(
+    diagnostics: Iterable[Diagnostic],
+    key: "Tuple[str, ...]" = ("path", "code"),
+) -> Dict[str, int]:
+    """Diagnostic counts keyed ``"<field>::<field>"`` (baseline form)."""
+    counts: Dict[str, int] = {}
+    for diagnostic in diagnostics:
+        label = "::".join(str(getattr(diagnostic, field)) for field in key)
+        counts[label] = counts.get(label, 0) + 1
+    return counts

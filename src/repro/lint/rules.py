@@ -1,0 +1,465 @@
+"""The determinism (DET) and robustness (ROB) rule catalog.
+
+Each rule is a small :mod:`ast` pattern matcher with a stable code, a
+scope predicate over dotted module names (:mod:`repro.lint.scopes`) and a
+one-line message naming the sanctioned replacement.  Rules are purely
+syntactic — no type inference — so they only fire on patterns that are
+unambiguously the hazard: a rule that cries wolf gets suppressed into
+uselessness, while a quiet rule still catches the regressions that
+matter (every hazard class below has bitten this codebase before).
+
+The full catalog, with rationale and the sanctioned pattern for each
+rule, lives in ``docs/static-analysis.md``.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
+
+from repro.lint import scopes
+
+#: A raw finding before path/suppression handling: (line, col, message).
+Finding = Tuple[int, int, str]
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One lint rule: code, scope predicate and AST checker."""
+
+    code: str
+    summary: str
+    scope: Callable[[str], bool]
+    check: Callable[[ast.AST, str], Iterator[Finding]]
+
+    def applies_to(self, module: str) -> bool:
+        return self.scope(module)
+
+
+# ---------------------------------------------------------------------------
+# Shared AST helpers
+# ---------------------------------------------------------------------------
+
+#: Builtins whose result order (or value) depends on PYTHONHASHSEED when
+#: applied to str-keyed collections.
+_ORDER_SENSITIVE_KEYS = ("repr", "str", "id")
+
+#: ``random`` module functions that read or mutate the *global* RNG state.
+_GLOBAL_RANDOM_FUNCTIONS = frozenset({
+    "betavariate", "choice", "choices", "expovariate", "gammavariate",
+    "gauss", "getrandbits", "getstate", "lognormvariate", "normalvariate",
+    "paretovariate", "randbytes", "randint", "random", "randrange",
+    "sample", "seed", "setstate", "shuffle", "triangular", "uniform",
+    "vonmisesvariate", "weibullvariate",
+})
+
+#: Call patterns whose value differs between runs (wall clock, UUIDs).
+#: ``time.monotonic``/``perf_counter`` are deliberately absent: measuring
+#: a duration is sanctioned (timeouts, ``software_runtime_seconds``);
+#: only absolute timestamps and UUIDs poison serialised payloads.
+_WALL_CLOCK_CALLS = {
+    ("time", "time"): "time.time()",
+    ("time", "time_ns"): "time.time_ns()",
+    ("datetime", "now"): "datetime.now()",
+    ("datetime", "utcnow"): "datetime.utcnow()",
+    ("datetime", "today"): "datetime.today()",
+    ("date", "today"): "date.today()",
+    ("uuid", "uuid1"): "uuid.uuid1()",
+    ("uuid", "uuid4"): "uuid.uuid4()",
+}
+
+#: File-open modes that create or truncate: the writes ROB001 polices.
+_WRITE_MODES = ("w", "wb", "w+", "wb+", "x", "xb", "a", "ab", "a+")
+
+
+def _call_name(node: ast.AST) -> Optional[str]:
+    """``foo`` for ``foo(...)`` calls on a bare name, else ``None``."""
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id
+    return None
+
+
+def _attribute_pair(func: ast.AST) -> Optional[Tuple[str, str]]:
+    """``("mod", "attr")`` for ``mod.attr`` on a bare name, else ``None``."""
+    if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+        return func.value.id, func.attr
+    return None
+
+
+def _keyword(call: ast.Call, name: str) -> Optional[ast.expr]:
+    for keyword in call.keywords:
+        if keyword.arg == name:
+            return keyword.value
+    return None
+
+
+def _is_set_expression(node: ast.AST) -> bool:
+    """Whether ``node`` is syntactically a set: literal, comp, or call."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    return _call_name(node) in ("set", "frozenset")
+
+
+def _literal_strings(node: ast.AST) -> List[str]:
+    """Every string constant ``node`` can evaluate to (IfExp branches too)."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return [node.value]
+    if isinstance(node, ast.IfExp):
+        return _literal_strings(node.body) + _literal_strings(node.orelse)
+    return []
+
+
+def _findings(
+    tree: ast.AST, visit: Callable[[ast.AST, List[Finding]], None]
+) -> Iterator[Finding]:
+    found: List[Finding] = []
+    visit(tree, found)
+    return iter(sorted(found))
+
+
+# ---------------------------------------------------------------------------
+# DET001 — hash-order-dependent iteration
+# ---------------------------------------------------------------------------
+
+
+def _det001(tree: ast.AST, module: str) -> Iterator[Finding]:
+    """Iteration directly over a set expression (order = hash order)."""
+
+    def visit(root: ast.AST, found: List[Finding]) -> None:
+        for node in ast.walk(root):
+            iterables: List[ast.expr] = []
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                iterables.append(node.iter)
+            elif isinstance(
+                node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+            ):
+                iterables.extend(gen.iter for gen in node.generators)
+            for iterable in iterables:
+                if _is_set_expression(iterable):
+                    found.append((
+                        iterable.lineno,
+                        iterable.col_offset,
+                        "iteration over a set follows hash order, which "
+                        "depends on PYTHONHASHSEED; sort it first "
+                        "(canonical_order / node_index_table for graph "
+                        "nodes, sorted() for value-ordered data)",
+                    ))
+
+    return _findings(tree, visit)
+
+
+# ---------------------------------------------------------------------------
+# DET002 — repr/str/id sort keys bypassing node_index_table
+# ---------------------------------------------------------------------------
+
+
+def _is_order_sensitive_key(node: ast.expr) -> Optional[str]:
+    """The offending builtin name when ``key=`` is repr/str/id-based."""
+    if isinstance(node, ast.Name) and node.id in _ORDER_SENSITIVE_KEYS:
+        return node.id
+    if isinstance(node, ast.Lambda):
+        for inner in ast.walk(node.body):
+            name = _call_name(inner)
+            if name in _ORDER_SENSITIVE_KEYS:
+                return name
+    return None
+
+
+def _det002(tree: ast.AST, module: str) -> Iterator[Finding]:
+    """``sorted``/``min``/``max`` keyed on ``repr``/``str``/``id``."""
+
+    def visit(root: ast.AST, found: List[Finding]) -> None:
+        for node in ast.walk(root):
+            if not isinstance(node, ast.Call):
+                continue
+            if _call_name(node) not in ("sorted", "min", "max"):
+                continue
+            key = _keyword(node, "key")
+            if key is None:
+                continue
+            builtin = _is_order_sensitive_key(key)
+            if builtin is not None:
+                found.append((
+                    node.lineno,
+                    node.col_offset,
+                    f"key={builtin} re-derives node order ad hoc; route "
+                    "through repro.core._bitset.node_index_table "
+                    "(canonical_order / canonical_min) so every tie-break "
+                    "shares the one canonical order",
+                ))
+
+    return _findings(tree, visit)
+
+
+# ---------------------------------------------------------------------------
+# DET003 — hash() on the fingerprint path
+# ---------------------------------------------------------------------------
+
+
+def _det003(tree: ast.AST, module: str) -> Iterator[Finding]:
+    """``hash()`` builtin outside ``__hash__`` in fingerprint modules."""
+
+    def visit(root: ast.AST, found: List[Finding]) -> None:
+        def walk(node: ast.AST) -> None:
+            if isinstance(node, ast.FunctionDef) and node.name == "__hash__":
+                return  # implementing __hash__ is the one sanctioned use
+            if isinstance(node, ast.Call) and _call_name(node) == "hash":
+                found.append((
+                    node.lineno,
+                    node.col_offset,
+                    "hash() is salted by PYTHONHASHSEED for str/bytes and "
+                    "must not feed a fingerprint; use hashlib.sha256 over "
+                    "canonical bytes (serialization.dump_json)",
+                ))
+            for child in ast.iter_child_nodes(node):
+                walk(child)
+
+        walk(root)
+
+    return _findings(tree, visit)
+
+
+# ---------------------------------------------------------------------------
+# DET004 — global-state or unseeded random
+# ---------------------------------------------------------------------------
+
+
+def _det004(tree: ast.AST, module: str) -> Iterator[Finding]:
+    """``random.*`` global-state calls, or ``random.Random()`` unseeded."""
+
+    def visit(root: ast.AST, found: List[Finding]) -> None:
+        for node in ast.walk(root):
+            if not isinstance(node, ast.Call):
+                continue
+            pair = _attribute_pair(node.func)
+            if pair is None or pair[0] != "random":
+                continue
+            if pair[1] in _GLOBAL_RANDOM_FUNCTIONS:
+                found.append((
+                    node.lineno,
+                    node.col_offset,
+                    f"random.{pair[1]}() uses the interpreter-global RNG "
+                    "state; use a private random.Random seeded from "
+                    "sha256 of the spec seed (the placer-anneal idiom)",
+                ))
+            elif pair[1] == "Random" and not node.args and not node.keywords:
+                found.append((
+                    node.lineno,
+                    node.col_offset,
+                    "random.Random() with no seed draws from OS entropy; "
+                    "derive the seed from the spec (sha256 of seed and "
+                    "workspace index, the placer-anneal idiom)",
+                ))
+
+    return _findings(tree, visit)
+
+
+# ---------------------------------------------------------------------------
+# DET005 — wall clock / UUIDs near serialised payloads
+# ---------------------------------------------------------------------------
+
+
+def _det005(tree: ast.AST, module: str) -> Iterator[Finding]:
+    """Wall-clock or UUID calls in fingerprint/persistence modules."""
+
+    def visit(root: ast.AST, found: List[Finding]) -> None:
+        for node in ast.walk(root):
+            if not isinstance(node, ast.Call):
+                continue
+            pair = _attribute_pair(node.func)
+            if pair in _WALL_CLOCK_CALLS:
+                found.append((
+                    node.lineno,
+                    node.col_offset,
+                    f"{_WALL_CLOCK_CALLS[pair]} is run-dependent and must "
+                    "not reach a serialised or fingerprinted payload; "
+                    "byte-identical inputs must produce byte-identical "
+                    "files",
+                ))
+
+    return _findings(tree, visit)
+
+
+# ---------------------------------------------------------------------------
+# ROB001 — non-atomic writes in persistence modules
+# ---------------------------------------------------------------------------
+
+
+def _rob001(tree: ast.AST, module: str) -> Iterator[Finding]:
+    """``open(..., "w")``-family writes bypassing atomic_write_*."""
+
+    def visit(root: ast.AST, found: List[Finding]) -> None:
+        for node in ast.walk(root):
+            if not isinstance(node, ast.Call) or _call_name(node) != "open":
+                continue
+            mode_node: Optional[ast.expr] = None
+            if len(node.args) >= 2:
+                mode_node = node.args[1]
+            else:
+                mode_node = _keyword(node, "mode")
+            if mode_node is None:
+                continue
+            if any(
+                mode in _WRITE_MODES for mode in _literal_strings(mode_node)
+            ):
+                found.append((
+                    node.lineno,
+                    node.col_offset,
+                    "artifact writes must be crash-safe; use "
+                    "analysis.serialization.atomic_write_text/bytes "
+                    "(temp file + fsync + os.replace) instead of a "
+                    "direct open-for-write",
+                ))
+
+    return _findings(tree, visit)
+
+
+# ---------------------------------------------------------------------------
+# ROB002 — broad exception handlers that swallow silently
+# ---------------------------------------------------------------------------
+
+
+def _is_broad_handler(handler: ast.ExceptHandler) -> bool:
+    if handler.type is None:
+        return True
+    names: List[ast.expr] = (
+        list(handler.type.elts)
+        if isinstance(handler.type, ast.Tuple)
+        else [handler.type]
+    )
+    return any(
+        isinstance(name, ast.Name) and name.id in ("Exception", "BaseException")
+        for name in names
+    )
+
+
+def _handler_swallows(handler: ast.ExceptHandler) -> bool:
+    """No re-raise and no counter increment anywhere in the handler body."""
+    for stmt in handler.body:
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Raise):
+                return False
+            pair = _attribute_pair(node.func) if isinstance(node, ast.Call) else None
+            if pair is not None and pair[0] == "STATS":
+                return False
+    return True
+
+
+def _rob002(tree: ast.AST, module: str) -> Iterator[Finding]:
+    """Bare/broad ``except`` that neither re-raises nor counts."""
+
+    def visit(root: ast.AST, found: List[Finding]) -> None:
+        for node in ast.walk(root):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if _is_broad_handler(node) and _handler_swallows(node):
+                found.append((
+                    node.lineno,
+                    node.col_offset,
+                    "broad except swallows the failure invisibly; "
+                    "re-raise a typed error, or record the fallback with "
+                    "a STATS counter so degraded paths stay observable",
+                ))
+
+    return _findings(tree, visit)
+
+
+# ---------------------------------------------------------------------------
+# ROB003 — unpickling outside the checksum-verified readers
+# ---------------------------------------------------------------------------
+
+
+def _rob003(tree: ast.AST, module: str) -> Iterator[Finding]:
+    """``pickle.load``/``loads`` anywhere but the shard readers."""
+
+    def visit(root: ast.AST, found: List[Finding]) -> None:
+        for node in ast.walk(root):
+            if not isinstance(node, ast.Call):
+                continue
+            pair = _attribute_pair(node.func)
+            if pair is not None and pair[0] == "pickle" and pair[1] in (
+                "load", "loads",
+            ):
+                found.append((
+                    node.lineno,
+                    node.col_offset,
+                    "pickle.load on unverified bytes executes arbitrary "
+                    "code on corruption; only the checksum-verified shard "
+                    "readers (analysis.sharding.read_shard) may unpickle",
+                ))
+
+    return _findings(tree, visit)
+
+
+# ---------------------------------------------------------------------------
+# The catalog
+# ---------------------------------------------------------------------------
+
+RULES: Tuple[Rule, ...] = (
+    Rule(
+        code="DET001",
+        summary="iteration over a set/frozenset follows hash order",
+        scope=scopes.on_output_path,
+        check=_det001,
+    ),
+    Rule(
+        code="DET002",
+        summary="sorted/min/max keyed on repr/str/id bypasses "
+        "node_index_table",
+        scope=lambda module: (
+            scopes.on_output_path(module)
+            and not scopes.is_canonical_order_module(module)
+        ),
+        check=_det002,
+    ),
+    Rule(
+        code="DET003",
+        summary="hash() builtin on the fingerprint path",
+        scope=scopes.on_fingerprint_path,
+        check=_det003,
+    ),
+    Rule(
+        code="DET004",
+        summary="global-state or unseeded random",
+        scope=scopes.on_output_path,
+        check=_det004,
+    ),
+    Rule(
+        code="DET005",
+        summary="wall clock/UUID feeding serialised payloads",
+        scope=lambda module: (
+            scopes.on_fingerprint_path(module)
+            or scopes.is_persistence_module(module)
+        ),
+        check=_det005,
+    ),
+    Rule(
+        code="ROB001",
+        summary="non-atomic artifact write in a persistence module",
+        scope=lambda module: (
+            scopes.is_persistence_module(module)
+            and module != "repro.analysis.serialization"
+        ),
+        check=_rob001,
+    ),
+    Rule(
+        code="ROB002",
+        summary="broad except that swallows without re-raise or counter",
+        scope=scopes.on_output_path,
+        check=_rob002,
+    ),
+    Rule(
+        code="ROB003",
+        summary="pickle.load outside the checksum-verified shard readers",
+        scope=lambda module: (
+            scopes.on_output_path(module) and not scopes.may_unpickle(module)
+        ),
+        check=_rob003,
+    ),
+)
+
+
+def rules_by_code() -> Dict[str, Rule]:
+    """The catalog as a code-keyed mapping (codes are unique)."""
+    return {rule.code: rule for rule in RULES}

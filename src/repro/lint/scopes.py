@@ -1,0 +1,82 @@
+"""Module tiers the lint rules scope themselves to.
+
+Rules do not apply uniformly: ``hash()`` is fine in a ``__hash__``
+implementation but forbidden where fingerprints are computed; a plain
+``open(..., "w")`` is fine in a scratch script but not in the modules
+that persist artifacts.  This module is the single place those tiers are
+declared, so the rule catalog in ``docs/static-analysis.md`` and the
+engine agree by construction.
+
+Scopes are predicates over *dotted module names* (``repro.timing.trace``),
+derived from file paths by :func:`repro.lint.engine.module_name_for`, so
+fixture tests can exercise scoping without touching the filesystem.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet
+
+#: Every module under this prefix is on the deterministic output path:
+#: placements, sweep tables, traces and shard payloads are all derived
+#: from values these modules compute.
+OUTPUT_PATH_PREFIX = "repro."
+
+#: The sanctioned home of the canonical node order.  ``node_index_table``
+#: necessarily contains the one ``sorted(..., key=repr)`` everything else
+#: must route through, so DET002 exempts this module (and only it).
+CANONICAL_ORDER_MODULE = "repro.core._bitset"
+
+#: Modules that compute or consume grid/payload fingerprints.  ``hash()``
+#: here (DET003) would make an identity PYTHONHASHSEED-dependent; the
+#: sanctioned primitive is ``hashlib.sha256`` over canonical bytes.
+FINGERPRINT_MODULES: FrozenSet[str] = frozenset({
+    "repro.analysis.serialization",
+    "repro.analysis.sharding",
+    "repro.config",
+    "repro.registry",
+    "repro.core.stats",
+})
+
+#: Modules that write artifacts other processes read back.  Writes here
+#: must go through ``analysis.serialization.atomic_write_text/bytes``
+#: (ROB001) so a crash never leaves a torn file.
+PERSISTENCE_MODULES: FrozenSet[str] = frozenset({
+    "repro.analysis.serialization",
+    "repro.analysis.sharding",
+    "repro.analysis.resilience",
+    "repro.circuits.qasm",
+    "repro.config",
+    "repro.hardware.io",
+})
+
+#: The only modules allowed to call ``pickle.load``/``pickle.loads``
+#: (ROB003): the shard readers, which verify an embedded SHA-256 payload
+#: checksum before unpickling anything.
+PICKLE_SANCTIONED_MODULES: FrozenSet[str] = frozenset({
+    "repro.analysis.sharding",
+})
+
+
+def on_output_path(module: str) -> bool:
+    """Whether ``module`` contributes to deterministic output."""
+    return module.startswith(OUTPUT_PATH_PREFIX) or module == "repro"
+
+
+def on_fingerprint_path(module: str) -> bool:
+    """Whether ``module`` computes or consumes content fingerprints."""
+    return module in FINGERPRINT_MODULES
+
+
+def is_persistence_module(module: str) -> bool:
+    """Whether ``module`` writes artifacts other processes read back."""
+    return module in PERSISTENCE_MODULES
+
+
+def may_unpickle(module: str) -> bool:
+    """Whether ``module`` is a sanctioned (checksum-verified) unpickler."""
+    return module in PICKLE_SANCTIONED_MODULES
+
+
+def is_canonical_order_module(module: str) -> bool:
+    """Whether ``module`` is the sanctioned ``key=repr`` sink itself."""
+    return module == CANONICAL_ORDER_MODULE

@@ -59,9 +59,13 @@ from __future__ import annotations
 import importlib
 import re
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Tuple, Union
 
 from repro.exceptions import RegistryError, UnknownSpecError
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only imports
+    from repro.circuits.circuit import QuantumCircuit
+    from repro.hardware.environment import PhysicalEnvironment
 
 #: Registered names: at least one character; no ``:`` (the spec separator)
 #: and no whitespace.
@@ -293,7 +297,7 @@ class Registry:
             )
         return entry
 
-    def build(self, spec: str):
+    def build(self, spec: str) -> Any:
         """Resolve a spec string and invoke its factory.
 
         ``name`` entries are called with no arguments; parameterised
@@ -332,7 +336,7 @@ PLACERS = Registry("placer", providers=("repro.core.placers",))
 # ---------------------------------------------------------------------------
 
 
-def load_circuit(spec: str):
+def load_circuit(spec: str) -> "QuantumCircuit":
     """A circuit from a registry spec, or from a ``.qc``/``.txt`` file.
 
     The canonical circuit loader behind every string-addressed surface
@@ -345,7 +349,7 @@ def load_circuit(spec: str):
     return CIRCUITS.build(spec)
 
 
-def load_environment(spec: str):
+def load_environment(spec: str) -> "PhysicalEnvironment":
     """An environment from a registry spec, or from a ``.json`` file."""
     if spec.endswith(".json"):
         from repro.hardware import io as hardware_io
@@ -354,7 +358,7 @@ def load_environment(spec: str):
     return ENVIRONMENTS.build(spec)
 
 
-def as_circuit_factory(circuit) -> Callable:
+def as_circuit_factory(circuit: Union[str, Callable[[], Any]]) -> Callable[[], Any]:
     """Coerce a circuit spec string (or pass through a factory callable).
 
     String specs become ``partial(load_circuit, spec)`` — module-level and
@@ -372,7 +376,7 @@ def as_circuit_factory(circuit) -> Callable:
     )
 
 
-def as_environment_factory(environment) -> Callable:
+def as_environment_factory(environment: Union[str, Callable[[], Any]]) -> Callable[[], Any]:
     """Coerce an environment spec string (or pass through a factory)."""
     if isinstance(environment, str):
         from functools import partial

@@ -19,6 +19,7 @@ from typing import Dict, Hashable, List, Mapping, Sequence, Union
 
 import networkx as nx
 
+from repro.core._bitset import canonical_min
 from repro.exceptions import RoutingError
 from repro.routing.bubble import Layer, RoutingResult, Swap, _as_full_permutation
 from repro.routing.permutation import Permutation
@@ -42,7 +43,7 @@ def chain_order_from_graph(graph: nx.Graph) -> List[Node]:
     endpoints = [node for node, degree in degrees.items() if degree == 1]
     if len(endpoints) != 2 or any(degree > 2 for degree in degrees.values()):
         raise RoutingError("odd-even routing only supports path (chain) graphs")
-    start = min(endpoints, key=repr)
+    start = canonical_min(endpoints)
     order = [start]
     previous = None
     current = start

@@ -17,6 +17,7 @@ from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Sequence, 
 
 import networkx as nx
 
+from repro.core._bitset import node_index_table
 from repro.exceptions import RoutingError
 
 Node = Hashable
@@ -201,13 +202,14 @@ def complete_partial_permutation(
             remaining_sources.append(source)
 
     # Second pass: nearest free node by BFS distance.
+    node_order = node_index_table(nodes)
     for source in remaining_sources:
         if not free_target_set:
             raise RoutingError("ran out of free destination nodes")  # pragma: no cover
         distances = nx.single_source_shortest_path_length(graph, source)
         best = min(
             free_target_set,
-            key=lambda target: (distances.get(target, float("inf")), repr(target)),
+            key=lambda target: (distances.get(target, float("inf")), node_order[target]),
         )
         mapping[source] = best
         free_target_set.remove(best)

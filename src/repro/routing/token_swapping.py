@@ -27,6 +27,7 @@ from typing import Dict, Hashable, List, Mapping, Set, Tuple, Union
 
 import networkx as nx
 
+from repro.core._bitset import node_index_table
 from repro.exceptions import RoutingError
 from repro.routing.bubble import Layer, RoutingResult, Swap, _as_full_permutation
 from repro.routing.permutation import Permutation
@@ -73,7 +74,8 @@ def _fix_component(
             )
 
     sub = graph.subgraph(component)
-    root = min(component, key=repr)
+    node_order = node_index_table(component)
+    root = min(component, key=node_order.__getitem__)
     tree = nx.Graph(nx.bfs_tree(sub, root).edges())
     tree.add_nodes_from(component)
     depth = nx.single_source_shortest_path_length(tree, root)
@@ -87,7 +89,7 @@ def _fix_component(
             node for node in remaining if active_tree.degree(node) <= 1
         ]
         # Deepest leaf first gives a deterministic, roughly balanced order.
-        leaf = max(leaves, key=lambda node: (depth[node], repr(node)))
+        leaf = max(leaves, key=lambda node: (depth[node], node_order[node]))
         if token_target[leaf] != leaf:
             holder = next(
                 node for node in remaining if token_target[node] == leaf

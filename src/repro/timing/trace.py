@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import List, Sequence
 
 from repro.circuits.gates import Qubit
+from repro.core._bitset import canonical_order
 from repro.timing.scheduler import Schedule
 
 
@@ -34,7 +35,7 @@ def trace_rows(schedule: Schedule, qubit_order: Sequence[Qubit] = ()) -> List[Li
     if qubit_order:
         qubits = list(qubit_order)
     else:
-        qubits = sorted(schedule.placement.keys(), key=repr)
+        qubits = canonical_order(schedule.placement.keys())
 
     def fmt(value: float) -> str:
         return f"{int(value)}" if float(value).is_integer() else f"{value:g}"

@@ -165,3 +165,68 @@ class TestRandomizedHashSeedRouting:
             return completed.stdout
 
         assert run(hash_seed) == run("0")
+
+
+# Exercises the two call sites fixed in the lint sweep (docs/static-analysis.md):
+# the odd-even router's chain-endpoint pick and the trace renderer's default
+# qubit order, both now routed through core._bitset.canonical_order.  Mixed
+# node types (ints and strings) make any revert to value-`sorted` raise and
+# any revert to set iteration hash-seed-dependent.
+ROUTING_TRACE_SCRIPT = r"""
+import json
+import sys
+
+import networkx as nx
+
+from repro.hardware.molecules import acetyl_chloride
+from repro.circuits.library import qec3_encoder
+from repro.routing.odd_even import route_permutation_odd_even
+from repro.timing.scheduler import schedule
+from repro.timing.trace import format_trace
+
+chain = nx.Graph()
+nodes = ["M", 2, "C1", 17, "zz", 3]
+for a, b in zip(nodes, nodes[1:]):
+    chain.add_edge(a, b)
+routing = route_permutation_odd_even(
+    chain, {"M": 3, 3: "M", "C1": 17, 17: "C1"}
+)
+fingerprint = {
+    "layers": [[(repr(a), repr(b)) for a, b in layer] for layer in routing.layers],
+}
+
+result = schedule(
+    qec3_encoder(), {"a": "M", "b": "C2", "c": "C1"}, acetyl_chloride()
+)
+fingerprint["trace"] = format_trace(result)
+
+json.dump(fingerprint, sys.stdout, sort_keys=True)
+"""
+
+
+class TestRoutingAndTraceHashSeedStability:
+    def test_odd_even_and_trace_identical_across_hash_seeds(self):
+        def run(hash_seed):
+            env = dict(os.environ)
+            env["PYTHONHASHSEED"] = hash_seed
+            env["PYTHONPATH"] = str(REPO_SRC) + (
+                os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+            )
+            completed = subprocess.run(
+                [sys.executable, "-c", ROUTING_TRACE_SCRIPT],
+                env=env,
+                capture_output=True,
+                text=True,
+                timeout=600,
+            )
+            assert completed.returncode == 0, completed.stderr
+            return completed.stdout
+
+        reference = run("0")
+        decoded = json.loads(reference)
+        assert decoded["layers"], "router produced no swap layers"
+        assert decoded["trace"].splitlines()[0].startswith("time[ ]")
+        for hash_seed in ("1", "31337"):
+            assert run(hash_seed) == reference, (
+                f"routing/trace output diverged at PYTHONHASHSEED={hash_seed}"
+            )

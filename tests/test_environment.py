@@ -141,6 +141,21 @@ class TestTransformations:
         with pytest.raises(EnvironmentError_):
             triangle.restricted_to([])
 
+    def test_restricted_to_is_subset_in_parent_order(self, triangle):
+        # The restriction keeps the parent's node order, ignores unknown
+        # nodes, and accepts a one-shot iterable (the membership set is
+        # built once, not per node).
+        sub = triangle.restricted_to(iter(["y", "ghost", "x"]))
+        assert list(sub.nodes) == ["x", "y"]
+        assert set(sub.nodes) <= set(triangle.nodes)
+        assert sub.pair_delay("x", "y") == triangle.pair_delay("x", "y")
+        assert sub.default_pair_delay == triangle.default_pair_delay
+
+    def test_restricted_to_full_set_preserves_everything(self, triangle):
+        sub = triangle.restricted_to(list(triangle.nodes))
+        assert list(sub.nodes) == list(triangle.nodes)
+        assert sub.pair_delay("y", "z") == triangle.pair_delay("y", "z")
+
     def test_scaled(self, triangle):
         scaled = triangle.scaled(2.0)
         assert scaled.pair_delay("x", "y") == 20.0

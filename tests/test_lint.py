@@ -1,0 +1,280 @@
+"""Unit tests for the repro.lint static analyzer.
+
+One class per rule family, each exercising the four fixture flavours the
+suite standardises on: a *positive* snippet the rule must flag, a
+*negative* snippet it must not, the positive snippet with an inline
+``# repro: allow[CODE]`` suppression, and the positive snippet absorbed
+by a baseline entry.  Engine and baseline semantics get their own
+classes, and a self-check keeps ``src/repro/lint`` clean under its own
+rules.
+"""
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.lint import (
+    Diagnostic,
+    RULES,
+    baseline_key,
+    compare_to_baseline,
+    lint_paths,
+    lint_source,
+    load_baseline,
+    module_name_for,
+    render_baseline,
+    rules_by_code,
+    suppressed_lines,
+    write_baseline,
+)
+from repro.lint.baseline import BaselineError
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def codes(source, module):
+    """The rule codes flagged for a dedented snippet under ``module``."""
+    return [d.code for d in lint_source(textwrap.dedent(source), module)]
+
+
+class TestDET001SetIteration:
+    def test_flags_for_loop_over_set_literal(self):
+        assert codes("for x in {1, 2}:\n    print(x)\n", "repro.core.x") == ["DET001"]
+
+    def test_flags_comprehension_over_set_call(self):
+        assert codes("rows = [x for x in set(items)]\n", "repro.api") == ["DET001"]
+
+    def test_ignores_iteration_over_list(self):
+        assert codes("for x in [1, 2]:\n    print(x)\n", "repro.core.x") == []
+
+    def test_ignores_sorted_set(self):
+        assert codes("for x in sorted({1, 2}):\n    print(x)\n", "repro.api") == []
+
+    def test_ignores_modules_off_the_output_path(self):
+        assert codes("for x in {1, 2}:\n    print(x)\n", "tools.scratch") == []
+
+    def test_inline_suppression(self):
+        source = "for x in {1, 2}:  # repro: allow[DET001]\n    print(x)\n"
+        assert codes(source, "repro.core.x") == []
+
+
+class TestDET002ReprTieBreak:
+    def test_flags_sorted_key_repr(self):
+        assert codes("order = sorted(nodes, key=repr)\n", "repro.api") == ["DET002"]
+
+    def test_flags_min_with_repr_in_lambda(self):
+        source = "best = min(nodes, key=lambda n: (cost[n], repr(n)))\n"
+        assert codes(source, "repro.routing.x") == ["DET002"]
+
+    def test_ignores_value_keys(self):
+        assert codes("order = sorted(nodes, key=len)\n", "repro.api") == []
+
+    def test_sanctioned_in_the_canonical_order_module(self):
+        source = "order = sorted(nodes, key=repr)\n"
+        assert codes(source, "repro.core._bitset") == []
+
+    def test_inline_suppression(self):
+        source = "order = sorted(nodes, key=repr)  # repro: allow[DET002]\n"
+        assert codes(source, "repro.api") == []
+
+
+class TestDET003HashOnFingerprintPath:
+    def test_flags_builtin_hash_in_fingerprint_module(self):
+        assert codes("token = hash(spec)\n", "repro.config") == ["DET003"]
+
+    def test_ignores_hash_outside_fingerprint_modules(self):
+        assert codes("token = hash(spec)\n", "repro.routing.x") == []
+
+    def test_ignores_dunder_hash_definitions(self):
+        source = """
+        class Spec:
+            def __hash__(self):
+                return hash((self.a, self.b))
+        """
+        assert codes(source, "repro.config") == []
+
+    def test_hashlib_is_not_flagged(self):
+        source = "import hashlib\ndigest = hashlib.sha256(b'x').hexdigest()\n"
+        assert codes(source, "repro.analysis.serialization") == []
+
+
+class TestDET004GlobalRandom:
+    def test_flags_global_random_calls(self):
+        source = "import random\nvalue = random.random()\n"
+        assert codes(source, "repro.core.x") == ["DET004"]
+
+    def test_flags_unseeded_random_instance(self):
+        source = "import random\nrng = random.Random()\n"
+        assert codes(source, "repro.core.x") == ["DET004"]
+
+    def test_seeded_private_instance_is_sanctioned(self):
+        source = "import random\nrng = random.Random(derived_seed)\n"
+        assert codes(source, "repro.core.x") == []
+
+
+class TestDET005WallClock:
+    def test_flags_time_time_in_fingerprint_module(self):
+        source = "import time\nstamp = time.time()\n"
+        assert codes(source, "repro.analysis.serialization") == ["DET005"]
+
+    def test_flags_uuid4_in_persistence_module(self):
+        source = "import uuid\ntoken = uuid.uuid4()\n"
+        assert codes(source, "repro.hardware.io") == ["DET005"]
+
+    def test_wall_clock_off_the_serialised_path_is_fine(self):
+        source = "import time\nstamp = time.time()\n"
+        assert codes(source, "repro.routing.x") == []
+
+    def test_durations_via_monotonic_are_sanctioned(self):
+        source = "import time\nstart = time.monotonic()\n"
+        assert codes(source, "repro.analysis.serialization") == []
+
+
+class TestROB001DirectWrites:
+    def test_flags_open_for_write_in_persistence_module(self):
+        source = "with open(path, 'w') as fh:\n    fh.write(text)\n"
+        assert codes(source, "repro.hardware.io") == ["ROB001"]
+
+    def test_ignores_reads(self):
+        source = "with open(path) as fh:\n    text = fh.read()\n"
+        assert codes(source, "repro.hardware.io") == []
+
+    def test_ignores_non_persistence_modules(self):
+        source = "with open(path, 'w') as fh:\n    fh.write(text)\n"
+        assert codes(source, "repro.routing.x") == []
+
+    def test_serialization_itself_is_sanctioned(self):
+        # atomic_write_bytes must be able to open its own temp files.
+        source = "with open(path, 'wb') as fh:\n    fh.write(data)\n"
+        assert codes(source, "repro.analysis.serialization") == []
+
+    def test_inline_suppression(self):
+        source = "handle = open(path, 'a')  # repro: allow[ROB001]\n"
+        assert codes(source, "repro.hardware.io") == []
+
+
+class TestROB002SwallowedExceptions:
+    def test_flags_silent_broad_except(self):
+        source = """
+        try:
+            work()
+        except Exception:
+            pass
+        """
+        assert codes(source, "repro.analysis.x") == ["ROB002"]
+
+    def test_reraise_is_fine(self):
+        source = """
+        try:
+            work()
+        except Exception as exc:
+            raise RuntimeError("context") from exc
+        """
+        assert codes(source, "repro.analysis.x") == []
+
+    def test_counter_recording_is_fine(self):
+        source = """
+        try:
+            work()
+        except Exception:
+            STATS.increment("fallbacks")
+        """
+        assert codes(source, "repro.analysis.x") == []
+
+    def test_narrow_except_is_fine(self):
+        source = """
+        try:
+            work()
+        except KeyError:
+            pass
+        """
+        assert codes(source, "repro.analysis.x") == []
+
+
+class TestROB003UnverifiedPickle:
+    def test_flags_pickle_load_outside_shard_readers(self):
+        source = "import pickle\nobj = pickle.load(fh)\n"
+        assert codes(source, "repro.core.x") == ["ROB003"]
+
+    def test_sharding_module_is_sanctioned(self):
+        source = "import pickle\nobj = pickle.load(fh)\n"
+        assert codes(source, "repro.analysis.sharding") == []
+
+    def test_pickle_dumps_is_not_flagged(self):
+        source = "import pickle\nblob = pickle.dumps(obj)\n"
+        assert codes(source, "repro.core.x") == []
+
+
+class TestEngine:
+    def test_module_name_for_strips_src_prefix(self):
+        assert module_name_for("src/repro/timing/trace.py") == "repro.timing.trace"
+
+    def test_module_name_for_init_is_the_package(self):
+        assert module_name_for("src/repro/lint/__init__.py") == "repro.lint"
+
+    def test_suppressed_lines_parses_multiple_codes(self):
+        lines = suppressed_lines("x = 1  # repro: allow[DET001, ROB002]\n")
+        assert lines == {1: frozenset({"DET001", "ROB002"})}
+
+    def test_syntax_error_yields_parse_diagnostic(self):
+        diagnostics = lint_source("def broken(:\n", "repro.core.x")
+        assert [d.code for d in diagnostics] == ["PARSE"]
+
+    def test_diagnostics_are_ordered_and_formatted(self):
+        source = "a = sorted(xs, key=repr)\nb = sorted(ys, key=repr)\n"
+        diagnostics = lint_source(source, "repro.api", path="m.py")
+        assert [d.line for d in diagnostics] == [1, 2]
+        assert diagnostics[0].format().startswith("m.py:1:")
+
+    def test_every_rule_has_a_distinct_code(self):
+        assert len(rules_by_code()) == len(RULES)
+
+
+class TestBaseline:
+    def _diag(self, line=1):
+        return Diagnostic(
+            path="src/repro/x.py", line=line, col=0, code="DET001", message="m"
+        )
+
+    def test_round_trip(self, tmp_path):
+        path = str(tmp_path / "lint_baseline.json")
+        write_baseline([self._diag(1), self._diag(5)], path)
+        assert load_baseline(path) == {"src/repro/x.py::DET001": 2}
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert load_baseline(str(tmp_path / "absent.json")) == {}
+
+    def test_corrupt_file_raises(self, tmp_path):
+        path = tmp_path / "lint_baseline.json"
+        path.write_text("{\"format\": \"something-else\", \"entries\": {}}")
+        with pytest.raises(BaselineError):
+            load_baseline(str(path))
+
+    def test_ratchet_absorbs_exactly_the_baselined_count(self):
+        findings = [self._diag(1), self._diag(5)]
+        fresh, stale = compare_to_baseline(findings, {baseline_key(findings[0]): 1})
+        assert [d.line for d in fresh] == [5]
+        assert stale == []
+
+    def test_new_findings_are_fresh_with_empty_baseline(self):
+        fresh, stale = compare_to_baseline([self._diag()], {})
+        assert len(fresh) == 1 and stale == []
+
+    def test_fixed_findings_make_the_entry_stale(self):
+        fresh, stale = compare_to_baseline([], {"src/repro/x.py::DET001": 2})
+        assert fresh == []
+        assert stale == ["src/repro/x.py::DET001"]
+
+    def test_render_is_canonical_json(self):
+        text = render_baseline([self._diag()])
+        assert text.endswith("\n")
+        assert "\"src/repro/x.py::DET001\": 1" in text
+
+
+class TestSelfCheck:
+    def test_lint_package_passes_its_own_rules(self):
+        diagnostics = lint_paths(
+            [str(REPO_ROOT / "src" / "repro" / "lint")], root=str(REPO_ROOT)
+        )
+        assert diagnostics == [], [d.format() for d in diagnostics]

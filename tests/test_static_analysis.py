@@ -1,0 +1,65 @@
+"""The repository-level static-analysis gate (``pytest -m lint``).
+
+Tier-1 runs these too (they are cheap); the ``lint`` marker exists so CI
+can re-run just the gate after a fix without paying for the full suite.
+The mypy case degrades to a skip when mypy is not installed — the runtime
+image does not ship it, and the linter gate must not depend on it.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.lint import (
+    BASELINE_FILENAME,
+    compare_to_baseline,
+    lint_tree,
+    load_baseline,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+pytestmark = pytest.mark.lint
+
+
+class TestTreeIsClean:
+    def test_tree_clean_modulo_baseline(self):
+        baseline = load_baseline(str(REPO_ROOT / BASELINE_FILENAME))
+        fresh, stale = compare_to_baseline(lint_tree(str(REPO_ROOT)), baseline)
+        assert fresh == [], "new findings:\n" + "\n".join(
+            d.format() for d in fresh
+        )
+        assert stale == [], f"stale baseline entries (ratchet down): {stale}"
+
+    def test_baseline_has_no_det002_entries(self):
+        # The fix sweep removed every repr tie-break; the ratchet must keep
+        # it that way — DET002 hits are fixed, never baselined.
+        baseline = load_baseline(str(REPO_ROOT / BASELINE_FILENAME))
+        det002 = [key for key in baseline if key.endswith("::DET002")]
+        assert det002 == []
+
+    def test_cli_check_exits_zero(self):
+        completed = subprocess.run(
+            [sys.executable, "-m", "repro.lint", "--check"],
+            cwd=str(REPO_ROOT),
+            env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin"},
+            capture_output=True,
+            text=True,
+            timeout=300,
+        )
+        assert completed.returncode == 0, completed.stdout + completed.stderr
+
+
+class TestTypingGate:
+    def test_strict_modules_pass_mypy(self):
+        pytest.importorskip("mypy", reason="mypy not installed in this image")
+        completed = subprocess.run(
+            [sys.executable, "-m", "mypy", "--config-file", "mypy.ini"],
+            cwd=str(REPO_ROOT),
+            capture_output=True,
+            text=True,
+            timeout=600,
+        )
+        assert completed.returncode == 0, completed.stdout + completed.stderr
