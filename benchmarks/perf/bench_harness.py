@@ -83,6 +83,8 @@ TRACKED_COUNTERS = (
     "scheduler.incremental_evals",
     "scheduler.ops_skipped",
     "scheduler.ops_replayed",
+    "scheduler.pair_matrix_cache_hits",
+    "scheduler.pair_matrix_cache_misses",
     "placer.anneal_steps",
     "placer.moves_accepted",
     "placer.moves_rejected",
@@ -229,10 +231,17 @@ def _replay_stress(backend: str) -> Dict:
     :func:`replay_consistency_failures` can verify bit-identical outputs
     across the two backend scenarios.
     """
+    from repro.timing import _native
     from repro.timing._replay import NUMPY_AVAILABLE
 
     if backend == "numpy" and not NUMPY_AVAILABLE:
         return {"backend": backend, "skipped": "numpy not importable"}
+    if backend == "native" and not _native.available():
+        return {
+            "backend": backend,
+            "skipped": f"native kernel unavailable: "
+            f"{_native.unavailable_reason()}",
+        }
     environment = histidine()
     circuit = _replay_workload_circuit()
     evaluator = RuntimeEvaluator(
@@ -294,6 +303,18 @@ def scenario_replay_numpy() -> Dict:
     the backends are bit-identical by contract.
     """
     return _replay_stress("numpy")
+
+
+def scenario_replay_native() -> Dict:
+    """Replay-engine stress on the compiled C replay kernel.
+
+    Compare ``wall_time_s`` against ``replay_python`` for the native
+    speedup; the fingerprints (minus the ``backend`` tag) must be equal
+    across all three replay scenarios — the backends are bit-identical
+    by contract.  Skipped (with the one-line build-failure reason in the
+    fingerprint) on hosts without a C compiler.
+    """
+    return _replay_stress("native")
 
 
 def scenario_sharded_sweep() -> Dict:
@@ -452,6 +473,7 @@ SCENARIOS: Dict[str, Callable[[], Dict]] = {
     "parallel_sweep_jobs4": scenario_parallel_sweep_jobs4,
     "replay_python": scenario_replay_python,
     "replay_numpy": scenario_replay_numpy,
+    "replay_native": scenario_replay_native,
     "sharded_sweep": scenario_sharded_sweep,
 }
 
@@ -545,27 +567,34 @@ def replay_consistency_failures(current: Dict[str, Dict]) -> List[str]:
     """Cross-backend gate: the ``replay_*`` scenarios must agree exactly.
 
     The evaluation backend is an execution detail with a bit-identical
-    contract; if the numpy replay fingerprint (ignoring the ``backend``
-    tag) differs from the python one, the backends computed different
-    runtimes — a correctness bug, not a performance regression.
+    contract; if the numpy or native replay fingerprint (ignoring the
+    ``backend`` tag) differs from the python one, the backends computed
+    different runtimes — a correctness bug, not a performance regression.
+    A ``skipped`` fingerprint (missing numpy, no C compiler) is exempt:
+    no work ran, so there is nothing to compare.
     """
     failures: List[str] = []
     reference = current.get("replay_python")
-    other = current.get("replay_numpy")
-    if reference is None or other is None:
+    if reference is None:
         return failures
     expected = {
         k: v for k, v in reference["fingerprint"].items() if k != "backend"
     }
-    found = {k: v for k, v in other["fingerprint"].items() if k != "backend"}
-    if "skipped" in found:
-        return failures
-    if found != expected:
-        failures.append(
-            f"replay_numpy: fingerprint diverged from replay_python "
-            f"({found!r} != {expected!r}); the backends are no longer "
-            "bit-identical"
-        )
+    for name in ("replay_numpy", "replay_native"):
+        other = current.get(name)
+        if other is None:
+            continue
+        found = {
+            k: v for k, v in other["fingerprint"].items() if k != "backend"
+        }
+        if "skipped" in found:
+            continue
+        if found != expected:
+            failures.append(
+                f"{name}: fingerprint diverged from replay_python "
+                f"({found!r} != {expected!r}); the backends are no longer "
+                "bit-identical"
+            )
     return failures
 
 

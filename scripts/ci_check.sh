@@ -22,11 +22,16 @@
 #   5. a heuristic-placer smoke: the same `--placer anneal:SEEDxITERS`
 #      sweep run twice in separate processes must be byte-identical —
 #      the seeded annealer's determinism contract (docs/placers.md);
-#   6. the benchmark regression gate on the fast micro scenarios
+#   6. a native-backend smoke: build the compiled replay kernel on demand
+#      (skipped, with a log line, on hosts without a C compiler) and run
+#      the scheduler-facing tier-1 subset under
+#      REPRO_SCHEDULER_BACKEND=native — the third backend's bit-identity
+#      contract (docs/performance.md);
+#   7. the benchmark regression gate on the fast micro scenarios
 #      (`run_bench.py --check --scenarios ...`), which also re-checks the
 #      deterministic counters and output fingerprints against the
 #      committed BENCH_placement.json (including the exact-vs-anneal
-#      ablation scenario).
+#      ablation and replay backend-consistency scenarios).
 #
 # Usage: scripts/ci_check.sh
 set -euo pipefail
@@ -36,7 +41,7 @@ cd "$REPO_ROOT"
 export PYTHONPATH="$REPO_ROOT/src${PYTHONPATH:+:$PYTHONPATH}"
 PYTHON="${PYTHON:-python}"
 
-echo "== 0/6 static-analysis gate =="
+echo "== 0/7 static-analysis gate =="
 "$PYTHON" -m repro.lint --check
 if "$PYTHON" -c "import mypy" > /dev/null 2>&1; then
     "$PYTHON" -m mypy --config-file mypy.ini
@@ -44,10 +49,10 @@ else
     echo "mypy not installed; skipping the typing tier (lint gate still ran)"
 fi
 
-echo "== 1/6 tier-1 test suite =="
+echo "== 1/7 tier-1 test suite =="
 "$PYTHON" -m pytest -x -q
 
-echo "== 2/6 sharded plan -> run -> merge round trip =="
+echo "== 2/7 sharded plan -> run -> merge round trip =="
 WORK_DIR="$(mktemp -d)"
 trap 'rm -rf "$WORK_DIR"' EXIT
 
@@ -67,7 +72,7 @@ if ! diff "$WORK_DIR/serial.txt" "$WORK_DIR/merged.txt"; then
 fi
 echo "merged output byte-identical to serial sweep"
 
-echo "== 3/6 run-config round-trip smoke =="
+echo "== 3/7 run-config round-trip smoke =="
 "$PYTHON" -m repro.cli place error-correction-encoding acetyl-chloride \
     --output json > "$WORK_DIR/place-flags.json"
 "$PYTHON" - "$WORK_DIR" <<'PYEOF'
@@ -108,7 +113,7 @@ if flags != config:
 print("config round trip: deterministic fields identical")
 PYEOF
 
-echo "== 4/6 fault-injection smoke =="
+echo "== 4/7 fault-injection smoke =="
 FAULT_DIR="$WORK_DIR/fault"
 mkdir -p "$FAULT_DIR"
 # Worker crash on cell 0's first attempt: --retries must recover to the
@@ -153,7 +158,7 @@ if ! diff "$WORK_DIR/serial.txt" "$FAULT_DIR/recovered-merge.txt"; then
 fi
 echo "fault injection: crash, corruption, replan and resume all recovered"
 
-echo "== 5/6 heuristic-placer determinism smoke =="
+echo "== 5/7 heuristic-placer determinism smoke =="
 ANNEAL_ARGS=(sweep random:8x20x5 grid:4x4 --thresholds 10 20
              --placer anneal:7x150)
 "$PYTHON" -m repro.cli "${ANNEAL_ARGS[@]}" > "$WORK_DIR/anneal-a.txt"
@@ -164,9 +169,27 @@ if ! diff "$WORK_DIR/anneal-a.txt" "$WORK_DIR/anneal-b.txt"; then
 fi
 echo "anneal sweep byte-identical across processes"
 
-echo "== 6/6 micro benchmark regression gate =="
+echo "== 6/7 native scheduler backend smoke =="
+if "$PYTHON" - <<'PYEOF'
+from repro.timing import _native
+
+if _native.available():
+    raise SystemExit(0)
+print(f"native kernel unavailable: {_native.unavailable_reason()}")
+raise SystemExit(1)
+PYEOF
+then
+    REPRO_SCHEDULER_BACKEND=native "$PYTHON" -m pytest -x -q \
+        tests/test_replay_backends.py tests/test_scheduler.py \
+        tests/test_incremental_scheduler.py tests/test_placers.py
+    echo "scheduler-facing tier-1 subset green under the native backend"
+else
+    echo "skipping the native-backend subset (no C toolchain on this host)"
+fi
+
+echo "== 7/7 micro benchmark regression gate =="
 "$PYTHON" scripts/run_bench.py --check --repeats 1 \
     --scenarios monomorphism_micro place_qec5_boc place_phaseest_crotonic \
-    exact_vs_anneal
+    exact_vs_anneal replay_native
 
 echo "ci_check: all gates passed"

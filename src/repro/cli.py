@@ -87,7 +87,13 @@ from repro.exceptions import (
     ReproError,
     UnknownSpecError,
 )
-from repro.registry import CIRCUITS, ENVIRONMENTS, PLACERS, SHARD_STRATEGIES
+from repro.registry import (
+    CIRCUITS,
+    ENVIRONMENTS,
+    PLACERS,
+    SCHEDULER_BACKENDS,
+    SHARD_STRATEGIES,
+)
 from repro.timing._replay import BACKEND_CHOICES
 
 
@@ -119,10 +125,12 @@ def _add_common_options(parser: argparse.ArgumentParser) -> None:
                         default=None,
                         help="runtime-evaluator backend (bit-identical outputs; "
                              "default 'auto' defers to REPRO_SCHEDULER_BACKEND, "
-                             "then picks numpy when available and profitable)")
+                             "then picks the fastest available of native/"
+                             "numpy/python when profitable)")
     parser.add_argument("--placer", default=None, metavar="SPEC",
                         help="placement engine spec: exact (default), greedy, "
-                             "or anneal[:SEED[xITERS]] — the deterministic "
+                             "or anneal[:SEED[xITERS]] (multi-restart: "
+                             "anneal:S1,S2,...) — the deterministic "
                              "simulated annealer for hosts where exact "
                              "search is infeasible (see 'repro list' and "
                              "docs/placers.md)")
@@ -704,8 +712,11 @@ def _cmd_list(_: argparse.Namespace) -> int:
     for entry in PLACERS.entries():
         form = entry.spec_form() if entry.parameterised else entry.name
         if entry.name == "anneal":
-            form = "anneal[:SEED[xITERS]]"
+            form = "anneal[:SEED[,SEED...][xITERS]]"
         print(f"  {form:28s} {entry.description}")
+    print("scheduler backends:")
+    for entry in SCHEDULER_BACKENDS.entries():
+        print(f"  {entry.name:28s} {entry.description}")
     return 0
 
 

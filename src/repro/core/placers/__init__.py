@@ -13,6 +13,11 @@ Importing this package registers the engine portfolio:
     delta costs — the engine for hosts where exact search is infeasible
     (1000+-node grids).  ``SEED`` defaults to 0, ``ITERS`` to
     :data:`repro.core.placers.anneal.DEFAULT_ITERATIONS`.
+``anneal:SEED1,SEED2,...``
+    Multi-restart portfolio: one independent anneal per listed seed from
+    the same greedy seed placement, best row wins (cost ties broken by
+    canonical node-index signature).  An optional second parameter still
+    sets the per-restart iteration budget (``anneal:3,5,9x500``).
 
 See ``docs/placers.md`` for when to use which and the determinism
 contract.
@@ -20,15 +25,37 @@ contract.
 
 from __future__ import annotations
 
-from repro.core.placers.anneal import DEFAULT_ITERATIONS, AnnealPlacer
+from typing import Tuple, Union
+
+from repro.core.placers.anneal import (
+    DEFAULT_ITERATIONS,
+    AnnealPlacer,
+    MultiRestartAnnealPlacer,
+)
 from repro.core.placers.base import Placer, WorkspacePlacer
 from repro.core.placers.exact import ExactPlacer
 from repro.core.placers.greedy import GreedyPlacer
+from repro.exceptions import PlacementError
 from repro.registry import PLACERS
 
 
-def anneal_instance(seed: int = 0, iterations: int = DEFAULT_ITERATIONS) -> AnnealPlacer:
-    """The ``anneal[:SEED[xITERS]]`` registry factory."""
+def anneal_instance(
+    seed: Union[int, Tuple[int, ...]] = 0,
+    iterations: int = DEFAULT_ITERATIONS,
+) -> WorkspacePlacer:
+    """The ``anneal[:SEED[xITERS]]`` / ``anneal:S1,S2,...`` registry factory.
+
+    A comma-list first parameter builds the multi-restart portfolio; a
+    plain integer builds the single-trajectory annealer (bit-identical to
+    what the spec built before the portfolio mode existed).
+    """
+    if isinstance(iterations, tuple):
+        raise PlacementError(
+            "the anneal iteration budget must be a single integer, "
+            f"got the list {iterations!r}"
+        )
+    if isinstance(seed, tuple):
+        return MultiRestartAnnealPlacer(seeds=seed, iterations=iterations)
     return AnnealPlacer(seed=seed, iterations=iterations)
 
 
@@ -48,9 +75,10 @@ PLACERS.add(
     anneal_instance,
     min_params=0,
     max_params=2,
+    list_params=(0,),
     description="greedy-seeded deterministic simulated annealing "
-    f"(optional seed, default 0, and iteration budget, "
-    f"default {DEFAULT_ITERATIONS})",
+    f"(optional seed or comma-list of restart seeds, default 0, and "
+    f"iteration budget, default {DEFAULT_ITERATIONS})",
 )
 
 __all__ = [
@@ -59,6 +87,7 @@ __all__ = [
     "ExactPlacer",
     "GreedyPlacer",
     "AnnealPlacer",
+    "MultiRestartAnnealPlacer",
     "DEFAULT_ITERATIONS",
     "anneal_instance",
 ]

@@ -26,6 +26,12 @@ SHA-256 of ``(spec seed, workspace index)`` — never the ``random``
 module's global state — and every tie-break is value-ordered, so the
 same ``anneal:SEEDxITERS`` spec yields the same placement regardless of
 ``PYTHONHASHSEED``, ``--jobs``, scheduler backend or shard layout.
+
+:class:`MultiRestartAnnealPlacer` (spec ``anneal:SEED1,SEED2,...``) runs
+one independent anneal per listed seed from the same greedy seed
+placement and keeps the best row, with cost ties broken by the
+placements' canonical node-index signatures — the portfolio mode for
+hosts where a single annealing trajectory gets stuck.
 """
 
 from __future__ import annotations
@@ -33,7 +39,7 @@ from __future__ import annotations
 import hashlib
 import math
 import random
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core._bitset import canonical_order
 from repro.core.placers.base import Placement, WorkspacePlacer
@@ -224,3 +230,82 @@ class AnnealPlacer(WorkspacePlacer):
         STATS.increment("placer.moves_rejected", rejected)
         STATS.increment("placer.delta_evals", delta_evals)
         return best, best_cost
+
+
+class MultiRestartAnnealPlacer(WorkspacePlacer):
+    """Best-of-N annealing restarts: ``anneal:SEED1,SEED2,...``.
+
+    Runs one independent :class:`AnnealPlacer` anneal per listed seed over
+    the *same* greedy seed placement (computed once per workspace) and
+    keeps the best row.  Ties on cost break deterministically by the
+    placements' node-index signatures in :func:`canonical_order` — never
+    by seed-list order combined with float luck in some hash-dependent
+    direction — so the same spec yields the same placement regardless of
+    ``PYTHONHASHSEED``, worker count, scheduler backend or shard layout.
+    The restart loop is never worse than a single restart of any listed
+    seed by construction.
+    """
+
+    name = "anneal"
+    provides_multiple_candidates = False
+
+    def __init__(
+        self,
+        seeds: Sequence[int],
+        iterations: int = DEFAULT_ITERATIONS,
+    ) -> None:
+        if not seeds:
+            raise PlacementError("anneal needs at least one restart seed")
+        # Each restart is a full AnnealPlacer, so seed/iteration validation
+        # happens here, at spec-build time, not mid-run.
+        self._restarts = tuple(
+            AnnealPlacer(seed=seed, iterations=iterations) for seed in seeds
+        )
+        self.seeds = tuple(seeds)
+        self.iterations = iterations
+
+    def workspace_candidates(
+        self,
+        workspace,
+        subcircuit,
+        circuit,
+        context,
+        environment,
+        options,
+        previous: Optional[Placement],
+        evaluator,
+    ) -> List[Tuple[Placement, float]]:
+        seed_placement, seed_runtime = greedy_candidate(
+            workspace, subcircuit, circuit, context, environment, options,
+            previous, evaluator,
+        )
+        movable = canonical_order(
+            {q for gate in subcircuit if gate.is_two_qubit for q in gate.qubits}
+        )
+        if (
+            not movable
+            or self.iterations == 0
+            or not math.isfinite(seed_runtime)
+            or seed_runtime <= 0.0
+        ):
+            return [(seed_placement, seed_runtime)]
+        node_order = context.node_order
+        best: Optional[Placement] = None
+        best_cost = math.inf
+        best_signature: Tuple[int, ...] = ()
+        for restart in self._restarts:
+            placement, cost = restart._anneal(
+                workspace, subcircuit, context, environment, options,
+                seed_placement, seed_runtime, movable, evaluator,
+            )
+            signature = tuple(
+                node_order[placement[qubit]]
+                for qubit in canonical_order(placement)
+            )
+            if best is None or (cost, signature) < (best_cost, best_signature):
+                best = placement
+                best_cost = cost
+                best_signature = signature
+        STATS.increment("placer.anneal_restarts", len(self._restarts))
+        assert best is not None
+        return [(best, best_cost)]

@@ -12,12 +12,18 @@ Spec grammar
 ::
 
     spec   ::= name [":" params]
-    params ::= integer ("x" integer)*
+    params ::= param ("x" param)*
+    param  ::= integer | integer ("," integer)+
 
 ``name`` is a registered entry name (letters, digits, ``.``, ``_``,
-``-`` and ``/``); ``params`` are positive integers separated by ``x``.
-Examples: ``qft6`` (a plain named entry), ``qft:7`` (the 7-qubit QFT),
-``chain:12`` (a 12-node chain), ``grid:4x4`` (a 4-by-4 lattice).
+``-`` and ``/``); ``params`` are non-negative integers separated by
+``x``.  Examples: ``qft6`` (a plain named entry), ``qft:7`` (the 7-qubit
+QFT), ``chain:12`` (a 12-node chain), ``grid:4x4`` (a 4-by-4 lattice).
+A parameter position may hold a comma-separated *list* of integers —
+but only for entries that declare the position list-valued
+(``RegistryEntry.list_params``); everything else rejects lists at
+validation time.  Example: ``anneal:3,5,9`` (a multi-restart annealer
+portfolio over three seeds).
 
 Registries
 ----------
@@ -41,8 +47,8 @@ Registries
     Placement engines (:mod:`repro.core.placers`): the exact exhaustive
     search (``exact``, the default), the greedy seeding pass (``greedy``)
     and the simulated annealer (``anneal``, ``anneal:SEED``,
-    ``anneal:SEEDxITERS``); entries build
-    :class:`repro.core.placers.Placer` instances.
+    ``anneal:SEEDxITERS``, multi-restart ``anneal:S1,S2,...``); entries
+    build :class:`repro.core.placers.Placer` instances.
 
 Each registry lazily imports its providing modules on first use, so
 ``repro.registry`` itself stays import-light and free of cycles.
@@ -72,13 +78,21 @@ if TYPE_CHECKING:  # pragma: no cover - typing-only imports
 _NAME_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._/-]*$")
 
 
+#: One parsed spec parameter: a plain integer, or (for positions an entry
+#: declares in ``list_params``) a comma-list tuple of integers.
+ParamValue = Union[int, Tuple[int, ...]]
+
+
 @dataclass(frozen=True)
 class RegistryEntry:
     """One registered factory.
 
     ``min_params``/``max_params`` bound how many ``x``-separated integer
     parameters the spec may carry after the colon; ``(0, 0)`` entries are
-    plain names that reject any parameters.
+    plain names that reject any parameters.  ``list_params`` names the
+    zero-based positions that additionally accept a comma-separated
+    integer list (passed to the factory as a tuple); every other position
+    rejects lists at validation time.
     """
 
     name: str
@@ -86,6 +100,7 @@ class RegistryEntry:
     min_params: int = 0
     max_params: int = 0
     description: str = ""
+    list_params: Tuple[int, ...] = ()
 
     @property
     def parameterised(self) -> bool:
@@ -100,11 +115,33 @@ class RegistryEntry:
         return f"{self.name}:" + "x".join(required)
 
 
-def parse_spec(spec: str) -> Tuple[str, Tuple[int, ...]]:
+def _parse_int(spec: str, token: str) -> int:
+    try:
+        value = int(token)
+    except ValueError:
+        raise UnknownSpecError(
+            f"spec {spec!r}: parameter {token!r} is not an integer "
+            "(grammar: name[:IntxIntx...], comma-lists where supported)"
+        ) from None
+    if value < 0:
+        # Zero is legitimate (e.g. the seed in hidden-stage:8x0);
+        # undersized values a family cannot build raise the factory's
+        # own domain error instead.
+        raise UnknownSpecError(
+            f"spec {spec!r}: parameter {value} must be non-negative"
+        )
+    return value
+
+
+def parse_spec(spec: str) -> Tuple[str, Tuple[ParamValue, ...]]:
     """Split a spec string into ``(name, params)``.
 
-    Raises :class:`UnknownSpecError` for syntactically invalid specs
-    (empty name, non-integer or non-positive parameters).
+    A parameter is a non-negative integer, or a comma-separated list of
+    them (parsed to a tuple — accepted only by entries whose
+    ``list_params`` declares the position, enforced in
+    :meth:`Registry.validate`).  Raises :class:`UnknownSpecError` for
+    syntactically invalid specs (empty name, non-integer or negative
+    parameters).
     """
     if not isinstance(spec, str) or not spec:
         raise UnknownSpecError(f"empty or non-string spec {spec!r}")
@@ -113,23 +150,14 @@ def parse_spec(spec: str) -> Tuple[str, Tuple[int, ...]]:
         raise UnknownSpecError(f"spec {spec!r} has no name before ':'")
     if not sep:
         return name, ()
-    params: List[int] = []
+    params: List[ParamValue] = []
     for token in params_text.split("x"):
-        try:
-            value = int(token)
-        except ValueError:
-            raise UnknownSpecError(
-                f"spec {spec!r}: parameter {token!r} is not an integer "
-                "(grammar: name[:IntxIntx...])"
-            ) from None
-        if value < 0:
-            # Zero is legitimate (e.g. the seed in hidden-stage:8x0);
-            # undersized values a family cannot build raise the factory's
-            # own domain error instead.
-            raise UnknownSpecError(
-                f"spec {spec!r}: parameter {value} must be non-negative"
+        if "," in token:
+            params.append(
+                tuple(_parse_int(spec, item) for item in token.split(","))
             )
-        params.append(value)
+        else:
+            params.append(_parse_int(spec, token))
     return name, tuple(params)
 
 
@@ -191,10 +219,16 @@ class Registry:
         max_params: Optional[int] = None,
         description: str = "",
         overwrite: bool = False,
+        list_params: Tuple[int, ...] = (),
     ) -> RegistryEntry:
         """Register ``factory`` under ``name`` (imperative form)."""
         if max_params is None:
             max_params = min_params
+        if any(position < 0 or position >= max_params for position in list_params):
+            raise RegistryError(
+                f"{self.kind} {name!r}: list_params positions {list_params!r} "
+                f"must fall below max_params ({max_params})"
+            )
         if not _NAME_RE.match(name or ""):
             raise RegistryError(
                 f"invalid {self.kind} name {name!r}: names use letters, "
@@ -218,6 +252,7 @@ class Registry:
             min_params=min_params,
             max_params=max_params,
             description=description,
+            list_params=tuple(list_params),
         )
         self._entries[name] = entry
         return entry
@@ -295,6 +330,12 @@ class Registry:
                 f"and {entry.max_params} parameter(s), as in "
                 f"{entry.spec_form()!r}"
             )
+        for position, value in enumerate(params):
+            if isinstance(value, tuple) and position not in entry.list_params:
+                raise UnknownSpecError(
+                    f"{self.kind} spec {spec!r}: parameter {position + 1} "
+                    "does not accept a comma-separated list"
+                )
         return entry
 
     def build(self, spec: str) -> Any:

@@ -20,6 +20,11 @@ choice is resolved by :func:`resolve_backend` from an explicit request, the
 ``REPRO_SCHEDULER_BACKEND`` environment variable, and (for ``"auto"``) a
 profitability threshold — the vectorised kernel has a fixed per-evaluation
 array overhead that only pays off once the compiled op list is long enough.
+
+A third backend, ``native``, compiles the whole recurrence (not just the
+duration tables) to a small C kernel under the same bit-identical contract;
+its build shim and array plumbing live in :mod:`repro.timing._native`, this
+module only resolves the name and registers it in ``SCHEDULER_BACKENDS``.
 """
 
 from __future__ import annotations
@@ -28,6 +33,7 @@ import os
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.exceptions import ReproError
+from repro.timing import _native
 
 try:  # pragma: no cover - exercised implicitly by every import
     import numpy as _np
@@ -41,7 +47,7 @@ NUMPY_AVAILABLE = _np is not None
 BACKEND_ENV_VAR = "REPRO_SCHEDULER_BACKEND"
 
 #: Accepted backend names.
-BACKEND_CHOICES = ("auto", "python", "numpy")
+BACKEND_CHOICES = ("auto", "python", "numpy", "native")
 
 #: Minimum compiled op count at which ``"auto"`` prefers the numpy backend.
 #: Below this, the fixed per-evaluation array overhead (index arithmetic,
@@ -49,17 +55,38 @@ BACKEND_CHOICES = ("auto", "python", "numpy")
 #: constant was calibrated with ``benchmarks/perf`` replay scenarios.
 AUTO_NUMPY_MIN_OPS = 256
 
+#: Minimum compiled op count at which ``"auto"`` prefers the native kernel
+#: (when it builds).  The per-call ctypes dispatch costs a few microseconds,
+#: so on very short op lists the plain Python loop still wins; above this
+#: the compiled recurrence dominates both other backends (calibrated with
+#: the ``replay_native`` scenario in ``benchmarks/perf``).
+AUTO_NATIVE_MIN_OPS = 32
+
+#: Bound on :class:`ReplayTable`'s per-changed-set gather cache.  An
+#: annealer proposing random swaps on a large host can visit a huge number
+#: of distinct qubit pairs; the cache is pure memoisation (entries are
+#: recomputed exactly on re-miss), so evicting the oldest entries changes
+#: wall time only, never results.
+GATHER_CACHE_MAX_ENTRIES = 256
+
 
 def resolve_backend(requested: str = "auto", num_ops: Optional[int] = None) -> str:
-    """Resolve a backend request to a concrete ``"python"`` or ``"numpy"``.
+    """Resolve a backend request to ``"python"``, ``"numpy"`` or ``"native"``.
 
     ``"auto"`` first defers to the :data:`BACKEND_ENV_VAR` environment
     variable (which may itself say ``auto``); a still-unresolved ``auto``
-    picks ``numpy`` when it is importable *and* the op list is long enough
-    (:data:`AUTO_NUMPY_MIN_OPS`, skipped when ``num_ops`` is ``None``) and
-    ``python`` otherwise.  An explicit ``"numpy"`` request (argument or
-    environment variable) raises when numpy is not importable — silently
-    falling back would hide a misconfigured deployment.
+    picks the fastest profitable backend: ``native`` when the kernel is
+    (or can be) built *and* the op list is long enough
+    (:data:`AUTO_NATIVE_MIN_OPS`), else ``numpy`` when it is importable and
+    the op list is long enough (:data:`AUTO_NUMPY_MIN_OPS`), else
+    ``python``.  The profitability thresholds are skipped when ``num_ops``
+    is ``None``.  All three resolutions are bit-identical by contract, so
+    ``auto`` never changes any output — only wall time.
+
+    An explicit ``"numpy"``/``"native"`` request (argument or environment
+    variable) raises when that backend is unavailable — silently falling
+    back would hide a misconfigured deployment; ``auto`` degrades silently
+    instead.
     """
     if requested not in BACKEND_CHOICES:
         raise ReproError(
@@ -76,6 +103,8 @@ def resolve_backend(requested: str = "auto", num_ops: Optional[int] = None) -> s
                 )
             requested = from_env
     if requested == "auto":
+        if (num_ops is None or num_ops >= AUTO_NATIVE_MIN_OPS) and _native.available():
+            return "native"
         if NUMPY_AVAILABLE and (num_ops is None or num_ops >= AUTO_NUMPY_MIN_OPS):
             return "numpy"
         return "python"
@@ -83,6 +112,12 @@ def resolve_backend(requested: str = "auto", num_ops: Optional[int] = None) -> s
         raise ReproError(
             "the numpy scheduler backend was requested but numpy is not "
             "importable; install numpy or use backend='python'"
+        )
+    if requested == "native" and not _native.available():
+        raise ReproError(
+            "the native scheduler backend was requested but the kernel is "
+            f"unavailable ({_native.unavailable_reason()}); "
+            "use backend='auto' to fall back silently"
         )
     return requested
 
@@ -107,6 +142,11 @@ SCHEDULER_BACKENDS.add(
     "numpy", _partial(resolve_backend, "numpy"),
     description="vectorised duration tables (requires numpy)",
 )
+SCHEDULER_BACKENDS.add(
+    "native", _partial(resolve_backend, "native"),
+    description="compiled C replay kernel (built on demand, needs a C "
+                "compiler at first use)",
+)
 
 
 def pair_delay_matrix(environment, nodes: Sequence) -> "Optional[_np.ndarray]":
@@ -116,17 +156,19 @@ def pair_delay_matrix(environment, nodes: Sequence) -> "Optional[_np.ndarray]":
     degenerates to them), so the matrix reproduces the evaluator's pure
     Python ``_pair_weight`` for *every* index pair, including the degenerate
     ones a caller can produce by overriding two qubits onto one node.
+
+    The underlying flat table comes from
+    :meth:`~repro.hardware.environment.PhysicalEnvironment.pair_delay_table`
+    — cached per calibration on the environment, shared zero-copy with the
+    native backend — so the returned array is marked read-only; rebind
+    (``table.pair = table.pair * 2``) instead of mutating in place.
     """
     if _np is None:  # pragma: no cover - callers gate on NUMPY_AVAILABLE
         return None
     count = len(nodes)
-    matrix = _np.empty((count, count), dtype=_np.float64)
-    pair_delay = environment.pair_delay
-    for i, a in enumerate(nodes):
-        for j in range(i, count):
-            value = pair_delay(a, nodes[j])
-            matrix[i, j] = value
-            matrix[j, i] = value
+    flat = environment.pair_delay_table(tuple(nodes))
+    matrix = _np.frombuffer(flat, dtype=_np.float64).reshape(count, count)
+    matrix.flags.writeable = False
     return matrix
 
 
@@ -253,6 +295,13 @@ class ReplayTable:
                     _np.concatenate([column[part] for column in columns])
                     for part in range(5)
                 )
+                # Bounded memoisation: a long annealing run on a large host
+                # can propose a huge number of distinct swap pairs; evict
+                # the oldest entry (dicts iterate in insertion order) so the
+                # cache never grows without limit.  Eviction is invisible to
+                # results — a re-miss recomputes exactly the same arrays.
+                if len(self._gather_cache) >= GATHER_CACHE_MAX_ENTRIES:
+                    del self._gather_cache[next(iter(self._gather_cache))]
                 self._gather_cache[key] = cached
             affected, ops_a, ops_b, is_two, relative = cached
         if not affected.size:

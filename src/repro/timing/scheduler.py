@@ -25,7 +25,7 @@ from repro.circuits.gates import Gate, Qubit
 from repro.circuits.levelize import levelize
 from repro.core.stats import STATS
 from repro.hardware.environment import Node, PhysicalEnvironment
-from repro.timing import _replay
+from repro.timing import _native, _replay
 from repro.timing.gate_times import (
     MAX_INTERACTION_USES,
     Placement,
@@ -226,15 +226,23 @@ class RuntimeEvaluator:
         float-for-float identical to the python backend — the same IEEE-754
         operations on the same operands in the same order — so backend
         choice never changes any output.
+    ``"native"``
+        The whole recurrence — duration lookups, checkpoint restore,
+        monotone cutoff — runs inside a small C kernel compiled on demand
+        (see :mod:`repro.timing._native`), under the same bit-identical
+        contract.  Requires a C compiler at first use; an explicit request
+        fails with a one-line error when the build is unavailable.
     ``"auto"`` (default)
         Defers to the ``REPRO_SCHEDULER_BACKEND`` environment variable,
-        then picks numpy when it is importable and the compiled op list is
-        long enough to amortise the fixed array overhead.
+        then picks the fastest profitable backend: native when its kernel
+        builds and the op list is long enough, else numpy when it is
+        importable and the op list is long enough to amortise the fixed
+        array overhead, else python.
 
-    In ``full_recompute`` mode the numpy backend additionally cross-checks
-    every full evaluation against the pure Python loop, so the parity
-    contract is enforced between backends as well as between incremental
-    and full evaluation.
+    In ``full_recompute`` mode the numpy and native backends additionally
+    cross-check every full evaluation against the pure Python loop, so the
+    parity contract is enforced between backends as well as between
+    incremental and full evaluation.
     """
 
     def __init__(
@@ -289,15 +297,25 @@ class RuntimeEvaluator:
             indices[0] if indices else len(ops) for indices in touched
         ]
 
-        #: Resolved evaluation backend: ``"python"`` or ``"numpy"``.
+        #: Resolved evaluation backend: ``"python"``, ``"numpy"`` or ``"native"``.
         self.backend: str = _replay.resolve_backend(backend, num_ops=len(ops))
         self._table: Optional[_replay.ReplayTable] = None
+        self._native: Optional[_native.NativeReplay] = None
         if self.backend == "numpy":
             self._table = _replay.ReplayTable(
                 ops,
                 len(self._qubits),
                 self._single_delay,
                 _replay.pair_delay_matrix(environment, self._nodes),
+            )
+        elif self.backend == "native":
+            self._native = _native.NativeReplay(
+                ops,
+                len(self._qubits),
+                self._single_delay,
+                environment.pair_delay_table(),
+                self._num_env_nodes,
+                checkpoint_interval,
             )
 
         # Base-placement state (populated by set_base).
@@ -362,6 +380,17 @@ class RuntimeEvaluator:
         durations_out: Optional[List[float]] = None,
         checkpoints_out: Optional[List[List[float]]] = None,
     ) -> float:
+        if self._native is not None:
+            # set_base() records durations/checkpoints inside the native
+            # state instead of through these out-params.
+            result = self._native.run_full(nodes)
+            if self.full_recompute:
+                reference = self._run_full_python(nodes)
+                assert result == reference, (
+                    f"native backend runtime {result!r} diverged from the "
+                    f"pure Python reference {reference!r}"
+                )
+            return result
         if self._table is not None:
             result = self._run_full_numpy(nodes, durations_out, checkpoints_out)
             if self.full_recompute:
@@ -439,6 +468,18 @@ class RuntimeEvaluator:
         self._base_nodes = self._placement_to_indices(placement)
         self._base_durations = []
         self._checkpoints = []
+        if self._native is not None:
+            # The native state records base durations and checkpoints in its
+            # own buffers, not through the python-side out-params.
+            result = self._native.set_base(self._base_nodes)
+            if self.full_recompute:
+                reference = self._run_full_python(self._base_nodes)
+                assert result == reference, (
+                    f"native backend runtime {result!r} diverged from the "
+                    f"pure Python reference {reference!r}"
+                )
+            self.base_runtime = result
+            return result
         self.base_runtime = self._run_full(
             self._base_nodes,
             durations_out=self._base_durations,
@@ -495,6 +536,10 @@ class RuntimeEvaluator:
         self._pending_skipped += start
         self._pending_replayed += total_ops - start
 
+        if self._native is not None:
+            return self._replay_tail_native(
+                changed, start, total_ops, overrides, limit
+            )
         if self._table is not None:
             return self._replay_tail_numpy(
                 changed, start, total_ops, overrides, limit
@@ -543,6 +588,32 @@ class RuntimeEvaluator:
                 return float("inf")
         result = max(times) if times else 0.0
 
+        if self.full_recompute:
+            self._assert_full_recompute_parity(result, changed, overrides)
+        return result
+
+    def _replay_tail_native(
+        self,
+        changed: Dict[int, int],
+        start: int,
+        total_ops: int,
+        overrides: Mapping[Qubit, Node],
+        limit: Optional[float],
+    ) -> float:
+        """The incremental tail replay inside the native kernel.
+
+        Checkpoint restore, per-op duration recomputation and the monotone
+        cutoff all happen in C; the kernel reports the op index at which the
+        cutoff fired so the replayed-ops accounting stays identical to the
+        pure Python path.
+        """
+        cutoff = None if self.full_recompute else limit
+        result, stop_index = self._native.replay_tail(changed, start, cutoff)
+        if stop_index >= 0:
+            # Busy times are monotone, so the final runtime is >= the
+            # cutoff: this move can never beat the incumbent.
+            self._pending_replayed -= total_ops - 1 - stop_index
+            return float("inf")
         if self.full_recompute:
             self._assert_full_recompute_parity(result, changed, overrides)
         return result

@@ -139,6 +139,23 @@ class TestHashSeedDeterminism:
             "python backend"
         )
 
+    def test_native_backend_outputs_identical_to_python(self):
+        """The compiled replay kernel is held to the same byte-identity
+        contract as numpy, across hash seeds and the parallel grid."""
+        from repro.timing import _native
+
+        if not _native.available():
+            pytest.skip(f"native kernel unavailable: "
+                        f"{_native.unavailable_reason()}")
+        reference = _fingerprint("0", jobs=1, backend="python")
+        assert _fingerprint("31337", jobs=1, backend="native") == reference, (
+            "native-backend outputs diverged from the python backend"
+        )
+        assert _fingerprint("424242", jobs=2, backend="native") == reference, (
+            "parallel native-backend outputs diverged from the serial "
+            "python backend"
+        )
+
 
 class TestRandomizedHashSeedRouting:
     @pytest.mark.parametrize("hash_seed", ["7", "31337"])

@@ -14,6 +14,8 @@ import os
 import subprocess
 import sys
 from pathlib import Path
+from types import SimpleNamespace
+from unittest import mock
 
 import pytest
 
@@ -29,6 +31,7 @@ from repro.core.placers import (
     AnnealPlacer,
     ExactPlacer,
     GreedyPlacer,
+    MultiRestartAnnealPlacer,
     Placer,
     WorkspacePlacer,
 )
@@ -282,6 +285,161 @@ class TestHashSeedAndJobsDeterminism:
 
 
 # ---------------------------------------------------------------------------
+# Multi-restart portfolio (anneal:SEED1,SEED2,...)
+# ---------------------------------------------------------------------------
+
+
+class _TwoQubitGate:
+    is_two_qubit = True
+
+    def __init__(self, a, b):
+        self.qubits = (a, b)
+
+
+class TestMultiRestartAnneal:
+    def test_spec_builds_multi_restart(self):
+        multi = PLACERS.build("anneal:3,5,9")
+        assert isinstance(multi, MultiRestartAnnealPlacer)
+        assert multi.seeds == (3, 5, 9)
+        assert multi.iterations == AnnealPlacer().iterations
+        budget = PLACERS.build("anneal:3,5x400")
+        assert budget.seeds == (3, 5)
+        assert budget.iterations == 400
+        # Plain integer seeds keep building the single-trajectory engine.
+        assert isinstance(PLACERS.build("anneal:3"), AnnealPlacer)
+
+    def test_iteration_budget_rejects_comma_list(self):
+        with pytest.raises(UnknownSpecError, match="comma-separated list"):
+            PLACERS.build("anneal:1x2,3")
+        with pytest.raises(UnknownSpecError, match="comma-separated list"):
+            PlacementOptions(placer="anneal:1x2,3")
+
+    def test_constructor_validation(self):
+        with pytest.raises(PlacementError, match="at least one"):
+            MultiRestartAnnealPlacer(seeds=())
+        with pytest.raises(PlacementError, match="non-negative"):
+            MultiRestartAnnealPlacer(seeds=(1, -2))
+        with pytest.raises(PlacementError, match="non-negative"):
+            MultiRestartAnnealPlacer(seeds=(1, 2), iterations=-5)
+
+    def _fake_candidates(self, rows):
+        """Run workspace_candidates with greedy + _anneal stubbed per seed.
+
+        ``rows`` maps seed -> (placement, cost); the greedy seed row is a
+        fixed finite placeholder so the annealing loop actually runs.
+        """
+        placer = MultiRestartAnnealPlacer(seeds=tuple(rows), iterations=10)
+        subcircuit = [_TwoQubitGate("q0", "q1")]
+        context = SimpleNamespace(node_order={"n0": 0, "n1": 1, "n2": 2})
+
+        def fake_anneal(self, workspace, sub, ctx, environment, options,
+                        seed_placement, seed_runtime, movable, evaluator):
+            return rows[self.seed]
+
+        with mock.patch(
+            "repro.core.placers.anneal.greedy_candidate",
+            return_value=({"q0": "n0", "q1": "n1"}, 10.0),
+        ), mock.patch.object(AnnealPlacer, "_anneal", fake_anneal):
+            return placer.workspace_candidates(
+                None, subcircuit, None, context, None, None, None, None
+            )
+
+    def test_best_row_wins(self):
+        rows = {
+            1: ({"q0": "n1", "q1": "n2"}, 7.0),
+            2: ({"q0": "n0", "q1": "n2"}, 5.0),
+            3: ({"q0": "n0", "q1": "n1"}, 9.0),
+        }
+        assert self._fake_candidates(rows) == [rows[2]]
+
+    def test_cost_ties_break_by_canonical_signature(self):
+        # Equal costs: the winner is the placement whose node-index
+        # signature is smallest, regardless of seed-list order.
+        tied = {
+            1: ({"q0": "n1", "q1": "n2"}, 5.0),  # signature (1, 2)
+            2: ({"q0": "n0", "q1": "n2"}, 5.0),  # signature (0, 2) -> wins
+        }
+        expected = [tied[2]]
+        assert self._fake_candidates(tied) == expected
+        assert self._fake_candidates(
+            {2: tied[2], 1: tied[1]}
+        ) == expected
+
+    def test_matches_best_single_restart_end_to_end(self):
+        # Penalise every restart except seed 5: the portfolio must then be
+        # bit-identical to running seed 5 alone.
+        circuit = load_circuit("random:8x20x5")
+        options = PlacementOptions(threshold=10.0, placer="anneal:3,5,9x150")
+        real_anneal = AnnealPlacer._anneal
+
+        def penalised(self, *args, **kwargs):
+            placement, cost = real_anneal(self, *args, **kwargs)
+            if self.seed != 5:
+                return placement, cost + 1e9
+            return placement, cost
+
+        with mock.patch.object(AnnealPlacer, "_anneal", penalised):
+            multi = place_circuit(circuit, grid(4, 5), options)
+        single = place_circuit(
+            circuit, grid(4, 5),
+            PlacementOptions(threshold=10.0, placer="anneal:5x150"),
+        )
+        assert _stage_fingerprint(multi) == _stage_fingerprint(single)
+
+    def test_seed_list_order_does_not_matter(self):
+        circuit = load_circuit("random:8x20x5")
+        first = place_circuit(
+            circuit, grid(4, 5),
+            PlacementOptions(threshold=10.0, placer="anneal:3,9x150"),
+        )
+        second = place_circuit(
+            circuit, grid(4, 5),
+            PlacementOptions(threshold=10.0, placer="anneal:9,3x150"),
+        )
+        assert _stage_fingerprint(first) == _stage_fingerprint(second)
+
+    def test_never_worse_than_any_single_restart(self):
+        circuit = load_circuit("random:8x20x5")
+        multi = place_circuit(
+            circuit, grid(4, 5),
+            PlacementOptions(threshold=10.0, placer="anneal:3,9x150"),
+        )
+        singles = [
+            place_circuit(
+                circuit, grid(4, 5),
+                PlacementOptions(threshold=10.0, placer=f"anneal:{seed}x150"),
+            ).total_runtime
+            for seed in (3, 9)
+        ]
+        assert multi.total_runtime <= min(singles)
+
+    def test_restart_counter(self):
+        circuit = load_circuit("random:8x20x5")
+        before = STATS.snapshot()
+        place_circuit(
+            circuit, grid(4, 5),
+            PlacementOptions(threshold=10.0, placer="anneal:1,2x100"),
+        )
+        delta = STATS.delta_since(before)
+        restarts = delta.get("placer.anneal_restarts", 0)
+        assert restarts > 0
+        assert restarts % 2 == 0
+        assert delta.get("placer.anneal_steps") == delta.get(
+            "placer.moves_accepted", 0
+        ) + delta.get("placer.moves_rejected", 0)
+
+    def test_run_config_round_trips_multi_restart_spec(self):
+        config = RunConfig(
+            circuit="qft:7",
+            environment="grid:4x4",
+            options=PlacementOptions(placer="anneal:3,5x200"),
+        )
+        text = config.to_json()
+        assert json.loads(text)["options"]["placer"] == "anneal:3,5x200"
+        assert RunConfig.from_json(text) == config
+
+
+# ---------------------------------------------------------------------------
 # Config / CLI round trip
 # ---------------------------------------------------------------------------
 
@@ -352,7 +510,9 @@ class TestConfigAndCliRoundTrip:
         assert main(["list"]) == 0
         out = capsys.readouterr().out
         assert "placers:" in out
-        assert "anneal[:SEED[xITERS]]" in out
+        assert "anneal[:SEED[,SEED...][xITERS]]" in out
+        assert "scheduler backends:" in out
+        assert "native" in out
 
 
 # ---------------------------------------------------------------------------

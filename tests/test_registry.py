@@ -34,10 +34,15 @@ class TestParseSpec:
         assert parse_spec("steane-x/z1") == ("steane-x/z1", ())
 
     @pytest.mark.parametrize("bad", ["", ":7", "qft:", "qft:x", "qft:3.5",
-                                     "grid:4x", "chain:-2"])
+                                     "grid:4x", "chain:-2", "a:1,", "a:,2",
+                                     "a:1,,3", "a:1,-2"])
     def test_malformed_specs_rejected(self, bad):
         with pytest.raises(UnknownSpecError):
             parse_spec(bad)
+
+    def test_comma_lists_parse_to_tuples(self):
+        assert parse_spec("anneal:1,2,3") == ("anneal", ((1, 2, 3),))
+        assert parse_spec("anneal:1,2x500") == ("anneal", ((1, 2), 500))
 
     def test_zero_parameter_allowed(self):
         # Zero is a legitimate parameter value (e.g. an explicit seed 0);
@@ -91,6 +96,26 @@ class TestRegistry:
         with pytest.raises(UnknownSpecError, match="parameter"):
             registry.build("fam:1x2x3")
 
+    def test_list_params_gate_comma_lists(self):
+        registry = Registry("thing")
+        registry.add("fam", lambda a, b=1: (a, b), min_params=1, max_params=2,
+                     list_params=(0,))
+        assert registry.build("fam:1,2,3") == ((1, 2, 3), 1)
+        assert registry.build("fam:1,2x7") == ((1, 2), 7)
+        with pytest.raises(UnknownSpecError,
+                           match="does not accept a comma-separated list"):
+            registry.build("fam:1x2,3")
+        registry.add("plainer", lambda a: a, min_params=1)
+        with pytest.raises(UnknownSpecError,
+                           match="does not accept a comma-separated list"):
+            registry.build("plainer:1,2")
+
+    def test_list_params_positions_bounds_checked(self):
+        registry = Registry("thing")
+        with pytest.raises(RegistryError, match="list_params"):
+            registry.add("fam", lambda a: a, min_params=1, max_params=1,
+                         list_params=(1,))
+
     def test_decorator_registration(self):
         registry = Registry("thing")
 
@@ -134,7 +159,7 @@ class TestBuiltinRegistries:
 
     def test_scheduler_backends_resolve(self):
         assert SCHEDULER_BACKENDS.build("python") == "python"
-        assert SCHEDULER_BACKENDS.build("auto") in ("python", "numpy")
+        assert SCHEDULER_BACKENDS.build("auto") in ("python", "numpy", "native")
 
     def test_shard_strategies_registered(self):
         assert SHARD_STRATEGIES.names() == ["cost-balanced", "round-robin"]

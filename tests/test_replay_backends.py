@@ -1,12 +1,17 @@
 """Backend parity for the scheduler replay engine.
 
-The ``RuntimeEvaluator``'s numpy backend must be *bit-identical* to the
-pure Python reference on every code path — full evaluation, incremental
-tail replay, the branch-and-bound cutoff, and the ``full_recompute`` debug
-mode — for randomized circuits, placements and moves.  These tests are the
-in-process half of that contract; ``tests/test_determinism.py`` covers the
-cross-process (``PYTHONHASHSEED`` x backend) half and the benchmark
-harness gates the same property on the ``replay_*`` macro scenarios.
+The ``RuntimeEvaluator``'s numpy and native backends must be
+*bit-identical* to the pure Python reference on every code path — full
+evaluation, incremental tail replay, the branch-and-bound cutoff, and the
+``full_recompute`` debug mode — for randomized circuits, placements and
+moves.  These tests are the in-process half of that contract;
+``tests/test_determinism.py`` covers the cross-process
+(``PYTHONHASHSEED`` x backend) half and the benchmark harness gates the
+same property on the ``replay_*`` macro scenarios.
+
+The parity tests run over every backend available in this interpreter:
+``python`` always, ``numpy`` when importable, ``native`` when its kernel
+builds (a C compiler at first use; see ``repro/timing/_native.py``).
 """
 
 import random
@@ -23,11 +28,21 @@ from repro.core.placement import place_circuit
 from repro.core.stats import STATS
 from repro.exceptions import ExperimentError, PlacementError, ReproError
 from repro.hardware.molecules import histidine, trans_crotonic_acid
-from repro.timing import _replay
+from repro.timing import _native, _replay
 from repro.timing.scheduler import RuntimeEvaluator, circuit_runtime
 
 needs_numpy = pytest.mark.skipif(
     not _replay.NUMPY_AVAILABLE, reason="numpy is not importable"
+)
+needs_native = pytest.mark.skipif(
+    not _native.available(), reason="native kernel does not build here"
+)
+
+#: Every backend the parity matrix can exercise in this interpreter.
+AVAILABLE_BACKENDS = (
+    ["python"]
+    + (["numpy"] if _replay.NUMPY_AVAILABLE else [])
+    + (["native"] if _native.available() else [])
 )
 
 RELAXED = settings(
@@ -59,33 +74,35 @@ def _random_placement(circuit, environment, seed):
     return dict(zip(circuit.qubits, nodes))
 
 
-def _evaluator_pair(circuit, environment, cap, **kwargs):
-    python = RuntimeEvaluator(
-        circuit, environment, apply_interaction_cap=cap,
-        backend="python", **kwargs,
-    )
-    numpy = RuntimeEvaluator(
-        circuit, environment, apply_interaction_cap=cap,
-        backend="numpy", **kwargs,
-    )
-    assert python.backend == "python"
-    assert numpy.backend == "numpy"
-    return python, numpy
+def _evaluators(circuit, environment, cap, **kwargs):
+    """One evaluator per available backend, python (the reference) first."""
+    evaluators = {}
+    for backend in AVAILABLE_BACKENDS:
+        evaluator = RuntimeEvaluator(
+            circuit, environment, apply_interaction_cap=cap,
+            backend=backend, **kwargs,
+        )
+        assert evaluator.backend == backend
+        evaluators[backend] = evaluator
+    return evaluators
 
 
 class TestResolveBackend:
     def test_explicit_choices_resolve_to_themselves(self):
-        assert _replay.resolve_backend("python") == "python"
-        if _replay.NUMPY_AVAILABLE:
-            assert _replay.resolve_backend("numpy") == "numpy"
+        for backend in AVAILABLE_BACKENDS:
+            assert _replay.resolve_backend(backend) == backend
 
     def test_unknown_backend_rejected(self):
         with pytest.raises(ReproError, match="unknown scheduler backend"):
             _replay.resolve_backend("fortran")
 
     @needs_numpy
-    def test_auto_uses_profitability_threshold(self, monkeypatch):
+    def test_auto_uses_profitability_thresholds(self, monkeypatch):
         monkeypatch.delenv(_replay.BACKEND_ENV_VAR, raising=False)
+        # With the native kernel out of the picture, auto resolves exactly
+        # as before the native backend existed: numpy above its threshold,
+        # python below.
+        monkeypatch.setattr(_native, "available", lambda: False)
         small = _replay.AUTO_NUMPY_MIN_OPS - 1
         assert _replay.resolve_backend("auto", num_ops=small) == "python"
         assert (
@@ -94,12 +111,27 @@ class TestResolveBackend:
         )
         assert _replay.resolve_backend("auto", num_ops=None) == "numpy"
 
+    @needs_native
+    def test_auto_prefers_native_above_its_threshold(self, monkeypatch):
+        monkeypatch.delenv(_replay.BACKEND_ENV_VAR, raising=False)
+        threshold = _replay.AUTO_NATIVE_MIN_OPS
+        assert _replay.resolve_backend("auto", num_ops=threshold) == "native"
+        assert _replay.resolve_backend("auto", num_ops=None) == "native"
+        # Below the native threshold (and the numpy one) the fixed
+        # dispatch overhead is not worth paying: pure python wins.
+        assert _replay.resolve_backend("auto", num_ops=threshold - 1) == "python"
+
     @needs_numpy
     def test_env_var_overrides_auto(self, monkeypatch):
         monkeypatch.setenv(_replay.BACKEND_ENV_VAR, "numpy")
         assert _replay.resolve_backend("auto", num_ops=1) == "numpy"
         monkeypatch.setenv(_replay.BACKEND_ENV_VAR, "python")
         assert _replay.resolve_backend("auto", num_ops=10**6) == "python"
+
+    @needs_native
+    def test_env_var_selects_native(self, monkeypatch):
+        monkeypatch.setenv(_replay.BACKEND_ENV_VAR, "native")
+        assert _replay.resolve_backend("auto", num_ops=1) == "native"
 
     def test_env_var_does_not_override_explicit_request(self, monkeypatch):
         monkeypatch.setenv(_replay.BACKEND_ENV_VAR, "numpy")
@@ -115,13 +147,52 @@ class TestResolveBackend:
         with pytest.raises(ReproError, match="not importable"):
             _replay.resolve_backend("numpy")
 
-    def test_auto_without_numpy_falls_back(self, monkeypatch):
+    def test_native_request_without_build_rejected(self, monkeypatch):
+        monkeypatch.setattr(_native, "available", lambda: False)
+        monkeypatch.setattr(
+            _native, "unavailable_reason", lambda: "no C compiler found"
+        )
+        with pytest.raises(ReproError, match="no C compiler found"):
+            _replay.resolve_backend("native")
+        # The same explicit request through the environment variable must
+        # fail just as loudly — a misconfigured deployment, not a fallback.
+        monkeypatch.setenv(_replay.BACKEND_ENV_VAR, "native")
+        with pytest.raises(ReproError, match="no C compiler found"):
+            _replay.resolve_backend("auto", num_ops=10**6)
+
+    @needs_numpy
+    def test_auto_without_native_keeps_todays_resolution(self, monkeypatch):
+        monkeypatch.delenv(_replay.BACKEND_ENV_VAR, raising=False)
+        monkeypatch.setattr(_native, "available", lambda: False)
+        assert _replay.resolve_backend("auto", num_ops=10**6) == "numpy"
+        assert _replay.resolve_backend("auto", num_ops=1) == "python"
+
+    def test_auto_without_numpy_or_native_falls_back(self, monkeypatch):
         monkeypatch.delenv(_replay.BACKEND_ENV_VAR, raising=False)
         monkeypatch.setattr(_replay, "NUMPY_AVAILABLE", False)
+        monkeypatch.setattr(_native, "available", lambda: False)
         assert _replay.resolve_backend("auto", num_ops=10**6) == "python"
 
+    @pytest.mark.skipif(
+        _native.available(), reason="native kernel builds on this host"
+    )
+    def test_pure_python_fallback_without_native_build(self):
+        # On hosts without a working toolchain, auto must silently keep
+        # the python/numpy resolution and the evaluator must stay fully
+        # functional on the pure-Python (or numpy) path.
+        assert _native.unavailable_reason()
+        resolved = _replay.resolve_backend("auto", num_ops=10**6)
+        assert resolved in ("python", "numpy")
+        environment = trans_crotonic_acid()
+        circuit = _random_circuit(4, 20, 7)
+        placement = _random_placement(circuit, environment, 8)
+        evaluator = RuntimeEvaluator(circuit, environment, backend="auto")
+        assert evaluator._native is None
+        assert evaluator.runtime(placement) == circuit_runtime(
+            circuit, placement, environment, validate=False
+        )
 
-@needs_numpy
+
 class TestBackendParity:
     @RELAXED
     @given(st.integers(0, 500), st.booleans())
@@ -129,14 +200,14 @@ class TestBackendParity:
         environment = trans_crotonic_acid()
         circuit = _random_circuit(5, 28, seed)
         placement = _random_placement(circuit, environment, seed + 1)
-        python, numpy = _evaluator_pair(circuit, environment, cap)
+        evaluators = _evaluators(circuit, environment, cap)
         expected = circuit_runtime(
             circuit, placement, environment,
             apply_interaction_cap=cap, validate=False,
         )
-        assert python.runtime(placement) == expected
-        assert numpy.runtime(placement) == expected
-        assert python.set_base(placement) == numpy.set_base(placement) == expected
+        for evaluator in evaluators.values():
+            assert evaluator.runtime(placement) == expected
+            assert evaluator.set_base(placement) == expected
 
     @RELAXED
     @given(st.integers(0, 500))
@@ -144,38 +215,46 @@ class TestBackendParity:
         environment = trans_crotonic_acid()
         circuit = _random_circuit(5, 30, seed)
         placement = _random_placement(circuit, environment, seed + 1)
-        python, numpy = _evaluator_pair(circuit, environment, True)
+        evaluators = _evaluators(circuit, environment, True)
+        python = evaluators["python"]
+        others = [e for name, e in evaluators.items() if name != "python"]
         base = python.set_base(placement)
-        assert numpy.set_base(placement) == base
+        for evaluator in others:
+            assert evaluator.set_base(placement) == base
         used = set(placement.values())
         free = [n for n in environment.nodes if n not in used]
         for qubit in circuit.qubits:
             for node in free:
                 overrides = {qubit: node}
-                assert python.runtime_with(overrides) == numpy.runtime_with(
-                    overrides
-                )
-                # The cutoff path must agree too (both inf or both exact).
-                assert python.runtime_with(
-                    overrides, limit=base
-                ) == numpy.runtime_with(overrides, limit=base)
+                expected = python.runtime_with(overrides)
+                expected_cut = python.runtime_with(overrides, limit=base)
+                for evaluator in others:
+                    assert evaluator.runtime_with(overrides) == expected
+                    # The cutoff path must agree too (both inf or both exact).
+                    assert evaluator.runtime_with(
+                        overrides, limit=base
+                    ) == expected_cut
             for other in circuit.qubits:
                 if other == qubit:
                     continue
                 swap = {qubit: placement[other], other: placement[qubit]}
-                assert python.runtime_with(swap) == numpy.runtime_with(swap)
-        # The in-place duration scatter must leave the base state intact.
+                expected = python.runtime_with(swap)
+                for evaluator in others:
+                    assert evaluator.runtime_with(swap) == expected
+        # Replays must leave the base state intact (numpy scatters durations
+        # in place; native keeps per-qubit override flags).
         first = circuit.qubits[0]
-        assert numpy.runtime_with({first: placement[first]}) == base
+        for evaluator in others:
+            assert evaluator.runtime_with({first: placement[first]}) == base
 
     def test_replay_counters_identical(self):
         environment = trans_crotonic_acid()
         circuit = _random_circuit(5, 40, 11)
         placement = _random_placement(circuit, environment, 12)
-        python, numpy = _evaluator_pair(circuit, environment, True)
+        evaluators = _evaluators(circuit, environment, True)
         free = [n for n in environment.nodes if n not in set(placement.values())]
         deltas = []
-        for evaluator in (python, numpy):
+        for evaluator in evaluators.values():
             before = STATS.snapshot()
             evaluator.set_base(placement)
             for qubit in circuit.qubits:
@@ -185,16 +264,25 @@ class TestBackendParity:
                         {qubit: node}, limit=evaluator.base_runtime
                     )
             evaluator.flush_stats()
-            deltas.append(STATS.delta_since(before))
-        assert deltas[0] == deltas[1]
+            delta = STATS.delta_since(before)
+            # The environment-level pair-matrix cache warms on the first
+            # array-backed evaluator and hits afterwards; that is backend
+            # metadata, not evaluation accounting.
+            delta.pop("scheduler.pair_matrix_cache_hits", None)
+            delta.pop("scheduler.pair_matrix_cache_misses", None)
+            deltas.append(delta)
+        for delta in deltas[1:]:
+            assert delta == deltas[0]
 
-    def test_full_recompute_cross_checks_backends(self):
+    @pytest.mark.parametrize("backend", [b for b in AVAILABLE_BACKENDS
+                                         if b != "python"])
+    def test_full_recompute_cross_checks_backends(self, backend):
         environment = histidine()
         circuit = _random_circuit(6, 40, 3)
         placement = _random_placement(circuit, environment, 4)
         evaluator = RuntimeEvaluator(
             circuit, environment, apply_interaction_cap=True,
-            backend="numpy", full_recompute=True,
+            backend=backend, full_recompute=True,
         )
         evaluator.set_base(placement)
         free = [n for n in environment.nodes if n not in set(placement.values())]
@@ -202,6 +290,7 @@ class TestBackendParity:
             for node in free:
                 evaluator.runtime_with({qubit: node})
 
+    @needs_numpy
     def test_full_recompute_detects_divergence(self):
         environment = trans_crotonic_acid()
         circuit = _random_circuit(4, 20, 9)
@@ -210,9 +299,10 @@ class TestBackendParity:
             circuit, environment, backend="numpy", full_recompute=True
         )
         evaluator.set_base(placement)
-        # Corrupt one compiled pair delay in the numpy table only: the
+        # Corrupt the compiled pair delays in the numpy table only (the
+        # shared cached buffer is read-only, so rebind a doubled copy): the
         # cross-backend assertion must catch the (synthetic) divergence.
-        evaluator._table.pair[:] = evaluator._table.pair * 2.0
+        evaluator._table.pair = evaluator._table.pair * 2.0
         free = [n for n in environment.nodes if n not in set(placement.values())]
         moved = {q for gate in circuit if gate.is_two_qubit for q in gate.qubits}
         with pytest.raises(AssertionError):
@@ -223,21 +313,113 @@ class TestBackendParity:
         with pytest.raises(AssertionError, match="diverged"):
             evaluator.set_base(placement)
 
+    @needs_native
+    def test_full_recompute_detects_native_divergence(self):
+        environment = trans_crotonic_acid()
+        circuit = _random_circuit(4, 20, 9)
+        placement = _random_placement(circuit, environment, 10)
+        evaluator = RuntimeEvaluator(
+            circuit, environment, backend="native", full_recompute=True
+        )
+        evaluator.set_base(placement)
+        # Corrupt the kernel's single-qubit delay buffer (private to this
+        # evaluator): the python cross-check must catch the divergence.
+        for index in range(len(evaluator._native._single)):
+            evaluator._native._single[index] *= 2.0
+        with pytest.raises(AssertionError, match="diverged"):
+            evaluator.set_base(placement)
+
     def test_empty_circuit(self, crotonic):
         circuit = QuantumCircuit(["a", "b"], [], name="empty")
-        python, numpy = _evaluator_pair(circuit, crotonic, False)
         placement = {"a": "M", "b": "C1"}
-        assert python.runtime(placement) == numpy.runtime(placement) == 0.0
-        assert python.set_base(placement) == numpy.set_base(placement) == 0.0
-        assert numpy.runtime_with({"a": "C4"}) == 0.0
+        for evaluator in _evaluators(circuit, crotonic, False).values():
+            assert evaluator.runtime(placement) == 0.0
+            assert evaluator.set_base(placement) == 0.0
+            assert evaluator.runtime_with({"a": "C4"}) == 0.0
 
 
 @needs_numpy
+class TestGatherCacheBound:
+    def test_cap_evicts_without_changing_results(self, monkeypatch):
+        environment = histidine()
+        circuit = _random_circuit(8, 60, 21)
+        placement = _random_placement(circuit, environment, 22)
+        reference = RuntimeEvaluator(circuit, environment, backend="numpy")
+        reference.set_base(placement)
+        rng = random.Random(5)
+        qubits = list(circuit.qubits)
+        swaps = []
+        for _ in range(40):
+            a, b = rng.sample(qubits, 2)
+            swaps.append({a: placement[b], b: placement[a]})
+        # Reference values under the default (un-hit) cap...
+        expected = [reference.runtime_with(swap) for swap in swaps]
+        assert 4 < len(reference._table._gather_cache) <= (
+            _replay.GATHER_CACHE_MAX_ENTRIES
+        )
+        # ...must be bit-identical under a cap small enough to churn.
+        monkeypatch.setattr(_replay, "GATHER_CACHE_MAX_ENTRIES", 4)
+        bounded = RuntimeEvaluator(circuit, environment, backend="numpy")
+        bounded.set_base(placement)
+        for swap, value in zip(swaps, expected):
+            assert bounded.runtime_with(swap) == value
+        assert len(bounded._table._gather_cache) <= 4
+        # Re-missing an evicted key recomputes the exact same arrays.
+        for swap, value in zip(swaps[:5], expected[:5]):
+            assert bounded.runtime_with(swap) == value
+
+
+class TestPairMatrixCache:
+    @needs_numpy
+    def test_shared_across_evaluators_with_hit_counter(self, crotonic):
+        crotonic.invalidate_caches()
+        circuit = _random_circuit(5, 30, 13)
+        before = STATS.snapshot()
+        first = RuntimeEvaluator(circuit, crotonic, backend="numpy")
+        second = RuntimeEvaluator(circuit, crotonic, backend="numpy")
+        delta = STATS.delta_since(before)
+        assert delta.get("scheduler.pair_matrix_cache_misses") == 1
+        assert delta.get("scheduler.pair_matrix_cache_hits") == 1
+        # Zero-copy sharing: both tables view the same cached buffer.
+        assert (
+            first._table.pair.__array_interface__["data"][0]
+            == second._table.pair.__array_interface__["data"][0]
+        )
+        assert not first._table.pair.flags.writeable
+
+    def test_recalibration_invalidates(self, crotonic):
+        flat = crotonic.pair_delay_table()
+        assert crotonic.pair_delay_table() is flat
+        crotonic.set_pair_delay("M", "C1", 123.0)
+        rebuilt = crotonic.pair_delay_table()
+        assert rebuilt is not flat
+        nodes = crotonic.nodes
+        count = len(nodes)
+        i, j = nodes.index("M"), nodes.index("C1")
+        assert rebuilt[i * count + j] == 123.0
+        assert rebuilt[j * count + i] == 123.0
+
+    def test_matches_pair_delay_for_every_entry(self, crotonic):
+        nodes = crotonic.nodes
+        count = len(nodes)
+        flat = crotonic.pair_delay_table()
+        for i, a in enumerate(nodes):
+            for j, b in enumerate(nodes):
+                assert flat[i * count + j] == crotonic.pair_delay(a, b)
+
+    def test_dropped_from_pickles(self, crotonic):
+        import pickle
+
+        crotonic.pair_delay_table()
+        clone = pickle.loads(pickle.dumps(crotonic))
+        assert clone._pair_matrix_cache == {}
+
+
 class TestPlacerLevelBackendParity:
     @pytest.mark.parametrize("threshold", [100.0, 200.0])
     def test_place_circuit_identical_across_backends(self, crotonic, threshold):
         results = {}
-        for backend in ("python", "numpy"):
+        for backend in AVAILABLE_BACKENDS:
             result = place_circuit(
                 qft_circuit(6),
                 crotonic,
@@ -249,11 +431,17 @@ class TestPlacerLevelBackendParity:
                  for stage in result.stages],
                 [swap.runtime for swap in result.swap_stages],
             )
-        assert results["python"] == results["numpy"]
+        for backend in AVAILABLE_BACKENDS[1:]:
+            assert results[backend] == results["python"]
 
     def test_invalid_backend_option_rejected(self):
         with pytest.raises(PlacementError, match="scheduler_backend"):
             PlacementOptions(scheduler_backend="gpu")
+
+    def test_native_backend_option_accepted(self):
+        assert PlacementOptions(scheduler_backend="native").scheduler_backend == (
+            "native"
+        )
 
     def test_runner_backend_override(self):
         from repro.analysis.runner import (
@@ -269,10 +457,11 @@ class TestPlacerLevelBackendParity:
             threshold=200.0,
         )
         outcomes = {}
-        for backend in ("python", "numpy"):
+        for backend in AVAILABLE_BACKENDS:
             runner = ExperimentRunner(scheduler_backend=backend)
             outcome = runner.run([spec])[0].raise_if_infeasible()
             outcomes[backend] = (outcome.runtime_seconds, outcome.num_subcircuits)
-        assert outcomes["python"] == outcomes["numpy"]
+        for backend in AVAILABLE_BACKENDS[1:]:
+            assert outcomes[backend] == outcomes["python"]
         with pytest.raises(ExperimentError, match="scheduler_backend"):
             ExperimentRunner(scheduler_backend="gpu")
