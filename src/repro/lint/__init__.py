@@ -19,17 +19,30 @@ Rule families (see ``docs/static-analysis.md`` for the full catalog):
 * **ROB** — robustness hazards: non-atomic artifact writes (ROB001),
   broad exception handlers that swallow silently (ROB002), and
   ``pickle.load`` outside the checksum-verified shard readers (ROB003).
+* **PAR** — parallelism-safety hazards: lambdas/nested defs submitted
+  to worker pools (PAR001), worker functions mutating module-level
+  state outside ``STATS`` (PAR002), and mutable default arguments on
+  registry providers or ``Placer`` subclasses (PAR003).
+* **Whole-program rules** over the assembled import/call graph
+  (:mod:`repro.lint.graph` / :mod:`repro.lint.reachability`):
+  non-canonical ``json.dump*`` on the computed serialization path
+  (SER001), and drift between the declared module sets in
+  :mod:`repro.lint.scopes` and the sets computed by sink reachability
+  (SCOPE001, fixed with ``--update-scopes``).
 
 Diagnostics carry file, line, column and rule code; a deliberate
-violation is acknowledged inline with ``# repro: allow[CODE]`` on the
-offending line, and legacy debt is frozen in ``lint_baseline.json`` — a
-ratchet: ``--check`` fails on any finding *above* the baseline and on any
-stale baseline entry, so the count only moves down.
+violation is acknowledged inline with ``# repro: allow[CODE]`` anywhere
+in the flagged statement's span, and legacy debt is frozen in
+``lint_baseline.json`` — a ratchet: ``--check`` fails on any finding
+*above* the baseline and on any stale baseline entry, so the count only
+moves down.
 
 Entry points: ``python -m repro.lint [--check] [--baseline]
-[--format json|text]`` (:mod:`repro.lint.cli`) and the programmatic
-:func:`lint_tree` / :func:`lint_source` used by the test gate
-(``pytest -m lint``).
+[--update-scopes] [--jobs N] [--format json|text]``
+(:mod:`repro.lint.cli`) and the programmatic :func:`lint_tree` /
+:func:`lint_source` used by the test gate (``pytest -m lint``).
+Per-file results are cached by content hash (:mod:`repro.lint.cache`);
+cache and ``--jobs`` never change the output bytes.
 """
 
 from repro.lint.baseline import (
@@ -40,32 +53,58 @@ from repro.lint.baseline import (
     render_baseline,
     write_baseline,
 )
+from repro.lint.cache import DiagnosticCache
 from repro.lint.engine import (
     Diagnostic,
+    FileAnalysis,
+    analyze_file,
+    analyze_paths,
+    analyze_source,
+    default_targets,
     lint_file,
     lint_paths,
     lint_source,
     lint_tree,
     module_name_for,
     suppressed_lines,
+    suppression_covers,
+)
+from repro.lint.graph import ModuleSummary, ProjectGraph, summarize_tree
+from repro.lint.reachability import (
+    ComputedScopes,
+    compute_scopes,
+    project_findings,
 )
 from repro.lint.rules import RULES, Rule, rules_by_code
 
 __all__ = [
     "BASELINE_FILENAME",
+    "ComputedScopes",
     "Diagnostic",
+    "DiagnosticCache",
+    "FileAnalysis",
+    "ModuleSummary",
+    "ProjectGraph",
     "RULES",
     "Rule",
+    "analyze_file",
+    "analyze_paths",
+    "analyze_source",
     "baseline_key",
     "compare_to_baseline",
+    "compute_scopes",
+    "default_targets",
     "lint_file",
     "lint_paths",
     "lint_source",
     "lint_tree",
     "load_baseline",
     "module_name_for",
+    "project_findings",
     "render_baseline",
     "rules_by_code",
+    "summarize_tree",
     "suppressed_lines",
+    "suppression_covers",
     "write_baseline",
 ]

@@ -1,0 +1,118 @@
+"""Per-file diagnostic cache: content-addressed, atomic, self-invalidating.
+
+Linting is a pure function of (file bytes, dotted module, profile, rule
+catalog), so its result can be cached by content hash and reused until
+either the file or the linter itself changes.  The cache key folds in a
+**catalog fingerprint** — a SHA-256 over the source of every module in
+``repro/lint`` — so editing any rule, scope or engine file invalidates
+every entry at once; no manual version bump can be forgotten.
+
+Entries live under ``~/.cache/repro/lint`` (override order:
+``$REPRO_LINT_CACHE_DIR``, then ``$XDG_CACHE_HOME/repro/lint``), one
+canonical-JSON file per key, written atomically so a crashed run never
+leaves a torn entry.  A cache that cannot be created or read degrades to
+plain misses — the linter's output is byte-identical with the cache on,
+off, cold or warm.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Any, Dict, Optional
+
+from repro.analysis.serialization import atomic_write_text, dump_json
+
+#: Bump when the cached payload layout changes (also implicitly bumped
+#: by the catalog fingerprint whenever any lint source file changes).
+CACHE_SCHEMA_VERSION = 1
+
+#: Environment variable overriding the cache directory entirely.
+CACHE_DIR_ENV = "REPRO_LINT_CACHE_DIR"
+
+_catalog_fingerprint: Optional[str] = None
+
+
+def default_cache_dir() -> str:
+    """The resolved cache directory (not yet created)."""
+    override = os.environ.get(CACHE_DIR_ENV)
+    if override:
+        return override
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = xdg if xdg else os.path.join(os.path.expanduser("~"), ".cache")
+    return os.path.join(base, "repro", "lint")
+
+
+def catalog_fingerprint() -> str:
+    """SHA-256 over the lint package's own sources (memoised).
+
+    Any edit to a rule, scope set, or the engine changes this value and
+    therefore every cache key — stale diagnostics cannot survive a
+    linter change.
+    """
+    global _catalog_fingerprint
+    if _catalog_fingerprint is None:
+        package_dir = os.path.dirname(os.path.abspath(__file__))
+        digest = hashlib.sha256()
+        for name in sorted(os.listdir(package_dir)):
+            if not name.endswith(".py"):
+                continue
+            digest.update(name.encode("utf-8"))
+            with open(os.path.join(package_dir, name), "rb") as handle:
+                digest.update(handle.read())
+        _catalog_fingerprint = digest.hexdigest()
+    return _catalog_fingerprint
+
+
+class DiagnosticCache:
+    """Content-addressed store of per-file analysis payloads."""
+
+    def __init__(self, directory: Optional[str] = None) -> None:
+        self.directory = directory or default_cache_dir()
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        self._unusable = False
+
+    def key(self, module: str, profile: str, source_bytes: bytes) -> str:
+        digest = hashlib.sha256()
+        digest.update(catalog_fingerprint().encode("utf-8"))
+        digest.update(str(CACHE_SCHEMA_VERSION).encode("utf-8"))
+        digest.update(b"\x00")
+        digest.update(module.encode("utf-8"))
+        digest.update(b"\x00")
+        digest.update(profile.encode("utf-8"))
+        digest.update(b"\x00")
+        digest.update(source_bytes)
+        return digest.hexdigest()
+
+    def _entry_path(self, key: str) -> str:
+        return os.path.join(self.directory, f"{key}.json")
+
+    def load(self, key: str) -> Optional[Dict[str, Any]]:
+        """The cached payload for ``key``, or None (counted as a miss)."""
+        try:
+            with open(self._entry_path(key), "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        if not isinstance(payload, dict):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return payload
+
+    def store(self, key: str, payload: Dict[str, Any]) -> None:
+        """Atomically persist ``payload`` under ``key`` (best effort:
+        an unwritable cache directory disables storing, never the run)."""
+        if self._unusable:
+            return
+        try:
+            os.makedirs(self.directory, exist_ok=True)
+            atomic_write_text(self._entry_path(key), dump_json(payload))
+        except OSError:
+            self._unusable = True
+            return
+        self.stores += 1

@@ -1,0 +1,805 @@
+"""Whole-program facts: import graph, symbol tables, call-graph edges.
+
+The per-file rules in :mod:`repro.lint.rules` see one ``ast`` tree at a
+time; the project rules (SCOPE001, PAR003, SER001) need to know how
+modules relate — who imports whom, which def calls which, and where the
+fingerprint/persistence/pickle *sinks* are.  This module extracts a
+compact, JSON-serialisable :class:`ModuleSummary` from each parse (the
+same single ``ast.parse`` the engine already does) and assembles the
+summaries into a :class:`ProjectGraph`.
+
+The call graph is a deliberately **conservative approximation**:
+
+* only *statically resolvable* callees produce edges — bare names bound
+  by ``import``/``from ... import``, module-level defs, ``self.method``
+  within the defining class, ``Class.method`` attribute chains, and
+  names pulled in by ``from x import *`` (checked against the star
+  target's top-level defs);
+* method calls on arbitrary objects (``plan.save()``) resolve to
+  nothing — a *miss*, never a wrong edge — so reachability answers are
+  sound for the sinks rules care about, which this codebase reaches via
+  module-level helpers;
+* instantiating a project class adds edges to its ``__init__`` and
+  ``__post_init__`` when present;
+* code nested below a tracked def (inner functions, lambdas) folds into
+  the nearest tracked ancestor: an inner function only runs when its
+  owner does, so attributing its calls upward over-approximates reach.
+
+Import cycles are fine throughout: reachability is a reverse BFS over
+edges, which terminates regardless of cycles.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+#: Serialisation schema of :class:`ModuleSummary` payloads (bump on any
+#: field change so cached summaries from older catalogs are discarded).
+SUMMARY_SCHEMA_VERSION = 1
+
+#: Sink kinds a def can hit directly (see :func:`_sink_kinds_for_call`).
+SINK_SHA256 = "sha256"
+SINK_WRITE = "write"
+SINK_PICKLE_LOAD = "pickle_load"
+
+#: ``open()`` modes that touch file contents: the write sinks reachability
+#: tracks.  Wider than ROB001's create/truncate list — ``r+`` in-place
+#: edits (``resilience.corrupt_file``) persist bytes too.
+_WRITE_SINK_MODES = frozenset({
+    "w", "wb", "w+", "wb+", "x", "xb", "a", "ab", "a+",
+    "r+", "rb+", "r+b",
+})
+
+#: Attribute method names that write a file wherever they appear
+#: (``pathlib.Path.write_text`` / ``write_bytes``).
+_WRITE_ATTR_METHODS = frozenset({"write_text", "write_bytes"})
+
+#: Fully-resolved call targets that are write sinks on their own.
+_WRITE_CALL_TARGETS = frozenset({"os.replace", "os.rename", "os.fdopen"})
+
+#: The pseudo-def holding module-level statements (import-time code).
+MODULE_DEF = "<module>"
+
+
+def _dotted_name(node: ast.AST) -> Optional[str]:
+    """``"a.b.c"`` for a Name/Attribute chain, else ``None``."""
+    parts: List[str] = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if not isinstance(current, ast.Name):
+        return None
+    parts.append(current.id)
+    return ".".join(reversed(parts))
+
+
+def _root_name(node: ast.AST) -> Optional[str]:
+    """The base ``Name`` id under a Subscript/Attribute chain, if any."""
+    current = node
+    while isinstance(current, (ast.Attribute, ast.Subscript)):
+        current = current.value
+    if isinstance(current, ast.Name):
+        return current.id
+    return None
+
+
+def _end_line(node: ast.AST) -> int:
+    return int(getattr(node, "end_lineno", None) or getattr(node, "lineno", 1))
+
+
+def _is_mutable_default(node: ast.expr) -> bool:
+    if isinstance(
+        node, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)
+    ):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in ("list", "dict", "set", "bytearray")
+    return False
+
+
+def _literal_string_values(node: ast.expr) -> Optional[List[str]]:
+    """The element strings of a set/list/tuple of constants, else None."""
+    if isinstance(node, (ast.Set, ast.List, ast.Tuple)):
+        values: List[str] = []
+        for element in node.elts:
+            if not (
+                isinstance(element, ast.Constant)
+                and isinstance(element.value, str)
+            ):
+                return None
+            values.append(element.value)
+        return values
+    return None
+
+
+@dataclass
+class DefSummary:
+    """One tracked definition: a module-level def/class, a method, or
+    the ``<module>`` pseudo-def holding import-time statements."""
+
+    qualname: str
+    kind: str  # "function" | "class" | "module"
+    line: int = 1
+    col: int = 0
+    end_line: int = 1
+    decorators: List[str] = field(default_factory=list)
+    bases: List[str] = field(default_factory=list)
+    calls: List[Tuple[str, int, int]] = field(default_factory=list)
+    sinks: List[str] = field(default_factory=list)
+    mutable_defaults: List[Tuple[str, int, int, int]] = field(
+        default_factory=list
+    )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "qualname": self.qualname,
+            "kind": self.kind,
+            "line": self.line,
+            "col": self.col,
+            "end_line": self.end_line,
+            "decorators": list(self.decorators),
+            "bases": list(self.bases),
+            "calls": [list(entry) for entry in self.calls],
+            "sinks": sorted(self.sinks),
+            "mutable_defaults": [list(entry) for entry in self.mutable_defaults],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "DefSummary":
+        return cls(
+            qualname=str(payload["qualname"]),
+            kind=str(payload["kind"]),
+            line=int(payload["line"]),
+            col=int(payload["col"]),
+            end_line=int(payload["end_line"]),
+            decorators=[str(item) for item in payload["decorators"]],
+            bases=[str(item) for item in payload["bases"]],
+            calls=[
+                (str(name), int(line), int(col))
+                for name, line, col in payload["calls"]
+            ],
+            sinks=[str(item) for item in payload["sinks"]],
+            mutable_defaults=[
+                (str(arg), int(line), int(col), int(end))
+                for arg, line, col, end in payload["mutable_defaults"]
+            ],
+        )
+
+
+@dataclass
+class ModuleSummary:
+    """Everything the project rules need to know about one module."""
+
+    module: str
+    path: str
+    profile: str
+    is_package: bool = False
+    imports: Dict[str, str] = field(default_factory=dict)
+    import_modules: List[str] = field(default_factory=list)
+    typing_only_imports: List[str] = field(default_factory=list)
+    star_imports: List[str] = field(default_factory=list)
+    defs: Dict[str, DefSummary] = field(default_factory=dict)
+    json_dumps: List[Tuple[int, int, int, bool]] = field(default_factory=list)
+    set_constants: Dict[str, Tuple[int, List[str]]] = field(
+        default_factory=dict
+    )
+    suppressions: Dict[int, List[str]] = field(default_factory=dict)
+    statements: List[Tuple[int, int, bool]] = field(default_factory=list)
+
+    def top_level_names(self) -> FrozenSet[str]:
+        """Names ``from <this module> import *`` would expose (defs only)."""
+        return frozenset(
+            qualname
+            for qualname in self.defs
+            if "." not in qualname and qualname != MODULE_DEF
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema_version": SUMMARY_SCHEMA_VERSION,
+            "module": self.module,
+            "path": self.path,
+            "profile": self.profile,
+            "is_package": self.is_package,
+            "imports": dict(sorted(self.imports.items())),
+            "import_modules": sorted(self.import_modules),
+            "typing_only_imports": sorted(self.typing_only_imports),
+            "star_imports": sorted(self.star_imports),
+            "defs": {
+                name: self.defs[name].to_dict() for name in sorted(self.defs)
+            },
+            "json_dumps": [list(entry) for entry in self.json_dumps],
+            "set_constants": {
+                name: [line, list(values)]
+                for name, (line, values) in sorted(self.set_constants.items())
+            },
+            "suppressions": {
+                str(line): sorted(codes)
+                for line, codes in sorted(self.suppressions.items())
+            },
+            "statements": [list(entry) for entry in self.statements],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "ModuleSummary":
+        return cls(
+            module=str(payload["module"]),
+            path=str(payload["path"]),
+            profile=str(payload["profile"]),
+            is_package=bool(payload["is_package"]),
+            imports={
+                str(key): str(value)
+                for key, value in payload["imports"].items()
+            },
+            import_modules=[str(item) for item in payload["import_modules"]],
+            typing_only_imports=[
+                str(item) for item in payload["typing_only_imports"]
+            ],
+            star_imports=[str(item) for item in payload["star_imports"]],
+            defs={
+                str(name): DefSummary.from_dict(value)
+                for name, value in payload["defs"].items()
+            },
+            json_dumps=[
+                (int(line), int(col), int(end), bool(canonical))
+                for line, col, end, canonical in payload["json_dumps"]
+            ],
+            set_constants={
+                str(name): (int(entry[0]), [str(v) for v in entry[1]])
+                for name, entry in payload["set_constants"].items()
+            },
+            suppressions={
+                int(line): [str(code) for code in codes]
+                for line, codes in payload["suppressions"].items()
+            },
+            statements=[
+                (int(start), int(end), bool(simple))
+                for start, end, simple in payload["statements"]
+            ],
+        )
+
+
+class _SummaryBuilder(ast.NodeVisitor):
+    """One-pass extraction of a :class:`ModuleSummary` from a tree."""
+
+    def __init__(self, summary: ModuleSummary) -> None:
+        self.summary = summary
+        self._def_stack: List[DefSummary] = []
+        self._class_stack: List[str] = []
+        self._typing_depth = 0
+        module_def = DefSummary(qualname=MODULE_DEF, kind="module")
+        summary.defs[MODULE_DEF] = module_def
+        self._module_def = module_def
+
+    # -- import handling ---------------------------------------------------
+
+    def _package_base(self, level: int) -> str:
+        """The absolute package a relative import of ``level`` targets."""
+        parts = self.summary.module.split(".")
+        if not self.summary.is_package:
+            parts = parts[:-1]
+        drop = level - 1
+        if drop:
+            parts = parts[:-drop] if drop < len(parts) else []
+        return ".".join(parts)
+
+    def _record_import_module(self, dotted: str) -> None:
+        if self._typing_depth:
+            if dotted not in self.summary.typing_only_imports:
+                self.summary.typing_only_imports.append(dotted)
+        elif dotted not in self.summary.import_modules:
+            self.summary.import_modules.append(dotted)
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            if alias.asname is not None:
+                self.summary.imports[alias.asname] = alias.name
+            else:
+                self.summary.imports[alias.name.split(".")[0]] = (
+                    alias.name.split(".")[0]
+                )
+            self._record_import_module(alias.name)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.level:
+            base = self._package_base(node.level)
+            source = f"{base}.{node.module}" if node.module else base
+        else:
+            source = node.module or ""
+        if not source:
+            return
+        self._record_import_module(source)
+        for alias in node.names:
+            if alias.name == "*":
+                if source not in self.summary.star_imports:
+                    self.summary.star_imports.append(source)
+                continue
+            bound = alias.asname or alias.name
+            self.summary.imports[bound] = f"{source}.{alias.name}"
+
+    # -- definition tracking -----------------------------------------------
+
+    def _current_def(self) -> DefSummary:
+        return self._def_stack[-1] if self._def_stack else self._module_def
+
+    def _tracked_qualname(self, name: str) -> Optional[str]:
+        """The qualname a def gets, or None when it folds into its owner."""
+        if not self._def_stack:
+            if not self._class_stack:
+                return name
+            if len(self._class_stack) == 1:
+                return f"{self._class_stack[0]}.{name}"
+        return None
+
+    def _record_function(
+        self, node: "ast.FunctionDef | ast.AsyncFunctionDef"
+    ) -> None:
+        qualname = self._tracked_qualname(node.name)
+        for decorator in node.decorator_list:
+            target = decorator.func if isinstance(decorator, ast.Call) else decorator
+            dotted = _dotted_name(target)
+            if dotted is not None:
+                self._module_def.calls.append(
+                    (dotted, decorator.lineno, decorator.col_offset)
+                )
+        if qualname is None:
+            # Nested def: body folds into the nearest tracked ancestor
+            # (defaults stay local — they never make the owner a PAR003
+            # provider).
+            for child in ast.iter_child_nodes(node):
+                self.visit(child)
+            return
+        summary = DefSummary(
+            qualname=qualname,
+            kind="function",
+            line=node.lineno,
+            col=node.col_offset,
+            end_line=_end_line(node),
+        )
+        for decorator in node.decorator_list:
+            target = decorator.func if isinstance(decorator, ast.Call) else decorator
+            dotted = _dotted_name(target)
+            if dotted is not None:
+                summary.decorators.append(dotted)
+        self._collect_defaults(node, summary)
+        self.summary.defs[qualname] = summary
+        self._def_stack.append(summary)
+        try:
+            for child in ast.iter_child_nodes(node):
+                self.visit(child)
+        finally:
+            self._def_stack.pop()
+
+    def _collect_defaults(
+        self,
+        node: "ast.FunctionDef | ast.AsyncFunctionDef",
+        target: DefSummary,
+    ) -> None:
+        args = node.args
+        positional = list(args.posonlyargs) + list(args.args)
+        for arg, default in zip(
+            positional[len(positional) - len(args.defaults):], args.defaults
+        ):
+            if _is_mutable_default(default):
+                target.mutable_defaults.append(
+                    (arg.arg, default.lineno, default.col_offset,
+                     _end_line(default))
+                )
+        for arg_node, default_node in zip(args.kwonlyargs, args.kw_defaults):
+            if default_node is not None and _is_mutable_default(default_node):
+                target.mutable_defaults.append(
+                    (arg_node.arg, default_node.lineno,
+                     default_node.col_offset, _end_line(default_node))
+                )
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._record_function(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._record_function(node)
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        if self._def_stack or self._class_stack:
+            # Nested class: fold its body into the enclosing def.
+            for child in ast.iter_child_nodes(node):
+                self.visit(child)
+            return
+        summary = DefSummary(
+            qualname=node.name,
+            kind="class",
+            line=node.lineno,
+            col=node.col_offset,
+            end_line=_end_line(node),
+        )
+        for base in node.bases:
+            dotted = _dotted_name(base)
+            if dotted is not None:
+                summary.bases.append(dotted)
+        for decorator in node.decorator_list:
+            target = decorator.func if isinstance(decorator, ast.Call) else decorator
+            dotted = _dotted_name(target)
+            if dotted is not None:
+                summary.decorators.append(dotted)
+        self.summary.defs[node.name] = summary
+        self._class_stack.append(node.name)
+        try:
+            for child in ast.iter_child_nodes(node):
+                self.visit(child)
+        finally:
+            self._class_stack.pop()
+
+    # -- statement-level facts ----------------------------------------------
+
+    def visit_If(self, node: ast.If) -> None:
+        test_name = _dotted_name(node.test)
+        typing_guard = test_name in ("TYPE_CHECKING", "typing.TYPE_CHECKING")
+        if typing_guard:
+            self._typing_depth += 1
+        try:
+            for child in ast.iter_child_nodes(node):
+                self.visit(child)
+        finally:
+            if typing_guard:
+                self._typing_depth -= 1
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        self._record_set_constant(node.targets, node.value, node.lineno)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None:
+            self._record_set_constant([node.target], node.value, node.lineno)
+        self.generic_visit(node)
+
+    def _record_set_constant(
+        self,
+        targets: Sequence[ast.expr],
+        value: ast.expr,
+        line: int,
+    ) -> None:
+        if self._def_stack or self._class_stack:
+            return
+        if len(targets) != 1 or not isinstance(targets[0], ast.Name):
+            return
+        values: Optional[List[str]] = None
+        if (
+            isinstance(value, ast.Call)
+            and isinstance(value.func, ast.Name)
+            and value.func.id == "frozenset"
+            and len(value.args) <= 1
+            and not value.keywords
+        ):
+            # Zero-arg ``frozenset()`` is the canonical empty declared
+            # set (what --update-scopes renders) and must stay auditable.
+            values = (
+                _literal_string_values(value.args[0]) if value.args else []
+            )
+        elif isinstance(value, ast.Set):
+            values = _literal_string_values(value)
+        if values is not None:
+            self.summary.set_constants[targets[0].id] = (line, sorted(values))
+
+    # -- call recording ------------------------------------------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        dotted = _dotted_name(node.func)
+        owner = self._current_def()
+        if dotted is not None:
+            if self._class_stack and (
+                dotted.startswith("self.") or dotted.startswith("cls.")
+            ):
+                dotted = (
+                    f"{self._class_stack[-1]}."
+                    + dotted.split(".", 1)[1]
+                )
+            owner.calls.append((dotted, node.lineno, node.col_offset))
+            self._record_sinks(node, dotted, owner)
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr in _WRITE_ATTR_METHODS
+            and SINK_WRITE not in owner.sinks
+        ):
+            owner.sinks.append(SINK_WRITE)
+        self.generic_visit(node)
+
+    def _resolve_local(self, dotted: str) -> str:
+        head, _, rest = dotted.partition(".")
+        target = self.summary.imports.get(head)
+        if target is None:
+            return dotted
+        return f"{target}.{rest}" if rest else target
+
+    def _record_sinks(
+        self, node: ast.Call, dotted: str, owner: DefSummary
+    ) -> None:
+        resolved = self._resolve_local(dotted)
+        kind: Optional[str] = None
+        if resolved == "hashlib.sha256":
+            kind = SINK_SHA256
+        elif resolved in ("pickle.load", "pickle.loads"):
+            kind = SINK_PICKLE_LOAD
+        elif resolved in _WRITE_CALL_TARGETS and resolved != "os.fdopen":
+            kind = SINK_WRITE
+        elif resolved in ("open", "io.open", "os.fdopen"):
+            mode_node: Optional[ast.expr] = None
+            if resolved == "os.fdopen":
+                if len(node.args) >= 2:
+                    mode_node = node.args[1]
+            elif len(node.args) >= 2:
+                mode_node = node.args[1]
+            if mode_node is None:
+                for keyword in node.keywords:
+                    if keyword.arg == "mode":
+                        mode_node = keyword.value
+            if (
+                isinstance(mode_node, ast.Constant)
+                and isinstance(mode_node.value, str)
+                and mode_node.value in _WRITE_SINK_MODES
+            ):
+                kind = SINK_WRITE
+        elif resolved in ("json.dump", "json.dumps"):
+            canonical = False
+            for keyword in node.keywords:
+                if keyword.arg == "sort_keys":
+                    canonical = (
+                        isinstance(keyword.value, ast.Constant)
+                        and keyword.value.value is True
+                    )
+            self.summary.json_dumps.append(
+                (node.lineno, node.col_offset, _end_line(node), canonical)
+            )
+        if kind is not None and kind not in owner.sinks:
+            owner.sinks.append(kind)
+
+def summarize_tree(
+    tree: ast.AST,
+    module: str,
+    path: str,
+    profile: str,
+    is_package: bool = False,
+    suppressions: Optional[Mapping[int, Iterable[str]]] = None,
+    statements: Optional[Sequence[Tuple[int, int, bool]]] = None,
+) -> ModuleSummary:
+    """Extract the :class:`ModuleSummary` for one parsed module."""
+    summary = ModuleSummary(
+        module=module, path=path, profile=profile, is_package=is_package
+    )
+    builder = _SummaryBuilder(summary)
+    builder.visit(tree)
+    if suppressions:
+        summary.suppressions = {
+            int(line): sorted(codes) for line, codes in suppressions.items()
+        }
+    if statements is not None:
+        summary.statements = [tuple(entry) for entry in statements]
+    module_def = summary.defs[MODULE_DEF]
+    body = getattr(tree, "body", None)
+    if body:
+        module_def.end_line = _end_line(body[-1])
+    return summary
+
+
+#: A call-graph node: ``(module, qualname)``.
+DefKey = Tuple[str, str]
+
+
+class ProjectGraph:
+    """The assembled whole-program view over a set of module summaries."""
+
+    def __init__(self, summaries: Iterable[ModuleSummary]) -> None:
+        self.modules: Dict[str, ModuleSummary] = {}
+        for summary in summaries:
+            self.modules[summary.module] = summary
+        self._edges: Optional[Dict[DefKey, List[DefKey]]] = None
+        self._reverse: Optional[Dict[DefKey, List[DefKey]]] = None
+
+    # -- import graph --------------------------------------------------------
+
+    def _project_module_of(self, dotted: str) -> Optional[str]:
+        """The longest known-module prefix of ``dotted``, if any."""
+        parts = dotted.split(".")
+        for length in range(len(parts), 0, -1):
+            candidate = ".".join(parts[:length])
+            if candidate in self.modules:
+                return candidate
+        return None
+
+    def imports_of(self, module: str) -> List[str]:
+        """Project modules ``module`` imports at runtime (sorted)."""
+        summary = self.modules.get(module)
+        if summary is None:
+            return []
+        found: Set[str] = set()
+        for dotted in summary.import_modules:
+            target = self._project_module_of(dotted)
+            if target is not None and target != module:
+                found.add(target)
+        return sorted(found)
+
+    def import_graph(self) -> Dict[str, List[str]]:
+        """The whole runtime import graph over project modules."""
+        return {module: self.imports_of(module) for module in sorted(self.modules)}
+
+    def import_closure(self, module: str) -> Set[str]:
+        """Modules transitively imported by ``module`` (cycle-safe)."""
+        seen: Set[str] = set()
+        frontier = [module]
+        while frontier:
+            current = frontier.pop()
+            for target in self.imports_of(current):
+                if target not in seen:
+                    seen.add(target)
+                    frontier.append(target)
+        return seen
+
+    # -- call resolution -----------------------------------------------------
+
+    def _keys_for_absolute(self, dotted: str) -> List[DefKey]:
+        module = self._project_module_of(dotted)
+        if module is None:
+            return []
+        qualname = dotted[len(module):].lstrip(".")
+        if not qualname:
+            return []
+        summary = self.modules[module]
+        target = summary.defs.get(qualname)
+        if target is None:
+            return []
+        keys: List[DefKey] = [(module, qualname)]
+        if target.kind == "class":
+            for method in ("__init__", "__post_init__"):
+                if f"{qualname}.{method}" in summary.defs:
+                    keys.append((module, f"{qualname}.{method}"))
+        return keys
+
+    def resolve_call(self, module: str, dotted: str) -> List[DefKey]:
+        """Def keys a dotted call name in ``module`` can target (sorted)."""
+        summary = self.modules.get(module)
+        if summary is None:
+            return []
+        head = dotted.split(".", 1)[0]
+        candidates: List[str] = []
+        if head in summary.imports:
+            rest = dotted[len(head):].lstrip(".")
+            base = summary.imports[head]
+            candidates.append(f"{base}.{rest}" if rest else base)
+        elif head in summary.defs:
+            candidates.append(f"{module}.{dotted}")
+        else:
+            for star in sorted(summary.star_imports):
+                star_summary = self.modules.get(star)
+                if star_summary is not None and head in star_summary.top_level_names():
+                    candidates.append(f"{star}.{dotted}")
+        keys: List[DefKey] = []
+        for candidate in candidates:
+            keys.extend(self._keys_for_absolute(candidate))
+        return sorted(set(keys))
+
+    def call_edges(self) -> Dict[DefKey, List[DefKey]]:
+        """Adjacency: caller def -> resolved callee defs (cached)."""
+        if self._edges is None:
+            edges: Dict[DefKey, List[DefKey]] = {}
+            for module in sorted(self.modules):
+                summary = self.modules[module]
+                for qualname in sorted(summary.defs):
+                    targets: Set[DefKey] = set()
+                    for dotted, _line, _col in summary.defs[qualname].calls:
+                        targets.update(self.resolve_call(module, dotted))
+                    edges[(module, qualname)] = sorted(targets)
+            self._edges = edges
+        return self._edges
+
+    def _reverse_edges(self) -> Dict[DefKey, List[DefKey]]:
+        if self._reverse is None:
+            reverse: Dict[DefKey, List[DefKey]] = {}
+            for caller, callees in self.call_edges().items():
+                for callee in callees:
+                    reverse.setdefault(callee, []).append(caller)
+            self._reverse = {key: sorted(set(value)) for key, value in reverse.items()}
+        return self._reverse
+
+    # -- reachability --------------------------------------------------------
+
+    def defs_reaching(self, sink: str) -> Set[DefKey]:
+        """Defs from which a ``sink`` callsite is reachable (incl. direct)."""
+        seeds = [
+            (module, qualname)
+            for module in sorted(self.modules)
+            for qualname, info in sorted(self.modules[module].defs.items())
+            if sink in info.sinks
+        ]
+        reverse = self._reverse_edges()
+        seen: Set[DefKey] = set(seeds)
+        frontier = list(seeds)
+        while frontier:
+            current = frontier.pop()
+            for caller in reverse.get(current, []):
+                if caller not in seen:
+                    seen.add(caller)
+                    frontier.append(caller)
+        return seen
+
+    def modules_reaching(self, sink: str, prefix: str = "repro") -> Set[str]:
+        """Project modules (under ``prefix``) owning a def that reaches
+        ``sink``."""
+        found: Set[str] = set()
+        for module, _qualname in self.defs_reaching(sink):
+            if module == prefix or module.startswith(prefix + "."):
+                found.add(module)
+        return found
+
+    def modules_with_sink(self, sink: str, prefix: str = "repro") -> Set[str]:
+        """Project modules with a *direct* ``sink`` callsite (no
+        transitivity) — the right notion for sanctioned-caller sets."""
+        found: Set[str] = set()
+        for module in sorted(self.modules):
+            if not (module == prefix or module.startswith(prefix + ".")):
+                continue
+            for info in self.modules[module].defs.values():
+                if sink in info.sinks:
+                    found.add(module)
+                    break
+        return found
+
+    # -- class hierarchy / providers -----------------------------------------
+
+    def resolve_class(self, module: str, dotted: str) -> Optional[DefKey]:
+        """The class def a base-class expression in ``module`` names."""
+        for key in self.resolve_call(module, dotted):
+            target = self.modules[key[0]].defs.get(key[1])
+            if target is not None and target.kind == "class":
+                return key
+        return None
+
+    def subclasses_of(self, root: DefKey) -> Set[DefKey]:
+        """All project classes transitively deriving from ``root``."""
+        children: Dict[DefKey, Set[DefKey]] = {}
+        for module in sorted(self.modules):
+            summary = self.modules[module]
+            for qualname, info in sorted(summary.defs.items()):
+                if info.kind != "class":
+                    continue
+                for base in info.bases:
+                    base_key = self.resolve_class(module, base)
+                    if base_key is not None:
+                        children.setdefault(base_key, set()).add(
+                            (module, qualname)
+                        )
+        seen: Set[DefKey] = set()
+        frontier = [root]
+        while frontier:
+            current = frontier.pop()
+            for child in sorted(children.get(current, ())):
+                if child not in seen:
+                    seen.add(child)
+                    frontier.append(child)
+        return seen
+
+    def registry_providers(self) -> List[Tuple[str, DefSummary]]:
+        """Defs registered as providers via an ``@<REGISTRY>.register(...)``
+        decorator (sorted by module then qualname)."""
+        providers: List[Tuple[str, DefSummary]] = []
+        for module in sorted(self.modules):
+            summary = self.modules[module]
+            for qualname in sorted(summary.defs):
+                info = summary.defs[qualname]
+                if any(
+                    decorator.split(".")[-1] == "register"
+                    for decorator in info.decorators
+                ):
+                    providers.append((module, info))
+        return providers

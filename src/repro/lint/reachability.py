@@ -1,0 +1,293 @@
+"""Computed scopes and the project-level (call-graph) rules.
+
+Where :mod:`repro.lint.rules` pattern-matches one file at a time, the
+rules here consume the whole :class:`~repro.lint.graph.ProjectGraph`:
+
+* **SCOPE001** — the declared module sets in ``repro/lint/scopes.py``
+  (``FINGERPRINT_MODULES``, ``PERSISTENCE_MODULES``,
+  ``PICKLE_SANCTIONED_MODULES``) must match the sets *computed* from the
+  code: a module is on the fingerprint path iff one of its defs
+  transitively reaches a ``hashlib.sha256`` callsite, on the persistence
+  path iff it reaches a file-write sink, on the pickle surface iff it
+  reaches ``pickle.load``/``loads``.  Divergence is a finding anchored at
+  the declared set, naming the drifted module, fixable with
+  ``python -m repro.lint --update-scopes`` (or a justified allow).
+  The pickle set is only checked for *staleness* — an undeclared
+  unpickler is already ROB003's per-file finding.
+* **PAR003** — a mutable default argument on a registry provider
+  (``@<REGISTRY>.register(...)``) or on a method of a ``Placer``
+  subclass.  Providers are long-lived shared callables: a mutated
+  default leaks state across cells, workers and registry lookups.
+* **SER001** — ``json.dump``/``dumps`` without ``sort_keys=True`` in a
+  module on the computed serialization path (persistence or
+  fingerprint): non-canonical key order breaks byte-identity.
+
+Raw findings are ``(module, line, col, end_line, code, message)``; the
+engine maps modules back to display paths and applies inline
+suppressions exactly as for per-file rules.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.lint.graph import (
+    DefSummary,
+    ModuleSummary,
+    ProjectGraph,
+    SINK_PICKLE_LOAD,
+    SINK_SHA256,
+    SINK_WRITE,
+)
+
+#: A project-rule finding before path mapping:
+#: (module, line, col, end_line, code, message).
+ProjectFinding = Tuple[str, int, int, int, str, str]
+
+#: The module whose declared sets SCOPE001 audits, and the names of
+#: those sets with the sink each one is computed from.
+SCOPES_MODULE = "repro.lint.scopes"
+DECLARED_SETS: Tuple[Tuple[str, str], ...] = (
+    ("FINGERPRINT_MODULES", SINK_SHA256),
+    ("PERSISTENCE_MODULES", SINK_WRITE),
+    ("PICKLE_SANCTIONED_MODULES", SINK_PICKLE_LOAD),
+)
+
+#: The class whose subclasses PAR003 audits for mutable defaults.
+PLACER_ROOT = ("repro.core.placers.base", "Placer")
+
+#: Summaries of the project rules (the per-file catalog lives in
+#: :data:`repro.lint.rules.RULES`).
+PROJECT_RULE_SUMMARIES: Dict[str, str] = {
+    "SCOPE001": "declared scope sets in lint/scopes.py drifted from the "
+    "computed reachability sets",
+    "PAR003": "mutable default argument on a registry provider or Placer "
+    "subclass",
+    "SER001": "json.dump* without sort_keys=True on the serialization path",
+}
+
+
+@dataclass(frozen=True)
+class ComputedScopes:
+    """The reachability-derived counterparts of the declared sets."""
+
+    fingerprint: FrozenSet[str]
+    persistence: FrozenSet[str]
+    pickle: FrozenSet[str]
+
+    def for_set(self, name: str) -> FrozenSet[str]:
+        if name == "FINGERPRINT_MODULES":
+            return self.fingerprint
+        if name == "PERSISTENCE_MODULES":
+            return self.persistence
+        if name == "PICKLE_SANCTIONED_MODULES":
+            return self.pickle
+        raise KeyError(name)
+
+
+def compute_scopes(graph: ProjectGraph, prefix: str = "repro") -> ComputedScopes:
+    """Compute the fingerprint/persistence/pickle sets from the graph.
+
+    Fingerprint and persistence are *transitive* (a module whose output
+    feeds a fingerprint or an artifact file is on the path even when the
+    sink lives downstream); the pickle surface is *direct* callsites
+    only — "sanctioned to unpickle" must not leak to mere callers of the
+    checksum-verified readers.
+    """
+    return ComputedScopes(
+        fingerprint=frozenset(graph.modules_reaching(SINK_SHA256, prefix)),
+        persistence=frozenset(graph.modules_reaching(SINK_WRITE, prefix)),
+        pickle=frozenset(graph.modules_with_sink(SINK_PICKLE_LOAD, prefix)),
+    )
+
+
+def _declared_values(
+    summary: Optional[ModuleSummary], name: str
+) -> Optional[Tuple[int, FrozenSet[str]]]:
+    if summary is None:
+        return None
+    entry = summary.set_constants.get(name)
+    if entry is None:
+        return None
+    line, values = entry
+    return line, frozenset(values)
+
+
+def scope_findings(
+    graph: ProjectGraph,
+    computed: Optional[ComputedScopes] = None,
+    scopes_module: str = SCOPES_MODULE,
+) -> List[ProjectFinding]:
+    """SCOPE001: declared-vs-computed drift, both directions."""
+    summary = graph.modules.get(scopes_module)
+    if summary is None:
+        return []
+    if computed is None:
+        computed = compute_scopes(graph)
+    findings: List[ProjectFinding] = []
+    for name, sink in DECLARED_SETS:
+        declared = _declared_values(summary, name)
+        if declared is None:
+            continue
+        line, declared_values = declared
+        computed_values = computed.for_set(name)
+        stale_only = name == "PICKLE_SANCTIONED_MODULES"
+        if not stale_only:
+            for module in sorted(computed_values - declared_values):
+                findings.append((
+                    scopes_module, line, 0, line, "SCOPE001",
+                    f"computed {sink} path includes {module!r} but "
+                    f"{name} does not declare it; run 'python -m "
+                    "repro.lint --update-scopes' or add a justified "
+                    "# repro: allow[SCOPE001]",
+                ))
+        for module in sorted(declared_values - computed_values):
+            findings.append((
+                scopes_module, line, 0, line, "SCOPE001",
+                f"{name} declares {module!r} but no def there reaches a "
+                f"{sink} sink; run 'python -m repro.lint --update-scopes' "
+                "to drop the stale entry",
+            ))
+    return findings
+
+
+def _mutable_default_findings(
+    module: str, info: DefSummary, context: str
+) -> List[ProjectFinding]:
+    findings: List[ProjectFinding] = []
+    for arg, line, col, end_line in info.mutable_defaults:
+        findings.append((
+            module, line, col, end_line, "PAR003",
+            f"mutable default for {arg!r} on {context} "
+            f"{info.qualname!r} is shared across every call and registry "
+            "lookup; default to None and build the container in the body",
+        ))
+    return findings
+
+
+def par003_findings(graph: ProjectGraph) -> List[ProjectFinding]:
+    """PAR003: mutable defaults on providers and Placer subclasses."""
+    findings: List[ProjectFinding] = []
+    for module, info in graph.registry_providers():
+        findings.extend(
+            _mutable_default_findings(module, info, "registry provider")
+        )
+        if info.kind == "class":
+            summary = graph.modules[module]
+            for qualname in sorted(summary.defs):
+                if qualname.startswith(info.qualname + "."):
+                    findings.extend(_mutable_default_findings(
+                        module, summary.defs[qualname], "registry provider"
+                    ))
+    placer_classes = graph.subclasses_of(PLACER_ROOT)
+    for module, class_qualname in sorted(placer_classes):
+        summary = graph.modules[module]
+        for qualname in sorted(summary.defs):
+            if qualname.startswith(class_qualname + "."):
+                findings.extend(_mutable_default_findings(
+                    module, summary.defs[qualname], "Placer subclass"
+                ))
+    return sorted(set(findings))
+
+
+def ser001_findings(
+    graph: ProjectGraph, computed: Optional[ComputedScopes] = None
+) -> List[ProjectFinding]:
+    """SER001: non-canonical json.dump* on the serialization path."""
+    if computed is None:
+        computed = compute_scopes(graph)
+    serialization_path = computed.persistence | computed.fingerprint
+    findings: List[ProjectFinding] = []
+    for module in sorted(serialization_path):
+        summary = graph.modules.get(module)
+        if summary is None:
+            continue
+        for line, col, end_line, canonical in summary.json_dumps:
+            if not canonical:
+                findings.append((
+                    module, line, col, end_line, "SER001",
+                    "json.dump* without sort_keys=True in a module on the "
+                    "serialization path emits non-canonical key order; "
+                    "use analysis.serialization.dump_json (or pass "
+                    "sort_keys=True)",
+                ))
+    return findings
+
+
+def project_findings(graph: ProjectGraph) -> List[ProjectFinding]:
+    """All project-rule findings for an assembled graph, sorted."""
+    computed = compute_scopes(graph)
+    findings: List[ProjectFinding] = []
+    findings.extend(scope_findings(graph, computed))
+    findings.extend(par003_findings(graph))
+    findings.extend(ser001_findings(graph, computed))
+    return sorted(findings)
+
+
+# ---------------------------------------------------------------------------
+# --update-scopes: rewrite the declared sets from the computed ones
+# ---------------------------------------------------------------------------
+
+
+def render_module_set(values: FrozenSet[str], indent: str = "    ") -> str:
+    """The canonical source form of a declared module set."""
+    if not values:
+        return "frozenset()"
+    lines = [f'{indent}"{value}",' for value in sorted(values)]
+    return "frozenset({\n" + "\n".join(lines) + "\n})"
+
+
+def update_scopes_source(source: str, computed: ComputedScopes) -> str:
+    """``scopes.py`` source with the declared sets replaced by the
+    computed ones (everything else byte-preserved)."""
+    tree = ast.parse(source)
+    lines = source.splitlines(keepends=True)
+    offsets = [0]
+    for line in lines:
+        offsets.append(offsets[-1] + len(line))
+
+    def absolute(line: int, col: int) -> int:
+        return offsets[line - 1] + col
+
+    replacements: List[Tuple[int, int, str]] = []
+    wanted = {name for name, _sink in DECLARED_SETS}
+    for node in tree.body:
+        target: Optional[ast.expr] = None
+        value: Optional[ast.expr] = None
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target, value = node.targets[0], node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            target, value = node.target, node.value
+        if (
+            target is None
+            or value is None
+            or not isinstance(target, ast.Name)
+            or target.id not in wanted
+        ):
+            continue
+        start = absolute(value.lineno, value.col_offset)
+        end = absolute(
+            value.end_lineno or value.lineno, value.end_col_offset or 0
+        )
+        replacements.append(
+            (start, end, render_module_set(computed.for_set(target.id)))
+        )
+    result = source
+    for start, end, text in sorted(replacements, reverse=True):
+        result = result[:start] + text + result[end:]
+    return result
+
+
+def update_scopes_file(path: str, computed: ComputedScopes) -> bool:
+    """Rewrite ``path`` in place; returns whether anything changed."""
+    from repro.analysis.serialization import atomic_write_text
+
+    with open(path, "r", encoding="utf-8") as handle:
+        source = handle.read()
+    updated = update_scopes_source(source, computed)
+    if updated == source:
+        return False
+    atomic_write_text(path, updated)
+    return True

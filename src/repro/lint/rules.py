@@ -1,4 +1,4 @@
-"""The determinism (DET) and robustness (ROB) rule catalog.
+"""The determinism (DET), robustness (ROB) and parallelism (PAR) rules.
 
 Each rule is a small :mod:`ast` pattern matcher with a stable code, a
 scope predicate over dotted module names (:mod:`repro.lint.scopes`) and a
@@ -8,6 +8,16 @@ unambiguously the hazard: a rule that cries wolf gets suppressed into
 uselessness, while a quiet rule still catches the regressions that
 matter (every hazard class below has bitten this codebase before).
 
+Two rule *profiles* exist: ``strict`` (the ``repro.*`` source tree, all
+rules, scope predicates honoured) and ``relaxed`` (``scripts/`` and
+``benchmarks/``: only the rules marked ``relaxed=True`` run, and they
+run regardless of the module's scope, since scripts lint under bare
+stems that no scope predicate covers).
+
+This module holds the *per-file* rules.  The whole-program rules
+(SCOPE001, PAR003, SER001) live in :mod:`repro.lint.reachability` and
+run over the assembled :class:`~repro.lint.graph.ProjectGraph`.
+
 The full catalog, with rationale and the sanctioned pattern for each
 rule, lives in ``docs/static-analysis.md``.
 """
@@ -16,24 +26,32 @@ from __future__ import annotations
 
 import ast
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterator, List, Optional, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Set, Tuple
 
 from repro.lint import scopes
 
-#: A raw finding before path/suppression handling: (line, col, message).
-Finding = Tuple[int, int, str]
+#: A raw finding before path/suppression handling:
+#: (line, col, end_line, message).  ``end_line`` is the last physical
+#: line of the flagged node, so inline suppressions anywhere in a
+#: multi-line statement are honoured.
+Finding = Tuple[int, int, int, str]
 
 
 @dataclass(frozen=True)
 class Rule:
-    """One lint rule: code, scope predicate and AST checker."""
+    """One lint rule: code, scope predicate, AST checker, profile flag."""
 
     code: str
     summary: str
     scope: Callable[[str], bool]
     check: Callable[[ast.AST, str], Iterator[Finding]]
+    relaxed: bool = False
 
-    def applies_to(self, module: str) -> bool:
+    def applies_to(
+        self, module: str, profile: str = scopes.PROFILE_STRICT
+    ) -> bool:
+        if profile == scopes.PROFILE_RELAXED:
+            return self.relaxed
         return self.scope(module)
 
 
@@ -72,6 +90,13 @@ _WALL_CLOCK_CALLS = {
 #: File-open modes that create or truncate: the writes ROB001 polices.
 _WRITE_MODES = ("w", "wb", "w+", "wb+", "x", "xb", "a", "ab", "a+")
 
+#: Keyword arguments whose value is executed in a worker process
+#: (``ExperimentSpec`` factories, executor initializers, ``Process``
+#: targets).
+_WORKER_CALLABLE_KEYWORDS = frozenset({
+    "target", "initializer", "circuit_factory", "environment_factory",
+})
+
 
 def _call_name(node: ast.AST) -> Optional[str]:
     """``foo`` for ``foo(...)`` calls on a bare name, else ``None``."""
@@ -92,6 +117,10 @@ def _keyword(call: ast.Call, name: str) -> Optional[ast.expr]:
         if keyword.arg == name:
             return keyword.value
     return None
+
+
+def _end_line(node: ast.AST) -> int:
+    return int(getattr(node, "end_lineno", None) or getattr(node, "lineno", 1))
 
 
 def _is_set_expression(node: ast.AST) -> bool:
@@ -140,6 +169,7 @@ def _det001(tree: ast.AST, module: str) -> Iterator[Finding]:
                     found.append((
                         iterable.lineno,
                         iterable.col_offset,
+                        _end_line(iterable),
                         "iteration over a set follows hash order, which "
                         "depends on PYTHONHASHSEED; sort it first "
                         "(canonical_order / node_index_table for graph "
@@ -183,6 +213,7 @@ def _det002(tree: ast.AST, module: str) -> Iterator[Finding]:
                 found.append((
                     node.lineno,
                     node.col_offset,
+                    _end_line(node),
                     f"key={builtin} re-derives node order ad hoc; route "
                     "through repro.core._bitset.node_index_table "
                     "(canonical_order / canonical_min) so every tie-break "
@@ -208,6 +239,7 @@ def _det003(tree: ast.AST, module: str) -> Iterator[Finding]:
                 found.append((
                     node.lineno,
                     node.col_offset,
+                    _end_line(node),
                     "hash() is salted by PYTHONHASHSEED for str/bytes and "
                     "must not feed a fingerprint; use hashlib.sha256 over "
                     "canonical bytes (serialization.dump_json)",
@@ -239,6 +271,7 @@ def _det004(tree: ast.AST, module: str) -> Iterator[Finding]:
                 found.append((
                     node.lineno,
                     node.col_offset,
+                    _end_line(node),
                     f"random.{pair[1]}() uses the interpreter-global RNG "
                     "state; use a private random.Random seeded from "
                     "sha256 of the spec seed (the placer-anneal idiom)",
@@ -247,6 +280,7 @@ def _det004(tree: ast.AST, module: str) -> Iterator[Finding]:
                 found.append((
                     node.lineno,
                     node.col_offset,
+                    _end_line(node),
                     "random.Random() with no seed draws from OS entropy; "
                     "derive the seed from the spec (sha256 of seed and "
                     "workspace index, the placer-anneal idiom)",
@@ -272,6 +306,7 @@ def _det005(tree: ast.AST, module: str) -> Iterator[Finding]:
                 found.append((
                     node.lineno,
                     node.col_offset,
+                    _end_line(node),
                     f"{_WALL_CLOCK_CALLS[pair]} is run-dependent and must "
                     "not reach a serialised or fingerprinted payload; "
                     "byte-identical inputs must produce byte-identical "
@@ -306,6 +341,7 @@ def _rob001(tree: ast.AST, module: str) -> Iterator[Finding]:
                 found.append((
                     node.lineno,
                     node.col_offset,
+                    _end_line(node),
                     "artifact writes must be crash-safe; use "
                     "analysis.serialization.atomic_write_text/bytes "
                     "(temp file + fsync + os.replace) instead of a "
@@ -354,9 +390,16 @@ def _rob002(tree: ast.AST, module: str) -> Iterator[Finding]:
             if not isinstance(node, ast.ExceptHandler):
                 continue
             if _is_broad_handler(node) and _handler_swallows(node):
+                # The span is the handler *header* only: an allow must sit
+                # on the ``except`` line, not anywhere in the body.
+                header_end = (
+                    _end_line(node.type) if node.type is not None
+                    else node.lineno
+                )
                 found.append((
                     node.lineno,
                     node.col_offset,
+                    header_end,
                     "broad except swallows the failure invisibly; "
                     "re-raise a typed error, or record the fallback with "
                     "a STATS counter so degraded paths stay observable",
@@ -384,10 +427,171 @@ def _rob003(tree: ast.AST, module: str) -> Iterator[Finding]:
                 found.append((
                     node.lineno,
                     node.col_offset,
+                    _end_line(node),
                     "pickle.load on unverified bytes executes arbitrary "
                     "code on corruption; only the checksum-verified shard "
                     "readers (analysis.sharding.read_shard) may unpickle",
                 ))
+
+    return _findings(tree, visit)
+
+
+# ---------------------------------------------------------------------------
+# PAR001 / PAR002 — worker-submission safety
+# ---------------------------------------------------------------------------
+
+
+def _submitted_callables(tree: ast.AST) -> List[ast.expr]:
+    """Expressions handed to a worker pool / process / spec factory.
+
+    Covers ``pool.submit(f, ...)``, ``Process(target=f)``, executor
+    ``initializer=f``, and ``ExperimentSpec``/``replace`` factory
+    keywords (``circuit_factory=`` / ``environment_factory=``) — every
+    site where a callable crosses a process boundary by pickling.
+    """
+    submitted: List[ast.expr] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr == "submit"
+            and node.args
+        ):
+            submitted.append(node.args[0])
+        for keyword in node.keywords:
+            if keyword.arg in _WORKER_CALLABLE_KEYWORDS:
+                submitted.append(keyword.value)
+    return submitted
+
+
+def _def_name_scopes(tree: ast.AST) -> Tuple[Set[str], Set[str]]:
+    """(module-level def names, nested def names) in one pass."""
+    module_level: Set[str] = set()
+    nested: Set[str] = set()
+
+    def walk(node: ast.AST, depth: int) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                (module_level if depth == 0 else nested).add(child.name)
+                walk(child, depth + 1)
+            elif isinstance(child, ast.ClassDef):
+                # Methods pickle via their class; only function nesting
+                # makes a callable unreachable by reference.
+                walk(child, depth)
+            elif isinstance(child, ast.Lambda):
+                walk(child, depth + 1)
+            else:
+                walk(child, depth)
+
+    walk(tree, 0)
+    return module_level, nested
+
+
+def _par001(tree: ast.AST, module: str) -> Iterator[Finding]:
+    """Lambda / nested def handed to a worker pool (pickles by reference)."""
+
+    def visit(root: ast.AST, found: List[Finding]) -> None:
+        module_level, nested = _def_name_scopes(root)
+        for expr in _submitted_callables(root):
+            flagged: Optional[str] = None
+            if isinstance(expr, ast.Lambda):
+                flagged = "a lambda"
+            elif (
+                isinstance(expr, ast.Name)
+                and expr.id in nested
+                and expr.id not in module_level
+            ):
+                flagged = f"nested function {expr.id!r}"
+            if flagged is not None:
+                found.append((
+                    expr.lineno,
+                    expr.col_offset,
+                    _end_line(expr),
+                    f"{flagged} is submitted to a worker pool but is not "
+                    "module-level; callables pickle by reference, so "
+                    "workers cannot import it and plan fingerprints "
+                    "become process-dependent — define it at module "
+                    "scope (functools.partial over a module-level "
+                    "function is fine)",
+                ))
+
+    return _findings(tree, visit)
+
+
+def _module_level_names(tree: ast.AST) -> Set[str]:
+    """Names bound by assignment at module level (worker-shared state)."""
+    names: Set[str] = set()
+    for node in ast.iter_child_nodes(tree):
+        targets: List[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets = list(node.targets)
+        elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+            targets = [node.target]
+        for target in targets:
+            if isinstance(target, ast.Name):
+                names.add(target.id)
+    return names
+
+
+def _worker_defs(tree: ast.AST) -> List[ast.AST]:
+    """Module-level defs executed inside worker processes."""
+    wanted: Set[str] = set()
+    for expr in _submitted_callables(tree):
+        if isinstance(expr, ast.Name):
+            wanted.add(expr.id)
+    return [
+        node
+        for node in ast.iter_child_nodes(tree)
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        and node.name in wanted
+    ]
+
+
+def _par002(tree: ast.AST, module: str) -> Iterator[Finding]:
+    """Worker-executed function mutating module-level state."""
+
+    def visit(root: ast.AST, found: List[Finding]) -> None:
+        shared = _module_level_names(root)
+        for worker in _worker_defs(root):
+            declared_global: Set[str] = set()
+            for node in ast.walk(worker):
+                if isinstance(node, ast.Global):
+                    declared_global.update(node.names)
+            for node in ast.walk(worker):
+                targets: List[ast.expr] = []
+                if isinstance(node, ast.Assign):
+                    targets = list(node.targets)
+                elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+                    targets = [node.target]
+                for target in targets:
+                    hazard = False
+                    if (
+                        isinstance(target, ast.Name)
+                        and target.id in declared_global
+                    ):
+                        hazard = True
+                    elif isinstance(target, (ast.Subscript, ast.Attribute)):
+                        base = target
+                        while isinstance(base, (ast.Subscript, ast.Attribute)):
+                            base = base.value
+                        if (
+                            isinstance(base, ast.Name)
+                            and base.id in shared
+                            and base.id != "STATS"
+                        ):
+                            hazard = True
+                    if hazard:
+                        found.append((
+                            node.lineno,
+                            node.col_offset,
+                            _end_line(node),
+                            "worker-executed function mutates module-level "
+                            "state; per-process copies diverge and merge "
+                            "back nondeterministically — return the value, "
+                            "or record it via STATS counters (which merge "
+                            "deterministically)",
+                        ))
 
     return _findings(tree, visit)
 
@@ -402,6 +606,7 @@ RULES: Tuple[Rule, ...] = (
         summary="iteration over a set/frozenset follows hash order",
         scope=scopes.on_output_path,
         check=_det001,
+        relaxed=True,
     ),
     Rule(
         code="DET002",
@@ -412,6 +617,7 @@ RULES: Tuple[Rule, ...] = (
             and not scopes.is_canonical_order_module(module)
         ),
         check=_det002,
+        relaxed=True,
     ),
     Rule(
         code="DET003",
@@ -424,6 +630,7 @@ RULES: Tuple[Rule, ...] = (
         summary="global-state or unseeded random",
         scope=scopes.on_output_path,
         check=_det004,
+        relaxed=True,
     ),
     Rule(
         code="DET005",
@@ -448,6 +655,7 @@ RULES: Tuple[Rule, ...] = (
         summary="broad except that swallows without re-raise or counter",
         scope=scopes.on_output_path,
         check=_rob002,
+        relaxed=True,
     ),
     Rule(
         code="ROB003",
@@ -456,6 +664,18 @@ RULES: Tuple[Rule, ...] = (
             scopes.on_output_path(module) and not scopes.may_unpickle(module)
         ),
         check=_rob003,
+    ),
+    Rule(
+        code="PAR001",
+        summary="non-module-level callable submitted to a worker pool",
+        scope=scopes.on_output_path,
+        check=_par001,
+    ),
+    Rule(
+        code="PAR002",
+        summary="worker-executed function mutates module-level state",
+        scope=scopes.on_output_path,
+        check=_par002,
     ),
 )
 

@@ -16,6 +16,13 @@ from __future__ import annotations
 
 from typing import FrozenSet
 
+#: Rule profiles.  ``strict`` (the ``repro.*`` source tree) runs every
+#: rule under its scope predicate; ``relaxed`` (``scripts/`` and
+#: ``benchmarks/``, which lint under bare stems no scope covers) runs
+#: only the rules marked ``relaxed=True``, unconditionally.
+PROFILE_STRICT = "strict"
+PROFILE_RELAXED = "relaxed"
+
 #: Every module under this prefix is on the deterministic output path:
 #: placements, sweep tables, traces and shard payloads are all derived
 #: from values these modules compute.
@@ -30,23 +37,46 @@ CANONICAL_ORDER_MODULE = "repro.core._bitset"
 #: here (DET003) would make an identity PYTHONHASHSEED-dependent; the
 #: sanctioned primitive is ``hashlib.sha256`` over canonical bytes.
 FINGERPRINT_MODULES: FrozenSet[str] = frozenset({
+    "repro.analysis.resilience",
+    "repro.analysis.runner",
     "repro.analysis.serialization",
     "repro.analysis.sharding",
-    "repro.config",
-    "repro.registry",
-    "repro.core.stats",
+    "repro.api",
+    "repro.cli",
+    "repro.core.fine_tuning",
+    "repro.core.placement",
+    "repro.core.placers.anneal",
+    "repro.core.placers.base",
+    "repro.core.placers.exact",
+    "repro.lint.cache",
+    "repro.timing._native",
+    "repro.timing._replay",
+    "repro.timing.scheduler",
 })
 
 #: Modules that write artifacts other processes read back.  Writes here
 #: must go through ``analysis.serialization.atomic_write_text/bytes``
 #: (ROB001) so a crash never leaves a torn file.
 PERSISTENCE_MODULES: FrozenSet[str] = frozenset({
+    "repro.analysis.resilience",
     "repro.analysis.serialization",
     "repro.analysis.sharding",
-    "repro.analysis.resilience",
     "repro.circuits.qasm",
+    "repro.cli",
     "repro.config",
+    "repro.core.fine_tuning",
+    "repro.core.placement",
+    "repro.core.placers.base",
+    "repro.core.placers.exact",
     "repro.hardware.io",
+    "repro.lint.__main__",
+    "repro.lint.baseline",
+    "repro.lint.cache",
+    "repro.lint.cli",
+    "repro.lint.reachability",
+    "repro.timing._native",
+    "repro.timing._replay",
+    "repro.timing.scheduler",
 })
 
 #: The only modules allowed to call ``pickle.load``/``pickle.loads``
@@ -80,3 +110,8 @@ def may_unpickle(module: str) -> bool:
 def is_canonical_order_module(module: str) -> bool:
     """Whether ``module`` is the sanctioned ``key=repr`` sink itself."""
     return module == CANONICAL_ORDER_MODULE
+
+
+def profile_for_module(module: str) -> str:
+    """The rule profile a dotted module lints under."""
+    return PROFILE_STRICT if on_output_path(module) else PROFILE_RELAXED

@@ -17,6 +17,7 @@ import pytest
 from repro.lint import (
     Diagnostic,
     RULES,
+    analyze_source,
     baseline_key,
     compare_to_baseline,
     lint_paths,
@@ -29,6 +30,8 @@ from repro.lint import (
     write_baseline,
 )
 from repro.lint.baseline import BaselineError
+from repro.lint.engine import profile_for_path
+from repro.lint.scopes import PROFILE_RELAXED
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
@@ -81,7 +84,7 @@ class TestDET002ReprTieBreak:
 
 class TestDET003HashOnFingerprintPath:
     def test_flags_builtin_hash_in_fingerprint_module(self):
-        assert codes("token = hash(spec)\n", "repro.config") == ["DET003"]
+        assert codes("token = hash(spec)\n", "repro.analysis.sharding") == ["DET003"]
 
     def test_ignores_hash_outside_fingerprint_modules(self):
         assert codes("token = hash(spec)\n", "repro.routing.x") == []
@@ -92,7 +95,7 @@ class TestDET003HashOnFingerprintPath:
             def __hash__(self):
                 return hash((self.a, self.b))
         """
-        assert codes(source, "repro.config") == []
+        assert codes(source, "repro.analysis.sharding") == []
 
     def test_hashlib_is_not_flagged(self):
         source = "import hashlib\ndigest = hashlib.sha256(b'x').hexdigest()\n"
@@ -204,6 +207,181 @@ class TestROB003UnverifiedPickle:
     def test_pickle_dumps_is_not_flagged(self):
         source = "import pickle\nblob = pickle.dumps(obj)\n"
         assert codes(source, "repro.core.x") == []
+
+
+class TestPAR001SubmittedCallables:
+    def test_flags_lambda_submitted_to_a_pool(self):
+        source = "future = pool.submit(lambda: work())\n"
+        assert codes(source, "repro.analysis.x") == ["PAR001"]
+
+    def test_flags_nested_def_submitted_to_a_pool(self):
+        source = """
+        def run(pool):
+            def task():
+                return 1
+            return pool.submit(task)
+        """
+        assert codes(source, "repro.analysis.x") == ["PAR001"]
+
+    def test_flags_lambda_factory_keyword(self):
+        source = "spec = replace(spec, circuit_factory=lambda: build())\n"
+        assert codes(source, "repro.analysis.x") == ["PAR001"]
+
+    def test_module_level_def_is_fine(self):
+        source = """
+        def task():
+            return 1
+
+        def run(pool):
+            return pool.submit(task)
+        """
+        assert codes(source, "repro.analysis.x") == []
+
+    def test_inline_suppression(self):
+        source = "future = pool.submit(lambda: 1)  # repro: allow[PAR001]\n"
+        assert codes(source, "repro.analysis.x") == []
+
+
+class TestPAR002WorkerMutatesModuleState:
+    def test_flags_global_assignment_in_a_worker(self):
+        source = """
+        COUNTER = 0
+
+        def worker(x):
+            global COUNTER
+            COUNTER = COUNTER + x
+            return x
+
+        def run(pool):
+            return pool.submit(worker, 1)
+        """
+        assert codes(source, "repro.analysis.x") == ["PAR002"]
+
+    def test_flags_subscript_write_to_a_module_dict(self):
+        source = """
+        CACHE = {}
+
+        def worker(x):
+            CACHE[x] = True
+            return x
+
+        def run(pool):
+            return pool.submit(worker, 1)
+        """
+        assert codes(source, "repro.analysis.x") == ["PAR002"]
+
+    def test_stats_counters_are_sanctioned(self):
+        source = """
+        STATS = make_stats()
+
+        def worker(x):
+            STATS.counters[x] = 1
+            return x
+
+        def run(pool):
+            return pool.submit(worker, 1)
+        """
+        assert codes(source, "repro.analysis.x") == []
+
+    def test_unsubmitted_functions_are_not_workers(self):
+        source = """
+        CACHE = {}
+
+        def helper(x):
+            CACHE[x] = True
+        """
+        assert codes(source, "repro.analysis.x") == []
+
+    def test_local_mutation_is_fine(self):
+        source = """
+        def worker(x):
+            local = {}
+            local[x] = True
+            return local
+
+        def run(pool):
+            return pool.submit(worker, 1)
+        """
+        assert codes(source, "repro.analysis.x") == []
+
+
+class TestSuppressionSpans:
+    """Inline allows on multi-line statements (span-aware matching)."""
+
+    def test_allow_on_the_first_line_of_a_multiline_statement(self):
+        source = (
+            "import time\n"
+            "payload = build(  # repro: allow[DET005]\n"
+            "    time.time(),\n"
+            ")\n"
+        )
+        assert codes(source, "repro.analysis.serialization") == []
+
+    def test_allow_on_the_closing_line_of_a_simple_statement(self):
+        source = (
+            "order = sorted(\n"
+            "    nodes,\n"
+            "    key=repr,\n"
+            ")  # repro: allow[DET002]\n"
+        )
+        assert codes(source, "repro.api") == []
+
+    def test_allow_on_an_interior_line_of_the_flagged_node(self):
+        source = (
+            "order = sorted(\n"
+            "    nodes,\n"
+            "    key=repr,  # repro: allow[DET002]\n"
+            ")\n"
+        )
+        assert codes(source, "repro.api") == []
+
+    def test_allow_in_a_compound_body_does_not_blanket_the_header(self):
+        source = """
+        try:
+            work()
+        except Exception:
+            pass  # repro: allow[ROB002]
+        """
+        assert codes(source, "repro.analysis.x") == ["ROB002"]
+
+    def test_allow_on_the_except_header_works(self):
+        source = """
+        try:
+            work()
+        except Exception:  # repro: allow[ROB002]
+            pass
+        """
+        assert codes(source, "repro.analysis.x") == []
+
+    def test_unrelated_code_on_the_same_line_does_not_suppress(self):
+        source = "order = sorted(nodes, key=repr)  # repro: allow[DET001]\n"
+        assert codes(source, "repro.api") == ["DET002"]
+
+
+class TestProfiles:
+    def test_scripts_and_benchmarks_lint_relaxed(self):
+        assert profile_for_path("scripts/run_bench.py") == PROFILE_RELAXED
+        assert profile_for_path("benchmarks/suite.py") == PROFILE_RELAXED
+        assert profile_for_path("src/repro/api.py") == "strict"
+
+    def test_relaxed_runs_determinism_rules_unconditionally(self):
+        analysis = analyze_source(
+            "for x in {1, 2}:\n    print(x)\n",
+            "run_bench",  # bare stem: no scope predicate covers it
+            profile=PROFILE_RELAXED,
+        )
+        assert [d.code for d in analysis.diagnostics] == ["DET001"]
+
+    def test_relaxed_skips_scope_sensitive_rules(self):
+        analysis = analyze_source(
+            "import pickle\nobj = pickle.load(fh)\n",
+            "run_bench",
+            profile=PROFILE_RELAXED,
+        )
+        assert analysis.diagnostics == []
+
+    def test_strict_profile_ignores_bare_stems(self):
+        assert codes("for x in {1, 2}:\n    print(x)\n", "run_bench") == []
 
 
 class TestEngine:

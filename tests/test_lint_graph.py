@@ -1,0 +1,729 @@
+"""Tests for the whole-program layer of ``repro.lint``.
+
+Covers the facts extractor (:mod:`repro.lint.graph`), the assembled
+:class:`ProjectGraph` (imports, call resolution, reachability — with
+cycles, star imports and ``TYPE_CHECKING`` guards), the computed-scope
+rules (:mod:`repro.lint.reachability`, both drift directions), the
+project rules PAR003 and SER001, the per-file diagnostic cache, and the
+``--jobs`` / cache byte-identity guarantees over a fixture package.
+"""
+
+import ast
+import textwrap
+from pathlib import Path
+
+from repro.lint import (
+    DiagnosticCache,
+    ModuleSummary,
+    ProjectGraph,
+    analyze_paths,
+    compute_scopes,
+    lint_paths,
+    summarize_tree,
+)
+from repro.lint.graph import (
+    MODULE_DEF,
+    SINK_PICKLE_LOAD,
+    SINK_SHA256,
+    SINK_WRITE,
+)
+from repro.lint.reachability import (
+    ComputedScopes,
+    par003_findings,
+    scope_findings,
+    ser001_findings,
+    update_scopes_source,
+)
+
+
+def summary(source, module="repro.m", is_package=False):
+    """The :class:`ModuleSummary` for a dedented fixture snippet."""
+    tree = ast.parse(textwrap.dedent(source))
+    path = "src/" + module.replace(".", "/") + ".py"
+    return summarize_tree(
+        tree, module, path, "strict", is_package=is_package
+    )
+
+
+def graph_of(**sources):
+    """A :class:`ProjectGraph` over ``{dotted_module: source}`` fixtures."""
+    return ProjectGraph(
+        summary(source, module=module.replace("__", "."))
+        for module, source in sorted(sources.items())
+    )
+
+
+class TestSummaryExtraction:
+    def test_plain_and_aliased_imports(self):
+        info = summary(
+            """
+            import os
+            import numpy as np
+            from repro.core import placement
+            from repro.core.placement import place_grid as pg
+            """
+        )
+        assert info.imports["os"] == "os"
+        assert info.imports["np"] == "numpy"
+        assert info.imports["placement"] == "repro.core.placement"
+        assert info.imports["pg"] == "repro.core.placement.place_grid"
+        assert "repro.core" in info.import_modules
+        assert "repro.core.placement" in info.import_modules
+
+    def test_relative_imports_resolve_against_the_package(self):
+        info = summary(
+            """
+            from . import serialization
+            from .serialization import dump_json
+            from ..core import stats
+            """,
+            module="repro.analysis.runner",
+        )
+        assert "repro.analysis" in info.import_modules
+        assert "repro.analysis.serialization" in info.import_modules
+        assert "repro.core" in info.import_modules
+        assert info.imports["dump_json"] == (
+            "repro.analysis.serialization.dump_json"
+        )
+
+    def test_relative_import_from_a_package_init(self):
+        info = summary(
+            "from .engine import lint_source\n",
+            module="repro.lint",
+            is_package=True,
+        )
+        assert info.imports["lint_source"] == "repro.lint.engine.lint_source"
+
+    def test_star_imports_are_recorded_separately(self):
+        info = summary("from repro.core.placement import *\n")
+        assert info.star_imports == ["repro.core.placement"]
+        assert "repro.core.placement" in info.import_modules
+
+    def test_type_checking_imports_are_not_runtime_edges(self):
+        info = summary(
+            """
+            from typing import TYPE_CHECKING
+            if TYPE_CHECKING:
+                from repro.core.placement import Placement
+            import repro.config
+            """
+        )
+        assert "repro.core.placement" in info.typing_only_imports
+        assert "repro.core.placement" not in info.import_modules
+        assert "repro.config" in info.import_modules
+
+    def test_sha256_sink_direct_and_aliased(self):
+        direct = summary(
+            "import hashlib\n\ndef fp(b):\n    return hashlib.sha256(b)\n"
+        )
+        aliased = summary(
+            "from hashlib import sha256\n\ndef fp(b):\n    return sha256(b)\n"
+        )
+        assert SINK_SHA256 in direct.defs["fp"].sinks
+        assert SINK_SHA256 in aliased.defs["fp"].sinks
+
+    def test_write_sinks(self):
+        info = summary(
+            """
+            import os
+
+            def save(path, text):
+                with open(path, "w") as fh:
+                    fh.write(text)
+
+            def swap(a, b):
+                os.replace(a, b)
+
+            def touch(path):
+                path.write_text("x")
+
+            def read(path):
+                with open(path) as fh:
+                    return fh.read()
+            """
+        )
+        assert SINK_WRITE in info.defs["save"].sinks
+        assert SINK_WRITE in info.defs["swap"].sinks
+        assert SINK_WRITE in info.defs["touch"].sinks
+        assert info.defs["read"].sinks == []
+
+    def test_pickle_sink(self):
+        info = summary(
+            "import pickle\n\ndef load(fh):\n    return pickle.load(fh)\n"
+        )
+        assert SINK_PICKLE_LOAD in info.defs["load"].sinks
+
+    def test_self_calls_rewrite_to_the_class_qualname(self):
+        info = summary(
+            """
+            class Placer:
+                def place(self):
+                    return self._score()
+
+                def _score(self):
+                    return 0
+            """
+        )
+        calls = [name for name, _l, _c in info.defs["Placer.place"].calls]
+        assert "Placer._score" in calls
+
+    def test_nested_defs_fold_into_the_tracked_ancestor(self):
+        info = summary(
+            """
+            import hashlib
+
+            def outer():
+                def inner(b):
+                    return hashlib.sha256(b)
+                return inner
+            """
+        )
+        assert "outer.inner" not in info.defs
+        assert SINK_SHA256 in info.defs["outer"].sinks
+
+    def test_module_level_code_lands_in_the_module_pseudo_def(self):
+        info = summary("import hashlib\nTOKEN = hashlib.sha256(b'x')\n")
+        assert SINK_SHA256 in info.defs[MODULE_DEF].sinks
+
+    def test_set_constants_capture_frozenset_literals(self):
+        info = summary(
+            'NAMES = frozenset({\n    "b",\n    "a",\n})\nN = 3\n'
+        )
+        line, values = info.set_constants["NAMES"]
+        assert line == 1
+        assert values == ["a", "b"]
+        assert "N" not in info.set_constants
+
+    def test_summary_round_trips_through_dict(self):
+        info = summary(
+            """
+            import hashlib
+            from repro.core import placement
+
+            def fp(b, extras=[]):
+                return hashlib.sha256(b)
+            """
+        )
+        clone = ModuleSummary.from_dict(info.to_dict())
+        assert clone.to_dict() == info.to_dict()
+
+
+class TestImportGraph:
+    def test_cycle_is_represented_and_closure_terminates(self):
+        graph = graph_of(
+            repro__a="import repro.b\n",
+            repro__b="import repro.a\n",
+        )
+        assert graph.imports_of("repro.a") == ["repro.b"]
+        assert graph.imports_of("repro.b") == ["repro.a"]
+        closure = graph.import_closure("repro.a")
+        assert closure == {"repro.a", "repro.b"}
+
+    def test_type_checking_imports_produce_no_runtime_edge(self):
+        graph = graph_of(
+            repro__a=(
+                "from typing import TYPE_CHECKING\n"
+                "if TYPE_CHECKING:\n"
+                "    import repro.b\n"
+            ),
+            repro__b="X = 1\n",
+        )
+        assert graph.imports_of("repro.a") == []
+
+    def test_submodule_imports_resolve_to_the_longest_known_prefix(self):
+        graph = graph_of(
+            repro__a="from repro.core.placement import place_grid\n",
+            repro__core__placement="def place_grid():\n    return 0\n",
+        )
+        assert graph.imports_of("repro.a") == ["repro.core.placement"]
+
+
+class TestCallGraphReachability:
+    def test_transitive_reach_through_a_from_import(self):
+        graph = graph_of(
+            repro__a=(
+                "import hashlib\n\n"
+                "def fingerprint(b):\n"
+                "    return hashlib.sha256(b).hexdigest()\n"
+            ),
+            repro__b=(
+                "from repro.a import fingerprint\n\n"
+                "def caller(b):\n"
+                "    return fingerprint(b)\n"
+            ),
+            repro__c="def unrelated():\n    return 1\n",
+        )
+        reaching = graph.defs_reaching(SINK_SHA256)
+        assert ("repro.a", "fingerprint") in reaching
+        assert ("repro.b", "caller") in reaching
+        assert ("repro.c", "unrelated") not in reaching
+        assert graph.modules_reaching(SINK_SHA256) == {"repro.a", "repro.b"}
+
+    def test_star_import_resolves_against_the_target_top_level(self):
+        graph = graph_of(
+            repro__a=(
+                "import hashlib\n\n"
+                "def fingerprint(b):\n"
+                "    return hashlib.sha256(b)\n"
+            ),
+            repro__b=(
+                "from repro.a import *\n\n"
+                "def caller(b):\n"
+                "    return fingerprint(b)\n"
+            ),
+        )
+        assert ("repro.b", "caller") in graph.defs_reaching(SINK_SHA256)
+
+    def test_call_cycle_terminates(self):
+        graph = graph_of(
+            repro__a=(
+                "from repro.b import pong\nimport hashlib\n\n"
+                "def ping(n):\n"
+                "    hashlib.sha256(b'')\n"
+                "    return pong(n - 1)\n"
+            ),
+            repro__b=(
+                "from repro.a import ping\n\n"
+                "def pong(n):\n"
+                "    return ping(n)\n"
+            ),
+        )
+        reaching = graph.defs_reaching(SINK_SHA256)
+        assert ("repro.a", "ping") in reaching
+        assert ("repro.b", "pong") in reaching
+
+    def test_instantiation_reaches_init(self):
+        graph = graph_of(
+            repro__a=(
+                "import hashlib\n\n"
+                "class Spec:\n"
+                "    def __init__(self, b):\n"
+                "        self.token = hashlib.sha256(b)\n"
+            ),
+            repro__b=(
+                "from repro.a import Spec\n\n"
+                "def make(b):\n"
+                "    return Spec(b)\n"
+            ),
+        )
+        assert ("repro.b", "make") in graph.defs_reaching(SINK_SHA256)
+
+    def test_method_calls_on_instances_are_a_sound_miss(self):
+        graph = graph_of(
+            repro__a=(
+                "def run(plan):\n"
+                "    plan.save()\n"
+                "    return plan\n"
+            ),
+        )
+        assert graph.resolve_call("repro.a", "plan.save") == []
+        assert graph.defs_reaching(SINK_WRITE) == set()
+
+    def test_direct_sink_set_is_not_transitive(self):
+        graph = graph_of(
+            repro__reader=(
+                "import pickle\n\n"
+                "def read(fh):\n"
+                "    return pickle.load(fh)\n"
+            ),
+            repro__caller=(
+                "from repro.reader import read\n\n"
+                "def load_all(fh):\n"
+                "    return read(fh)\n"
+            ),
+        )
+        assert graph.modules_with_sink(SINK_PICKLE_LOAD) == {"repro.reader"}
+        assert graph.modules_reaching(SINK_PICKLE_LOAD) == {
+            "repro.reader",
+            "repro.caller",
+        }
+
+    def test_subclasses_resolve_transitively(self):
+        graph = graph_of(
+            repro__base="class Placer:\n    pass\n",
+            repro__mid=(
+                "from repro.base import Placer\n\n"
+                "class Greedy(Placer):\n    pass\n"
+            ),
+            repro__leaf=(
+                "from repro.mid import Greedy\n\n"
+                "class Tuned(Greedy):\n    pass\n"
+            ),
+        )
+        subclasses = graph.subclasses_of(("repro.base", "Placer"))
+        assert subclasses == {
+            ("repro.mid", "Greedy"),
+            ("repro.leaf", "Tuned"),
+        }
+
+
+def scopes_source(fingerprint=(), persistence=(), pickle=()):
+    """A fixture ``scopes.py`` declaring the three audited sets."""
+
+    def render(name, values):
+        if not values:
+            return f"{name} = frozenset()\n"
+        lines = "".join(f'    "{value}",\n' for value in sorted(values))
+        return f"{name} = frozenset({{\n{lines}}})\n"
+
+    return (
+        '"""Fixture scopes module."""\n\n'
+        + render("FINGERPRINT_MODULES", fingerprint)
+        + "\n"
+        + render("PERSISTENCE_MODULES", persistence)
+        + "\n"
+        + render("PICKLE_SANCTIONED_MODULES", pickle)
+    )
+
+
+def drift_graph(fingerprint=(), persistence=(), pickle=()):
+    """A graph with one sha256 module, one writer, one unpickler, and a
+    ``repro.lint.scopes`` module declaring the given sets."""
+    return graph_of(
+        repro__lint__scopes=scopes_source(fingerprint, persistence, pickle),
+        repro__fp=(
+            "import hashlib\n\n"
+            "def fp(b):\n"
+            "    return hashlib.sha256(b)\n"
+        ),
+        repro__writer=(
+            "def save(path, text):\n"
+            "    with open(path, 'w') as fh:\n"
+            "        fh.write(text)\n"
+        ),
+        repro__reader=(
+            "import pickle\n\n"
+            "def read(fh):\n"
+            "    return pickle.load(fh)\n"
+        ),
+    )
+
+
+class TestScopeDrift:
+    IN_SYNC = dict(
+        fingerprint=("repro.fp",),
+        persistence=("repro.writer",),
+        pickle=("repro.reader",),
+    )
+
+    def test_in_sync_sets_yield_no_findings(self):
+        graph = drift_graph(**self.IN_SYNC)
+        assert scope_findings(graph) == []
+
+    def test_missing_module_direction(self):
+        graph = drift_graph(
+            fingerprint=(),  # repro.fp reaches sha256 but is undeclared
+            persistence=("repro.writer",),
+            pickle=("repro.reader",),
+        )
+        findings = scope_findings(graph)
+        assert len(findings) == 1
+        module, _line, _col, _end, code, message = findings[0]
+        assert module == "repro.lint.scopes"
+        assert code == "SCOPE001"
+        assert "'repro.fp'" in message
+        assert "--update-scopes" in message
+
+    def test_stale_module_direction(self):
+        graph = drift_graph(
+            fingerprint=("repro.fp",),
+            persistence=("repro.writer", "repro.ghost"),
+            pickle=("repro.reader",),
+        )
+        findings = scope_findings(graph)
+        assert len(findings) == 1
+        message = findings[0][5]
+        assert "'repro.ghost'" in message
+        assert "stale" in message
+
+    def test_pickle_set_is_checked_for_staleness_only(self):
+        # An *undeclared* unpickler is ROB003's per-file finding, so the
+        # missing direction must stay silent; a stale entry is SCOPE001.
+        undeclared = drift_graph(
+            fingerprint=("repro.fp",),
+            persistence=("repro.writer",),
+            pickle=(),
+        )
+        assert scope_findings(undeclared) == []
+        stale = drift_graph(
+            fingerprint=("repro.fp",),
+            persistence=("repro.writer",),
+            pickle=("repro.reader", "repro.gone"),
+        )
+        findings = scope_findings(stale)
+        assert len(findings) == 1
+        assert "'repro.gone'" in findings[0][5]
+
+    def test_findings_anchor_at_the_declared_set_line(self):
+        graph = drift_graph(
+            fingerprint=(),
+            persistence=("repro.writer",),
+            pickle=("repro.reader",),
+        )
+        finding = scope_findings(graph)[0]
+        scopes_summary = graph.modules["repro.lint.scopes"]
+        declared_line, _values = scopes_summary.set_constants[
+            "FINGERPRINT_MODULES"
+        ]
+        assert finding[1] == declared_line
+
+    def test_update_scopes_source_rewrites_only_the_sets(self):
+        source = scopes_source(
+            fingerprint=(), persistence=("repro.ghost",), pickle=()
+        )
+        computed = ComputedScopes(
+            fingerprint=frozenset({"repro.fp"}),
+            persistence=frozenset({"repro.writer"}),
+            pickle=frozenset(),
+        )
+        updated = update_scopes_source(source, computed)
+        assert '"repro.fp",' in updated
+        assert "repro.ghost" not in updated
+        assert updated.startswith('"""Fixture scopes module."""')
+        # Idempotent: a second application is a no-op.
+        assert update_scopes_source(updated, computed) == updated
+        # And the result round-trips through the extractor, empty set
+        # included (the rendered ``frozenset()`` stays auditable).
+        info = summary(updated, module="repro.lint.scopes")
+        assert info.set_constants["FINGERPRINT_MODULES"][1] == ["repro.fp"]
+        assert info.set_constants["PERSISTENCE_MODULES"][1] == [
+            "repro.writer"
+        ]
+        assert info.set_constants["PICKLE_SANCTIONED_MODULES"][1] == []
+
+    def test_compute_scopes_matches_the_sinks(self):
+        graph = drift_graph(**self.IN_SYNC)
+        computed = compute_scopes(graph)
+        assert computed.fingerprint == frozenset({"repro.fp"})
+        assert computed.persistence == frozenset({"repro.writer"})
+        assert computed.pickle == frozenset({"repro.reader"})
+
+
+class TestPAR003:
+    def test_mutable_default_on_a_registry_provider(self):
+        graph = graph_of(
+            repro__placers=(
+                "from repro.registry import PLACERS\n\n"
+                "@PLACERS.register('greedy')\n"
+                "def build(options={}):\n"
+                "    return options\n"
+            ),
+            repro__registry="PLACERS = None\n",
+        )
+        findings = par003_findings(graph)
+        assert len(findings) == 1
+        assert findings[0][4] == "PAR003"
+        assert "'options'" in findings[0][5]
+
+    def test_none_default_is_fine(self):
+        graph = graph_of(
+            repro__placers=(
+                "from repro.registry import PLACERS\n\n"
+                "@PLACERS.register('greedy')\n"
+                "def build(options=None):\n"
+                "    return options or {}\n"
+            ),
+            repro__registry="PLACERS = None\n",
+        )
+        assert par003_findings(graph) == []
+
+    def test_mutable_default_on_a_placer_subclass_method(self):
+        graph = graph_of(
+            repro__core__placers__base="class Placer:\n    pass\n",
+            repro__core__placers__greedy=(
+                "from repro.core.placers.base import Placer\n\n"
+                "class Greedy(Placer):\n"
+                "    def place(self, hints=[]):\n"
+                "        return hints\n"
+            ),
+        )
+        findings = par003_findings(graph)
+        assert len(findings) == 1
+        assert "'hints'" in findings[0][5]
+        assert "Placer subclass" in findings[0][5]
+
+    def test_unrelated_class_with_mutable_default_is_not_flagged(self):
+        graph = graph_of(
+            repro__core__placers__base="class Placer:\n    pass\n",
+            repro__other=(
+                "class Helper:\n"
+                "    def collect(self, out=[]):\n"
+                "        return out\n"
+            ),
+        )
+        assert par003_findings(graph) == []
+
+
+class TestSER001:
+    def _graph(self, dump_line):
+        return graph_of(
+            repro__writer=(
+                "import json\n\n"
+                "def save(path, payload):\n"
+                f"    text = {dump_line}\n"
+                "    with open(path, 'w') as fh:\n"
+                "        fh.write(text)\n"
+            ),
+        )
+
+    def test_non_canonical_dump_on_the_persistence_path(self):
+        findings = ser001_findings(self._graph("json.dumps(payload)"))
+        assert [f[4] for f in findings] == ["SER001"]
+        assert "sort_keys" in findings[0][5]
+
+    def test_sort_keys_true_is_canonical(self):
+        graph = self._graph("json.dumps(payload, sort_keys=True)")
+        assert ser001_findings(graph) == []
+
+    def test_dump_off_the_serialization_path_is_fine(self):
+        graph = graph_of(
+            repro__display=(
+                "import json\n\n"
+                "def show(payload):\n"
+                "    return json.dumps(payload)\n"
+            ),
+        )
+        assert ser001_findings(graph) == []
+
+
+# ---------------------------------------------------------------------------
+# End-to-end over a fixture package on disk
+# ---------------------------------------------------------------------------
+
+
+def write_fixture_tree(root: Path, declared_fingerprint=("repro.fp",)):
+    """A minimal ``src/repro`` package whose computed fingerprint set is
+    exactly ``{"repro.fp"}`` and persistence set ``{"repro.writer"}``."""
+    package = root / "src" / "repro"
+    (package / "lint").mkdir(parents=True)
+    (package / "__init__.py").write_text("")
+    (package / "lint" / "__init__.py").write_text("")
+    (package / "lint" / "scopes.py").write_text(
+        scopes_source(
+            fingerprint=declared_fingerprint,
+            persistence=("repro.writer",),
+            pickle=(),
+        )
+    )
+    (package / "fp.py").write_text(
+        "import hashlib\n\n"
+        "def fp(b):\n"
+        "    return hashlib.sha256(b).hexdigest()\n"
+    )
+    (package / "writer.py").write_text(
+        "def save(path, text):\n"
+        "    with open(path, 'w') as fh:\n"
+        "        fh.write(text)\n"
+    )
+    return root / "src"
+
+
+class TestFixtureTree:
+    def test_in_sync_tree_is_clean(self, tmp_path):
+        target = write_fixture_tree(tmp_path)
+        assert lint_paths([str(target)], root=str(tmp_path)) == []
+
+    def test_drift_is_detected_end_to_end(self, tmp_path):
+        target = write_fixture_tree(tmp_path, declared_fingerprint=())
+        diagnostics = lint_paths([str(target)], root=str(tmp_path))
+        assert [d.code for d in diagnostics] == ["SCOPE001"]
+        assert diagnostics[0].path == "src/repro/lint/scopes.py"
+        assert "'repro.fp'" in diagnostics[0].message
+
+    def test_project_rules_skip_partial_trees(self, tmp_path):
+        target = write_fixture_tree(tmp_path, declared_fingerprint=())
+        # Linting one file cannot assemble meaningful computed scopes.
+        single = target / "repro" / "lint" / "scopes.py"
+        assert lint_paths([str(single)], root=str(tmp_path)) == []
+
+    def test_jobs_and_serial_agree_byte_for_byte(self, tmp_path):
+        target = write_fixture_tree(tmp_path, declared_fingerprint=())
+        serial = lint_paths([str(target)], root=str(tmp_path), jobs=1)
+        parallel = lint_paths([str(target)], root=str(tmp_path), jobs=4)
+        assert serial == parallel
+
+
+class TestDiagnosticCache:
+    def test_second_run_is_all_hits_and_identical(self, tmp_path):
+        target = write_fixture_tree(tmp_path, declared_fingerprint=())
+        cache_dir = tmp_path / "cache"
+        cold_cache = DiagnosticCache(str(cache_dir))
+        cold = lint_paths(
+            [str(target)], root=str(tmp_path), cache=cold_cache
+        )
+        assert cold_cache.hits == 0
+        assert cold_cache.stores == cold_cache.misses > 0
+        warm_cache = DiagnosticCache(str(cache_dir))
+        warm = lint_paths(
+            [str(target)], root=str(tmp_path), cache=warm_cache
+        )
+        assert warm_cache.misses == 0
+        assert warm_cache.hits == cold_cache.stores
+        assert warm == cold
+
+    def test_content_change_invalidates_only_that_file(self, tmp_path):
+        target = write_fixture_tree(tmp_path)
+        cache_dir = tmp_path / "cache"
+        first = DiagnosticCache(str(cache_dir))
+        lint_paths([str(target)], root=str(tmp_path), cache=first)
+        fp = target / "repro" / "fp.py"
+        fp.write_text(fp.read_text() + "\nEXTRA = 1\n")
+        second = DiagnosticCache(str(cache_dir))
+        lint_paths([str(target)], root=str(tmp_path), cache=second)
+        assert second.misses == 1
+        assert second.hits == first.stores - 1
+
+    def test_key_depends_on_module_profile_and_content(self, tmp_path):
+        cache = DiagnosticCache(str(tmp_path / "cache"))
+        base = cache.key("repro.a", "strict", b"x = 1\n")
+        assert cache.key("repro.b", "strict", b"x = 1\n") != base
+        assert cache.key("repro.a", "relaxed", b"x = 1\n") != base
+        assert cache.key("repro.a", "strict", b"x = 2\n") != base
+        assert cache.key("repro.a", "strict", b"x = 1\n") == base
+
+    def test_corrupt_entry_degrades_to_a_miss(self, tmp_path):
+        target = write_fixture_tree(tmp_path)
+        cache_dir = tmp_path / "cache"
+        lint_paths(
+            [str(target)],
+            root=str(tmp_path),
+            cache=DiagnosticCache(str(cache_dir)),
+        )
+        for entry in cache_dir.glob("*.json"):
+            entry.write_text("{not json")
+        broken = DiagnosticCache(str(cache_dir))
+        diagnostics = lint_paths(
+            [str(target)], root=str(tmp_path), cache=broken
+        )
+        assert broken.hits == 0
+        assert broken.misses > 0
+        assert diagnostics == lint_paths([str(target)], root=str(tmp_path))
+
+    def test_unwritable_directory_disables_the_cache_not_the_run(
+        self, tmp_path
+    ):
+        target = write_fixture_tree(tmp_path)
+        blocked = tmp_path / "blocked"
+        blocked.write_text("")  # a *file*, so makedirs fails beneath it
+        cache = DiagnosticCache(str(blocked / "cache"))
+        diagnostics = lint_paths(
+            [str(target)], root=str(tmp_path), cache=cache
+        )
+        assert cache.stores == 0
+        assert diagnostics == lint_paths([str(target)], root=str(tmp_path))
+
+    def test_cached_and_fresh_analyses_are_identical(self, tmp_path):
+        target = write_fixture_tree(tmp_path, declared_fingerprint=())
+        cache_dir = tmp_path / "cache"
+        lint_paths(
+            [str(target)],
+            root=str(tmp_path),
+            cache=DiagnosticCache(str(cache_dir)),
+        )
+        fresh = analyze_paths([str(target)], root=str(tmp_path))
+        cached = analyze_paths(
+            [str(target)],
+            root=str(tmp_path),
+            cache=DiagnosticCache(str(cache_dir)),
+        )
+        assert [a.to_dict() for a in fresh] == [a.to_dict() for a in cached]

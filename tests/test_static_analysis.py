@@ -6,6 +6,7 @@ The mypy case degrades to a skip when mypy is not installed — the runtime
 image does not ship it, and the linter gate must not depend on it.
 """
 
+import shutil
 import subprocess
 import sys
 from pathlib import Path
@@ -22,6 +23,30 @@ from repro.lint import (
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
 pytestmark = pytest.mark.lint
+
+
+def run_lint_cli(*argv, cwd=REPO_ROOT):
+    """Run ``python -m repro.lint`` against the real package sources."""
+    return subprocess.run(
+        [sys.executable, "-m", "repro.lint", *argv],
+        cwd=str(cwd),
+        env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin"},
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+
+
+def copy_tree_for_drift(tmp_path):
+    """A throwaway copy of the lintable tree the gate can be run against."""
+    shutil.copytree(
+        REPO_ROOT / "src", tmp_path / "src",
+        ignore=shutil.ignore_patterns("__pycache__"),
+    )
+    shutil.copy(
+        REPO_ROOT / BASELINE_FILENAME, tmp_path / BASELINE_FILENAME
+    )
+    return tmp_path
 
 
 class TestTreeIsClean:
@@ -50,6 +75,56 @@ class TestTreeIsClean:
             timeout=300,
         )
         assert completed.returncode == 0, completed.stdout + completed.stderr
+
+
+class TestScopeGate:
+    """SCOPE001 end-to-end: the gate fails when the declared sets drift.
+
+    The declared sets are parsed from the *analyzed* ``scopes.py`` (not
+    the imported package), so a mutated copy of the tree exercises the
+    gate without touching the live sources.
+    """
+
+    def test_dropping_a_declared_member_fails_the_gate(self, tmp_path):
+        root = copy_tree_for_drift(tmp_path)
+        scopes = root / "src" / "repro" / "lint" / "scopes.py"
+        text = scopes.read_text()
+        member = '    "repro.analysis.sharding",\n'
+        assert member in text
+        scopes.write_text(text.replace(member, "", 1))  # first: FINGERPRINT
+        completed = run_lint_cli(
+            "--check", "--root", str(root), "--no-cache"
+        )
+        assert completed.returncode == 1, completed.stdout + completed.stderr
+        assert "SCOPE001" in completed.stdout
+        assert "repro.analysis.sharding" in completed.stdout
+
+    def test_new_sha256_in_an_undeclared_module_fails_the_gate(
+        self, tmp_path
+    ):
+        root = copy_tree_for_drift(tmp_path)
+        target = root / "src" / "repro" / "hardware" / "io.py"
+        target.write_text(
+            target.read_text()
+            + "\n\ndef _extra_fingerprint(data):\n"
+            "    import hashlib\n"
+            "    return hashlib.sha256(data).hexdigest()\n"
+        )
+        completed = run_lint_cli(
+            "--check", "--root", str(root), "--no-cache"
+        )
+        assert completed.returncode == 1, completed.stdout + completed.stderr
+        assert "SCOPE001" in completed.stdout
+        assert "repro.hardware.io" in completed.stdout
+
+
+class TestJobsByteIdentity:
+    def test_json_report_is_identical_across_jobs(self):
+        serial = run_lint_cli("--format", "json", "--jobs", "1", "--no-cache")
+        parallel = run_lint_cli("--format", "json", "--jobs", "4", "--no-cache")
+        assert serial.returncode == parallel.returncode
+        assert serial.stdout == parallel.stdout
+        assert serial.stdout.strip()
 
 
 class TestTypingGate:
